@@ -1,0 +1,85 @@
+// Ablation: why not "treat time as another dimension"? (Section 1 /
+// related work [26].)
+//
+// The 3DR-tree indexes each OG by the 3-D minimum bounding box of its
+// trajectory in (x, y, t). This bench retrieves k-NN candidates by MBR
+// distance and compares the quality against the STRG-Index's EGED-based
+// answers at equal result size — reproducing the paper's argument that MBR
+// proximity with time as a plain third axis is a poor surrogate for
+// spatio-temporal similarity (same-box != same-motion: a U-turn and a
+// straight pass can share an MBR).
+
+#include <iostream>
+#include <set>
+
+#include "bench_common.h"
+#include "distance/eged.h"
+#include "index/strg_index.h"
+#include "rtree3d/rtree3d.h"
+#include "synth/generator.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace strg;
+  bench::Banner("Ablation (related work [26])",
+                "STRG-Index vs 3DR-tree candidate quality");
+
+  synth::SynthParams params;
+  params.items_per_cluster = static_cast<size_t>(
+      bench::EnvInt("STRG_ABL_PER_CLUSTER", bench::FullScale() ? 20 : 10));
+  params.noise_pct = 10.0;
+  synth::SynthDataset ds = synth::GenerateSyntheticOgs(params);
+  auto db = ds.Sequences(synth::SynthScaling());
+  std::cout << "Database: " << db.size() << " OGs\n";
+
+  // Index both ways. (The OGs all start at frame 0 here, so the t axis
+  // spans only the durations — the regime most favourable to the 3DR-tree.)
+  rtree3d::RTree3D rtree;
+  for (size_t i = 0; i < ds.ogs.size(); ++i) {
+    rtree.Insert(rtree3d::Box3::OfOg(ds.ogs[i]), i);
+  }
+  index::StrgIndexParams ip;
+  ip.num_clusters = 48;
+  ip.cluster_params.max_iterations = 5;
+  index::StrgIndex sx(ip);
+  sx.AddSegment(core::BackgroundGraph{}, db);
+
+  synth::SynthParams qp = params;
+  qp.items_per_cluster = 1;
+  qp.seed = params.seed + 3;
+  synth::SynthDataset qds = synth::GenerateSyntheticOgs(qp);
+  auto queries = qds.Sequences(synth::SynthScaling());
+
+  Table table({"k", "STRG-Index precision", "3DR-tree precision"});
+  for (size_t k : {5, 10, 20}) {
+    double p_sx = 0, p_rt = 0;
+    for (size_t qi = 0; qi < qds.ogs.size(); ++qi) {
+      int truth = qds.labels[qi];
+      auto sx_hits = sx.Knn(queries[qi], k);
+      size_t rel = 0;
+      for (const auto& h : sx_hits.hits) {
+        if (ds.labels[h.og_id] == truth) ++rel;
+      }
+      p_sx += static_cast<double>(rel) / static_cast<double>(k);
+
+      auto rt_hits = rtree.Knn(rtree3d::Box3::OfOg(qds.ogs[qi]), k);
+      rel = 0;
+      for (const auto& h : rt_hits) {
+        if (ds.labels[h.id] == truth) ++rel;
+      }
+      p_rt += static_cast<double>(rel) / static_cast<double>(k);
+    }
+    double nq = static_cast<double>(qds.ogs.size());
+    table.AddNumericRow({static_cast<double>(k), p_sx / nq, p_rt / nq}, 3);
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nExpected shape: the 3DR-tree's MBR-distance candidates mix"
+               " patterns that merely\nshare screen area (opposite"
+               " directions, U-turns vs passes), so its precision\nfalls"
+               " well below the STRG-Index's EGED-ranked answers — the"
+               " paper's rationale for\nnot treating time as just another"
+               " R-tree dimension.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation: verifies the Section 4.1 complexity claim — one EM iteration
+// with EGED costs O(KM) distance computations (the covariance d^2 factor
+// of the full Gaussian reduces to 1) — by measuring per-iteration time
+// while scaling K and M independently.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "cluster/em.h"
+#include "distance/distance.h"
+#include "distance/eged.h"
+#include "synth/generator.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace strg;
+
+double TimePerIteration(const std::vector<dist::Sequence>& data, size_t k,
+                        size_t* distance_calls) {
+  dist::EgedDistance eged;
+  dist::CountingDistance counted(&eged);
+  cluster::ClusterParams cp;
+  cp.max_iterations = 4;
+  cp.convergence_tol = 0.0;  // run all iterations
+  Timer t;
+  cluster::EmCluster(data, k, counted, cp);
+  *distance_calls = counted.count();
+  return t.Seconds() / 4.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace strg;
+  bench::Banner("Ablation (Section 4.1)", "EM iteration cost is O(KM)");
+
+  synth::SynthParams sp;
+  sp.items_per_cluster = static_cast<size_t>(
+      bench::EnvInt("STRG_ABL_PER_CLUSTER", bench::FullScale() ? 20 : 10));
+  sp.noise_pct = 10.0;
+  synth::SynthDataset ds = synth::GenerateSyntheticOgs(sp);
+  auto all = ds.Sequences(synth::SynthScaling());
+
+  std::cout << "\nScaling M (K fixed at 8): per-iteration time should grow"
+               " ~linearly in M\n";
+  {
+    Table table({"M", "sec/iter", "distance calls", "calls/(K*M*iters)"});
+    for (size_t m : {100ul, 200ul, 400ul, 480ul}) {
+      std::vector<dist::Sequence> data(all.begin(),
+                                       all.begin() + std::min(m, all.size()));
+      size_t calls = 0;
+      double sec = TimePerIteration(data, 8, &calls);
+      table.AddRow({std::to_string(data.size()), FormatDouble(sec, 4),
+                    std::to_string(calls),
+                    FormatDouble(static_cast<double>(calls) /
+                                     (8.0 * data.size() * 4.0),
+                                 2)});
+    }
+    table.Print(std::cout);
+  }
+
+  std::cout << "\nScaling K (M fixed): per-iteration time should grow"
+               " ~linearly in K\n";
+  {
+    Table table({"K", "sec/iter", "distance calls", "calls/(K*M*iters)"});
+    for (size_t k : {4ul, 8ul, 16ul, 32ul}) {
+      size_t calls = 0;
+      double sec = TimePerIteration(all, k, &calls);
+      table.AddRow({std::to_string(k), FormatDouble(sec, 4),
+                    std::to_string(calls),
+                    FormatDouble(static_cast<double>(calls) /
+                                     (static_cast<double>(k) * all.size() * 4.0),
+                                 2)});
+    }
+    table.Print(std::cout);
+  }
+
+  std::cout << "\nExpected shape: the calls/(K*M*iters) column stays O(1)"
+               " (~1-2; seeding and the\nanti-collapse guard add a small"
+               " constant), confirming O(KM) per iteration.\n";
+  return 0;
+}

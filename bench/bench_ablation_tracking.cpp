@@ -1,0 +1,66 @@
+// Ablation: graph-based tracking quality (Algorithm 1) vs the similarity
+// threshold T_sim, on rendered scenes with known object identities.
+//
+// Sweeps T_sim and reports how many OGs the pipeline recovers against the
+// true object count, plus fragmentation (extra OGs per true object). The
+// DESIGN.md design-choice being ablated: tracking links a non-isomorphic
+// best match only when SimGraph exceeds T_sim.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/pipeline.h"
+#include "util/table.h"
+#include "video/scenes.h"
+
+int main() {
+  using namespace strg;
+  bench::Banner("Ablation (Algorithm 1)", "tracking quality vs T_sim");
+
+  const int num_objects = bench::EnvInt("STRG_ABL_OBJECTS", 12);
+  for (bool crowded : {false, true}) {
+    video::SceneParams sp;
+    sp.num_objects = num_objects;
+    sp.object_lifetime = 20;
+    // Non-overlapping objects give unambiguous ground truth; the crowded
+    // variant makes people cross and occlude, which changes the region
+    // structure between frames — exactly when isomorphism fails and the
+    // SimGraph > T_sim fallback decides the temporal edges.
+    sp.spawn_gap = crowded ? 6 : 24;
+    sp.noise_stddev = crowded ? 2.0 : 0.0;
+    video::SceneSpec scene = video::MakeLabScene(sp);
+
+    std::cout << "\n" << (crowded
+                      ? "Crowded scene (occlusions: SimGraph > T_sim path)"
+                      : "Sparse clean scene (isomorphism short-circuits)")
+              << "\n";
+    Table table({"T_sim", "OGs found", "true objects", "fragmentation",
+                 "temporal edges"});
+    for (double t_sim : {0.2, 0.35, 0.5, 0.65, 0.8, 0.95}) {
+      api::PipelineParams pp;
+      pp.segmenter.use_mean_shift = false;
+      pp.tracking.t_sim = t_sim;
+
+      api::VideoPipeline pipeline(pp);
+      for (int t = 0; t < scene.num_frames; ++t) {
+        pipeline.PushFrame(video::RenderFrame(scene, t));
+      }
+      api::SegmentResult result = pipeline.Finish();
+      size_t found = result.decomposition.object_graphs.size();
+      double frag = static_cast<double>(found) / num_objects;
+      table.AddRow({FormatDouble(t_sim, 2), std::to_string(found),
+                    std::to_string(num_objects), FormatDouble(frag, 2),
+                    std::to_string(pipeline.strg().TotalTemporalEdges())});
+    }
+    table.Print(std::cout);
+  }
+
+  std::cout << "\nExpected shape: on the sparse scene every threshold"
+               " recovers exactly one OG per\nobject. On the crowded scene"
+               " low T_sim merges crossing objects into shared\ntracks"
+               " (found < true), while raising T_sim cuts more tracks at"
+               " occlusions\n(fewer temporal edges, more OG fragments) —"
+               " the precision/continuity trade-off\nAlgorithm 1's"
+               " threshold controls.\n";
+  return 0;
+}

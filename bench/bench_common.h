@@ -1,0 +1,33 @@
+#ifndef STRG_BENCH_BENCH_COMMON_H_
+#define STRG_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace strg::bench {
+
+/// Reads an integer scale knob from the environment. Benchmarks default to
+/// a laptop-friendly scale; set e.g. STRG_BENCH_SCALE=3 or
+/// STRG_BENCH_FULL=1 to approach the paper's full workload sizes.
+inline int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+inline bool FullScale() { return EnvInt("STRG_BENCH_FULL", 0) != 0; }
+
+/// Common banner so every harness identifies which paper artifact it
+/// regenerates.
+inline void Banner(const std::string& figure, const std::string& what) {
+  std::cout << "==================================================\n"
+            << figure << " — " << what << "\n"
+            << "(STRG-Index reproduction; shapes, not absolute\n"
+            << " numbers, are the comparison target)\n"
+            << "==================================================\n";
+}
+
+}  // namespace strg::bench
+
+#endif  // STRG_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,191 @@
+// Reproduces Figure 7: STRG-Index vs M-tree (MT-RA, MT-SA).
+//   (a) index building time vs database size
+//   (b) number of distance computations for k-NN queries, k = 5..30
+//   (c) precision / recall of k-NN results
+//
+// Both indexes store the same OG sequences and use the metric EGED, so a
+// "distance computation" costs the same on either side (the Section 6.1
+// fairness setup).
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "distance/eged.h"
+#include "index/strg_index.h"
+#include "mtree/mtree.h"
+#include "synth/generator.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace strg;
+
+struct Dataset {
+  std::vector<dist::Sequence> db;
+  std::vector<int> labels;
+  std::vector<dist::Sequence> queries;
+  std::vector<int> query_labels;
+  size_t per_cluster = 0;
+};
+
+Dataset MakeDataset(size_t db_size, uint64_t seed) {
+  Dataset out;
+  synth::SynthParams sp;
+  sp.items_per_cluster = (db_size + 47) / 48;
+  sp.noise_pct = 10.0;
+  sp.seed = seed;
+  synth::SynthDataset ds = synth::GenerateSyntheticOgs(sp);
+  out.db = ds.Sequences(synth::SynthScaling());
+  out.labels = ds.labels;
+  out.db.resize(db_size);
+  out.labels.resize(db_size);
+  out.per_cluster = sp.items_per_cluster;
+
+  synth::SynthParams qp = sp;
+  qp.items_per_cluster = 1;
+  qp.seed = seed + 7;
+  synth::SynthDataset qs = synth::GenerateSyntheticOgs(qp);
+  out.queries = qs.Sequences(synth::SynthScaling());
+  out.query_labels = qs.labels;
+  return out;
+}
+
+index::StrgIndex BuildStrgIndex(const Dataset& data) {
+  index::StrgIndexParams params;
+  params.num_clusters = 48;  // the workload's known pattern count
+  params.cluster_params.max_iterations = 5;
+  index::StrgIndex idx(params);
+  idx.AddSegment(core::BackgroundGraph{}, data.db);
+  return idx;
+}
+
+mtree::MTree BuildMTree(const Dataset& data, mtree::Promotion promotion,
+                        const dist::SequenceDistance* metric) {
+  mtree::MTreeParams params;
+  params.promotion = promotion;
+  mtree::MTree tree(metric, params);
+  for (size_t i = 0; i < data.db.size(); ++i) tree.Insert(data.db[i], i);
+  return tree;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Figure 7", "STRG-Index vs M-tree (MT-RA / MT-SA)");
+  dist::EgedMetricDistance metric;
+
+  std::vector<size_t> sizes{1000, 2000, 3000, 4000, 5000};
+  if (bench::FullScale()) {
+    sizes = {1000, 2500, 5000, 7500, 10000};
+  }
+
+  // ---- (a) index building time ---------------------------------------
+  std::cout << "\nFigure 7 (a): index building time (s) vs database size\n";
+  {
+    Table table({"db size", "STRG-Index", "MT-RA", "MT-SA"});
+    for (size_t n : sizes) {
+      Dataset data = MakeDataset(n, 900 + n);
+      Timer t_sx;
+      auto sx = BuildStrgIndex(data);
+      double sx_s = t_sx.Seconds();
+      Timer t_ra;
+      auto ra = BuildMTree(data, mtree::Promotion::kRandom, &metric);
+      double ra_s = t_ra.Seconds();
+      Timer t_sa;
+      auto sa = BuildMTree(data, mtree::Promotion::kSampling, &metric);
+      double sa_s = t_sa.Seconds();
+      table.AddNumericRow(
+          {static_cast<double>(n), sx_s, ra_s, sa_s}, 3);
+    }
+    table.Print(std::cout);
+  }
+
+  // ---- (b) + (c) on one mid-size database -----------------------------
+  const size_t query_db_size = sizes[sizes.size() / 2];
+  Dataset data = MakeDataset(query_db_size, 1234);
+  auto sx = BuildStrgIndex(data);
+  auto ra = BuildMTree(data, mtree::Promotion::kRandom, &metric);
+  auto sa = BuildMTree(data, mtree::Promotion::kSampling, &metric);
+
+  std::cout << "\nFigure 7 (b): avg # distance computations per k-NN query"
+            << " (db size " << query_db_size << ")\n";
+  {
+    Table table({"k", "STRG-Index", "MT-RA", "MT-SA"});
+    for (size_t k : {5, 10, 15, 20, 25, 30}) {
+      double sx_acc = 0, ra_acc = 0, sa_acc = 0;
+      for (const auto& q : data.queries) {
+        sx_acc += static_cast<double>(sx.Knn(q, k).distance_computations);
+        ra_acc += static_cast<double>(ra.Knn(q, k).distance_computations);
+        sa_acc += static_cast<double>(sa.Knn(q, k).distance_computations);
+      }
+      double nq = static_cast<double>(data.queries.size());
+      table.AddNumericRow({static_cast<double>(k), sx_acc / nq, ra_acc / nq,
+                           sa_acc / nq},
+                          1);
+    }
+    table.Print(std::cout);
+  }
+
+  // Exact k-NN would return identical answers from any correct metric
+  // index, so (c) compares retrieval quality at a fixed search budget
+  // (number of distance computations): the better-organized index reaches
+  // the true neighbors sooner.
+  const size_t budget = static_cast<size_t>(
+      bench::EnvInt("STRG_FIG7_BUDGET", static_cast<int>(query_db_size / 20)));
+  std::cout << "\nFigure 7 (c): precision / recall of k-NN results"
+            << " (relevant = same moving pattern;\n  search budget "
+            << budget << " distance computations per query)\n";
+  {
+    Table table({"k", "SX-prec", "SX-rec", "RA-prec", "RA-rec", "SA-prec",
+                 "SA-rec"});
+    size_t per_cluster = data.per_cluster;
+    for (size_t k : {5, 10, 15, 20, 25, 30}) {
+      double p[3] = {0, 0, 0}, r[3] = {0, 0, 0};
+      for (size_t qi = 0; qi < data.queries.size(); ++qi) {
+        const auto& q = data.queries[qi];
+        int truth = data.query_labels[qi];
+        size_t total_relevant = 0;
+        for (int l : data.labels) {
+          if (l == truth) ++total_relevant;
+        }
+        auto count_sx = [&](const index::KnnResult& res) {
+          size_t rel = 0;
+          for (const auto& h : res.hits) {
+            if (data.labels[h.og_id] == truth) ++rel;
+          }
+          return rel;
+        };
+        auto count_mt = [&](const mtree::MTreeKnnResult& res) {
+          size_t rel = 0;
+          for (const auto& h : res.hits) {
+            if (data.labels[h.id] == truth) ++rel;
+          }
+          return rel;
+        };
+        size_t rel[3] = {count_sx(sx.Knn(q, k, nullptr, budget)),
+                         count_mt(ra.Knn(q, k, budget)),
+                         count_mt(sa.Knn(q, k, budget))};
+        for (int i = 0; i < 3; ++i) {
+          auto pr = ComputePrecisionRecall(rel[i], k, total_relevant);
+          p[i] += pr.precision;
+          r[i] += pr.recall;
+        }
+      }
+      double nq = static_cast<double>(data.queries.size());
+      table.AddNumericRow({static_cast<double>(k), p[0] / nq, r[0] / nq,
+                           p[1] / nq, r[1] / nq, p[2] / nq, r[2] / nq},
+                          3);
+    }
+    table.Print(std::cout);
+    (void)per_cluster;
+  }
+
+  std::cout << "\nExpected shapes (paper): (a) STRG-Index builds faster than"
+               " MT-SA (and MT-RA at scale);\n(b) STRG-Index needs ~20%+"
+               " fewer distance computations than MT-RA;\n(c) STRG-Index"
+               " dominates both M-tree variants on precision/recall.\n";
+  return 0;
+}

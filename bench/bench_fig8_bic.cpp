@@ -1,0 +1,60 @@
+// Reproduces Figure 8: BIC value vs number of clusters for each video
+// stream; the peak of each curve is the selected (optimal) cluster count
+// (Section 4.2 / Table 2's "found cluster" column).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "cluster/bic.h"
+#include "distance/eged.h"
+#include "util/table.h"
+#include "video_bench.h"
+
+int main() {
+  using namespace strg;
+  bench::Banner("Figure 8", "BIC vs number of clusters per video stream");
+  const int divisor = bench::Table1Divisor();
+  const int k_max = bench::EnvInt("STRG_FIG8_KMAX", 15);
+
+  auto runs = bench::RunTable1Videos(divisor);
+  dist::EgedDistance eged;
+
+  std::vector<std::string> headers{"K"};
+  for (const auto& run : runs) headers.push_back(run.name);
+  Table table(headers);
+
+  std::vector<cluster::BicSweepResult> sweeps;
+  for (const auto& run : runs) {
+    auto seqs = run.result.ObjectSequences();
+    cluster::ClusterParams cp;
+    cp.max_iterations = 10;
+    cp.restarts = 5;
+    sweeps.push_back(cluster::FindOptimalK(
+        seqs, 1, std::min<size_t>(static_cast<size_t>(k_max), seqs.size()),
+        eged, cp));
+  }
+
+  for (int k = 1; k <= k_max; ++k) {
+    std::vector<std::string> row{std::to_string(k)};
+    for (const auto& sweep : sweeps) {
+      if (static_cast<size_t>(k) <= sweep.bic_values.size()) {
+        row.push_back(FormatDouble(sweep.bic_values[static_cast<size_t>(k) - 1], 1));
+      } else {
+        row.push_back("-");
+      }
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nPeak (selected K) per stream:\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    std::cout << "  " << runs[i].name << ": BIC peak at K=" << sweeps[i].best_k
+              << "  (distinct motion categories present: "
+              << runs[i].num_categories << ")\n";
+  }
+  std::cout << "\nExpected shape (paper): each curve rises to a peak near the"
+               " stream's true pattern count\nand falls beyond it; lab"
+               " streams peak higher (more diverse motion) than traffic.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Google-benchmark microbenchmarks of the distance kernels (EGED,
+// EGED_M, DTW, LCS, L2) across sequence lengths — the per-distance cost
+// that dominates every figure's wall time (Section 6.3's T formula).
+
+#include <benchmark/benchmark.h>
+
+#include "distance/dtw.h"
+#include "distance/eged.h"
+#include "distance/lcs.h"
+#include "distance/lp.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace strg;
+
+dist::Sequence MakeSeq(size_t len, uint64_t seed) {
+  Rng rng(seed);
+  dist::Sequence s(len);
+  for (auto& v : s) {
+    for (size_t k = 0; k < dist::kFeatureDim; ++k) {
+      v[k] = rng.Uniform(0.0, 10.0);
+    }
+  }
+  return s;
+}
+
+void BM_EgedNonMetric(benchmark::State& state) {
+  auto a = MakeSeq(static_cast<size_t>(state.range(0)), 1);
+  auto b = MakeSeq(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist::EgedNonMetric(a, b));
+  }
+}
+BENCHMARK(BM_EgedNonMetric)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_EgedMetric(benchmark::State& state) {
+  auto a = MakeSeq(static_cast<size_t>(state.range(0)), 1);
+  auto b = MakeSeq(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist::EgedMetric(a, b));
+  }
+}
+BENCHMARK(BM_EgedMetric)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Dtw(benchmark::State& state) {
+  auto a = MakeSeq(static_cast<size_t>(state.range(0)), 1);
+  auto b = MakeSeq(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist::Dtw(a, b));
+  }
+}
+BENCHMARK(BM_Dtw)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Lcs(benchmark::State& state) {
+  auto a = MakeSeq(static_cast<size_t>(state.range(0)), 1);
+  auto b = MakeSeq(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist::LcsDistanceValue(a, b, 1.0));
+  }
+}
+BENCHMARK(BM_Lcs)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_L2(benchmark::State& state) {
+  auto a = MakeSeq(static_cast<size_t>(state.range(0)), 1);
+  auto b = MakeSeq(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist::LpDistanceValue(a, b, 2.0));
+  }
+}
+BENCHMARK(BM_L2)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

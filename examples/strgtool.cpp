@@ -1,0 +1,193 @@
+// strgtool: command-line front end for the library.
+//
+//   strgtool ingest <catalog> <lab|traffic> <name> <num_objects> [seed]
+//       Render + process a simulated stream and append it to a catalog
+//       file (creates the catalog if absent).
+//   strgtool info <catalog>
+//       Describe the catalog's segments.
+//   strgtool stats <catalog>
+//       Rebuild the index and print its structural health (clusters, leaf
+//       occupancancy, covering radii).
+//   strgtool query <catalog> <video> <og_index> [k]
+//       Rebuild the database from the catalog and run a k-NN query using
+//       one of the stored OGs as the probe.
+//   strgtool ingest-ppm <catalog> <name> <dir>
+//       Ingest a real frame sequence (sorted .ppm files, e.g. exported by
+//       `ffmpeg -i clip.mp4 frames/%06d.ppm`): shot detection splits the
+//       stream, each shot becomes its own catalog segment.
+//
+// Demonstrates persistence (storage::Catalog) plus the retrieval API; a
+// real deployment would ingest camera frames instead of rendered scenes.
+
+#include <iostream>
+#include <string>
+
+#include "core/persistence.h"
+#include "storage/catalog.h"
+#include "util/table.h"
+#include "video/ppm_io.h"
+#include "video/scenes.h"
+
+namespace {
+
+using namespace strg;
+
+int Usage() {
+  std::cerr <<
+      "usage:\n"
+      "  strgtool ingest <catalog> <lab|traffic> <name> <num_objects> [seed]\n"
+      "  strgtool ingest-ppm <catalog> <name> <dir>\n"
+      "  strgtool info <catalog>\n"
+      "  strgtool stats <catalog>\n"
+      "  strgtool query <catalog> <video> <og_index> [k]\n";
+  return 2;
+}
+
+storage::Catalog LoadOrEmpty(const std::string& path) {
+  try {
+    return storage::Catalog::LoadFromFile(path);
+  } catch (const std::runtime_error&) {
+    return storage::Catalog{};
+  }
+}
+
+int Ingest(const std::string& path, const std::string& kind,
+           const std::string& name, int num_objects, uint64_t seed) {
+  video::SceneParams sp;
+  sp.num_objects = num_objects;
+  sp.seed = seed;
+  sp.noise_stddev = 0.0;
+  if (kind == "traffic") sp.height = 100;
+  video::SceneSpec scene =
+      kind == "traffic" ? video::MakeTrafficScene(sp) : video::MakeLabScene(sp);
+
+  api::PipelineParams pp;
+  pp.segmenter.use_mean_shift = false;
+  api::SegmentResult segment = api::ProcessScene(scene, pp);
+
+  storage::Catalog catalog = LoadOrEmpty(path);
+  catalog.AddSegment(api::ToCatalogSegment(name, segment));
+  catalog.SaveToFile(path);
+  std::cout << "ingested '" << name << "': " << scene.num_frames
+            << " frames -> " << segment.decomposition.object_graphs.size()
+            << " OGs; catalog now has " << catalog.NumSegments()
+            << " segment(s), " << catalog.TotalOgs() << " OGs\n";
+  return 0;
+}
+
+int IngestPpm(const std::string& path, const std::string& name,
+              const std::string& dir) {
+  std::vector<video::Frame> frames = video::LoadPpmDirectory(dir);
+  if (frames.empty()) {
+    std::cerr << "no .ppm frames found in " << dir << "\n";
+    return 1;
+  }
+  api::PipelineParams pp;  // mean-shift front end for real footage
+  std::vector<api::SegmentResult> segments = api::ProcessFrames(frames, pp);
+  storage::Catalog catalog = LoadOrEmpty(path);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    std::string seg_name =
+        segments.size() == 1 ? name : name + "#" + std::to_string(i);
+    catalog.AddSegment(api::ToCatalogSegment(seg_name, segments[i]));
+    std::cout << "  shot " << i << ": " << segments[i].num_frames
+              << " frames, "
+              << segments[i].decomposition.object_graphs.size() << " OGs\n";
+  }
+  catalog.SaveToFile(path);
+  std::cout << "ingested " << frames.size() << " frames as "
+            << segments.size() << " segment(s)\n";
+  return 0;
+}
+
+int Info(const std::string& path) {
+  storage::Catalog catalog = storage::Catalog::LoadFromFile(path);
+  Table table({"video", "frames", "OGs", "BG regions", "frame size"});
+  for (const auto& s : catalog.segments()) {
+    table.AddRow({s.video_name, std::to_string(s.num_frames),
+                  std::to_string(s.ogs.size()),
+                  std::to_string(s.background.rag.NumNodes()),
+                  std::to_string(s.frame_width) + "x" +
+                      std::to_string(s.frame_height)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int Stats(const std::string& path) {
+  storage::Catalog catalog = storage::Catalog::LoadFromFile(path);
+  api::VideoDatabase db = api::RestoreVideoDatabase(catalog);
+  auto stats = db.index().ComputeStats();
+  std::cout << "segments: " << stats.segments
+            << "\nclusters: " << stats.clusters
+            << "\nOGs: " << stats.ogs
+            << "\nleaf occupancy: min " << stats.min_leaf << " mean "
+            << FormatDouble(stats.mean_leaf, 1) << " max " << stats.max_leaf
+            << "\ncovering radius: mean "
+            << FormatDouble(stats.mean_covering_radius, 2) << " max "
+            << FormatDouble(stats.max_covering_radius, 2)
+            << "\nindex size: " << FormatBytes(db.IndexSizeBytes()) << "\n";
+  return 0;
+}
+
+int Query(const std::string& path, const std::string& video, size_t og_index,
+          size_t k) {
+  storage::Catalog catalog = storage::Catalog::LoadFromFile(path);
+  const storage::CatalogSegment* segment = nullptr;
+  for (const auto& s : catalog.segments()) {
+    if (s.video_name == video) segment = &s;
+  }
+  if (segment == nullptr || og_index >= segment->ogs.size()) {
+    std::cerr << "no such video / OG index\n";
+    return 1;
+  }
+
+  index::StrgIndexParams params;
+  params.num_clusters = 0;  // let BIC choose
+  params.k_max = 10;
+  api::VideoDatabase db = api::RestoreVideoDatabase(catalog, params);
+
+  dist::FeatureScaling scaling;
+  scaling.frame_width = segment->frame_width;
+  scaling.frame_height = segment->frame_height;
+  auto hits = db.FindSimilar(segment->ogs[og_index], k, scaling);
+
+  std::cout << "query: OG " << og_index << " of '" << video << "' (starts at"
+            << " frame " << segment->ogs[og_index].start_frame << ")\n";
+  Table table({"rank", "video", "start frame", "length", "EGED_M"});
+  for (size_t i = 0; i < hits.size(); ++i) {
+    table.AddRow({std::to_string(i + 1), hits[i].video,
+                  std::to_string(hits[i].start_frame),
+                  std::to_string(hits[i].length),
+                  FormatDouble(hits[i].distance, 2)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string cmd = argv[1];
+  std::string path = argv[2];
+  try {
+    if (cmd == "ingest" && argc >= 6) {
+      return Ingest(path, argv[3], argv[4], std::atoi(argv[5]),
+                    argc > 6 ? static_cast<uint64_t>(std::atoll(argv[6]))
+                             : 7u);
+    }
+    if (cmd == "ingest-ppm" && argc >= 5) {
+      return IngestPpm(path, argv[3], argv[4]);
+    }
+    if (cmd == "info") return Info(path);
+    if (cmd == "stats") return Stats(path);
+    if (cmd == "query" && argc >= 5) {
+      return Query(path, argv[3], static_cast<size_t>(std::atoll(argv[4])),
+                   argc > 5 ? static_cast<size_t>(std::atoll(argv[5])) : 5u);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return Usage();
+}

@@ -1,0 +1,78 @@
+// Traffic pattern mining: discover the motion patterns of an intersection
+// with EM clustering over EGED, and let BIC pick how many there are.
+//
+// This exercises the analysis half of the paper (Sections 3-4): the
+// pipeline watches a simulated traffic camera, extracts one OG per
+// vehicle, clusters them without knowing the true number of lanes or
+// directions, and reports what it found.
+
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "cluster/bic.h"
+#include "cluster/em.h"
+#include "core/pipeline.h"
+#include "distance/eged.h"
+#include "util/table.h"
+#include "video/scenes.h"
+
+int main() {
+  using namespace strg;
+
+  video::SceneParams params;
+  params.num_objects = 60;
+  params.height = 100;  // room for 2 directions x 3 lanes
+  params.spawn_gap = 24;
+  params.seed = 5;
+  video::SceneSpec scene = video::MakeTrafficScene(params);
+
+  api::PipelineParams pp;
+  pp.segmenter.use_mean_shift = false;
+  api::SegmentResult segment = api::ProcessScene(scene, pp);
+  auto sequences = segment.ObjectSequences();
+  std::cout << "Observed " << sequences.size() << " vehicle tracks over "
+            << segment.num_frames << " frames\n";
+
+  // Let BIC choose the number of motion patterns (Section 4.2).
+  dist::EgedDistance eged;
+  cluster::ClusterParams cp;
+  cp.max_iterations = 12;
+  cp.restarts = 5;
+  auto sweep = cluster::FindOptimalK(sequences, 1, 12, eged, cp);
+  std::cout << "BIC selected " << sweep.best_k << " motion patterns\n\n";
+
+  const cluster::Clustering& model =
+      sweep.models[sweep.best_k - 1];
+
+  // Describe each discovered pattern from its centroid OG.
+  Table table({"pattern", "#vehicles", "direction", "mean lane (y px)",
+               "mean size (px)"});
+  for (size_t c = 0; c < model.NumClusters(); ++c) {
+    int members = 0;
+    for (int a : model.assignment) {
+      if (a == static_cast<int>(c)) ++members;
+    }
+    if (members == 0) continue;
+    const dist::Sequence& centroid = model.centroids[c];
+    double dx = centroid.back()[4] - centroid.front()[4];
+    double y_px = 0.0, size_px = 0.0;
+    for (const auto& v : centroid) {
+      y_px += v[5] / 10.0 * params.height;
+      // size feature = 10*sqrt(area/frame_area)
+      double ratio = v[0] / 10.0;
+      size_px += ratio * ratio * params.width * params.height;
+    }
+    y_px /= static_cast<double>(centroid.size());
+    size_px /= static_cast<double>(centroid.size());
+    table.AddRow({std::to_string(c), std::to_string(members),
+                  dx > 0 ? "eastbound" : "westbound", FormatDouble(y_px, 1),
+                  FormatDouble(size_px, 0)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nGround truth: 6 patterns — cars/vans/trucks (growing size,"
+               " outer lanes) in each\ndirection. Compare the direction /"
+               " lane / size columns against that structure.\n";
+  return 0;
+}

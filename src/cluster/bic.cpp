@@ -1,0 +1,41 @@
+#include "cluster/bic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cluster/em.h"
+
+namespace strg::cluster {
+
+double Bic(double log_likelihood, size_t k, size_t num_items) {
+  // d = 1: each component carries a mean and a variance -> d(d+3)/2 = 2
+  // parameters, plus K-1 free mixture weights.
+  double eta = static_cast<double>(k - 1) + 2.0 * static_cast<double>(k);
+  return log_likelihood - eta * std::log(static_cast<double>(num_items));
+}
+
+BicSweepResult FindOptimalK(const std::vector<dist::Sequence>& data,
+                            size_t k_min, size_t k_max,
+                            const dist::SequenceDistance& distance,
+                            const ClusterParams& params) {
+  if (k_min == 0 || k_min > k_max) {
+    throw std::invalid_argument("FindOptimalK: bad k range");
+  }
+  BicSweepResult result;
+  double best_bic = -std::numeric_limits<double>::infinity();
+  for (size_t k = k_min; k <= k_max; ++k) {
+    Clustering model = EmCluster(data, k, distance, params);
+    // Score the classification likelihood — what the CEM fit optimizes
+    // (see Clustering::classification_log_likelihood).
+    double bic = Bic(model.classification_log_likelihood, k, data.size());
+    result.bic_values.push_back(bic);
+    result.models.push_back(std::move(model));
+    if (bic > best_bic) {
+      best_bic = bic;
+      result.best_k = k;
+    }
+  }
+  return result;
+}
+
+}  // namespace strg::cluster

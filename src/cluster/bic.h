@@ -1,0 +1,31 @@
+#ifndef STRG_CLUSTER_BIC_H_
+#define STRG_CLUSTER_BIC_H_
+
+#include "cluster/clustering.h"
+
+namespace strg::cluster {
+
+/// Bayesian Information Criterion of a fitted mixture model (Equation 8):
+///   BIC(M_K) = l̂_K(Y) - eta_{M_K} * log(M)
+/// with eta = (K - 1) + K * d(d+3)/2 independent parameters and d = 1
+/// (EGED reduces the Gaussian to one dimension, Section 4.2). Larger is
+/// better.
+double Bic(double log_likelihood, size_t k, size_t num_items);
+
+/// Result of the optimal-K sweep.
+struct BicSweepResult {
+  size_t best_k = 0;
+  std::vector<double> bic_values;     ///< indexed by k - k_min
+  std::vector<Clustering> models;     ///< fitted model per k
+};
+
+/// Fits EM for every K in [k_min, k_max] and returns the K that maximizes
+/// BIC — the paper's model-selection procedure (Section 4.2, Figure 8).
+BicSweepResult FindOptimalK(const std::vector<dist::Sequence>& data,
+                            size_t k_min, size_t k_max,
+                            const dist::SequenceDistance& distance,
+                            const ClusterParams& params = {});
+
+}  // namespace strg::cluster
+
+#endif  // STRG_CLUSTER_BIC_H_

@@ -1,0 +1,48 @@
+#include "cluster/centroid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace strg::cluster {
+
+dist::Sequence WeightedCentroid(const std::vector<dist::Sequence>& data,
+                                const std::vector<double>& weights) {
+  if (data.size() != weights.size()) {
+    throw std::invalid_argument("WeightedCentroid: size mismatch");
+  }
+  double total = 0.0, length_acc = 0.0;
+  for (size_t j = 0; j < data.size(); ++j) {
+    if (weights[j] <= 0.0) continue;
+    total += weights[j];
+    length_acc += weights[j] * static_cast<double>(data[j].size());
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("WeightedCentroid: no positive weight");
+  }
+  size_t length = std::max<size_t>(1, static_cast<size_t>(
+                                          std::lround(length_acc / total)));
+
+  dist::Sequence centroid(length);
+  for (auto& v : centroid) v.fill(0.0);
+  for (size_t j = 0; j < data.size(); ++j) {
+    if (weights[j] <= 0.0) continue;
+    dist::Sequence r = dist::Resample(data[j], length);
+    double w = weights[j] / total;
+    for (size_t i = 0; i < length; ++i) {
+      for (size_t k = 0; k < dist::kFeatureDim; ++k) {
+        centroid[i][k] += w * r[i][k];
+      }
+    }
+  }
+  return centroid;
+}
+
+dist::Sequence CentroidOfSubset(const std::vector<dist::Sequence>& data,
+                                const std::vector<size_t>& member_indices) {
+  std::vector<double> weights(data.size(), 0.0);
+  for (size_t idx : member_indices) weights[idx] = 1.0;
+  return WeightedCentroid(data, weights);
+}
+
+}  // namespace strg::cluster

@@ -1,0 +1,27 @@
+#ifndef STRG_CLUSTER_CENTROID_H_
+#define STRG_CLUSTER_CENTROID_H_
+
+#include <vector>
+
+#include "distance/sequence.h"
+
+namespace strg::cluster {
+
+/// Synthesizes a weighted-mean sequence ("centroid OG") from variable-length
+/// member sequences.
+///
+/// Equation 6's mu_k = sum_j h_jk Y_j / sum_j h_jk averages sequences of
+/// different time lengths, which the paper leaves unspecified; we realize it
+/// by resampling every member to the weighted-mean length and averaging
+/// pointwise (documented in DESIGN.md). Members with non-positive weight are
+/// ignored; at least one positive weight is required.
+dist::Sequence WeightedCentroid(const std::vector<dist::Sequence>& data,
+                                const std::vector<double>& weights);
+
+/// Unweighted convenience overload over a subset of items.
+dist::Sequence CentroidOfSubset(const std::vector<dist::Sequence>& data,
+                                const std::vector<size_t>& member_indices);
+
+}  // namespace strg::cluster
+
+#endif  // STRG_CLUSTER_CENTROID_H_

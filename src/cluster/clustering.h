@@ -1,0 +1,55 @@
+#ifndef STRG_CLUSTER_CLUSTERING_H_
+#define STRG_CLUSTER_CLUSTERING_H_
+
+#include <limits>
+#include <vector>
+
+#include "distance/distance.h"
+#include "util/thread_pool.h"
+
+namespace strg::cluster {
+
+/// Result shared by every clustering algorithm in this module.
+struct Clustering {
+  std::vector<int> assignment;            ///< cluster id per input item
+  std::vector<dist::Sequence> centroids;  ///< one synthesized OG per cluster
+  std::vector<double> weights;            ///< mixture weights w_k (EM)
+  std::vector<double> sigmas;             ///< component sigma_k (EM)
+  double log_likelihood = -std::numeric_limits<double>::infinity();
+  /// Classification log-likelihood: sum over items of the log density of
+  /// their assigned component (uniform prior). This is the likelihood the
+  /// classification-EM fit actually optimizes, and the one model selection
+  /// (BIC, Section 4.2) scores — the mixture likelihood's log w_k term
+  /// penalizes every extra component by log K per item, which would mask
+  /// genuine cluster structure at moderate separations.
+  double classification_log_likelihood =
+      -std::numeric_limits<double>::infinity();
+  int iterations = 0;  ///< E/M (or Lloyd) iterations actually run
+
+  size_t NumClusters() const { return centroids.size(); }
+};
+
+/// Shared knobs for the iterative clusterers.
+struct ClusterParams {
+  int max_iterations = 30;
+  double convergence_tol = 1e-4;  ///< on mixture weights / assignment churn
+  uint64_t seed = 13;             ///< centroid initialization seed
+  /// Independent restarts (different seeds); the fit with the best
+  /// classification likelihood wins. CEM converges to local optima — e.g.
+  /// two seeds landing in one natural cluster merge two others — and
+  /// restarts are the standard remedy.
+  int restarts = 1;
+  /// Optional worker pool: when set, the K x M distance matrix of each
+  /// EM iteration is computed in parallel (the distance functions are
+  /// pure; CountingDistance is atomic). Not owned.
+  ThreadPool* pool = nullptr;
+  /// Floor on each component's sigma. Features live on a ~[0, 10] scale
+  /// (FeatureScaling), so this guards against the classic GMM singularity
+  /// (a component collapsing onto near-duplicate OGs with sigma -> 0 and
+  /// unbounded likelihood), which would make BIC over-select K.
+  double min_sigma = 0.05;
+};
+
+}  // namespace strg::cluster
+
+#endif  // STRG_CLUSTER_CLUSTERING_H_

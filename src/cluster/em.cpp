@@ -1,0 +1,290 @@
+#include "cluster/em.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "cluster/centroid.h"
+#include "cluster/seeding.h"
+#include "util/random.h"
+
+namespace strg::cluster {
+
+namespace {
+
+constexpr double kLogSqrt2Pi = 0.9189385332046727;  // log(sqrt(2*pi))
+
+/// log of component k's weighted density at distance d (Equation 3).
+double LogComponent(double w, double sigma, double d) {
+  return std::log(w) - std::log(sigma) - kLogSqrt2Pi -
+         (d * d) / (2.0 * sigma * sigma);
+}
+
+/// Row-wise softmax with log-sum-exp; returns the log evidence.
+double PosteriorRow(const std::vector<double>& log_p, std::vector<double>* h) {
+  double mx = *std::max_element(log_p.begin(), log_p.end());
+  double sum = 0.0;
+  for (double lp : log_p) sum += std::exp(lp - mx);
+  double log_evidence = mx + std::log(sum);
+  h->resize(log_p.size());
+  for (size_t k = 0; k < log_p.size(); ++k) {
+    (*h)[k] = std::exp(log_p[k] - log_evidence);
+  }
+  return log_evidence;
+}
+
+}  // namespace
+
+namespace {
+
+Clustering EmClusterOnce(const std::vector<dist::Sequence>& data, size_t k,
+                         const dist::SequenceDistance& distance,
+                         const ClusterParams& params) {
+  const size_t m = data.size();
+  if (m == 0 || k == 0) throw std::invalid_argument("EmCluster: empty input");
+  k = std::min(k, m);
+
+  Clustering model;
+  Rng rng(params.seed);
+
+  // Init: K distinct random OGs become the initial centroids (Section 4.1:
+  // "OGs are selected randomly").
+  for (size_t idx : SeedCentroidIndices(data, k, distance, &rng,
+                                        std::max<size_t>(4 * k, 512))) {
+    model.centroids.push_back(data[idx]);
+  }
+  model.weights.assign(k, 1.0 / static_cast<double>(k));
+
+  // Distance matrix for the current centroids.
+  std::vector<std::vector<double>> d(m, std::vector<double>(k, 0.0));
+  auto refresh_distances = [&]() {
+    auto row = [&](size_t j) {
+      for (size_t c = 0; c < k; ++c) {
+        d[j][c] = distance(data[j], model.centroids[c]);
+      }
+    };
+    if (params.pool != nullptr) {
+      params.pool->ParallelFor(0, m, row);
+    } else {
+      for (size_t j = 0; j < m; ++j) row(j);
+    }
+  };
+  refresh_distances();
+
+  // Initialization: hard-assign every item to its nearest seed centroid and
+  // derive per-component weights and sigmas from that partition. Starting
+  // from a hard assignment breaks the symmetry that otherwise lets EM
+  // collapse all components onto the global mean when the seed sigma is
+  // large (near-uniform posteriors -> identical M-step centroids).
+  double init_acc = 0.0;
+  std::vector<size_t> init_assign(m, 0);
+  std::vector<size_t> init_count(k, 0);
+  std::vector<double> init_sq(k, 0.0);
+  for (size_t j = 0; j < m; ++j) {
+    size_t best = 0;
+    for (size_t c = 1; c < k; ++c) {
+      if (d[j][c] < d[j][best]) best = c;
+    }
+    init_assign[j] = best;
+    init_count[best] += 1;
+    init_sq[best] += d[j][best] * d[j][best];
+    init_acc += d[j][best] * d[j][best];
+  }
+  double init_sigma =
+      std::max(params.min_sigma, std::sqrt(init_acc / static_cast<double>(m)));
+  model.sigmas.assign(k, init_sigma);
+  for (size_t c = 0; c < k; ++c) {
+    if (init_count[c] > 0) {
+      model.weights[c] =
+          std::max(1.0, static_cast<double>(init_count[c])) /
+          static_cast<double>(m);
+      model.sigmas[c] = std::max(
+          params.min_sigma,
+          std::sqrt(init_sq[c] / static_cast<double>(init_count[c])));
+      std::vector<double> w(m, 0.0);
+      for (size_t j = 0; j < m; ++j) {
+        if (init_assign[j] == c) w[j] = 1.0;
+      }
+      model.centroids[c] = WeightedCentroid(data, w);
+    } else {
+      model.weights[c] = 1.0 / static_cast<double>(m);
+    }
+  }
+  // Renormalize the weights after the count-based estimate.
+  {
+    double sum = 0.0;
+    for (double w : model.weights) sum += w;
+    for (double& w : model.weights) w /= sum;
+  }
+  refresh_distances();
+
+  std::vector<std::vector<double>> h(m, std::vector<double>(k, 0.0));
+  std::vector<double> log_p(k);
+
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    model.iterations = iter + 1;
+
+    // E-step (Equation 5).
+    double ll = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      for (size_t c = 0; c < k; ++c) {
+        log_p[c] = LogComponent(model.weights[c], model.sigmas[c], d[j][c]);
+      }
+      ll += PosteriorRow(log_p, &h[j]);
+    }
+    model.log_likelihood = ll;
+
+    // Classification step: responsibilities are hardened to the maximum-
+    // posterior component before the M-step (CEM, Celeux & Govaert). With
+    // trajectory centroids synthesized by averaging, fully soft updates
+    // drag every centroid toward the global mean and the mixture collapses;
+    // the classification variant keeps the component structure while still
+    // optimizing the same mixture objective. The soft posteriors above are
+    // retained for the reported log-likelihood (Equation 4).
+    // Items are classified by component density alone (uniform prior): at
+    // the sigma levels OG data produces, the log w_k term otherwise
+    // dominates the d^2/(2 sigma^2) signal and the heaviest component
+    // absorbs everything (rich-get-richer collapse).
+    std::vector<size_t> hard(m);
+    for (size_t j = 0; j < m; ++j) {
+      size_t best = 0;
+      double best_lp = -std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < k; ++c) {
+        double lp = LogComponent(1.0, model.sigmas[c], d[j][c]);
+        if (lp > best_lp) {
+          best_lp = lp;
+          best = c;
+        }
+      }
+      hard[j] = best;
+    }
+
+    // M-step (Equation 6).
+    std::vector<double> new_weights(k, 0.0);
+    bool converged = true;
+    for (size_t c = 0; c < k; ++c) {
+      double hs = 0.0, hd2 = 0.0;
+      std::vector<double> col(m);
+      for (size_t j = 0; j < m; ++j) {
+        col[j] = hard[j] == c ? 1.0 : 0.0;
+        hs += col[j];
+        hd2 += col[j] * d[j][c] * d[j][c];
+      }
+      new_weights[c] = hs / static_cast<double>(m);
+      if (hs > 1e-12) {
+        model.centroids[c] = WeightedCentroid(data, col);
+        model.sigmas[c] = std::max(params.min_sigma, std::sqrt(hd2 / hs));
+      } else {
+        // Dead component: reseed on a random item.
+        model.centroids[c] = data[rng.Index(m)];
+        model.sigmas[c] = init_sigma;
+        new_weights[c] = 1.0 / static_cast<double>(m);
+      }
+      if (std::fabs(new_weights[c] - model.weights[c]) >
+          params.convergence_tol) {
+        converged = false;
+      }
+    }
+    model.weights = new_weights;
+    refresh_distances();
+
+    // Anti-collapse guard: averaging trajectories pulls every centroid
+    // toward the global mean, and once two components coincide the mixture
+    // can never separate them again (their posteriors stay proportional
+    // forever). Detect coinciding centroids and reseed the lighter twin on
+    // the item the model currently covers worst — the x-means-style
+    // refinement step. Without this, K >= 2 fits on heterogeneous OG data
+    // collapse to a single effective component.
+    bool reseeded = false;
+    for (size_t c1 = 0; c1 < k && !reseeded; ++c1) {
+      for (size_t c2 = c1 + 1; c2 < k; ++c2) {
+        double sep = distance(model.centroids[c1], model.centroids[c2]);
+        double scale = std::min(model.sigmas[c1], model.sigmas[c2]);
+        if (sep >= std::max(params.min_sigma, 0.2 * scale)) continue;
+        size_t weak = model.weights[c1] <= model.weights[c2] ? c1 : c2;
+        // Worst-covered item: the one farthest from every centroid.
+        size_t far_j = 0;
+        double far_d = -1.0;
+        for (size_t j = 0; j < m; ++j) {
+          double nearest = *std::min_element(d[j].begin(), d[j].end());
+          if (nearest > far_d) {
+            far_d = nearest;
+            far_j = j;
+          }
+        }
+        model.centroids[weak] = data[far_j];
+        model.sigmas[weak] =
+            std::max(params.min_sigma, 0.5 * model.sigmas[weak]);
+        model.weights[weak] = 1.0 / static_cast<double>(k);
+        double sum = 0.0;
+        for (double w : model.weights) sum += w;
+        for (double& w : model.weights) w /= sum;
+        reseeded = true;
+        break;
+      }
+    }
+    if (reseeded) {
+      refresh_distances();
+      converged = false;
+    }
+    if (converged) break;
+  }
+
+  // Final assignment by maximum posterior (Equation 7), with the same
+  // uniform-prior classification used during fitting.
+  model.assignment.resize(m);
+  double cl = 0.0;
+  for (size_t j = 0; j < m; ++j) {
+    int best = 0;
+    double best_lp = -std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < k; ++c) {
+      double lp = LogComponent(1.0, model.sigmas[c], d[j][c]);
+      if (lp > best_lp) {
+        best_lp = lp;
+        best = static_cast<int>(c);
+      }
+    }
+    model.assignment[j] = best;
+    cl += best_lp;
+  }
+  model.classification_log_likelihood = cl;
+  return model;
+}
+
+}  // namespace
+
+Clustering EmCluster(const std::vector<dist::Sequence>& data, size_t k,
+                     const dist::SequenceDistance& distance,
+                     const ClusterParams& params) {
+  int restarts = std::max(1, params.restarts);
+  Clustering best;
+  for (int r = 0; r < restarts; ++r) {
+    ClusterParams p = params;
+    p.seed = params.seed + 0x9E3779B9ull * static_cast<uint64_t>(r);
+    Clustering model = EmClusterOnce(data, k, distance, p);
+    if (r == 0 || model.classification_log_likelihood >
+                      best.classification_log_likelihood) {
+      best = std::move(model);
+    }
+  }
+  return best;
+}
+
+double EmLogLikelihood(const std::vector<dist::Sequence>& data,
+                       const Clustering& model,
+                       const dist::SequenceDistance& distance) {
+  const size_t k = model.centroids.size();
+  std::vector<double> log_p(k);
+  std::vector<double> scratch;
+  double ll = 0.0;
+  for (const dist::Sequence& y : data) {
+    for (size_t c = 0; c < k; ++c) {
+      log_p[c] = LogComponent(model.weights[c], model.sigmas[c],
+                              distance(y, model.centroids[c]));
+    }
+    ll += PosteriorRow(log_p, &scratch);
+  }
+  return ll;
+}
+
+}  // namespace strg::cluster

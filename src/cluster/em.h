@@ -1,0 +1,32 @@
+#ifndef STRG_CLUSTER_EM_H_
+#define STRG_CLUSTER_EM_H_
+
+#include "cluster/clustering.h"
+
+namespace strg::cluster {
+
+/// Expectation-Maximization clustering of OGs (Section 4).
+///
+/// Implements the paper's one-dimensional Gaussian mixture over a sequence
+/// distance (Equation 3): component k has weight w_k, centroid OG mu_k, and
+/// scalar sigma_k, with density
+///   p_k(Y_j) = 1/(sqrt(2 pi) sigma_k) exp(-d(Y_j, mu_k)^2 / (2 sigma_k^2)).
+/// Replacing the Mahalanobis distance with EGED removes the covariance
+/// matrix, so one E+M iteration costs O(K M) distance computations — the
+/// complexity claim of Section 4.1 (verified by bench_ablation_complexity).
+///
+/// `distance` is typically the non-metric EGED, but any SequenceDistance
+/// works — Figure 5 swaps in DTW and LCS here.
+Clustering EmCluster(const std::vector<dist::Sequence>& data, size_t k,
+                     const dist::SequenceDistance& distance,
+                     const ClusterParams& params = {});
+
+/// Log-likelihood of data under a fitted model (Equation 4); exposed for
+/// BIC (Equation 8) and the index's split test.
+double EmLogLikelihood(const std::vector<dist::Sequence>& data,
+                       const Clustering& model,
+                       const dist::SequenceDistance& distance);
+
+}  // namespace strg::cluster
+
+#endif  // STRG_CLUSTER_EM_H_

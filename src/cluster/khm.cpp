@@ -1,0 +1,78 @@
+#include "cluster/khm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "cluster/centroid.h"
+#include "cluster/seeding.h"
+#include "util/random.h"
+
+namespace strg::cluster {
+
+Clustering KhmCluster(const std::vector<dist::Sequence>& data, size_t k,
+                      const dist::SequenceDistance& distance,
+                      const ClusterParams& params, double p) {
+  const size_t m = data.size();
+  if (m == 0 || k == 0) throw std::invalid_argument("KhmCluster: empty input");
+  k = std::min(k, m);
+
+  Clustering model;
+  Rng rng(params.seed);
+  for (size_t idx : SeedCentroidIndices(data, k, distance, &rng,
+                                        std::max<size_t>(4 * k, 512))) {
+    model.centroids.push_back(data[idx]);
+  }
+
+  const double kEps = 1e-8;
+  std::vector<std::vector<double>> d(m, std::vector<double>(k, 0.0));
+
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    model.iterations = iter + 1;
+    for (size_t j = 0; j < m; ++j) {
+      for (size_t c = 0; c < k; ++c) {
+        d[j][c] = std::max(kEps, distance(data[j], model.centroids[c]));
+      }
+    }
+
+    // Soft membership m(c|x_j) ∝ d_jc^{-p-2}, point weight
+    // w(x_j) = sum d^{-p-2} / (sum d^{-p})^2  (Hamerly & Elkan).
+    double shift = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      std::vector<double> w(m, 0.0);
+      for (size_t j = 0; j < m; ++j) {
+        double denom_m = 0.0, denom_w = 0.0;
+        for (size_t cc = 0; cc < k; ++cc) {
+          denom_m += std::pow(d[j][cc], -p - 2.0);
+          denom_w += std::pow(d[j][cc], -p);
+        }
+        double membership = std::pow(d[j][c], -p - 2.0) / denom_m;
+        double weight = denom_m / (denom_w * denom_w);
+        w[j] = membership * weight;
+      }
+      dist::Sequence updated = WeightedCentroid(data, w);
+      shift += distance(model.centroids[c], updated);
+      model.centroids[c] = updated;
+    }
+    if (shift / static_cast<double>(k) < params.convergence_tol) break;
+  }
+
+  // Hard assignment for evaluation.
+  model.assignment.resize(m);
+  for (size_t j = 0; j < m; ++j) {
+    int best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < k; ++c) {
+      double dd = distance(data[j], model.centroids[c]);
+      if (dd < best_d) {
+        best_d = dd;
+        best = static_cast<int>(c);
+      }
+    }
+    model.assignment[j] = best;
+  }
+  return model;
+}
+
+}  // namespace strg::cluster

@@ -1,0 +1,20 @@
+#ifndef STRG_CLUSTER_KHM_H_
+#define STRG_CLUSTER_KHM_H_
+
+#include "cluster/clustering.h"
+
+namespace strg::cluster {
+
+/// K-Harmonic-Means [12] — the "KHM" baseline in Figures 5 and 6.
+///
+/// Minimizes the harmonic average of the K distances per point; its soft
+/// membership m(c|x) ∝ d^{-p-2} and per-point weight make it insensitive to
+/// centroid initialization. `p` is the harmonic exponent (p > 2; Hamerly &
+/// Elkan recommend ~3.5).
+Clustering KhmCluster(const std::vector<dist::Sequence>& data, size_t k,
+                      const dist::SequenceDistance& distance,
+                      const ClusterParams& params = {}, double p = 3.5);
+
+}  // namespace strg::cluster
+
+#endif  // STRG_CLUSTER_KHM_H_

@@ -1,0 +1,72 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "cluster/centroid.h"
+#include "cluster/seeding.h"
+#include "util/random.h"
+
+namespace strg::cluster {
+
+Clustering KMeansCluster(const std::vector<dist::Sequence>& data, size_t k,
+                         const dist::SequenceDistance& distance,
+                         const ClusterParams& params) {
+  const size_t m = data.size();
+  if (m == 0 || k == 0) {
+    throw std::invalid_argument("KMeansCluster: empty input");
+  }
+  k = std::min(k, m);
+
+  Clustering model;
+  Rng rng(params.seed);
+  for (size_t idx : SeedCentroidIndices(data, k, distance, &rng,
+                                        std::max<size_t>(4 * k, 512))) {
+    model.centroids.push_back(data[idx]);
+  }
+  model.assignment.assign(m, -1);
+
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    model.iterations = iter + 1;
+
+    // Assignment step.
+    bool changed = false;
+    for (size_t j = 0; j < m; ++j) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < k; ++c) {
+        double d = distance(data[j], model.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int>(c);
+        }
+      }
+      if (model.assignment[j] != best) {
+        model.assignment[j] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    // Update step.
+    for (size_t c = 0; c < k; ++c) {
+      std::vector<double> w(m, 0.0);
+      size_t members = 0;
+      for (size_t j = 0; j < m; ++j) {
+        if (model.assignment[j] == static_cast<int>(c)) {
+          w[j] = 1.0;
+          ++members;
+        }
+      }
+      if (members == 0) {
+        model.centroids[c] = data[rng.Index(m)];  // reseed empty cluster
+      } else {
+        model.centroids[c] = WeightedCentroid(data, w);
+      }
+    }
+  }
+  return model;
+}
+
+}  // namespace strg::cluster

@@ -1,0 +1,17 @@
+#ifndef STRG_CLUSTER_KMEANS_H_
+#define STRG_CLUSTER_KMEANS_H_
+
+#include "cluster/clustering.h"
+
+namespace strg::cluster {
+
+/// K-Means (Lloyd's algorithm) over OG sequences — the "KM" baseline in
+/// Figures 5 and 6. Hard assignment to the nearest centroid under the given
+/// distance, centroid resynthesis via the shared weighted-average rule.
+Clustering KMeansCluster(const std::vector<dist::Sequence>& data, size_t k,
+                         const dist::SequenceDistance& distance,
+                         const ClusterParams& params = {});
+
+}  // namespace strg::cluster
+
+#endif  // STRG_CLUSTER_KMEANS_H_

@@ -1,0 +1,71 @@
+#include "cluster/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/hungarian.h"
+
+namespace strg::cluster {
+
+double ClusteringErrorRate(const std::vector<int>& predicted,
+                           const std::vector<int>& truth) {
+  if (predicted.size() != truth.size() || predicted.empty()) {
+    throw std::invalid_argument("ClusteringErrorRate: size mismatch");
+  }
+  int max_pred = *std::max_element(predicted.begin(), predicted.end());
+  int max_true = *std::max_element(truth.begin(), truth.end());
+  size_t np = static_cast<size_t>(max_pred) + 1;
+  size_t nt = static_cast<size_t>(max_true) + 1;
+
+  // Confusion counts, negated so the min-cost assignment maximizes
+  // agreement.
+  std::vector<std::vector<double>> cost(np, std::vector<double>(nt, 0.0));
+  for (size_t j = 0; j < predicted.size(); ++j) {
+    cost[static_cast<size_t>(predicted[j])][static_cast<size_t>(truth[j])] -=
+        1.0;
+  }
+  std::vector<int> match = SolveAssignment(cost);
+
+  size_t correct = 0;
+  for (size_t j = 0; j < predicted.size(); ++j) {
+    int mapped = match[static_cast<size_t>(predicted[j])];
+    if (mapped == truth[j]) ++correct;
+  }
+  return (1.0 - static_cast<double>(correct) /
+                    static_cast<double>(predicted.size())) *
+         100.0;
+}
+
+double Distortion(const std::vector<dist::Sequence>& detected,
+                  const std::vector<dist::Sequence>& truth,
+                  const dist::SequenceDistance& distance,
+                  double pixels_per_unit) {
+  if (detected.empty() || truth.empty()) {
+    throw std::invalid_argument("Distortion: empty input");
+  }
+  std::vector<std::vector<double>> cost(
+      detected.size(), std::vector<double>(truth.size(), 0.0));
+  for (size_t i = 0; i < detected.size(); ++i) {
+    for (size_t j = 0; j < truth.size(); ++j) {
+      cost[i][j] = distance(detected[i], truth[j]);
+    }
+  }
+  std::vector<int> match = SolveAssignment(cost);
+
+  double total = 0.0;
+  for (size_t i = 0; i < detected.size(); ++i) {
+    if (match[i] < 0) continue;
+    const dist::Sequence& t = truth[static_cast<size_t>(match[i])];
+    // Mean pointwise gap after resampling to the truth length.
+    dist::Sequence r = dist::Resample(detected[i], t.size());
+    double acc = 0.0;
+    for (size_t p = 0; p < t.size(); ++p) {
+      acc += dist::PointDistance(r[p], t[p]);
+    }
+    total += pixels_per_unit * acc / static_cast<double>(t.size());
+  }
+  return total;
+}
+
+}  // namespace strg::cluster

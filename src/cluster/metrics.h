@@ -1,0 +1,32 @@
+#ifndef STRG_CLUSTER_METRICS_H_
+#define STRG_CLUSTER_METRICS_H_
+
+#include <vector>
+
+#include "cluster/clustering.h"
+
+namespace strg::cluster {
+
+/// Clustering Error Rate (Equation 11):
+///   (1 - correctly_clustered / total) * 100.
+///
+/// Predicted cluster ids are first matched one-to-one to ground-truth
+/// labels by maximizing agreement (Hungarian assignment on the confusion
+/// matrix); an OG is "correctly clustered" when its predicted cluster maps
+/// to its true label.
+double ClusteringErrorRate(const std::vector<int>& predicted,
+                           const std::vector<int>& truth);
+
+/// Distortion (Figure 6c): the sum of distances, in pixels, between each
+/// detected centroid and its matched true centroid. Centroids are matched
+/// by Hungarian assignment on the given distance; the per-pair distance is
+/// the mean pointwise gap after resampling to a common length, converted
+/// from feature scale to pixels with `pixels_per_unit`.
+double Distortion(const std::vector<dist::Sequence>& detected,
+                  const std::vector<dist::Sequence>& truth,
+                  const dist::SequenceDistance& distance,
+                  double pixels_per_unit);
+
+}  // namespace strg::cluster
+
+#endif  // STRG_CLUSTER_METRICS_H_

@@ -1,0 +1,70 @@
+#include "cluster/seeding.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace strg::cluster {
+
+std::vector<size_t> SeedCentroidIndices(
+    const std::vector<dist::Sequence>& data, size_t k,
+    const dist::SequenceDistance& distance, Rng* rng, size_t sample_cap) {
+  const size_t m = data.size();
+  if (k == 0 || m == 0) {
+    throw std::invalid_argument("SeedCentroidIndices: empty input");
+  }
+  k = std::min(k, m);
+
+  if (sample_cap > 0 && m > sample_cap && sample_cap >= k) {
+    // Seed on a uniform sample, then translate back to full-set indices.
+    std::vector<size_t> sample_idx = rng->SampleIndices(m, sample_cap);
+    std::vector<dist::Sequence> sample;
+    sample.reserve(sample_cap);
+    for (size_t idx : sample_idx) sample.push_back(data[idx]);
+    std::vector<size_t> local =
+        SeedCentroidIndices(sample, k, distance, rng, 0);
+    std::vector<size_t> out;
+    out.reserve(local.size());
+    for (size_t l : local) out.push_back(sample_idx[l]);
+    return out;
+  }
+
+  std::vector<size_t> seeds;
+  seeds.reserve(k);
+  seeds.push_back(rng->Index(m));
+
+  std::vector<double> best_sq(m, std::numeric_limits<double>::infinity());
+  while (seeds.size() < k) {
+    // Update nearest-seed distances with the most recent seed only.
+    const dist::Sequence& last = data[seeds.back()];
+    double total = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      double d = distance(data[j], last);
+      best_sq[j] = std::min(best_sq[j], d * d);
+      total += best_sq[j];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with seeds; fill with fresh indices.
+      for (size_t j = 0; j < m && seeds.size() < k; ++j) {
+        if (std::find(seeds.begin(), seeds.end(), j) == seeds.end()) {
+          seeds.push_back(j);
+        }
+      }
+      break;
+    }
+    double r = rng->Uniform(0.0, total);
+    size_t pick = m - 1;
+    double acc = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      acc += best_sq[j];
+      if (acc >= r) {
+        pick = j;
+        break;
+      }
+    }
+    seeds.push_back(pick);
+  }
+  return seeds;
+}
+
+}  // namespace strg::cluster

@@ -1,0 +1,27 @@
+#ifndef STRG_CLUSTER_SEEDING_H_
+#define STRG_CLUSTER_SEEDING_H_
+
+#include <vector>
+
+#include "distance/distance.h"
+#include "util/random.h"
+
+namespace strg::cluster {
+
+/// k-means++ (D^2-weighted) seeding: picks k item indices, each subsequent
+/// seed drawn with probability proportional to its squared distance to the
+/// nearest already-chosen seed. Shared by EM / KM / KHM so all three start
+/// from comparable, well-spread centroids (random seeding tends to place
+/// every seed near the data's center of mass on trajectory workloads, which
+/// collapses mixture models).
+/// `sample_cap` (0 = no cap) bounds the seeding cost: when the data set is
+/// larger, D^2 seeding runs on a uniform sample of that size — the standard
+/// scalable-k-means++ shortcut; quality is preserved because seeds only
+/// need to land in distinct dense regions.
+std::vector<size_t> SeedCentroidIndices(
+    const std::vector<dist::Sequence>& data, size_t k,
+    const dist::SequenceDistance& distance, Rng* rng, size_t sample_cap = 0);
+
+}  // namespace strg::cluster
+
+#endif  // STRG_CLUSTER_SEEDING_H_

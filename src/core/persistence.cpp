@@ -1,0 +1,33 @@
+#include "core/persistence.h"
+
+namespace strg::api {
+
+storage::CatalogSegment ToCatalogSegment(const std::string& video_name,
+                                         const SegmentResult& segment) {
+  storage::CatalogSegment out;
+  out.video_name = video_name;
+  out.frame_width = segment.frame_width;
+  out.frame_height = segment.frame_height;
+  out.num_frames = segment.num_frames;
+  out.background = segment.decomposition.background;
+  out.ogs = segment.decomposition.object_graphs;
+  return out;
+}
+
+VideoDatabase RestoreVideoDatabase(const storage::Catalog& catalog,
+                                   const index::StrgIndexParams& params) {
+  VideoDatabase db(params);
+  for (const storage::CatalogSegment& s : catalog.segments()) {
+    // Reconstitute the minimal SegmentResult the database needs.
+    SegmentResult segment;
+    segment.num_frames = s.num_frames;
+    segment.frame_width = s.frame_width;
+    segment.frame_height = s.frame_height;
+    segment.decomposition.background = s.background;
+    segment.decomposition.object_graphs = s.ogs;
+    db.AddVideo(s.video_name, segment);
+  }
+  return db;
+}
+
+}  // namespace strg::api

@@ -1,0 +1,24 @@
+#ifndef STRG_CORE_PERSISTENCE_H_
+#define STRG_CORE_PERSISTENCE_H_
+
+#include <string>
+
+#include "core/pipeline.h"
+#include "core/video_database.h"
+#include "storage/catalog.h"
+
+namespace strg::api {
+
+/// Converts a processed segment into its durable catalog form.
+storage::CatalogSegment ToCatalogSegment(const std::string& video_name,
+                                         const SegmentResult& segment);
+
+/// Rebuilds a VideoDatabase from a catalog: every stored segment is
+/// re-registered (and re-clustered — the index build is deterministic for
+/// fixed parameters, so reloads reproduce the same index).
+VideoDatabase RestoreVideoDatabase(const storage::Catalog& catalog,
+                                   const index::StrgIndexParams& params = {});
+
+}  // namespace strg::api
+
+#endif  // STRG_CORE_PERSISTENCE_H_

@@ -1,0 +1,67 @@
+#include "core/pipeline.h"
+
+#include "graph/rag.h"
+
+namespace strg::api {
+
+VideoPipeline::VideoPipeline(PipelineParams params)
+    : params_(params), strg_(params.tracking) {}
+
+int VideoPipeline::PushFrame(const video::Frame& frame) {
+  width_ = frame.width();
+  height_ = frame.height();
+  segment::Segmentation seg = segment::SegmentFrame(frame, params_.segmenter);
+  return strg_.AppendFrame(graph::BuildRag(seg));
+}
+
+SegmentResult VideoPipeline::Finish() const {
+  SegmentResult result;
+  result.num_frames = strg_.NumFrames();
+  result.frame_width = width_;
+  result.frame_height = height_;
+  result.decomposition = core::Decompose(strg_, params_.decompose);
+  result.strg_size_bytes = strg_.SizeBytes();
+  return result;
+}
+
+dist::FeatureScaling SegmentResult::Scaling() const {
+  dist::FeatureScaling s;
+  s.frame_width = frame_width > 0 ? frame_width : 1;
+  s.frame_height = frame_height > 0 ? frame_height : 1;
+  return s;
+}
+
+std::vector<dist::Sequence> SegmentResult::ObjectSequences() const {
+  std::vector<dist::Sequence> out;
+  const dist::FeatureScaling s = Scaling();
+  out.reserve(decomposition.object_graphs.size());
+  for (const core::Og& og : decomposition.object_graphs) {
+    out.push_back(dist::OgToSequence(og, s));
+  }
+  return out;
+}
+
+SegmentResult ProcessScene(const video::SceneSpec& scene,
+                           const PipelineParams& params) {
+  VideoPipeline pipeline(params);
+  for (int t = 0; t < scene.num_frames; ++t) {
+    pipeline.PushFrame(video::RenderFrame(scene, t));
+  }
+  return pipeline.Finish();
+}
+
+std::vector<SegmentResult> ProcessFrames(
+    const std::vector<video::Frame>& frames, const PipelineParams& params,
+    const segment::ShotDetectorParams& shot_params) {
+  std::vector<SegmentResult> results;
+  for (auto [start, end] : segment::DetectShots(frames, shot_params)) {
+    VideoPipeline pipeline(params);
+    for (int t = start; t < end; ++t) {
+      pipeline.PushFrame(frames[static_cast<size_t>(t)]);
+    }
+    results.push_back(pipeline.Finish());
+  }
+  return results;
+}
+
+}  // namespace strg::api

@@ -1,0 +1,80 @@
+#ifndef STRG_CORE_PIPELINE_H_
+#define STRG_CORE_PIPELINE_H_
+
+#include <vector>
+
+#include "distance/sequence.h"
+#include "segment/segmenter.h"
+#include "segment/shot_detector.h"
+#include "strg/decompose.h"
+#include "strg/strg.h"
+#include "video/renderer.h"
+#include "video/scene.h"
+
+namespace strg::api {
+
+/// End-to-end pipeline configuration: segmentation -> RAG -> tracking ->
+/// decomposition (Sections 2.1-2.3).
+struct PipelineParams {
+  segment::SegmenterParams segmenter;
+  core::TrackingParams tracking;
+  core::DecomposeParams decompose;
+};
+
+/// Everything extracted from one video segment.
+struct SegmentResult {
+  size_t num_frames = 0;
+  int frame_width = 0;
+  int frame_height = 0;
+  core::Decomposition decomposition;  ///< OGs + compressed BG
+  size_t strg_size_bytes = 0;         ///< raw STRG footprint (Eq. 9 input)
+
+  /// Feature scaling matched to this segment's frame geometry.
+  dist::FeatureScaling Scaling() const;
+
+  /// Feature-sequence views of the extracted object graphs.
+  std::vector<dist::Sequence> ObjectSequences() const;
+};
+
+/// Streaming STRG construction: push frames as they arrive, then Finish()
+/// to decompose. This is the paper's front half — from raw frames to the
+/// indexed artifacts (OGs and one BG).
+class VideoPipeline {
+ public:
+  explicit VideoPipeline(PipelineParams params = {});
+
+  /// Segments the frame, builds its RAG, and extends the STRG's temporal
+  /// edges (Algorithm 1). Returns the frame index.
+  int PushFrame(const video::Frame& frame);
+
+  /// Decomposes the accumulated STRG (Section 2.3) and returns the result.
+  /// The pipeline can keep receiving frames afterwards; Finish() may be
+  /// called repeatedly to snapshot.
+  SegmentResult Finish() const;
+
+  const core::Strg& strg() const { return strg_; }
+
+ private:
+  PipelineParams params_;
+  core::Strg strg_;
+  int width_ = 0;
+  int height_ = 0;
+};
+
+/// Renders and processes a whole synthetic scene in one call.
+SegmentResult ProcessScene(const video::SceneSpec& scene,
+                           const PipelineParams& params = {});
+
+/// Processes a frame stream that may span several shots: shot boundaries
+/// are detected first (the paper's "parse a long video into meaningful
+/// smaller units" issue), then each shot runs through its own pipeline and
+/// yields its own SegmentResult — hence its own background graph / root
+/// record when indexed.
+std::vector<SegmentResult> ProcessFrames(
+    const std::vector<video::Frame>& frames,
+    const PipelineParams& params = {},
+    const segment::ShotDetectorParams& shot_params = {});
+
+}  // namespace strg::api
+
+#endif  // STRG_CORE_PIPELINE_H_

@@ -1,0 +1,72 @@
+#include "core/video_database.h"
+
+namespace strg::api {
+
+VideoDatabase::VideoDatabase(index::StrgIndexParams params)
+    : index_(params) {}
+
+int VideoDatabase::AddVideo(const std::string& name,
+                            const SegmentResult& segment) {
+  std::vector<dist::Sequence> sequences = segment.ObjectSequences();
+  std::vector<size_t> ids;
+  ids.reserve(sequences.size());
+  for (const core::Og& og : segment.decomposition.object_graphs) {
+    ids.push_back(records_.size());
+    records_.push_back({name, og.start_frame, og.Length()});
+  }
+  ++num_videos_;
+  return index_.AddSegment(segment.decomposition.background,
+                           std::move(sequences), std::move(ids));
+}
+
+void VideoDatabase::AddObjectGraph(int segment_id,
+                                   const std::string& video_name,
+                                   const core::Og& og,
+                                   const dist::FeatureScaling& scaling) {
+  size_t id = records_.size();
+  records_.push_back({video_name, og.start_frame, og.Length()});
+  index_.Insert(segment_id, dist::OgToSequence(og, scaling), id);
+}
+
+std::vector<VideoDatabase::QueryHit> VideoDatabase::FindSimilar(
+    const core::Og& query, size_t k,
+    const dist::FeatureScaling& scaling) const {
+  return FindSimilar(dist::OgToSequence(query, scaling), k);
+}
+
+std::vector<VideoDatabase::QueryHit> VideoDatabase::FindSimilar(
+    const dist::Sequence& query, size_t k) const {
+  return Resolve(index_.Knn(query, k));
+}
+
+std::vector<VideoDatabase::QueryHit> VideoDatabase::FindWithinRadius(
+    const dist::Sequence& query, double radius) const {
+  return Resolve(index_.RangeSearch(query, radius));
+}
+
+std::vector<VideoDatabase::QueryHit> VideoDatabase::FindActive(
+    const std::string& video, int first_frame, int last_frame) const {
+  std::vector<QueryHit> hits;
+  for (size_t id = 0; id < records_.size(); ++id) {
+    const OgRecord& rec = records_[id];
+    if (rec.video != video) continue;
+    int end = rec.start_frame + static_cast<int>(rec.length) - 1;
+    if (end < first_frame || rec.start_frame > last_frame) continue;
+    hits.push_back({rec.video, id, rec.start_frame, rec.length, 0.0});
+  }
+  return hits;
+}
+
+std::vector<VideoDatabase::QueryHit> VideoDatabase::Resolve(
+    const index::KnnResult& knn) const {
+  std::vector<QueryHit> hits;
+  hits.reserve(knn.hits.size());
+  for (const index::KnnHit& h : knn.hits) {
+    const OgRecord& rec = records_[h.og_id];
+    hits.push_back({rec.video, h.og_id, rec.start_frame, rec.length,
+                    h.distance});
+  }
+  return hits;
+}
+
+}  // namespace strg::api

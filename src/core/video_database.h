@@ -1,0 +1,82 @@
+#ifndef STRG_CORE_VIDEO_DATABASE_H_
+#define STRG_CORE_VIDEO_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "index/strg_index.h"
+
+namespace strg::api {
+
+/// High-level content-based video retrieval store: the paper's full system
+/// behind one API. Feed it processed video segments (SegmentResult); it
+/// maintains the STRG-Index and answers similarity queries over object
+/// graphs ("find clips where something moved like this").
+class VideoDatabase {
+ public:
+  explicit VideoDatabase(index::StrgIndexParams params = {});
+
+  /// Registers a processed video segment under a name: its BG becomes a
+  /// root record, its OGs are clustered and indexed (Algorithm 2). Returns
+  /// the root/segment id.
+  int AddVideo(const std::string& name, const SegmentResult& segment);
+
+  /// Inserts one more OG into an existing video's segment.
+  void AddObjectGraph(int segment_id, const std::string& video_name,
+                      const core::Og& og, const dist::FeatureScaling& scaling);
+
+  /// One retrieval answer, resolved back to the source video.
+  struct QueryHit {
+    std::string video;
+    size_t og_id = 0;        ///< global OG id inside the database
+    int start_frame = 0;     ///< where the matching OG begins
+    size_t length = 0;       ///< OG duration in frames
+    double distance = 0.0;   ///< EGED_M to the query
+  };
+
+  /// k-NN over all stored OGs (Algorithm 3). The query OG is converted
+  /// with `scaling` (use the producing segment's Scaling()).
+  std::vector<QueryHit> FindSimilar(const core::Og& query, size_t k,
+                                    const dist::FeatureScaling& scaling) const;
+  std::vector<QueryHit> FindSimilar(const dist::Sequence& query,
+                                    size_t k) const;
+
+  /// Similarity range query: every stored OG within `radius` (EGED_M) of
+  /// the query, ascending by distance.
+  std::vector<QueryHit> FindWithinRadius(const dist::Sequence& query,
+                                         double radius) const;
+
+  /// Temporal window query: OGs of `video` whose lifetime intersects the
+  /// frame interval [first_frame, last_frame] — "what moved between
+  /// t1 and t2 on this camera?". Pure metadata scan (no distances).
+  std::vector<QueryHit> FindActive(const std::string& video, int first_frame,
+                                   int last_frame) const;
+
+  size_t NumVideos() const { return num_videos_; }
+  size_t NumObjectGraphs() const { return records_.size(); }
+  size_t IndexSizeBytes() const { return index_.SizeBytes(); }
+  size_t DistanceComputations() const {
+    return index_.TotalDistanceComputations();
+  }
+
+  const index::StrgIndex& index() const { return index_; }
+  index::StrgIndex& index() { return index_; }
+
+ private:
+  struct OgRecord {
+    std::string video;
+    int start_frame = 0;
+    size_t length = 0;
+  };
+
+  std::vector<QueryHit> Resolve(const index::KnnResult& knn) const;
+
+  index::StrgIndex index_;
+  std::vector<OgRecord> records_;
+  size_t num_videos_ = 0;
+};
+
+}  // namespace strg::api
+
+#endif  // STRG_CORE_VIDEO_DATABASE_H_

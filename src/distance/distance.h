@@ -1,0 +1,51 @@
+#ifndef STRG_DISTANCE_DISTANCE_H_
+#define STRG_DISTANCE_DISTANCE_H_
+
+#include <atomic>
+#include <string>
+
+#include "distance/sequence.h"
+
+namespace strg::dist {
+
+/// Abstract (dis)similarity between two OG feature sequences.
+///
+/// Clustering, the STRG-Index, and the M-tree baseline all consume this
+/// interface, so every experiment can swap distance functions (EGED vs DTW
+/// vs LCS) without touching the algorithms.
+class SequenceDistance {
+ public:
+  virtual ~SequenceDistance() = default;
+
+  /// Distance between two sequences (>= 0; semantics depend on the measure).
+  virtual double operator()(const Sequence& a, const Sequence& b) const = 0;
+
+  /// Human-readable name used in benchmark reports (e.g. "EGED").
+  virtual std::string Name() const = 0;
+};
+
+/// Decorator that counts invocations of an underlying distance. The paper
+/// evaluates k-NN cost as the number of distance computations (Section 6.3,
+/// Figure 7b); both indexes are measured through this wrapper.
+class CountingDistance final : public SequenceDistance {
+ public:
+  explicit CountingDistance(const SequenceDistance* inner) : inner_(inner) {}
+
+  double operator()(const Sequence& a, const Sequence& b) const override {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    return (*inner_)(a, b);
+  }
+  std::string Name() const override { return inner_->Name(); }
+
+  size_t count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset() { count_.store(0, std::memory_order_relaxed); }
+
+ private:
+  const SequenceDistance* inner_;
+  /// Atomic so counted distances can be evaluated from a ThreadPool.
+  mutable std::atomic<size_t> count_{0};
+};
+
+}  // namespace strg::dist
+
+#endif  // STRG_DISTANCE_DISTANCE_H_

@@ -1,0 +1,28 @@
+#include "distance/dtw.h"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace strg::dist {
+
+double Dtw(const Sequence& a, const Sequence& b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("Dtw: empty sequence");
+  }
+  const size_t m = a.size(), n = b.size();
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> prev(n + 1, kInf), cur(n + 1, kInf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= m; ++i) {
+    cur[0] = kInf;
+    for (size_t j = 1; j <= n; ++j) {
+      double cost = PointDistance(a[i - 1], b[j - 1]);
+      cur[j] = cost + std::min({prev[j - 1], prev[j], cur[j - 1]});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+}  // namespace strg::dist

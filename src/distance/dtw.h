@@ -1,0 +1,23 @@
+#ifndef STRG_DISTANCE_DTW_H_
+#define STRG_DISTANCE_DTW_H_
+
+#include "distance/distance.h"
+
+namespace strg::dist {
+
+/// Dynamic Time Warping [11]: classic O(mn) warping-path distance, one of
+/// the baselines Figures 5 and 6 compare EGED against. Non-metric (fails
+/// the triangle inequality).
+double Dtw(const Sequence& a, const Sequence& b);
+
+class DtwDistance final : public SequenceDistance {
+ public:
+  double operator()(const Sequence& a, const Sequence& b) const override {
+    return Dtw(a, b);
+  }
+  std::string Name() const override { return "DTW"; }
+};
+
+}  // namespace strg::dist
+
+#endif  // STRG_DISTANCE_DTW_H_

@@ -1,0 +1,33 @@
+#include "distance/edr.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace strg::dist {
+
+double Edr(const Sequence& a, const Sequence& b, double epsilon) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("Edr: empty sequence");
+  }
+  const size_t m = a.size(), n = b.size();
+  std::vector<double> prev(n + 1), cur(n + 1);
+  for (size_t j = 0; j <= n; ++j) prev[j] = static_cast<double>(j);
+  for (size_t i = 1; i <= m; ++i) {
+    cur[0] = static_cast<double>(i);
+    for (size_t j = 1; j <= n; ++j) {
+      double subcost =
+          PointDistance(a[i - 1], b[j - 1]) <= epsilon ? 0.0 : 1.0;
+      cur[j] = std::min({prev[j - 1] + subcost, prev[j] + 1.0,
+                         cur[j - 1] + 1.0});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+double EdrNormalized(const Sequence& a, const Sequence& b, double epsilon) {
+  return Edr(a, b, epsilon) / static_cast<double>(std::max(a.size(), b.size()));
+}
+
+}  // namespace strg::dist

@@ -1,0 +1,32 @@
+#ifndef STRG_DISTANCE_EDR_H_
+#define STRG_DISTANCE_EDR_H_
+
+#include "distance/distance.h"
+
+namespace strg::dist {
+
+/// Edit Distance on Real sequences (Chen, Özsu & Oria — the trajectory
+/// edit distance the paper cites as [4]): two points "match" at cost 0 when
+/// within epsilon, otherwise substitution/insertion/deletion each cost 1.
+/// Robust to outliers (a corrupted point costs at most 1) but quantizes all
+/// structure to unit costs. Non-metric under subadditive epsilon-matching.
+double Edr(const Sequence& a, const Sequence& b, double epsilon);
+
+/// Length-normalized EDR in [0, 1]: Edr / max(m, n).
+double EdrNormalized(const Sequence& a, const Sequence& b, double epsilon);
+
+class EdrDistance final : public SequenceDistance {
+ public:
+  explicit EdrDistance(double epsilon = 1.0) : epsilon_(epsilon) {}
+  double operator()(const Sequence& a, const Sequence& b) const override {
+    return Edr(a, b, epsilon_);
+  }
+  std::string Name() const override { return "EDR"; }
+
+ private:
+  double epsilon_;
+};
+
+}  // namespace strg::dist
+
+#endif  // STRG_DISTANCE_EDR_H_

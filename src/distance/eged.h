@@ -1,0 +1,45 @@
+#ifndef STRG_DISTANCE_EGED_H_
+#define STRG_DISTANCE_EGED_H_
+
+#include "distance/distance.h"
+
+namespace strg::dist {
+
+/// Non-metric Extended Graph Edit Distance (Definition 9).
+///
+/// Edit distance over the node sequences of two OGs where the cost of
+/// editing against a gap uses g_i = (v_{i-1} + v_i) / 2 — the choice the
+/// paper makes to handle local time shifting (Section 3.1). Because the gap
+/// replicates neighboring values, the triangle inequality does not hold;
+/// this variant is used for matching/clustering, not for index keys.
+double EgedNonMetric(const Sequence& a, const Sequence& b);
+
+/// Metric EGED (Theorem 2): the gap is a fixed constant vector g, making
+/// the measure a true metric (it coincides with Chen's ERP). Used to compute
+/// index keys in the STRG-Index and as the M-tree's metric.
+double EgedMetric(const Sequence& a, const Sequence& b,
+                  const FeatureVec& g = FeatureVec{});
+
+class EgedDistance final : public SequenceDistance {
+ public:
+  double operator()(const Sequence& a, const Sequence& b) const override {
+    return EgedNonMetric(a, b);
+  }
+  std::string Name() const override { return "EGED"; }
+};
+
+class EgedMetricDistance final : public SequenceDistance {
+ public:
+  explicit EgedMetricDistance(FeatureVec g = FeatureVec{}) : g_(g) {}
+  double operator()(const Sequence& a, const Sequence& b) const override {
+    return EgedMetric(a, b, g_);
+  }
+  std::string Name() const override { return "EGED_M"; }
+
+ private:
+  FeatureVec g_{};
+};
+
+}  // namespace strg::dist
+
+#endif  // STRG_DISTANCE_EGED_H_

@@ -1,0 +1,34 @@
+#include "distance/lcs.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace strg::dist {
+
+size_t LcsLength(const Sequence& a, const Sequence& b, double epsilon) {
+  const size_t m = a.size(), n = b.size();
+  std::vector<size_t> prev(n + 1, 0), cur(n + 1, 0);
+  for (size_t i = 1; i <= m; ++i) {
+    for (size_t j = 1; j <= n; ++j) {
+      if (PointDistance(a[i - 1], b[j - 1]) <= epsilon) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+double LcsDistanceValue(const Sequence& a, const Sequence& b, double epsilon) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("Lcs: empty sequence");
+  }
+  size_t lcs = LcsLength(a, b, epsilon);
+  size_t denom = std::min(a.size(), b.size());
+  return 1.0 - static_cast<double>(lcs) / static_cast<double>(denom);
+}
+
+}  // namespace strg::dist

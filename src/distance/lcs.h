@@ -1,0 +1,30 @@
+#ifndef STRG_DISTANCE_LCS_H_
+#define STRG_DISTANCE_LCS_H_
+
+#include "distance/distance.h"
+
+namespace strg::dist {
+
+/// Longest Common Subsequence length for real-valued sequences [7, 28]:
+/// two points "match" when their distance is at most epsilon.
+size_t LcsLength(const Sequence& a, const Sequence& b, double epsilon);
+
+/// LCS dissimilarity: 1 - LCS / min(m, n), in [0, 1]. One of the baselines
+/// of Figures 5 and 6. Non-metric.
+double LcsDistanceValue(const Sequence& a, const Sequence& b, double epsilon);
+
+class LcsDistance final : public SequenceDistance {
+ public:
+  explicit LcsDistance(double epsilon = 1.0) : epsilon_(epsilon) {}
+  double operator()(const Sequence& a, const Sequence& b) const override {
+    return LcsDistanceValue(a, b, epsilon_);
+  }
+  std::string Name() const override { return "LCS"; }
+
+ private:
+  double epsilon_;
+};
+
+}  // namespace strg::dist
+
+#endif  // STRG_DISTANCE_LCS_H_

@@ -1,0 +1,32 @@
+#include "distance/lp.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace strg::dist {
+
+double LpDistanceValue(const Sequence& a, const Sequence& b, double p) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("Lp: empty sequence");
+  }
+  if (p < 1.0) throw std::invalid_argument("Lp: p must be >= 1");
+  const Sequence* pa = &a;
+  const Sequence* pb = &b;
+  Sequence ra, rb;
+  if (a.size() != b.size()) {
+    size_t len = std::min(a.size(), b.size());
+    ra = Resample(a, len);
+    rb = Resample(b, len);
+    pa = &ra;
+    pb = &rb;
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < pa->size(); ++i) {
+    for (size_t k = 0; k < kFeatureDim; ++k) {
+      sum += std::pow(std::fabs((*pa)[i][k] - (*pb)[i][k]), p);
+    }
+  }
+  return std::pow(sum, 1.0 / p);
+}
+
+}  // namespace strg::dist

@@ -1,0 +1,30 @@
+#ifndef STRG_DISTANCE_LP_H_
+#define STRG_DISTANCE_LP_H_
+
+#include "distance/distance.h"
+
+namespace strg::dist {
+
+/// L_p norm between two sequences. Traditional distance functions require
+/// equal lengths; unequal-length inputs are linearly resampled to the
+/// shorter length first (the standard workaround the paper alludes to when
+/// calling L_p-norms "not optimal" for video units).
+///
+/// p >= 1; p = 2 is Euclidean. Metric for aligned lengths.
+double LpDistanceValue(const Sequence& a, const Sequence& b, double p);
+
+class LpDistance final : public SequenceDistance {
+ public:
+  explicit LpDistance(double p = 2.0) : p_(p) {}
+  double operator()(const Sequence& a, const Sequence& b) const override {
+    return LpDistanceValue(a, b, p_);
+  }
+  std::string Name() const override { return p_ == 2.0 ? "L2" : "Lp"; }
+
+ private:
+  double p_;
+};
+
+}  // namespace strg::dist
+
+#endif  // STRG_DISTANCE_LP_H_

@@ -1,0 +1,55 @@
+#include "distance/sequence.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace strg::dist {
+
+FeatureVec FeatureScaling::Map(const graph::NodeAttr& attr) const {
+  FeatureVec v;
+  double area = frame_width * frame_height;
+  v[0] = size_weight * 10.0 * std::sqrt(std::max(attr.size, 0.0) / area);
+  for (size_t c = 0; c < 3; ++c) {
+    v[1 + c] = color_weight * 10.0 * (attr.color[c] / 255.0);
+  }
+  v[4] = position_weight * 10.0 * (attr.cx / frame_width);
+  v[5] = position_weight * 10.0 * (attr.cy / frame_height);
+  return v;
+}
+
+Sequence OgToSequence(const core::Og& og, const FeatureScaling& scaling) {
+  Sequence seq;
+  seq.reserve(og.sequence.size());
+  for (const graph::NodeAttr& attr : og.sequence) {
+    seq.push_back(scaling.Map(attr));
+  }
+  return seq;
+}
+
+Sequence Resample(const Sequence& seq, size_t length) {
+  if (seq.empty()) throw std::invalid_argument("Resample: empty sequence");
+  if (length == 0) throw std::invalid_argument("Resample: zero length");
+  Sequence out(length);
+  if (seq.size() == 1) {
+    for (auto& v : out) v = seq[0];
+    return out;
+  }
+  if (length == 1) {
+    out[0] = seq[seq.size() / 2];
+    return out;
+  }
+  double step = static_cast<double>(seq.size() - 1) /
+                static_cast<double>(length - 1);
+  for (size_t i = 0; i < length; ++i) {
+    double pos = step * static_cast<double>(i);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, seq.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    for (size_t k = 0; k < kFeatureDim; ++k) {
+      out[i][k] = seq[lo][k] * (1.0 - frac) + seq[hi][k] * frac;
+    }
+  }
+  return out;
+}
+
+}  // namespace strg::dist

@@ -1,0 +1,65 @@
+#include "eval/retrieval_metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace strg::eval {
+
+double PrecisionAtK(const std::vector<bool>& relevance, size_t k) {
+  if (k == 0) return 0.0;
+  size_t upto = std::min(k, relevance.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < upto; ++i) {
+    if (relevance[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double RecallAtK(const std::vector<bool>& relevance, size_t k,
+                 size_t total_relevant) {
+  if (total_relevant == 0) return 0.0;
+  size_t upto = std::min(k, relevance.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < upto; ++i) {
+    if (relevance[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(total_relevant);
+}
+
+double AveragePrecision(const std::vector<bool>& relevance,
+                        size_t total_relevant) {
+  if (total_relevant == 0) return 0.0;
+  double acc = 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < relevance.size(); ++i) {
+    if (relevance[i]) {
+      ++hits;
+      acc += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return acc / static_cast<double>(total_relevant);
+}
+
+double MeanAveragePrecision(const std::vector<std::vector<bool>>& relevances,
+                            const std::vector<size_t>& total_relevant) {
+  if (relevances.size() != total_relevant.size()) {
+    throw std::invalid_argument("MeanAveragePrecision: size mismatch");
+  }
+  if (relevances.empty()) return 0.0;
+  double acc = 0.0;
+  for (size_t q = 0; q < relevances.size(); ++q) {
+    acc += AveragePrecision(relevances[q], total_relevant[q]);
+  }
+  return acc / static_cast<double>(relevances.size());
+}
+
+std::vector<bool> RelevanceMask(const std::vector<int>& result_labels,
+                                int query_label) {
+  std::vector<bool> mask(result_labels.size());
+  for (size_t i = 0; i < result_labels.size(); ++i) {
+    mask[i] = result_labels[i] == query_label;
+  }
+  return mask;
+}
+
+}  // namespace strg::eval

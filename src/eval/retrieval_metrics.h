@@ -1,0 +1,36 @@
+#ifndef STRG_EVAL_RETRIEVAL_METRICS_H_
+#define STRG_EVAL_RETRIEVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace strg::eval {
+
+/// Retrieval-quality metrics over ranked result lists, shared by the
+/// Figure 7(c) harness and the ablations. A result is "relevant" when its
+/// label matches the query's label (the paper verifies k-NN answers "by
+/// their cluster memberships", Section 6.3).
+
+/// Precision@k: relevant results among the first k (list may be shorter).
+double PrecisionAtK(const std::vector<bool>& relevance, size_t k);
+
+/// Recall@k: relevant results among the first k over all relevant items.
+double RecallAtK(const std::vector<bool>& relevance, size_t k,
+                 size_t total_relevant);
+
+/// Average precision of one ranked list (AP): mean of precision@i over the
+/// ranks i holding relevant results, normalized by total_relevant.
+double AveragePrecision(const std::vector<bool>& relevance,
+                        size_t total_relevant);
+
+/// Mean average precision across queries.
+double MeanAveragePrecision(const std::vector<std::vector<bool>>& relevances,
+                            const std::vector<size_t>& total_relevant);
+
+/// Convenience: relevance mask from result labels vs the query label.
+std::vector<bool> RelevanceMask(const std::vector<int>& result_labels,
+                                int query_label);
+
+}  // namespace strg::eval
+
+#endif  // STRG_EVAL_RETRIEVAL_METRICS_H_

@@ -1,0 +1,80 @@
+#ifndef STRG_GRAPH_ATTRIBUTES_H_
+#define STRG_GRAPH_ATTRIBUTES_H_
+
+#include <array>
+#include <cmath>
+
+namespace strg::graph {
+
+/// RAG node attributes (Definition 1): size, color, and location of the
+/// segmented region the node stands for.
+struct NodeAttr {
+  double size = 0.0;                     ///< region area in pixels
+  std::array<double, 3> color{0, 0, 0};  ///< mean RGB
+  double cx = 0.0;                       ///< centroid x (pixels)
+  double cy = 0.0;                       ///< centroid y (pixels)
+};
+
+/// Spatial edge attributes (Definition 1): distance and orientation between
+/// the centroids of two adjacent regions.
+struct SpatialEdgeAttr {
+  double distance = 0.0;
+  double orientation = 0.0;  ///< radians in (-pi, pi]
+};
+
+/// Temporal edge attributes (Definition 2): velocity magnitude and moving
+/// direction of a region between two consecutive frames.
+struct TemporalEdgeAttr {
+  double velocity = 0.0;   ///< centroid displacement per frame (pixels)
+  double direction = 0.0;  ///< radians in (-pi, pi]
+};
+
+/// Tolerances used when deciding whether two attributed nodes/edges "match".
+///
+/// The paper's definitions require exact attribute equality (Def. 4), which
+/// never holds between real frames; every practical matcher compares within
+/// tolerances. These defaults suit the synthetic camera streams.
+struct AttrTolerance {
+  double size_ratio = 0.6;        ///< relative size difference allowed
+  double color = 40.0;            ///< RGB-space distance allowed
+  double position = 14.0;         ///< centroid displacement allowed (pixels)
+  double edge_distance = 8.0;     ///< spatial-edge length difference
+  double edge_orientation = 0.8;  ///< spatial-edge orientation diff (rad)
+};
+
+inline double ColorDist(const std::array<double, 3>& a,
+                        const std::array<double, 3>& b) {
+  double dr = a[0] - b[0], dg = a[1] - b[1], db = a[2] - b[2];
+  return std::sqrt(dr * dr + dg * dg + db * db);
+}
+
+/// Smallest absolute difference between two angles (radians, <= pi).
+inline double AngleDiff(double a, double b) {
+  double d = std::fabs(a - b);
+  while (d > 2 * M_PI) d -= 2 * M_PI;
+  return d > M_PI ? 2 * M_PI - d : d;
+}
+
+/// Node compatibility: similar size, color, and position.
+inline bool NodesCompatible(const NodeAttr& a, const NodeAttr& b,
+                            const AttrTolerance& tol) {
+  double max_size = std::max(a.size, b.size);
+  if (max_size > 0.0 &&
+      std::fabs(a.size - b.size) > tol.size_ratio * max_size) {
+    return false;
+  }
+  if (ColorDist(a.color, b.color) > tol.color) return false;
+  double dx = a.cx - b.cx, dy = a.cy - b.cy;
+  return std::sqrt(dx * dx + dy * dy) <= tol.position;
+}
+
+/// Spatial-edge compatibility: similar length and orientation.
+inline bool EdgesCompatible(const SpatialEdgeAttr& a, const SpatialEdgeAttr& b,
+                            const AttrTolerance& tol) {
+  if (std::fabs(a.distance - b.distance) > tol.edge_distance) return false;
+  return AngleDiff(a.orientation, b.orientation) <= tol.edge_orientation;
+}
+
+}  // namespace strg::graph
+
+#endif  // STRG_GRAPH_ATTRIBUTES_H_

@@ -1,0 +1,147 @@
+#include "graph/common_subgraph.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/isomorphism.h"
+
+namespace strg::graph {
+
+namespace {
+
+/// Bron-Kerbosch with pivoting over an adjacency-matrix graph; tracks only
+/// the maximum clique size.
+class MaxClique {
+ public:
+  explicit MaxClique(std::vector<std::vector<char>> adj)
+      : adj_(std::move(adj)), n_(adj_.size()) {}
+
+  size_t Solve() {
+    std::vector<size_t> p(n_), x;
+    for (size_t i = 0; i < n_; ++i) p[i] = i;
+    Expand(0, p, x);
+    return best_;
+  }
+
+ private:
+  void Expand(size_t r_size, std::vector<size_t> p, std::vector<size_t> x) {
+    if (p.empty() && x.empty()) {
+      best_ = std::max(best_, r_size);
+      return;
+    }
+    if (r_size + p.size() <= best_) return;  // bound
+    // Pivot: vertex in P ∪ X with most neighbors in P.
+    size_t pivot = 0, pivot_deg = 0;
+    bool have = false;
+    auto consider = [&](size_t u) {
+      size_t deg = 0;
+      for (size_t v : p) {
+        if (adj_[u][v]) ++deg;
+      }
+      if (!have || deg > pivot_deg) {
+        have = true;
+        pivot = u;
+        pivot_deg = deg;
+      }
+    };
+    for (size_t u : p) consider(u);
+    for (size_t u : x) consider(u);
+
+    std::vector<size_t> candidates;
+    for (size_t u : p) {
+      if (!adj_[pivot][u]) candidates.push_back(u);
+    }
+    for (size_t u : candidates) {
+      std::vector<size_t> np, nx;
+      for (size_t v : p) {
+        if (adj_[u][v]) np.push_back(v);
+      }
+      for (size_t v : x) {
+        if (adj_[u][v]) nx.push_back(v);
+      }
+      Expand(r_size + 1, std::move(np), std::move(nx));
+      p.erase(std::find(p.begin(), p.end(), u));
+      x.push_back(u);
+    }
+  }
+
+  std::vector<std::vector<char>> adj_;
+  size_t n_;
+  size_t best_ = 0;
+};
+
+}  // namespace
+
+size_t MostCommonSubgraphSize(const Rag& a, const Rag& b,
+                              const AttrTolerance& tol,
+                              size_t max_assoc_vertices) {
+  // Build association-graph vertices: compatible (u, v) pairs.
+  std::vector<std::pair<int, int>> vertices;
+  for (size_t u = 0; u < a.NumNodes(); ++u) {
+    for (size_t v = 0; v < b.NumNodes(); ++v) {
+      if (NodesCompatible(a.node(static_cast<int>(u)),
+                          b.node(static_cast<int>(v)), tol)) {
+        vertices.emplace_back(static_cast<int>(u), static_cast<int>(v));
+        if (max_assoc_vertices > 0 && vertices.size() > max_assoc_vertices) {
+          // Too large to solve exactly; fall back to the trivial bound of
+          // independent node matches via a greedy estimate.
+          return std::min(a.NumNodes(), b.NumNodes());
+        }
+      }
+    }
+  }
+  if (vertices.empty()) return 0;
+
+  const size_t n = vertices.size();
+  std::vector<std::vector<char>> adj(n, std::vector<char>(n, 0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const auto& [u1, v1] = vertices[i];
+      const auto& [u2, v2] = vertices[j];
+      if (u1 == u2 || v1 == v2) continue;
+      const SpatialEdgeAttr* ea = a.EdgeAttr(u1, u2);
+      const SpatialEdgeAttr* eb = b.EdgeAttr(v1, v2);
+      bool consistent;
+      if (ea != nullptr && eb != nullptr) {
+        consistent = EdgesCompatible(*ea, *eb, tol);
+      } else {
+        consistent = (ea == nullptr && eb == nullptr);
+      }
+      if (consistent) {
+        adj[i][j] = adj[j][i] = 1;
+      }
+    }
+  }
+  return MaxClique(std::move(adj)).Solve();
+}
+
+double SimGraph(const NeighborhoodGraph& a, const NeighborhoodGraph& b,
+                const AttrTolerance& tol) {
+  // Case 1: common subgraph contains both centers.
+  size_t with_centers = 0;
+  if (NodesCompatible(a.center_attr, b.center_attr, tol)) {
+    with_centers =
+        1 + MaxNeighborMatching(a, b, tol, /*require_edge_compat=*/true);
+  }
+  // Case 2: centers unmatched -> matched neighbors carry no common edges,
+  // so only node compatibility constrains the matching.
+  size_t without_centers =
+      MaxNeighborMatching(a, b, tol, /*require_edge_compat=*/false);
+
+  size_t common = std::max(with_centers, without_centers);
+  size_t denom = std::min(a.NumNodes(), b.NumNodes());
+  if (denom == 0) return 0.0;
+  return static_cast<double>(common) / static_cast<double>(denom);
+}
+
+Rag NeighborhoodToRag(const NeighborhoodGraph& ng) {
+  Rag rag;
+  int center = rag.AddNode(ng.center_attr);
+  for (size_t i = 0; i < ng.neighbor_attrs.size(); ++i) {
+    int v = rag.AddNode(ng.neighbor_attrs[i]);
+    rag.AddEdge(center, v, ng.edge_attrs[i]);
+  }
+  return rag;
+}
+
+}  // namespace strg::graph

@@ -1,0 +1,42 @@
+#ifndef STRG_GRAPH_COMMON_SUBGRAPH_H_
+#define STRG_GRAPH_COMMON_SUBGRAPH_H_
+
+#include <cstddef>
+
+#include "graph/neighborhood.h"
+#include "graph/rag.h"
+
+namespace strg::graph {
+
+/// Size (node count) of the most common subgraph G_C of two attributed
+/// graphs (Definition 6), computed by maximal-clique detection on the
+/// association graph — the classic Levi reduction the paper cites [16].
+///
+/// A vertex of the association graph is a compatible node pair (u in a,
+/// v in b); two vertices are adjacent when the pairs are mutually consistent
+/// (distinct endpoints, and the edge between the u's matches the edge
+/// between the v's — both present with compatible attributes, or both
+/// absent). The maximum clique is then the largest common subgraph.
+///
+/// `max_assoc_vertices` caps the association-graph size as a safety valve
+/// (clique detection is exponential in the worst case); 0 means no cap.
+/// Returns the clique size, or the best found within the cap.
+size_t MostCommonSubgraphSize(const Rag& a, const Rag& b,
+                              const AttrTolerance& tol,
+                              size_t max_assoc_vertices = 0);
+
+/// SimGraph (Equation 1): |G_C| / min(|G_N(v)|, |G_N(v')|) for two
+/// neighborhood graphs. Uses the star structure for a polynomial-time exact
+/// answer: the best common subgraph either contains both centers (center
+/// compatibility + edge-constrained neighbor matching) or no center
+/// (unconstrained neighbor matching).
+double SimGraph(const NeighborhoodGraph& a, const NeighborhoodGraph& b,
+                const AttrTolerance& tol);
+
+/// Converts a neighborhood graph back into a standalone RAG (center is node
+/// 0). Lets tests cross-check SimGraph against the generic clique-based MCS.
+Rag NeighborhoodToRag(const NeighborhoodGraph& ng);
+
+}  // namespace strg::graph
+
+#endif  // STRG_GRAPH_COMMON_SUBGRAPH_H_

@@ -1,0 +1,73 @@
+#include "graph/edit_distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hungarian.h"
+
+namespace strg::graph {
+
+double NodeSubstitutionCost(const NodeAttr& a, const NodeAttr& b,
+                            const GedCosts& costs) {
+  // Each term is folded to roughly [0, 1]; the sum is averaged.
+  double size_term = 0.0;
+  double max_size = std::max(a.size, b.size);
+  if (max_size > 0.0) size_term = std::fabs(a.size - b.size) / max_size;
+  double color_term = ColorDist(a.color, b.color) / 441.7;  // max RGB dist
+  double dx = a.cx - b.cx, dy = a.cy - b.cy;
+  double pos_term = std::sqrt(dx * dx + dy * dy) / 100.0;  // ~frame scale
+  double raw = costs.substitution_scale * (size_term + color_term + pos_term) /
+               3.0;
+  return std::min(raw, 2.0 * costs.node_insert_delete);
+}
+
+double ApproxGraphEditDistance(const Rag& a, const Rag& b,
+                               const GedCosts& costs) {
+  const size_t n = a.NumNodes(), m = b.NumNodes();
+  if (n == 0 && m == 0) return 0.0;
+  const size_t dim = n + m;
+  const double kBig = 1e18;
+
+  // Riesen-Bunke cost matrix:
+  //   [ substitutions (n x m) | deletions (n x n, diagonal) ]
+  //   [ insertions (m x m, diagonal) | zeros (m x n)        ]
+  std::vector<std::vector<double>> cost(dim, std::vector<double>(dim, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      double c = NodeSubstitutionCost(a.node(static_cast<int>(i)),
+                                      b.node(static_cast<int>(j)), costs);
+      // Local structure: unmatched incident edges cost extra.
+      double deg_gap = std::fabs(static_cast<double>(a.Degree(static_cast<int>(i))) -
+                                 static_cast<double>(b.Degree(static_cast<int>(j))));
+      cost[i][j] = c + costs.edge_mismatch * deg_gap;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      cost[i][m + j] =
+          i == j ? costs.node_insert_delete +
+                       costs.edge_mismatch *
+                           static_cast<double>(a.Degree(static_cast<int>(i)))
+                 : kBig;
+    }
+  }
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      cost[n + i][j] =
+          i == j ? costs.node_insert_delete +
+                       costs.edge_mismatch *
+                           static_cast<double>(b.Degree(static_cast<int>(i)))
+                 : kBig;
+    }
+  }
+  // Bottom-right block stays zero (dummy-to-dummy).
+
+  std::vector<int> match = SolveAssignment(cost);
+  double total = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    if (match[i] >= 0) total += cost[i][static_cast<size_t>(match[i])];
+  }
+  return total;
+}
+
+}  // namespace strg::graph

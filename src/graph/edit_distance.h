@@ -1,0 +1,39 @@
+#ifndef STRG_GRAPH_EDIT_DISTANCE_H_
+#define STRG_GRAPH_EDIT_DISTANCE_H_
+
+#include "graph/rag.h"
+
+namespace strg::graph {
+
+/// Cost model for attributed graph edit operations.
+struct GedCosts {
+  double node_insert_delete = 1.0;  ///< base cost of adding/removing a node
+  /// Scale on the attribute distance for a node substitution; substitution
+  /// costs scale * normalized attribute distance, capped at 2x the
+  /// insert/delete cost so substitution never costs more than delete+insert.
+  double substitution_scale = 1.0;
+  /// Per-edge cost contribution when matched nodes have different incident
+  /// edge structure (degree mismatch surrogate, as in Riesen & Bunke).
+  double edge_mismatch = 0.25;
+};
+
+/// Normalized attribute distance between two nodes (size/color/position
+/// folded to a [0, ~1] scale used by the substitution cost).
+double NodeSubstitutionCost(const NodeAttr& a, const NodeAttr& b,
+                            const GedCosts& costs);
+
+/// Approximate graph edit distance between two attributed RAGs via the
+/// bipartite (assignment) bound of Riesen & Bunke: build the
+/// (n+m) x (n+m) cost matrix of node substitutions / insertions /
+/// deletions with local edge-structure penalties, and solve it with the
+/// Hungarian algorithm. Runs in O((n+m)^3); an upper bound on the exact
+/// GED (which is NP-hard — Section 3.1's motivation for EGED).
+///
+/// Used as a principled whole-graph similarity for background graphs and
+/// as a reference point for graph-matching tests.
+double ApproxGraphEditDistance(const Rag& a, const Rag& b,
+                               const GedCosts& costs = {});
+
+}  // namespace strg::graph
+
+#endif  // STRG_GRAPH_EDIT_DISTANCE_H_

@@ -1,0 +1,131 @@
+#include "graph/isomorphism.h"
+
+#include <vector>
+
+namespace strg::graph {
+
+namespace {
+
+/// Backtracking mapper shared by the isomorphism and subgraph-isomorphism
+/// tests. Maps pattern nodes 0..n-1 to distinct target nodes; `exact` also
+/// forbids extra target edges between mapped nodes (full isomorphism).
+class Matcher {
+ public:
+  Matcher(const Rag& pattern, const Rag& target, const AttrTolerance& tol,
+          bool exact)
+      : pattern_(pattern), target_(target), tol_(tol), exact_(exact),
+        mapping_(pattern.NumNodes(), -1),
+        used_(target.NumNodes(), false) {}
+
+  bool Search() { return Extend(0); }
+
+ private:
+  bool Extend(size_t depth) {
+    if (depth == pattern_.NumNodes()) return true;
+    int u = static_cast<int>(depth);
+    for (size_t cand = 0; cand < target_.NumNodes(); ++cand) {
+      int v = static_cast<int>(cand);
+      if (used_[cand]) continue;
+      if (!NodesCompatible(pattern_.node(u), target_.node(v), tol_)) continue;
+      if (!Consistent(u, v)) continue;
+      mapping_[depth] = v;
+      used_[cand] = true;
+      if (Extend(depth + 1)) return true;
+      mapping_[depth] = -1;
+      used_[cand] = false;
+    }
+    return false;
+  }
+
+  // Checks edges between u and all previously mapped pattern nodes.
+  bool Consistent(int u, int v) const {
+    for (size_t prev = 0; prev < static_cast<size_t>(u); ++prev) {
+      int pu = static_cast<int>(prev);
+      int pv = mapping_[prev];
+      const SpatialEdgeAttr* pe = pattern_.EdgeAttr(pu, u);
+      const SpatialEdgeAttr* te = target_.EdgeAttr(pv, v);
+      if (pe != nullptr) {
+        if (te == nullptr || !EdgesCompatible(*pe, *te, tol_)) return false;
+      } else if (exact_ && te != nullptr) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const Rag& pattern_;
+  const Rag& target_;
+  const AttrTolerance& tol_;
+  const bool exact_;
+  std::vector<int> mapping_;
+  std::vector<char> used_;
+};
+
+/// Kuhn's augmenting path search.
+bool TryAugment(size_t u, const std::vector<std::vector<size_t>>& adj,
+                std::vector<int>* match_b, std::vector<char>* visited) {
+  for (size_t v : adj[u]) {
+    if ((*visited)[v]) continue;
+    (*visited)[v] = true;
+    if ((*match_b)[v] < 0 ||
+        TryAugment(static_cast<size_t>((*match_b)[v]), adj, match_b,
+                   visited)) {
+      (*match_b)[v] = static_cast<int>(u);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool AreIsomorphic(const Rag& a, const Rag& b, const AttrTolerance& tol) {
+  if (a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges()) {
+    return false;
+  }
+  return Matcher(a, b, tol, /*exact=*/true).Search();
+}
+
+bool IsSubgraphIsomorphic(const Rag& pattern, const Rag& target,
+                          const AttrTolerance& tol) {
+  if (pattern.NumNodes() > target.NumNodes()) return false;
+  return Matcher(pattern, target, tol, /*exact=*/false).Search();
+}
+
+size_t MaxNeighborMatching(const NeighborhoodGraph& a,
+                           const NeighborhoodGraph& b,
+                           const AttrTolerance& tol,
+                           bool require_edge_compat) {
+  const size_t na = a.neighbor_ids.size(), nb = b.neighbor_ids.size();
+  std::vector<std::vector<size_t>> adj(na);
+  for (size_t i = 0; i < na; ++i) {
+    for (size_t j = 0; j < nb; ++j) {
+      if (!NodesCompatible(a.neighbor_attrs[i], b.neighbor_attrs[j], tol)) {
+        continue;
+      }
+      if (require_edge_compat &&
+          !EdgesCompatible(a.edge_attrs[i], b.edge_attrs[j], tol)) {
+        continue;
+      }
+      adj[i].push_back(j);
+    }
+  }
+  std::vector<int> match_b(nb, -1);
+  size_t matched = 0;
+  for (size_t u = 0; u < na; ++u) {
+    std::vector<char> visited(nb, false);
+    if (TryAugment(u, adj, &match_b, &visited)) ++matched;
+  }
+  return matched;
+}
+
+bool NeighborhoodGraphsIsomorphic(const NeighborhoodGraph& a,
+                                  const NeighborhoodGraph& b,
+                                  const AttrTolerance& tol) {
+  if (a.neighbor_ids.size() != b.neighbor_ids.size()) return false;
+  if (!NodesCompatible(a.center_attr, b.center_attr, tol)) return false;
+  return MaxNeighborMatching(a, b, tol, /*require_edge_compat=*/true) ==
+         a.neighbor_ids.size();
+}
+
+}  // namespace strg::graph

@@ -1,0 +1,40 @@
+#ifndef STRG_GRAPH_ISOMORPHISM_H_
+#define STRG_GRAPH_ISOMORPHISM_H_
+
+#include "graph/neighborhood.h"
+#include "graph/rag.h"
+
+namespace strg::graph {
+
+/// Attributed graph isomorphism (Definition 4), with attribute equality
+/// relaxed to tolerance-based compatibility. Exponential backtracking —
+/// intended for the small graphs that arise in this pipeline (neighborhood
+/// graphs, object subgraphs), not whole-frame RAGs.
+bool AreIsomorphic(const Rag& a, const Rag& b, const AttrTolerance& tol);
+
+/// Attributed subgraph isomorphism (Definition 5): is `pattern` isomorphic
+/// to some subgraph of `target`? Injective backtracking search; every
+/// pattern edge must exist in the target image with a compatible attribute.
+bool IsSubgraphIsomorphic(const Rag& pattern, const Rag& target,
+                          const AttrTolerance& tol);
+
+/// Specialized isomorphism test for neighborhood graphs (stars): the centers
+/// must be compatible and a perfect matching must exist between the neighbor
+/// sets under node + incident-edge compatibility. Equivalent to Definition 4
+/// restricted to stars, but runs in polynomial time.
+bool NeighborhoodGraphsIsomorphic(const NeighborhoodGraph& a,
+                                  const NeighborhoodGraph& b,
+                                  const AttrTolerance& tol);
+
+/// Maximum bipartite matching size between the neighbor sets of two
+/// neighborhood graphs. When `require_edge_compat` is set, a neighbor pair
+/// can only be matched if the incident center->neighbor edges are also
+/// compatible. (Kuhn's augmenting-path algorithm.)
+size_t MaxNeighborMatching(const NeighborhoodGraph& a,
+                           const NeighborhoodGraph& b,
+                           const AttrTolerance& tol,
+                           bool require_edge_compat);
+
+}  // namespace strg::graph
+
+#endif  // STRG_GRAPH_ISOMORPHISM_H_

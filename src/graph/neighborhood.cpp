@@ -1,0 +1,26 @@
+#include "graph/neighborhood.h"
+
+namespace strg::graph {
+
+NeighborhoodGraph MakeNeighborhoodGraph(const Rag& rag, int v) {
+  NeighborhoodGraph ng;
+  ng.center = v;
+  ng.center_attr = rag.node(v);
+  for (const Rag::Edge& e : rag.Neighbors(v)) {
+    ng.neighbor_ids.push_back(e.to);
+    ng.neighbor_attrs.push_back(rag.node(e.to));
+    ng.edge_attrs.push_back(e.attr);
+  }
+  return ng;
+}
+
+std::vector<NeighborhoodGraph> AllNeighborhoodGraphs(const Rag& rag) {
+  std::vector<NeighborhoodGraph> out;
+  out.reserve(rag.NumNodes());
+  for (size_t v = 0; v < rag.NumNodes(); ++v) {
+    out.push_back(MakeNeighborhoodGraph(rag, static_cast<int>(v)));
+  }
+  return out;
+}
+
+}  // namespace strg::graph

@@ -1,0 +1,33 @@
+#ifndef STRG_GRAPH_NEIGHBORHOOD_H_
+#define STRG_GRAPH_NEIGHBORHOOD_H_
+
+#include <vector>
+
+#include "graph/rag.h"
+
+namespace strg::graph {
+
+/// Neighborhood graph G_N(v) (Definition 7): the star consisting of a center
+/// node v and every node adjacent to it, each connected to v by one spatial
+/// edge. This is the unit of comparison in the paper's graph-based tracking
+/// (Algorithm 1).
+struct NeighborhoodGraph {
+  int center = -1;  ///< node id in the source RAG
+  NodeAttr center_attr;
+  std::vector<int> neighbor_ids;             ///< node ids in the source RAG
+  std::vector<NodeAttr> neighbor_attrs;      ///< parallel to neighbor_ids
+  std::vector<SpatialEdgeAttr> edge_attrs;   ///< center->neighbor, parallel
+
+  /// |G_N(v)| — number of nodes (center + neighbors).
+  size_t NumNodes() const { return 1 + neighbor_ids.size(); }
+};
+
+/// Extracts the neighborhood graph of node v from a RAG.
+NeighborhoodGraph MakeNeighborhoodGraph(const Rag& rag, int v);
+
+/// Extracts all neighborhood graphs of a RAG (one per node).
+std::vector<NeighborhoodGraph> AllNeighborhoodGraphs(const Rag& rag);
+
+}  // namespace strg::graph
+
+#endif  // STRG_GRAPH_NEIGHBORHOOD_H_

@@ -1,0 +1,75 @@
+#include "graph/rag.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace strg::graph {
+
+int Rag::AddNode(const NodeAttr& attr) {
+  nodes_.push_back(attr);
+  adjacency_.emplace_back();
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void Rag::AddEdge(int a, int b) {
+  AddEdge(a, b, MakeSpatialEdgeAttr(node(a), node(b)));
+}
+
+void Rag::AddEdge(int a, int b, const SpatialEdgeAttr& attr) {
+  if (a == b) throw std::invalid_argument("Rag::AddEdge: self loop");
+  if (a < 0 || b < 0 || static_cast<size_t>(a) >= nodes_.size() ||
+      static_cast<size_t>(b) >= nodes_.size()) {
+    throw std::out_of_range("Rag::AddEdge: bad node id");
+  }
+  if (HasEdge(a, b)) return;
+  adjacency_[static_cast<size_t>(a)].push_back({b, attr});
+  // Store the reversed orientation on the back edge so each endpoint sees
+  // the direction toward the other.
+  SpatialEdgeAttr back = attr;
+  back.orientation = std::atan2(std::sin(attr.orientation + M_PI),
+                                std::cos(attr.orientation + M_PI));
+  adjacency_[static_cast<size_t>(b)].push_back({a, back});
+  ++num_edges_;
+}
+
+bool Rag::HasEdge(int a, int b) const {
+  for (const Edge& e : adjacency_[static_cast<size_t>(a)]) {
+    if (e.to == b) return true;
+  }
+  return false;
+}
+
+const SpatialEdgeAttr* Rag::EdgeAttr(int a, int b) const {
+  for (const Edge& e : adjacency_[static_cast<size_t>(a)]) {
+    if (e.to == b) return &e.attr;
+  }
+  return nullptr;
+}
+
+SpatialEdgeAttr MakeSpatialEdgeAttr(const NodeAttr& a, const NodeAttr& b) {
+  SpatialEdgeAttr attr;
+  double dx = b.cx - a.cx, dy = b.cy - a.cy;
+  attr.distance = std::sqrt(dx * dx + dy * dy);
+  attr.orientation = std::atan2(dy, dx);
+  return attr;
+}
+
+Rag BuildRag(const segment::Segmentation& seg) {
+  Rag rag;
+  for (const segment::Region& region : seg.regions) {
+    NodeAttr attr;
+    attr.size = static_cast<double>(region.size);
+    attr.color = {static_cast<double>(region.mean_color.r),
+                  static_cast<double>(region.mean_color.g),
+                  static_cast<double>(region.mean_color.b)};
+    attr.cx = region.centroid_x;
+    attr.cy = region.centroid_y;
+    rag.AddNode(attr);
+  }
+  for (const auto& [a, b] : seg.adjacency) {
+    rag.AddEdge(a, b);
+  }
+  return rag;
+}
+
+}  // namespace strg::graph

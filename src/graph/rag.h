@@ -1,0 +1,67 @@
+#ifndef STRG_GRAPH_RAG_H_
+#define STRG_GRAPH_RAG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/attributes.h"
+#include "segment/region.h"
+
+namespace strg::graph {
+
+/// Region Adjacency Graph G_r(f_n) = {V, E_S, nu, xi} (Definition 1).
+///
+/// Nodes are segmented regions with attributes (size, color, centroid);
+/// undirected spatial edges connect adjacent regions and carry centroid
+/// distance + orientation. Stored as an adjacency list; node ids are dense
+/// indices 0..NumNodes()-1.
+class Rag {
+ public:
+  struct Edge {
+    int to = -1;
+    SpatialEdgeAttr attr;
+  };
+
+  /// Adds a node and returns its id.
+  int AddNode(const NodeAttr& attr);
+
+  /// Adds an undirected spatial edge between existing nodes a and b.
+  /// The attribute is computed from the node centroids if not supplied.
+  void AddEdge(int a, int b);
+  void AddEdge(int a, int b, const SpatialEdgeAttr& attr);
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+
+  const NodeAttr& node(int id) const { return nodes_[static_cast<size_t>(id)]; }
+  NodeAttr& node(int id) { return nodes_[static_cast<size_t>(id)]; }
+
+  const std::vector<Edge>& Neighbors(int id) const {
+    return adjacency_[static_cast<size_t>(id)];
+  }
+
+  bool HasEdge(int a, int b) const;
+
+  /// Returns the edge attribute for (a, b), or nullptr if absent.
+  const SpatialEdgeAttr* EdgeAttr(int a, int b) const;
+
+  /// Degree of node `id`.
+  size_t Degree(int id) const { return adjacency_[static_cast<size_t>(id)].size(); }
+
+ private:
+  std::vector<NodeAttr> nodes_;
+  std::vector<std::vector<Edge>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+/// Computes the spatial-edge attribute (centroid distance, orientation)
+/// between two node attributes.
+SpatialEdgeAttr MakeSpatialEdgeAttr(const NodeAttr& a, const NodeAttr& b);
+
+/// Builds the RAG of a segmented frame (Definition 1): one node per region,
+/// one spatial edge per adjacent region pair.
+Rag BuildRag(const segment::Segmentation& seg);
+
+}  // namespace strg::graph
+
+#endif  // STRG_GRAPH_RAG_H_

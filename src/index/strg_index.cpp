@@ -1,0 +1,506 @@
+#include "index/strg_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "cluster/bic.h"
+#include "cluster/em.h"
+#include "util/hungarian.h"
+
+namespace strg::index {
+
+namespace {
+
+/// Similarity in [0, 1] between two background graphs: optimal node
+/// matching (Hungarian on attribute distances thresholded by tolerance)
+/// normalized by the smaller node count — the root-level analogue of
+/// SimGraph used by Algorithm 3's step 2.
+double BackgroundSimilarity(const core::BackgroundGraph& a,
+                            const core::BackgroundGraph& b,
+                            const graph::AttrTolerance& tol) {
+  size_t na = a.rag.NumNodes(), nb = b.rag.NumNodes();
+  if (na == 0 || nb == 0) return na == nb ? 1.0 : 0.0;
+  std::vector<std::vector<double>> cost(na, std::vector<double>(nb, 1.0));
+  for (size_t i = 0; i < na; ++i) {
+    for (size_t j = 0; j < nb; ++j) {
+      if (graph::NodesCompatible(a.rag.node(static_cast<int>(i)),
+                                 b.rag.node(static_cast<int>(j)), tol)) {
+        cost[i][j] = 0.0;
+      }
+    }
+  }
+  std::vector<int> match = SolveAssignment(cost);
+  size_t matched = 0;
+  for (size_t i = 0; i < na; ++i) {
+    if (match[i] >= 0 && cost[i][static_cast<size_t>(match[i])] == 0.0) {
+      ++matched;
+    }
+  }
+  return static_cast<double>(matched) /
+         static_cast<double>(std::min(na, nb));
+}
+
+size_t SequenceBytes(size_t length) {
+  if (length == 0) return 0;
+  return length * core::kNodeBytes + (length - 1) * core::kTemporalEdgeBytes;
+}
+
+constexpr size_t kKeyBytes = sizeof(double);
+constexpr size_t kPtrBytes = sizeof(void*);
+constexpr size_t kIdBytes = sizeof(int);
+
+}  // namespace
+
+StrgIndex::StrgIndex(StrgIndexParams params)
+    : params_(params), metric_(params.metric_gap) {}
+
+double StrgIndex::Metric(const dist::Sequence& a,
+                         const dist::Sequence& b) const {
+  ++distance_count_;
+  return metric_(a, b);
+}
+
+int StrgIndex::AddSegment(core::BackgroundGraph bg,
+                          std::vector<dist::Sequence> og_sequences,
+                          std::vector<size_t> og_ids) {
+  if (og_ids.empty()) {
+    og_ids.resize(og_sequences.size());
+    for (size_t i = 0; i < og_ids.size(); ++i) og_ids[i] = i;
+  }
+  if (og_ids.size() != og_sequences.size()) {
+    throw std::invalid_argument("StrgIndex::AddSegment: id count mismatch");
+  }
+
+  RootRecord root;
+  root.id = static_cast<int>(roots_.size());
+  root.bg = std::move(bg);
+
+  if (!og_sequences.empty()) {
+    // Cluster the OGs with EM + non-metric EGED (Section 4).
+    cluster::Clustering model;
+    if (params_.num_clusters > 0) {
+      model = cluster::EmCluster(og_sequences,
+                                 std::min(params_.num_clusters,
+                                          og_sequences.size()),
+                                 nonmetric_, params_.cluster_params);
+    } else {
+      size_t k_max = std::min(params_.k_max, og_sequences.size());
+      size_t k_min = std::min(params_.k_min, k_max);
+      auto sweep = cluster::FindOptimalK(og_sequences, k_min, k_max,
+                                         nonmetric_, params_.cluster_params);
+      model = std::move(sweep.models[sweep.best_k - k_min]);
+    }
+
+    root.clusters.resize(model.NumClusters());
+    for (size_t c = 0; c < model.NumClusters(); ++c) {
+      root.clusters[c].id = next_cluster_id_++;
+      root.clusters[c].centroid = model.centroids[c];
+    }
+    for (size_t j = 0; j < og_sequences.size(); ++j) {
+      // Place each OG under the centroid nearest in *metric* EGED — the
+      // space its leaf key and the covering radii live in. EM's posterior
+      // assignment (non-metric EGED) usually agrees, but when it does not,
+      // following it would inflate a cluster's covering radius and weaken
+      // the triangle-inequality pruning of Algorithm 3.
+      size_t best = static_cast<size_t>(model.assignment[j]);
+      double best_key = Metric(og_sequences[j], root.clusters[best].centroid);
+      for (size_t c = 0; c < root.clusters.size(); ++c) {
+        if (c == best) continue;
+        double key = Metric(og_sequences[j], root.clusters[c].centroid);
+        if (key < best_key) {
+          best_key = key;
+          best = c;
+        }
+      }
+      LeafEntry entry;
+      entry.sequence = std::move(og_sequences[j]);
+      entry.og_id = og_ids[j];
+      entry.key = best_key;
+      root.clusters[best].leaf.push_back(std::move(entry));
+    }
+    // Drop clusters EM left empty, sort leaves by key (Algorithm 2 line 12).
+    std::erase_if(root.clusters,
+                  [](const ClusterRecord& c) { return c.leaf.empty(); });
+    for (ClusterRecord& cluster : root.clusters) {
+      std::sort(cluster.leaf.begin(), cluster.leaf.end(),
+                [](const LeafEntry& a, const LeafEntry& b) {
+                  return a.key < b.key;
+                });
+      cluster.covering_radius = cluster.leaf.back().key;
+    }
+  }
+
+  roots_.push_back(std::move(root));
+  return roots_.back().id;
+}
+
+void StrgIndex::InsertIntoCluster(ClusterRecord* cluster, dist::Sequence seq,
+                                  size_t og_id) {
+  LeafEntry entry;
+  entry.key = Metric(seq, cluster->centroid);
+  entry.og_id = og_id;
+  entry.sequence = std::move(seq);
+  auto pos = std::lower_bound(cluster->leaf.begin(), cluster->leaf.end(),
+                              entry.key,
+                              [](const LeafEntry& e, double k) {
+                                return e.key < k;
+                              });
+  cluster->covering_radius = std::max(cluster->covering_radius, entry.key);
+  cluster->leaf.insert(pos, std::move(entry));
+}
+
+void StrgIndex::Insert(int root_id, dist::Sequence og_sequence,
+                       size_t og_id) {
+  if (root_id < 0 || static_cast<size_t>(root_id) >= roots_.size()) {
+    throw std::out_of_range("StrgIndex::Insert: bad root id");
+  }
+  RootRecord& root = roots_[static_cast<size_t>(root_id)];
+  if (root.clusters.empty()) {
+    // First OG of the segment becomes its own cluster.
+    ClusterRecord cluster;
+    cluster.id = next_cluster_id_++;
+    cluster.centroid = og_sequence;
+    root.clusters.push_back(std::move(cluster));
+    InsertIntoCluster(&root.clusters.back(), std::move(og_sequence), og_id);
+    return;
+  }
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < root.clusters.size(); ++c) {
+    double d = Metric(og_sequence, root.clusters[c].centroid);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  InsertIntoCluster(&root.clusters[best], std::move(og_sequence), og_id);
+  MaybeSplit(&root, best);
+}
+
+size_t StrgIndex::Remove(size_t og_id) {
+  size_t removed = 0;
+  for (RootRecord& root : roots_) {
+    for (ClusterRecord& cluster : root.clusters) {
+      size_t before = cluster.leaf.size();
+      std::erase_if(cluster.leaf, [og_id](const LeafEntry& e) {
+        return e.og_id == og_id;
+      });
+      if (cluster.leaf.size() != before) {
+        removed += before - cluster.leaf.size();
+        cluster.covering_radius =
+            cluster.leaf.empty() ? 0.0 : cluster.leaf.back().key;
+      }
+    }
+    std::erase_if(root.clusters,
+                  [](const ClusterRecord& c) { return c.leaf.empty(); });
+  }
+  return removed;
+}
+
+void StrgIndex::MaybeSplit(RootRecord* root, size_t cluster_pos) {
+  ClusterRecord& cluster = root->clusters[cluster_pos];
+  if (cluster.leaf.size() <= params_.leaf_split_threshold) return;
+
+  std::vector<dist::Sequence> members;
+  members.reserve(cluster.leaf.size());
+  for (const LeafEntry& e : cluster.leaf) members.push_back(e.sequence);
+
+  // Section 5.3: split only when BIC prefers the 2-component model. The
+  // split is decided in the *metric* EGED space — the space the leaf keys
+  // and covering radii live in — because that is where a split must create
+  // tight sub-clusters for pruning to benefit. (The non-metric EGED's
+  // replicating gaps let whole sequences delete cheaply, which compresses
+  // between-cluster contrast and would mask genuine bimodality.)
+  cluster::Clustering one =
+      cluster::EmCluster(members, 1, metric_, params_.cluster_params);
+  cluster::Clustering two =
+      cluster::EmCluster(members, 2, metric_, params_.cluster_params);
+  double bic1 = cluster::Bic(one.classification_log_likelihood, 1,
+                             members.size());
+  double bic2 = cluster::Bic(two.classification_log_likelihood, 2,
+                             members.size());
+  if (bic2 <= bic1 || two.NumClusters() < 2) return;
+
+  ClusterRecord a, b;
+  a.id = next_cluster_id_++;
+  b.id = next_cluster_id_++;
+  a.centroid = two.centroids[0];
+  b.centroid = two.centroids[1];
+  std::vector<LeafEntry> old = std::move(cluster.leaf);
+  for (size_t j = 0; j < old.size(); ++j) {
+    ClusterRecord* target = two.assignment[j] == 0 ? &a : &b;
+    InsertIntoCluster(target, std::move(old[j].sequence), old[j].og_id);
+  }
+  if (a.leaf.empty() || b.leaf.empty()) {
+    // Degenerate split; keep the original cluster.
+    ClusterRecord* keep = a.leaf.empty() ? &b : &a;
+    root->clusters[cluster_pos] = std::move(*keep);
+    return;
+  }
+  root->clusters[cluster_pos] = std::move(a);
+  root->clusters.push_back(std::move(b));
+}
+
+void StrgIndex::SearchClusters(const RootRecord& root,
+                               const dist::Sequence& query, size_t k,
+                               size_t budget_limit, KnnResult* result) const {
+  auto budget_spent = [&]() { return distance_count_ >= budget_limit; };
+  if (budget_spent()) return;
+
+  // Per-cluster scan frontier. Leaf entries are sorted by key
+  // = EGED_M(member, centroid); with key_q = EGED_M(query, centroid) the
+  // triangle inequality gives d(query, e) >= |key(e) - key_q|, so scanning
+  // outward from the key_q position visits a cluster's entries in
+  // increasing lower-bound order.
+  struct Frontier {
+    size_t cluster = 0;
+    double key_q = 0.0;
+    size_t lo = 0;   // next candidate below (exclusive upper index)
+    size_t hi = 0;   // next candidate at/above
+  };
+
+  // Max-heap semantics over the current k best via sorted vector (k small).
+  auto& hits = result->hits;
+  auto worst = [&]() {
+    return hits.size() < k ? std::numeric_limits<double>::infinity()
+                           : hits.back().distance;
+  };
+  auto offer = [&](size_t og_id, double d) {
+    if (d >= worst()) return;
+    KnnHit hit{og_id, d};
+    auto pos = std::lower_bound(hits.begin(), hits.end(), d,
+                                [](const KnnHit& h, double v) {
+                                  return h.distance < v;
+                                });
+    hits.insert(pos, hit);
+    if (hits.size() > k) hits.pop_back();
+  };
+
+  std::vector<Frontier> frontiers(root.clusters.size());
+  auto frontier_bound = [&](const Frontier& f) {
+    const auto& leaf = root.clusters[f.cluster].leaf;
+    double lb = std::numeric_limits<double>::infinity();
+    if (f.lo > 0) lb = std::min(lb, f.key_q - leaf[f.lo - 1].key);
+    if (f.hi < leaf.size()) lb = std::min(lb, leaf[f.hi].key - f.key_q);
+    return lb;
+  };
+
+  // Global best-first scan: always evaluate the entry with the smallest
+  // lower bound across ALL clusters, so the worst-of-k radius tightens as
+  // fast as possible and whole clusters fall away without being touched.
+  using Queued = std::pair<double, size_t>;  // (lower bound, cluster)
+  std::priority_queue<Queued, std::vector<Queued>, std::greater<>> queue;
+
+  for (size_t c = 0; c < root.clusters.size(); ++c) {
+    if (budget_spent()) return;
+    Frontier& f = frontiers[c];
+    f.cluster = c;
+    f.key_q = Metric(query, root.clusters[c].centroid);
+    const auto& leaf = root.clusters[c].leaf;
+    f.hi = static_cast<size_t>(
+        std::lower_bound(leaf.begin(), leaf.end(), f.key_q,
+                         [](const LeafEntry& e, double v) {
+                           return e.key < v;
+                         }) -
+        leaf.begin());
+    f.lo = f.hi;
+    double lb = frontier_bound(f);
+    if (lb != std::numeric_limits<double>::infinity()) queue.push({lb, c});
+  }
+
+  while (!queue.empty()) {
+    if (budget_spent()) return;
+    auto [lb, c] = queue.top();
+    queue.pop();
+    if (lb >= worst()) break;  // every remaining entry anywhere is >= lb
+    Frontier& f = frontiers[c];
+    const auto& leaf = root.clusters[c].leaf;
+
+    // Evaluate the nearer of the two scan directions.
+    double lb_lo = f.lo > 0 ? f.key_q - leaf[f.lo - 1].key
+                            : std::numeric_limits<double>::infinity();
+    double lb_hi = f.hi < leaf.size()
+                       ? leaf[f.hi].key - f.key_q
+                       : std::numeric_limits<double>::infinity();
+    if (lb_lo <= lb_hi) {
+      --f.lo;
+      offer(leaf[f.lo].og_id, Metric(query, leaf[f.lo].sequence));
+    } else {
+      offer(leaf[f.hi].og_id, Metric(query, leaf[f.hi].sequence));
+      ++f.hi;
+    }
+    double next = frontier_bound(f);
+    if (next != std::numeric_limits<double>::infinity()) {
+      queue.push({next, c});
+    }
+  }
+}
+
+KnnResult StrgIndex::Knn(const dist::Sequence& query, size_t k,
+                         const core::BackgroundGraph* query_bg,
+                         size_t max_distance_computations) const {
+  KnnResult result;
+  if (k == 0 || roots_.empty()) return result;
+  size_t before = distance_count_;
+  size_t budget_limit = max_distance_computations == 0
+                            ? std::numeric_limits<size_t>::max()
+                            : before + max_distance_computations;
+
+  if (query_bg != nullptr) {
+    // Algorithm 3 step 2: route to the best-matching background.
+    double best_sim = -1.0;
+    size_t best_root = 0;
+    for (size_t r = 0; r < roots_.size(); ++r) {
+      double sim =
+          BackgroundSimilarity(roots_[r].bg, *query_bg, params_.bg_tolerance);
+      if (sim > best_sim) {
+        best_sim = sim;
+        best_root = r;
+      }
+    }
+    SearchClusters(roots_[best_root], query, k, budget_limit, &result);
+  } else {
+    for (const RootRecord& root : roots_) {
+      SearchClusters(root, query, k, budget_limit, &result);
+    }
+  }
+  result.distance_computations = distance_count_ - before;
+  return result;
+}
+
+size_t StrgIndex::SizeBytes() const {
+  size_t bytes = 0;
+  for (const RootRecord& root : roots_) {
+    bytes += kIdBytes + kPtrBytes + root.bg.SizeBytes();
+    for (const ClusterRecord& cluster : root.clusters) {
+      bytes += kIdBytes + kPtrBytes + SequenceBytes(cluster.centroid.size());
+      for (const LeafEntry& e : cluster.leaf) {
+        bytes += kKeyBytes + kPtrBytes + SequenceBytes(e.sequence.size());
+      }
+    }
+  }
+  return bytes;
+}
+
+KnnResult StrgIndex::RangeSearch(const dist::Sequence& query, double radius,
+                                 const core::BackgroundGraph* query_bg) const {
+  KnnResult result;
+  if (roots_.empty() || radius < 0.0) return result;
+  size_t before = distance_count_;
+
+  auto search_root = [&](const RootRecord& root) {
+    for (const ClusterRecord& cluster : root.clusters) {
+      double key_q = Metric(query, cluster.centroid);
+      // No member can be within radius when even the closest possible key
+      // band misses: d(q, e) >= key_q - covering_radius.
+      if (key_q - cluster.covering_radius > radius) continue;
+      const auto& leaf = cluster.leaf;
+      auto lo = std::lower_bound(
+          leaf.begin(), leaf.end(), key_q - radius,
+          [](const LeafEntry& e, double v) { return e.key < v; });
+      for (auto it = lo; it != leaf.end() && it->key <= key_q + radius;
+           ++it) {
+        double d = Metric(query, it->sequence);
+        if (d <= radius) result.hits.push_back({it->og_id, d});
+      }
+    }
+  };
+
+  if (query_bg != nullptr) {
+    double best_sim = -1.0;
+    size_t best_root = 0;
+    for (size_t r = 0; r < roots_.size(); ++r) {
+      double sim =
+          BackgroundSimilarity(roots_[r].bg, *query_bg, params_.bg_tolerance);
+      if (sim > best_sim) {
+        best_sim = sim;
+        best_root = r;
+      }
+    }
+    search_root(roots_[best_root]);
+  } else {
+    for (const RootRecord& root : roots_) search_root(root);
+  }
+  std::sort(result.hits.begin(), result.hits.end(),
+            [](const KnnHit& a, const KnnHit& b) {
+              return a.distance < b.distance;
+            });
+  result.distance_computations = distance_count_ - before;
+  return result;
+}
+
+size_t StrgIndex::NumClusters() const {
+  size_t n = 0;
+  for (const RootRecord& r : roots_) n += r.clusters.size();
+  return n;
+}
+
+size_t StrgIndex::NumIndexedOgs() const {
+  size_t n = 0;
+  for (const RootRecord& r : roots_) {
+    for (const ClusterRecord& c : r.clusters) n += c.leaf.size();
+  }
+  return n;
+}
+
+std::vector<double> StrgIndex::LeafKeys(int root_id,
+                                        size_t cluster_pos) const {
+  const RootRecord& root = roots_.at(static_cast<size_t>(root_id));
+  const ClusterRecord& cluster = root.clusters.at(cluster_pos);
+  std::vector<double> keys;
+  keys.reserve(cluster.leaf.size());
+  for (const LeafEntry& e : cluster.leaf) keys.push_back(e.key);
+  return keys;
+}
+
+StrgIndex::Stats StrgIndex::ComputeStats() const {
+  Stats stats;
+  stats.segments = roots_.size();
+  double radius_acc = 0.0;
+  bool first = true;
+  for (const RootRecord& root : roots_) {
+    for (const ClusterRecord& cluster : root.clusters) {
+      ++stats.clusters;
+      stats.ogs += cluster.leaf.size();
+      if (first || cluster.leaf.size() < stats.min_leaf) {
+        stats.min_leaf = cluster.leaf.size();
+      }
+      stats.max_leaf = std::max(stats.max_leaf, cluster.leaf.size());
+      radius_acc += cluster.covering_radius;
+      stats.max_covering_radius =
+          std::max(stats.max_covering_radius, cluster.covering_radius);
+      first = false;
+    }
+  }
+  if (stats.clusters > 0) {
+    stats.mean_leaf =
+        static_cast<double>(stats.ogs) / static_cast<double>(stats.clusters);
+    stats.mean_covering_radius =
+        radius_acc / static_cast<double>(stats.clusters);
+  }
+  return stats;
+}
+
+size_t PaperIndexSizeBytes(const core::Decomposition& decomposition,
+                           size_t num_clusters) {
+  size_t bytes = 0;
+  size_t total_len = 0;
+  for (const core::Og& og : decomposition.object_graphs) {
+    bytes += og.SizeBytes();
+    total_len += og.Length();
+  }
+  // Centroid OGs: estimated at the mean member length (Equation 10's
+  // sum_k size(OG_clus_k)).
+  if (!decomposition.object_graphs.empty() && num_clusters > 0) {
+    size_t mean_len = std::max<size_t>(
+        1, total_len / decomposition.object_graphs.size());
+    bytes += num_clusters * SequenceBytes(mean_len);
+  }
+  bytes += decomposition.background.SizeBytes();
+  return bytes;
+}
+
+}  // namespace strg::index

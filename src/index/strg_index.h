@@ -1,0 +1,173 @@
+#ifndef STRG_INDEX_STRG_INDEX_H_
+#define STRG_INDEX_STRG_INDEX_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "distance/distance.h"
+#include "distance/eged.h"
+#include "strg/decompose.h"
+#include "strg/object_graph.h"
+
+namespace strg::index {
+
+/// Configuration of the STRG-Index (Section 5).
+struct StrgIndexParams {
+  /// Number of OG clusters per background segment. 0 = choose K by the BIC
+  /// sweep over [k_min, k_max] (Section 4.2).
+  size_t num_clusters = 0;
+  size_t k_min = 2;
+  size_t k_max = 12;
+
+  /// A leaf holding more OGs than this triggers the Section 5.3 split test
+  /// (EM with K = 2 vs K = 1, decided by BIC).
+  size_t leaf_split_threshold = 48;
+
+  cluster::ClusterParams cluster_params;
+
+  /// Fixed gap constant g of the metric EGED used for index keys.
+  dist::FeatureVec metric_gap{};
+
+  /// Attribute tolerances for matching a query BG against root records.
+  graph::AttrTolerance bg_tolerance;
+};
+
+/// One answer of a k-NN search.
+struct KnnHit {
+  size_t og_id = 0;   ///< caller-supplied OG identifier ("pointer to clip")
+  double distance = 0.0;
+};
+
+/// k-NN result plus the cost counter the paper reports (Figure 7b).
+struct KnnResult {
+  std::vector<KnnHit> hits;             ///< ascending by distance
+  size_t distance_computations = 0;
+};
+
+/// STRG-Index (Section 5): a three-level tree.
+///
+///   root node     — one record per background graph (BG), each pointing to
+///   cluster node  — one record per OG cluster: the synthesized centroid OG
+///                   and a pointer to
+///   leaf node     — member OGs keyed by EGED_M(OG_mem, OG_clus), sorted.
+///
+/// Keys live in the metric EGED space (Theorem 2), so the triangle
+/// inequality |key(q) - key(e)| <= EGED_M(q, e) prunes leaf entries, and
+/// cluster covering radii prune whole subtrees. Clusters are produced by
+/// EM with the non-metric EGED (Section 4), which is what makes the
+/// partitioning tighter than the M-tree's split-based partitioning.
+class StrgIndex {
+ public:
+  explicit StrgIndex(StrgIndexParams params = {});
+
+  /// Builds one index segment per Algorithm 2: stores the BG in the root
+  /// node, clusters the OG sequences, fills cluster + leaf nodes. `og_ids`
+  /// are the caller's identifiers (indices into its OG store); when empty,
+  /// 0..n-1 is used. Returns the root record id.
+  int AddSegment(core::BackgroundGraph bg,
+                 std::vector<dist::Sequence> og_sequences,
+                 std::vector<size_t> og_ids = {});
+
+  /// Inserts one OG into an existing segment (nearest cluster; may trigger
+  /// the Section 5.3 leaf split).
+  void Insert(int root_id, dist::Sequence og_sequence, size_t og_id);
+
+  /// Removes every leaf entry carrying `og_id` (the video clip was deleted).
+  /// Covering radii shrink accordingly; empty clusters are dropped.
+  /// Returns the number of entries removed.
+  size_t Remove(size_t og_id);
+
+  /// k-NN search (Algorithm 3). When `query_bg` is given, only the best
+  /// matching root record is searched; otherwise all cluster nodes are
+  /// visited (the paper's "query does not consider a background" case).
+  ///
+  /// `max_distance_computations` (0 = unlimited) caps the search cost: once
+  /// the budget is exhausted the current best candidates are returned. This
+  /// cost-bounded mode is how Figure 7(c) compares retrieval accuracy — an
+  /// exact k-NN would return identical answers from any correct index, so
+  /// accuracy differences only show up at a fixed search budget, where a
+  /// better-organized index reaches the true neighbors sooner.
+  KnnResult Knn(const dist::Sequence& query, size_t k,
+                const core::BackgroundGraph* query_bg = nullptr,
+                size_t max_distance_computations = 0) const;
+
+  /// Range (similarity) search: every indexed OG within `radius` of the
+  /// query under the metric EGED, ascending by distance. Uses the same
+  /// leaf-key band pruning as Knn: only entries with
+  /// |key(e) - key(q)| <= radius can qualify.
+  KnnResult RangeSearch(const dist::Sequence& query, double radius,
+                        const core::BackgroundGraph* query_bg = nullptr) const;
+
+  /// Total distance computations since construction (build + queries).
+  /// Note: the counter is plain (not atomic); a single StrgIndex is not
+  /// meant to be queried from multiple threads concurrently.
+  size_t TotalDistanceComputations() const { return distance_count_; }
+  void ResetDistanceCount() { distance_count_ = 0; }
+
+  /// Index footprint per Equation 10: member OGs + centroid OGs + BGs,
+  /// plus per-record key/pointer overhead.
+  size_t SizeBytes() const;
+
+  size_t NumSegments() const { return roots_.size(); }
+  size_t NumClusters() const;
+  size_t NumIndexedOgs() const;
+
+  /// Keys of one cluster's leaf (ascending), for tests/inspection.
+  std::vector<double> LeafKeys(int root_id, size_t cluster_pos) const;
+
+  /// Structural health snapshot, for monitoring and the CLI's info view.
+  struct Stats {
+    size_t segments = 0;
+    size_t clusters = 0;
+    size_t ogs = 0;
+    size_t min_leaf = 0;        ///< smallest leaf occupancy
+    size_t max_leaf = 0;        ///< largest leaf occupancy
+    double mean_leaf = 0.0;
+    double mean_covering_radius = 0.0;
+    double max_covering_radius = 0.0;
+  };
+  Stats ComputeStats() const;
+
+ private:
+  struct LeafEntry {
+    double key = 0.0;            ///< EGED_M(member, cluster centroid)
+    size_t og_id = 0;            ///< "pointer" to the real video clip
+    dist::Sequence sequence;     ///< the actual OG (kept in the leaf)
+  };
+  struct ClusterRecord {
+    int id = 0;
+    dist::Sequence centroid;           ///< OG_clus
+    double covering_radius = 0.0;      ///< max leaf key
+    std::vector<LeafEntry> leaf;       ///< sorted by key
+  };
+  struct RootRecord {
+    int id = 0;
+    core::BackgroundGraph bg;
+    std::vector<ClusterRecord> clusters;
+  };
+
+  double Metric(const dist::Sequence& a, const dist::Sequence& b) const;
+  void InsertIntoCluster(ClusterRecord* cluster, dist::Sequence seq,
+                         size_t og_id);
+  void MaybeSplit(RootRecord* root, size_t cluster_pos);
+  void SearchClusters(const RootRecord& root, const dist::Sequence& query,
+                      size_t k, size_t budget_limit, KnnResult* result) const;
+
+  StrgIndexParams params_;
+  dist::EgedMetricDistance metric_;
+  dist::EgedDistance nonmetric_;
+  mutable size_t distance_count_ = 0;
+  std::vector<RootRecord> roots_;
+  int next_cluster_id_ = 0;
+};
+
+/// size(STRG-Index) per Equation 10, computed from a decomposition without
+/// building the index — used by the Section 5.4 size analysis tests.
+size_t PaperIndexSizeBytes(const core::Decomposition& decomposition,
+                           size_t num_clusters);
+
+}  // namespace strg::index
+
+#endif  // STRG_INDEX_STRG_INDEX_H_

@@ -1,0 +1,378 @@
+#include "mtree/mtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+
+#include "util/random.h"
+
+namespace strg::mtree {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+struct MTree::Entry {
+  dist::Sequence object;
+  size_t id = 0;                  // data entries only
+  double parent_distance = 0.0;   // distance to the parent routing object
+  double radius = 0.0;            // routing entries only
+  std::unique_ptr<Node> child;    // routing entries only
+
+  bool IsRouting() const { return child != nullptr; }
+};
+
+struct MTree::Node {
+  bool is_leaf = true;
+  std::vector<Entry> entries;
+};
+
+class MTree::Impl {
+ public:
+  Impl(const dist::SequenceDistance* metric, MTreeParams params)
+      : counter_(metric), params_(params), rng_(params.seed) {
+    root_ = std::make_unique<Node>();
+    root_->is_leaf = true;
+  }
+
+  double Dist(const dist::Sequence& a, const dist::Sequence& b) const {
+    return counter_(a, b);
+  }
+
+  void Insert(dist::Sequence object, size_t id) {
+    Entry data;
+    data.object = std::move(object);
+    data.id = id;
+    auto split = InsertRec(root_.get(), nullptr, std::move(data));
+    if (split) {
+      auto new_root = std::make_unique<Node>();
+      new_root->is_leaf = false;
+      split->first.parent_distance = 0.0;
+      split->second.parent_distance = 0.0;
+      new_root->entries.push_back(std::move(split->first));
+      new_root->entries.push_back(std::move(split->second));
+      root_ = std::move(new_root);
+    }
+  }
+
+  MTreeKnnResult Knn(const dist::Sequence& query, size_t k,
+                     size_t max_distance_computations) const {
+    MTreeKnnResult result;
+    if (k == 0) return result;
+    size_t before = counter_.count();
+    const size_t budget_limit =
+        max_distance_computations == 0
+            ? std::numeric_limits<size_t>::max()
+            : before + max_distance_computations;
+
+    // Pending subtrees ordered by lower bound (min-heap).
+    struct Pending {
+      double lower_bound;
+      const Node* node;
+      double d_parent;  // d(query, node's routing object)
+      bool has_parent;
+      bool operator>(const Pending& o) const {
+        return lower_bound > o.lower_bound;
+      }
+    };
+    std::priority_queue<Pending, std::vector<Pending>, std::greater<>> heap;
+    heap.push({0.0, root_.get(), 0.0, false});
+
+    auto& hits = result.hits;
+    auto r_k = [&]() {
+      return hits.size() < k ? kInf : hits.back().distance;
+    };
+    auto offer = [&](size_t id, double d) {
+      if (d >= r_k()) return;
+      auto pos = std::lower_bound(hits.begin(), hits.end(), d,
+                                  [](const MTreeHit& h, double v) {
+                                    return h.distance < v;
+                                  });
+      hits.insert(pos, MTreeHit{id, d});
+      if (hits.size() > k) hits.pop_back();
+    };
+
+    while (!heap.empty()) {
+      if (counter_.count() >= budget_limit) break;
+      Pending top = heap.top();
+      heap.pop();
+      if (top.lower_bound >= r_k()) break;
+      const Node* node = top.node;
+      for (const Entry& e : node->entries) {
+        if (counter_.count() >= budget_limit) break;
+        // Parent-distance pruning avoids computing d(q, e.object) at all
+        // when the triangle inequality already rules the entry out.
+        if (top.has_parent) {
+          double gap = std::fabs(top.d_parent - e.parent_distance);
+          double slack = node->is_leaf ? 0.0 : e.radius;
+          if (gap - slack >= r_k()) continue;
+        }
+        double d = Dist(query, e.object);
+        if (node->is_leaf) {
+          offer(e.id, d);
+        } else {
+          double lb = std::max(0.0, d - e.radius);
+          if (lb < r_k()) {
+            heap.push({lb, e.child.get(), d, true});
+          }
+        }
+      }
+    }
+    result.distance_computations = counter_.count() - before;
+    return result;
+  }
+
+  MTreeKnnResult RangeSearch(const dist::Sequence& query,
+                             double radius) const {
+    MTreeKnnResult result;
+    size_t before = counter_.count();
+    RangeRec(root_.get(), query, radius, 0.0, false, &result);
+    std::sort(result.hits.begin(), result.hits.end(),
+              [](const MTreeHit& a, const MTreeHit& b) {
+                return a.distance < b.distance;
+              });
+    result.distance_computations = counter_.count() - before;
+    return result;
+  }
+
+  size_t Height() const {
+    size_t h = 1;
+    const Node* n = root_.get();
+    while (!n->is_leaf) {
+      ++h;
+      n = n->entries.front().child.get();
+    }
+    return h;
+  }
+
+  size_t TotalDistanceComputations() const { return counter_.count(); }
+
+  void CheckInvariants() const { CheckRec(root_.get(), nullptr, 0.0); }
+
+ private:
+  using SplitPair = std::pair<Entry, Entry>;
+
+  /// Inserts into the subtree; returns the two replacement routing entries
+  /// if the node split, with parent_distance left for the caller to fix.
+  std::optional<SplitPair> InsertRec(Node* node,
+                                     const dist::Sequence* parent_obj,
+                                     Entry data) {
+    if (node->is_leaf) {
+      data.parent_distance =
+          parent_obj != nullptr ? Dist(data.object, *parent_obj) : 0.0;
+      data.radius = 0.0;
+      data.child = nullptr;
+      node->entries.push_back(std::move(data));
+      if (node->entries.size() > params_.node_capacity) {
+        return Split(node);
+      }
+      return std::nullopt;
+    }
+
+    // Choose the subtree: minimal distance if the object already fits in a
+    // covering radius, else minimal radius enlargement.
+    size_t best = 0;
+    double best_d = kInf;
+    bool best_fits = false;
+    std::vector<double> dists(node->entries.size());
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      dists[i] = Dist(data.object, node->entries[i].object);
+      bool fits = dists[i] <= node->entries[i].radius;
+      double score = fits ? dists[i] : dists[i] - node->entries[i].radius;
+      if ((fits && !best_fits) ||
+          (fits == best_fits && score < best_d)) {
+        best = i;
+        best_d = score;
+        best_fits = fits;
+      }
+    }
+    Entry& route = node->entries[best];
+    route.radius = std::max(route.radius, dists[best]);
+
+    auto split = InsertRec(route.child.get(), &route.object, std::move(data));
+    if (!split) return std::nullopt;
+
+    // Child split: replace the routing entry with the two promoted ones.
+    Entry e1 = std::move(split->first);
+    Entry e2 = std::move(split->second);
+    e1.parent_distance =
+        parent_obj != nullptr ? Dist(e1.object, *parent_obj) : 0.0;
+    e2.parent_distance =
+        parent_obj != nullptr ? Dist(e2.object, *parent_obj) : 0.0;
+    node->entries[best] = std::move(e1);
+    node->entries.push_back(std::move(e2));
+    if (node->entries.size() > params_.node_capacity) {
+      return Split(node);
+    }
+    return std::nullopt;
+  }
+
+  /// Splits an overflowing node: promote two objects, partition by
+  /// generalized hyperplane, and return the two routing entries.
+  SplitPair Split(Node* node) {
+    std::vector<Entry>& entries = node->entries;
+    const size_t n = entries.size();
+
+    // Candidate promotion pairs.
+    std::vector<std::pair<size_t, size_t>> candidates;
+    if (params_.promotion == Promotion::kRandom || n < 3) {
+      size_t a = rng_.Index(n);
+      size_t b = rng_.Index(n - 1);
+      if (b >= a) ++b;
+      candidates.emplace_back(a, b);
+    } else {
+      for (size_t s = 0; s < params_.sample_pairs; ++s) {
+        size_t a = rng_.Index(n);
+        size_t b = rng_.Index(n - 1);
+        if (b >= a) ++b;
+        candidates.emplace_back(std::min(a, b), std::max(a, b));
+      }
+    }
+
+    // Evaluate candidates by the larger of the two covering radii
+    // (the mM_RAD criterion restricted to sampled pairs).
+    std::vector<char> best_side(n, 0);
+    size_t best_a = candidates[0].first, best_b = candidates[0].second;
+    double best_score = kInf;
+    std::vector<char> side(n, 0);
+    for (const auto& [a, b] : candidates) {
+      double ra = 0.0, rb = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        double da = Dist(entries[i].object, entries[a].object);
+        double db = Dist(entries[i].object, entries[b].object);
+        double slack = entries[i].IsRouting() ? entries[i].radius : 0.0;
+        if (da <= db) {
+          side[i] = 0;
+          ra = std::max(ra, da + slack);
+        } else {
+          side[i] = 1;
+          rb = std::max(rb, db + slack);
+        }
+      }
+      double score = std::max(ra, rb);
+      if (score < best_score) {
+        best_score = score;
+        best_a = a;
+        best_b = b;
+        best_side = side;
+      }
+    }
+
+    auto node_a = std::make_unique<Node>();
+    auto node_b = std::make_unique<Node>();
+    node_a->is_leaf = node->is_leaf;
+    node_b->is_leaf = node->is_leaf;
+
+    Entry ra, rb;
+    ra.object = entries[best_a].object;  // copy: promoted object
+    rb.object = entries[best_b].object;
+    ra.radius = 0.0;
+    rb.radius = 0.0;
+
+    for (size_t i = 0; i < n; ++i) {
+      Entry e = std::move(entries[i]);
+      Entry& promoted = best_side[i] == 0 ? ra : rb;
+      Node* target = best_side[i] == 0 ? node_a.get() : node_b.get();
+      double d = Dist(e.object, promoted.object);
+      double slack = e.IsRouting() ? e.radius : 0.0;
+      promoted.radius = std::max(promoted.radius, d + slack);
+      e.parent_distance = d;
+      target->entries.push_back(std::move(e));
+    }
+    ra.child = std::move(node_a);
+    rb.child = std::move(node_b);
+    return {std::move(ra), std::move(rb)};
+  }
+
+  void RangeRec(const Node* node, const dist::Sequence& query, double radius,
+                double d_parent, bool has_parent,
+                MTreeKnnResult* result) const {
+    for (const Entry& e : node->entries) {
+      if (has_parent) {
+        double gap = std::fabs(d_parent - e.parent_distance);
+        double slack = node->is_leaf ? 0.0 : e.radius;
+        if (gap - slack > radius) continue;
+      }
+      double d = Dist(query, e.object);
+      if (node->is_leaf) {
+        if (d <= radius) result->hits.push_back({e.id, d});
+      } else if (d - e.radius <= radius) {
+        RangeRec(e.child.get(), query, radius, d, true, result);
+      }
+    }
+  }
+
+  void CollectObjects(const Node* node,
+                      std::vector<const dist::Sequence*>* out) const {
+    for (const Entry& e : node->entries) {
+      if (e.IsRouting()) {
+        CollectObjects(e.child.get(), out);
+      } else {
+        out->push_back(&e.object);
+      }
+    }
+  }
+
+  void CheckRec(const Node* node, const dist::Sequence* parent_obj,
+                double /*parent_radius*/) const {
+    for (const Entry& e : node->entries) {
+      if (parent_obj != nullptr) {
+        double d = Dist(e.object, *parent_obj);
+        if (std::fabs(d - e.parent_distance) > 1e-6) {
+          throw std::logic_error("MTree: stale parent_distance");
+        }
+      }
+      if (e.IsRouting()) {
+        // Every data object under a routing entry must lie within its
+        // covering radius.
+        std::vector<const dist::Sequence*> objs;
+        CollectObjects(e.child.get(), &objs);
+        for (const dist::Sequence* o : objs) {
+          if (Dist(*o, e.object) > e.radius + 1e-6) {
+            throw std::logic_error("MTree: covering radius violated");
+          }
+        }
+        CheckRec(e.child.get(), &e.object, e.radius);
+      }
+    }
+  }
+
+  dist::CountingDistance counter_;
+  MTreeParams params_;
+  mutable Rng rng_;
+  std::unique_ptr<Node> root_;
+};
+
+MTree::MTree(const dist::SequenceDistance* metric, MTreeParams params)
+    : impl_(std::make_unique<Impl>(metric, params)) {}
+MTree::~MTree() = default;
+MTree::MTree(MTree&&) noexcept = default;
+MTree& MTree::operator=(MTree&&) noexcept = default;
+
+void MTree::Insert(dist::Sequence object, size_t id) {
+  impl_->Insert(std::move(object), id);
+  ++size_;
+}
+
+MTreeKnnResult MTree::Knn(const dist::Sequence& query, size_t k,
+                          size_t max_distance_computations) const {
+  return impl_->Knn(query, k, max_distance_computations);
+}
+
+MTreeKnnResult MTree::RangeSearch(const dist::Sequence& query,
+                                  double radius) const {
+  return impl_->RangeSearch(query, radius);
+}
+
+size_t MTree::Height() const { return impl_->Height(); }
+
+size_t MTree::TotalDistanceComputations() const {
+  return impl_->TotalDistanceComputations();
+}
+
+void MTree::CheckInvariants() const { impl_->CheckInvariants(); }
+
+}  // namespace strg::mtree

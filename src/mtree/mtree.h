@@ -1,0 +1,87 @@
+#ifndef STRG_MTREE_MTREE_H_
+#define STRG_MTREE_MTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "distance/distance.h"
+
+namespace strg::mtree {
+
+/// Promotion policy for node splits [5]: RANDOM (MT-RA) promotes a random
+/// pair of entries; SAMPLING (MT-SA) samples candidate pairs and keeps the
+/// one minimizing the larger covering radius (the paper's fastest and most
+/// accurate variants respectively).
+enum class Promotion { kRandom, kSampling };
+
+struct MTreeParams {
+  size_t node_capacity = 16;  ///< max entries per node before a split
+  Promotion promotion = Promotion::kRandom;
+  size_t sample_pairs = 10;   ///< candidate pairs tried by SAMPLING
+  uint64_t seed = 99;
+};
+
+/// k-NN answer (mirrors the STRG-Index result shape).
+struct MTreeHit {
+  size_t id = 0;
+  double distance = 0.0;
+};
+struct MTreeKnnResult {
+  std::vector<MTreeHit> hits;
+  size_t distance_computations = 0;
+};
+
+/// M-tree: a dynamic, balanced metric access method (Ciaccia, Patella &
+/// Zezula, VLDB '97) — the baseline index of Section 6.3. Stores OG feature
+/// sequences under any metric distance; this reproduction uses the metric
+/// EGED so both indexes pay identical per-distance costs (Section 6.1's
+/// fairness setup).
+///
+/// Implementation notes: single-way insert descending by minimal radius
+/// enlargement; overflow handled by promotion (RANDOM / SAMPLING) and
+/// generalized-hyperplane partitioning; search prunes with covering radii
+/// and parent-distance lower bounds, counting every distance evaluation.
+class MTree {
+ public:
+  MTree(const dist::SequenceDistance* metric, MTreeParams params = {});
+  ~MTree();
+  MTree(MTree&&) noexcept;
+  MTree& operator=(MTree&&) noexcept;
+
+  /// Inserts an object with a caller identifier.
+  void Insert(dist::Sequence object, size_t id);
+
+  /// k nearest neighbors of `query`, counting distance computations.
+  /// `max_distance_computations` (0 = unlimited) caps the search cost and
+  /// returns the best candidates found within the budget — the same
+  /// cost-bounded mode the STRG-Index offers, used by the Figure 7(c)
+  /// accuracy comparison.
+  MTreeKnnResult Knn(const dist::Sequence& query, size_t k,
+                     size_t max_distance_computations = 0) const;
+
+  /// Range query: all objects within `radius` of `query`.
+  MTreeKnnResult RangeSearch(const dist::Sequence& query,
+                             double radius) const;
+
+  size_t Size() const { return size_; }
+  size_t Height() const;
+
+  /// Distance computations accumulated since construction (insert+query).
+  size_t TotalDistanceComputations() const;
+
+  /// Sanity check of M-tree invariants (covering radii, parent distances);
+  /// throws std::logic_error on violation. Test hook.
+  void CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Entry;
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+  size_t size_ = 0;
+};
+
+}  // namespace strg::mtree
+
+#endif  // STRG_MTREE_MTREE_H_

@@ -1,0 +1,322 @@
+#include "rtree3d/rtree3d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+
+namespace strg::rtree3d {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+Box3 Box3::OfOg(const core::Og& og) {
+  Box3 box;
+  box.min = {kInf, kInf, kInf};
+  box.max = {-kInf, -kInf, -kInf};
+  for (size_t i = 0; i < og.sequence.size(); ++i) {
+    const graph::NodeAttr& a = og.sequence[i];
+    double t = static_cast<double>(og.start_frame) + static_cast<double>(i);
+    box.min = {std::min(box.min[0], a.cx), std::min(box.min[1], a.cy),
+               std::min(box.min[2], t)};
+    box.max = {std::max(box.max[0], a.cx), std::max(box.max[1], a.cy),
+               std::max(box.max[2], t)};
+  }
+  return box;
+}
+
+double Box3::Volume() const {
+  double v = 1.0;
+  for (int d = 0; d < 3; ++d) v *= std::max(0.0, max[d] - min[d]);
+  return v;
+}
+
+double Box3::Margin() const {
+  double m = 0.0;
+  for (int d = 0; d < 3; ++d) m += std::max(0.0, max[d] - min[d]);
+  return m;
+}
+
+bool Box3::Intersects(const Box3& o) const {
+  for (int d = 0; d < 3; ++d) {
+    if (max[d] < o.min[d] || o.max[d] < min[d]) return false;
+  }
+  return true;
+}
+
+bool Box3::Contains(const Box3& o) const {
+  for (int d = 0; d < 3; ++d) {
+    if (o.min[d] < min[d] || o.max[d] > max[d]) return false;
+  }
+  return true;
+}
+
+void Box3::Expand(const Box3& o) {
+  for (int d = 0; d < 3; ++d) {
+    min[d] = std::min(min[d], o.min[d]);
+    max[d] = std::max(max[d], o.max[d]);
+  }
+}
+
+Box3 Box3::Union(const Box3& o) const {
+  Box3 u = *this;
+  u.Expand(o);
+  return u;
+}
+
+double Box3::Enlargement(const Box3& o) const {
+  return Union(o).Volume() - Volume();
+}
+
+double Box3::MinDist2(const Box3& o) const {
+  double acc = 0.0;
+  for (int d = 0; d < 3; ++d) {
+    double gap = 0.0;
+    if (o.max[d] < min[d]) {
+      gap = min[d] - o.max[d];
+    } else if (max[d] < o.min[d]) {
+      gap = o.min[d] - max[d];
+    }
+    acc += gap * gap;
+  }
+  return acc;
+}
+
+struct RTree3D::Entry {
+  Box3 box;
+  size_t id = 0;                // leaf entries
+  std::unique_ptr<Node> child;  // internal entries
+  bool IsInternal() const { return child != nullptr; }
+};
+
+struct RTree3D::Node {
+  bool is_leaf = true;
+  std::vector<Entry> entries;
+};
+
+class RTree3D::Impl {
+ public:
+  explicit Impl(RTreeParams params) : params_(params) {
+    if (params_.min_entries > params_.max_entries / 2) {
+      throw std::invalid_argument("RTree3D: min_entries > max_entries / 2");
+    }
+    root_ = std::make_unique<Node>();
+  }
+
+  void Insert(const Box3& box, size_t id) {
+    Entry entry;
+    entry.box = box;
+    entry.id = id;
+    auto split = InsertRec(root_.get(), std::move(entry));
+    if (split) {
+      auto new_root = std::make_unique<Node>();
+      new_root->is_leaf = false;
+      new_root->entries.push_back(std::move(split->first));
+      new_root->entries.push_back(std::move(split->second));
+      root_ = std::move(new_root);
+    }
+  }
+
+  void Window(const Node* node, const Box3& window,
+              std::vector<size_t>* out) const {
+    for (const Entry& e : node->entries) {
+      if (!e.box.Intersects(window)) continue;
+      if (node->is_leaf) {
+        out->push_back(e.id);
+      } else {
+        Window(e.child.get(), window, out);
+      }
+    }
+  }
+
+  std::vector<RTreeHit> Knn(const Box3& query, size_t k) const {
+    std::vector<RTreeHit> hits;
+    if (k == 0) return hits;
+    struct Pending {
+      double dist2;
+      const Node* node;
+      bool operator>(const Pending& o) const { return dist2 > o.dist2; }
+    };
+    std::priority_queue<Pending, std::vector<Pending>, std::greater<>> heap;
+    heap.push({0.0, root_.get()});
+    auto worst2 = [&]() {
+      if (hits.size() < k) return kInf;
+      double d = hits.back().mbr_distance;
+      return d * d;
+    };
+    while (!heap.empty()) {
+      Pending top = heap.top();
+      heap.pop();
+      if (top.dist2 > worst2()) break;
+      for (const Entry& e : top.node->entries) {
+        double d2 = e.box.MinDist2(query);
+        if (d2 > worst2()) continue;
+        if (top.node->is_leaf) {
+          RTreeHit hit{e.id, std::sqrt(d2)};
+          auto pos = std::lower_bound(
+              hits.begin(), hits.end(), hit.mbr_distance,
+              [](const RTreeHit& h, double v) { return h.mbr_distance < v; });
+          hits.insert(pos, hit);
+          if (hits.size() > k) hits.pop_back();
+        } else {
+          heap.push({d2, e.child.get()});
+        }
+      }
+    }
+    return hits;
+  }
+
+  size_t Height() const {
+    size_t h = 1;
+    const Node* n = root_.get();
+    while (!n->is_leaf) {
+      ++h;
+      n = n->entries.front().child.get();
+    }
+    return h;
+  }
+
+  const Node* root() const { return root_.get(); }
+
+  void CheckRec(const Node* node) const {
+    for (const Entry& e : node->entries) {
+      if (!e.IsInternal()) continue;
+      // The internal entry's box must tightly contain its child's boxes.
+      for (const Entry& ce : e.child->entries) {
+        if (!e.box.Contains(ce.box)) {
+          throw std::logic_error("RTree3D: child box escapes parent MBR");
+        }
+      }
+      CheckRec(e.child.get());
+    }
+  }
+
+ private:
+  using SplitPair = std::pair<Entry, Entry>;
+
+  static Box3 NodeBox(const Node& node) {
+    Box3 box = node.entries.front().box;
+    for (const Entry& e : node.entries) box.Expand(e.box);
+    return box;
+  }
+
+  std::optional<SplitPair> InsertRec(Node* node, Entry entry) {
+    if (node->is_leaf) {
+      node->entries.push_back(std::move(entry));
+      if (node->entries.size() > params_.max_entries) return Split(node);
+      return std::nullopt;
+    }
+    // Choose subtree: least enlargement, ties by smaller volume.
+    size_t best = 0;
+    double best_enlarge = kInf, best_vol = kInf;
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      double enlarge = node->entries[i].box.Enlargement(entry.box);
+      double vol = node->entries[i].box.Volume();
+      if (enlarge < best_enlarge ||
+          (enlarge == best_enlarge && vol < best_vol)) {
+        best = i;
+        best_enlarge = enlarge;
+        best_vol = vol;
+      }
+    }
+    node->entries[best].box.Expand(entry.box);
+    auto split = InsertRec(node->entries[best].child.get(), std::move(entry));
+    if (!split) return std::nullopt;
+    node->entries[best] = std::move(split->first);
+    node->entries.push_back(std::move(split->second));
+    if (node->entries.size() > params_.max_entries) return Split(node);
+    return std::nullopt;
+  }
+
+  /// Guttman's quadratic split.
+  SplitPair Split(Node* node) {
+    std::vector<Entry>& entries = node->entries;
+    const size_t n = entries.size();
+
+    // Pick the pair of seeds wasting the most volume together.
+    size_t seed_a = 0, seed_b = 1;
+    double worst_waste = -kInf;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        double waste = entries[i].box.Union(entries[j].box).Volume() -
+                       entries[i].box.Volume() - entries[j].box.Volume();
+        if (waste > worst_waste) {
+          worst_waste = waste;
+          seed_a = i;
+          seed_b = j;
+        }
+      }
+    }
+
+    auto node_a = std::make_unique<Node>();
+    auto node_b = std::make_unique<Node>();
+    node_a->is_leaf = node->is_leaf;
+    node_b->is_leaf = node->is_leaf;
+    Box3 box_a = entries[seed_a].box;
+    Box3 box_b = entries[seed_b].box;
+    node_a->entries.push_back(std::move(entries[seed_a]));
+    node_b->entries.push_back(std::move(entries[seed_b]));
+
+    std::vector<Entry> rest;
+    for (size_t i = 0; i < n; ++i) {
+      if (i != seed_a && i != seed_b) rest.push_back(std::move(entries[i]));
+    }
+
+    // Distribute the rest: honor min_entries, otherwise least enlargement.
+    for (size_t i = 0; i < rest.size(); ++i) {
+      size_t remaining = rest.size() - i;
+      Node* target;
+      if (node_a->entries.size() + remaining <= params_.min_entries) {
+        target = node_a.get();
+      } else if (node_b->entries.size() + remaining <= params_.min_entries) {
+        target = node_b.get();
+      } else {
+        double ea = box_a.Enlargement(rest[i].box);
+        double eb = box_b.Enlargement(rest[i].box);
+        target = ea <= eb ? node_a.get() : node_b.get();
+      }
+      (target == node_a.get() ? box_a : box_b).Expand(rest[i].box);
+      target->entries.push_back(std::move(rest[i]));
+    }
+
+    Entry ea, eb;
+    ea.box = NodeBox(*node_a);
+    eb.box = NodeBox(*node_b);
+    ea.child = std::move(node_a);
+    eb.child = std::move(node_b);
+    return SplitPair{std::move(ea), std::move(eb)};
+  }
+
+  RTreeParams params_;
+  std::unique_ptr<Node> root_;
+};
+
+RTree3D::RTree3D(RTreeParams params)
+    : impl_(std::make_unique<Impl>(params)) {}
+RTree3D::~RTree3D() = default;
+RTree3D::RTree3D(RTree3D&&) noexcept = default;
+RTree3D& RTree3D::operator=(RTree3D&&) noexcept = default;
+
+void RTree3D::Insert(const Box3& box, size_t id) {
+  impl_->Insert(box, id);
+  ++size_;
+}
+
+std::vector<size_t> RTree3D::WindowQuery(const Box3& window) const {
+  std::vector<size_t> out;
+  impl_->Window(impl_->root(), window, &out);
+  return out;
+}
+
+std::vector<RTreeHit> RTree3D::Knn(const Box3& query, size_t k) const {
+  return impl_->Knn(query, k);
+}
+
+size_t RTree3D::Height() const { return impl_->Height(); }
+
+void RTree3D::CheckInvariants() const { impl_->CheckRec(impl_->root()); }
+
+}  // namespace strg::rtree3d

@@ -1,0 +1,83 @@
+#ifndef STRG_RTREE3D_RTREE3D_H_
+#define STRG_RTREE3D_RTREE3D_H_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "strg/object_graph.h"
+
+namespace strg::rtree3d {
+
+/// Axis-aligned box in (x, y, t) space.
+///
+/// The 3DR-tree (Theodoridis et al. [26], discussed in the paper's related
+/// work) indexes a moving object by the minimum bounding box of its
+/// trajectory with time treated as just another dimension. The paper's
+/// criticism — which bench_ablation_3drtree demonstrates — is that spatial
+/// and temporal extents are not comparable, so MBR proximity is a poor
+/// surrogate for spatio-temporal similarity.
+struct Box3 {
+  std::array<double, 3> min{0, 0, 0};
+  std::array<double, 3> max{0, 0, 0};
+
+  static Box3 OfOg(const core::Og& og);
+
+  double Volume() const;
+  double Margin() const;
+  bool Intersects(const Box3& o) const;
+  bool Contains(const Box3& o) const;
+  void Expand(const Box3& o);
+  Box3 Union(const Box3& o) const;
+  /// Volume increase if `o` were merged in.
+  double Enlargement(const Box3& o) const;
+  /// Minimum squared Euclidean distance between the two boxes (0 when they
+  /// intersect). Used for best-first k-NN over MBRs.
+  double MinDist2(const Box3& o) const;
+};
+
+struct RTreeParams {
+  size_t max_entries = 8;
+  size_t min_entries = 3;  ///< <= max_entries / 2
+};
+
+struct RTreeHit {
+  size_t id = 0;
+  double mbr_distance = 0.0;  ///< sqrt(MinDist2) to the query box
+};
+
+/// Guttman R-tree over 3-D boxes with quadratic split. Serves as the
+/// "treat time as another dimension" baseline index for OGs; supports
+/// window (range) queries and best-first k-NN on MBR distance.
+class RTree3D {
+ public:
+  explicit RTree3D(RTreeParams params = {});
+  ~RTree3D();
+  RTree3D(RTree3D&&) noexcept;
+  RTree3D& operator=(RTree3D&&) noexcept;
+
+  void Insert(const Box3& box, size_t id);
+
+  /// Ids of every entry whose box intersects the window.
+  std::vector<size_t> WindowQuery(const Box3& window) const;
+
+  /// k nearest entries by MBR distance to the query box.
+  std::vector<RTreeHit> Knn(const Box3& query, size_t k) const;
+
+  size_t Size() const { return size_; }
+  size_t Height() const;
+
+  /// Verifies bounding-box containment invariants; throws on violation.
+  void CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Entry;
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+  size_t size_ = 0;
+};
+
+}  // namespace strg::rtree3d
+
+#endif  // STRG_RTREE3D_RTREE3D_H_

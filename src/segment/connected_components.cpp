@@ -1,0 +1,70 @@
+#include "segment/connected_components.h"
+
+#include <numeric>
+
+namespace strg::segment {
+
+namespace {
+
+/// Union-find over pixel indices with path halving.
+class DisjointSet {
+ public:
+  explicit DisjointSet(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[b] = a;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<int> LabelConnectedComponents(const video::Frame& frame,
+                                          double color_tolerance,
+                                          int* num_components) {
+  const int w = frame.width(), h = frame.height();
+  const size_t n = static_cast<size_t>(w) * h;
+  DisjointSet ds(n);
+
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      size_t idx = static_cast<size_t>(y) * w + x;
+      if (x + 1 < w && video::ColorDistance(frame.At(x, y),
+                                            frame.At(x + 1, y)) <=
+                           color_tolerance) {
+        ds.Union(idx, idx + 1);
+      }
+      if (y + 1 < h && video::ColorDistance(frame.At(x, y),
+                                            frame.At(x, y + 1)) <=
+                           color_tolerance) {
+        ds.Union(idx, idx + w);
+      }
+    }
+  }
+
+  // Compact root ids into dense labels.
+  std::vector<int> labels(n, -1);
+  std::vector<int> root_label(n, -1);
+  int next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t r = ds.Find(i);
+    if (root_label[r] < 0) root_label[r] = next++;
+    labels[i] = root_label[r];
+  }
+  if (num_components != nullptr) *num_components = next;
+  return labels;
+}
+
+}  // namespace strg::segment

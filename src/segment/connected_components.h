@@ -1,0 +1,22 @@
+#ifndef STRG_SEGMENT_CONNECTED_COMPONENTS_H_
+#define STRG_SEGMENT_CONNECTED_COMPONENTS_H_
+
+#include <vector>
+
+#include "video/frame.h"
+
+namespace strg::segment {
+
+/// Labels 4-connected components of near-constant color.
+///
+/// Two neighboring pixels join the same component when their color distance
+/// is at most `color_tolerance`. Returns the row-major label map (labels are
+/// dense, starting at 0) and writes the number of components to
+/// `*num_components`.
+std::vector<int> LabelConnectedComponents(const video::Frame& frame,
+                                          double color_tolerance,
+                                          int* num_components);
+
+}  // namespace strg::segment
+
+#endif  // STRG_SEGMENT_CONNECTED_COMPONENTS_H_

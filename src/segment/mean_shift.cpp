@@ -1,0 +1,58 @@
+#include "segment/mean_shift.h"
+
+#include <cmath>
+
+namespace strg::segment {
+
+video::Frame MeanShiftFilter(const video::Frame& input,
+                             const MeanShiftParams& params) {
+  const int w = input.width(), h = input.height();
+  video::Frame out(w, h);
+  const double r2 = params.range_radius * params.range_radius;
+
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      // Current color mode estimate for this pixel.
+      double cr = input.At(x, y).r;
+      double cg = input.At(x, y).g;
+      double cb = input.At(x, y).b;
+
+      for (int iter = 0; iter < params.max_iterations; ++iter) {
+        double sr = 0, sg = 0, sb = 0;
+        int count = 0;
+        for (int dy = -params.spatial_radius; dy <= params.spatial_radius;
+             ++dy) {
+          int ny = y + dy;
+          if (ny < 0 || ny >= h) continue;
+          for (int dx = -params.spatial_radius; dx <= params.spatial_radius;
+               ++dx) {
+            int nx = x + dx;
+            if (nx < 0 || nx >= w) continue;
+            const video::Rgb& q = input.At(nx, ny);
+            double dr = q.r - cr, dg = q.g - cg, db = q.b - cb;
+            if (dr * dr + dg * dg + db * db <= r2) {
+              sr += q.r;
+              sg += q.g;
+              sb += q.b;
+              ++count;
+            }
+          }
+        }
+        if (count == 0) break;
+        double nr = sr / count, ng = sg / count, nb = sb / count;
+        double shift = std::sqrt((nr - cr) * (nr - cr) +
+                                 (ng - cg) * (ng - cg) +
+                                 (nb - cb) * (nb - cb));
+        cr = nr;
+        cg = ng;
+        cb = nb;
+        if (shift < params.convergence) break;
+      }
+      out.At(x, y) = video::Rgb{video::ClampByte(cr), video::ClampByte(cg),
+                                video::ClampByte(cb)};
+    }
+  }
+  return out;
+}
+
+}  // namespace strg::segment

@@ -1,0 +1,40 @@
+#ifndef STRG_SEGMENT_REGION_H_
+#define STRG_SEGMENT_REGION_H_
+
+#include <utility>
+#include <vector>
+
+#include "video/color.h"
+
+namespace strg::segment {
+
+/// A homogeneous color region extracted from one frame.
+///
+/// Carries exactly the node attributes the paper uses for RAG nodes
+/// (Definition 1): size (pixel count), color, and location (centroid).
+struct Region {
+  int id = -1;
+  int size = 0;             ///< number of pixels
+  video::Rgb mean_color;    ///< average color of member pixels
+  double centroid_x = 0.0;  ///< centroid (pixels, sub-pixel precision)
+  double centroid_y = 0.0;
+  int min_x = 0, max_x = 0, min_y = 0, max_y = 0;  ///< bounding box
+};
+
+/// Result of segmenting one frame: regions, the per-pixel label map, and
+/// the region adjacency relation (unordered id pairs, each listed once).
+struct Segmentation {
+  int width = 0;
+  int height = 0;
+  std::vector<Region> regions;
+  std::vector<int> labels;  ///< row-major region id per pixel
+  std::vector<std::pair<int, int>> adjacency;
+
+  int LabelAt(int x, int y) const {
+    return labels[static_cast<size_t>(y) * width + x];
+  }
+};
+
+}  // namespace strg::segment
+
+#endif  // STRG_SEGMENT_REGION_H_

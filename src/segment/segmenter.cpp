@@ -1,0 +1,168 @@
+#include "segment/segmenter.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "segment/connected_components.h"
+
+namespace strg::segment {
+
+namespace {
+
+struct Accum {
+  long long size = 0;
+  double r = 0, g = 0, b = 0;
+  double sx = 0, sy = 0;
+  int min_x = std::numeric_limits<int>::max();
+  int max_x = std::numeric_limits<int>::min();
+  int min_y = std::numeric_limits<int>::max();
+  int max_y = std::numeric_limits<int>::min();
+};
+
+std::vector<Accum> ComputeStats(const video::Frame& frame,
+                                const std::vector<int>& labels,
+                                int num_labels) {
+  std::vector<Accum> acc(static_cast<size_t>(num_labels));
+  const int w = frame.width(), h = frame.height();
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      int l = labels[static_cast<size_t>(y) * w + x];
+      Accum& a = acc[static_cast<size_t>(l)];
+      const video::Rgb& p = frame.At(x, y);
+      a.size += 1;
+      a.r += p.r;
+      a.g += p.g;
+      a.b += p.b;
+      a.sx += x;
+      a.sy += y;
+      a.min_x = std::min(a.min_x, x);
+      a.max_x = std::max(a.max_x, x);
+      a.min_y = std::min(a.min_y, y);
+      a.max_y = std::max(a.max_y, y);
+    }
+  }
+  return acc;
+}
+
+video::Rgb MeanColor(const Accum& a) {
+  double n = static_cast<double>(a.size);
+  return video::Rgb{video::ClampByte(a.r / n), video::ClampByte(a.g / n),
+                    video::ClampByte(a.b / n)};
+}
+
+std::set<std::pair<int, int>> AdjacentPairs(const std::vector<int>& labels,
+                                            int w, int h) {
+  std::set<std::pair<int, int>> pairs;
+  auto add = [&](int a, int b) {
+    if (a == b) return;
+    pairs.insert({std::min(a, b), std::max(a, b)});
+  };
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      int l = labels[static_cast<size_t>(y) * w + x];
+      if (x + 1 < w) add(l, labels[static_cast<size_t>(y) * w + x + 1]);
+      if (y + 1 < h) add(l, labels[static_cast<size_t>(y + 1) * w + x]);
+    }
+  }
+  return pairs;
+}
+
+}  // namespace
+
+Segmentation SegmentFrame(const video::Frame& input,
+                          const SegmenterParams& params) {
+  const video::Frame frame =
+      params.use_mean_shift ? MeanShiftFilter(input, params.mean_shift)
+                            : input;
+  const int w = frame.width(), h = frame.height();
+
+  int num_labels = 0;
+  std::vector<int> labels =
+      LabelConnectedComponents(frame, params.color_tolerance, &num_labels);
+
+  // Small-region cleanup: fold every undersized region into its most
+  // color-similar neighbor; a few rounds handle chains of tiny fragments.
+  for (int round = 0; round < params.merge_rounds; ++round) {
+    std::vector<Accum> acc = ComputeStats(frame, labels, num_labels);
+    auto pairs = AdjacentPairs(labels, w, h);
+    std::vector<std::vector<int>> neighbors(static_cast<size_t>(num_labels));
+    for (const auto& [a, b] : pairs) {
+      neighbors[static_cast<size_t>(a)].push_back(b);
+      neighbors[static_cast<size_t>(b)].push_back(a);
+    }
+
+    std::vector<int> remap(static_cast<size_t>(num_labels));
+    bool changed = false;
+    for (int l = 0; l < num_labels; ++l) {
+      remap[static_cast<size_t>(l)] = l;
+      if (acc[static_cast<size_t>(l)].size >= params.min_region_size) continue;
+      double best = std::numeric_limits<double>::max();
+      int best_n = -1;
+      video::Rgb my_color = MeanColor(acc[static_cast<size_t>(l)]);
+      for (int nb : neighbors[static_cast<size_t>(l)]) {
+        // Prefer merging into stable (large) neighbors.
+        if (acc[static_cast<size_t>(nb)].size <
+            acc[static_cast<size_t>(l)].size) {
+          continue;
+        }
+        double d =
+            video::ColorDistance(my_color, MeanColor(acc[static_cast<size_t>(nb)]));
+        if (d < best) {
+          best = d;
+          best_n = nb;
+        }
+      }
+      if (best_n >= 0) {
+        remap[static_cast<size_t>(l)] = best_n;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    // Resolve chains (a->b->c) before applying.
+    for (int l = 0; l < num_labels; ++l) {
+      int t = l;
+      for (int hops = 0; hops < num_labels && remap[static_cast<size_t>(t)] != t;
+           ++hops) {
+        t = remap[static_cast<size_t>(t)];
+      }
+      remap[static_cast<size_t>(l)] = t;
+    }
+    for (int& l : labels) l = remap[static_cast<size_t>(l)];
+  }
+
+  // Densify labels.
+  std::vector<int> dense(static_cast<size_t>(num_labels), -1);
+  int next = 0;
+  for (int& l : labels) {
+    if (dense[static_cast<size_t>(l)] < 0) dense[static_cast<size_t>(l)] = next++;
+    l = dense[static_cast<size_t>(l)];
+  }
+
+  Segmentation seg;
+  seg.width = w;
+  seg.height = h;
+  seg.labels = std::move(labels);
+
+  std::vector<Accum> acc = ComputeStats(frame, seg.labels, next);
+  seg.regions.resize(static_cast<size_t>(next));
+  for (int l = 0; l < next; ++l) {
+    const Accum& a = acc[static_cast<size_t>(l)];
+    Region& r = seg.regions[static_cast<size_t>(l)];
+    r.id = l;
+    r.size = static_cast<int>(a.size);
+    r.mean_color = MeanColor(a);
+    r.centroid_x = a.sx / static_cast<double>(a.size);
+    r.centroid_y = a.sy / static_cast<double>(a.size);
+    r.min_x = a.min_x;
+    r.max_x = a.max_x;
+    r.min_y = a.min_y;
+    r.max_y = a.max_y;
+  }
+
+  auto pairs = AdjacentPairs(seg.labels, w, h);
+  seg.adjacency.assign(pairs.begin(), pairs.end());
+  return seg;
+}
+
+}  // namespace strg::segment

@@ -1,0 +1,63 @@
+#include "segment/shot_detector.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace strg::segment {
+
+ShotDetector::ShotDetector(ShotDetectorParams params) : params_(params) {}
+
+std::vector<double> ShotDetector::Histogram(const video::Frame& frame) const {
+  const int b = params_.bins_per_channel;
+  std::vector<double> hist(static_cast<size_t>(b) * b * b, 0.0);
+  const double scale = b / 256.0;
+  for (const video::Rgb& p : frame.pixels()) {
+    int r = static_cast<int>(p.r * scale);
+    int g = static_cast<int>(p.g * scale);
+    int bl = static_cast<int>(p.b * scale);
+    hist[static_cast<size_t>((r * b + g) * b + bl)] += 1.0;
+  }
+  double n = static_cast<double>(frame.size());
+  for (double& h : hist) h /= n;
+  return hist;
+}
+
+bool ShotDetector::PushFrame(const video::Frame& frame) {
+  std::vector<double> hist = Histogram(frame);
+  bool cut = false;
+  if (frames_seen_ > 0) {
+    double diff = 0.0;
+    for (size_t i = 0; i < hist.size(); ++i) {
+      diff += std::fabs(hist[i] - prev_histogram_[i]);
+    }
+    diff *= 0.5;  // L1/2 in [0, 1]
+    if (diff > params_.threshold &&
+        frames_seen_ - last_cut_ >= params_.min_shot_length) {
+      boundaries_.push_back(frames_seen_);
+      last_cut_ = frames_seen_;
+      cut = true;
+    }
+  }
+  prev_histogram_ = std::move(hist);
+  ++frames_seen_;
+  return cut;
+}
+
+std::vector<std::pair<int, int>> DetectShots(
+    const std::vector<video::Frame>& frames,
+    const ShotDetectorParams& params) {
+  ShotDetector detector(params);
+  for (const video::Frame& f : frames) detector.PushFrame(f);
+  std::vector<std::pair<int, int>> shots;
+  int start = 0;
+  for (int cut : detector.boundaries()) {
+    shots.emplace_back(start, cut);
+    start = cut;
+  }
+  if (detector.frames_seen() > 0) {
+    shots.emplace_back(start, detector.frames_seen());
+  }
+  return shots;
+}
+
+}  // namespace strg::segment

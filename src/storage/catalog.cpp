@@ -1,0 +1,82 @@
+#include "storage/catalog.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace strg::storage {
+
+void Catalog::AddSegment(CatalogSegment segment) {
+  segments_.push_back(std::move(segment));
+}
+
+size_t Catalog::TotalOgs() const {
+  size_t n = 0;
+  for (const CatalogSegment& s : segments_) n += s.ogs.size();
+  return n;
+}
+
+std::string Catalog::Serialize() const {
+  Writer w;
+  w.PutU32(kMagic);
+  w.PutU32(kVersion);
+  w.PutVarint(segments_.size());
+  for (const CatalogSegment& s : segments_) {
+    w.PutString(s.video_name);
+    w.PutU32(static_cast<uint32_t>(s.frame_width));
+    w.PutU32(static_cast<uint32_t>(s.frame_height));
+    w.PutU64(s.num_frames);
+    EncodeBackgroundGraph(s.background, &w);
+    w.PutVarint(s.ogs.size());
+    for (const core::Og& og : s.ogs) EncodeOg(og, &w);
+  }
+  return w.Take();
+}
+
+Catalog Catalog::Deserialize(std::string_view bytes) {
+  Reader r(bytes);
+  if (r.GetU32() != kMagic) {
+    throw std::runtime_error("Catalog: bad magic (not a STRG catalog)");
+  }
+  uint32_t version = r.GetU32();
+  if (version != kVersion) {
+    throw std::runtime_error("Catalog: unsupported version " +
+                             std::to_string(version));
+  }
+  Catalog catalog;
+  size_t segments = static_cast<size_t>(r.GetVarint());
+  for (size_t i = 0; i < segments; ++i) {
+    CatalogSegment s;
+    s.video_name = r.GetString();
+    s.frame_width = static_cast<int>(r.GetU32());
+    s.frame_height = static_cast<int>(r.GetU32());
+    s.num_frames = r.GetU64();
+    s.background = DecodeBackgroundGraph(&r);
+    size_t ogs = static_cast<size_t>(r.GetVarint());
+    s.ogs.reserve(ogs);
+    for (size_t j = 0; j < ogs; ++j) s.ogs.push_back(DecodeOg(&r));
+    catalog.AddSegment(std::move(s));
+  }
+  if (!r.AtEnd()) {
+    throw std::runtime_error("Catalog: trailing bytes after last segment");
+  }
+  return catalog;
+}
+
+void Catalog::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("Catalog: cannot open " + path);
+  std::string bytes = Serialize();
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("Catalog: short write to " + path);
+}
+
+Catalog Catalog::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("Catalog: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Deserialize(buf.str());
+}
+
+}  // namespace strg::storage

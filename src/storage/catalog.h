@@ -1,0 +1,59 @@
+#ifndef STRG_STORAGE_CATALOG_H_
+#define STRG_STORAGE_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/serializer.h"
+#include "strg/object_graph.h"
+
+namespace strg::storage {
+
+/// Everything worth persisting about one processed video segment: the
+/// compressed background graph, the extracted object graphs, and the frame
+/// geometry needed to rebuild feature scalings.
+struct CatalogSegment {
+  std::string video_name;
+  int frame_width = 0;
+  int frame_height = 0;
+  uint64_t num_frames = 0;
+  core::BackgroundGraph background;
+  std::vector<core::Og> ogs;
+};
+
+/// On-disk catalog of processed video segments.
+///
+/// The catalog stores the pipeline's *artifacts* (OGs and BGs), not the
+/// index: the STRG-Index build is deterministic given its parameters, so a
+/// reload rebuilds an identical index from the catalog — the same policy
+/// the paper's size analysis assumes (the index is small and lives in
+/// memory; the OG payloads are the durable data).
+class Catalog {
+ public:
+  static constexpr uint32_t kMagic = 0x53545247;  // "STRG"
+  static constexpr uint32_t kVersion = 1;
+
+  void AddSegment(CatalogSegment segment);
+
+  const std::vector<CatalogSegment>& segments() const { return segments_; }
+  size_t NumSegments() const { return segments_.size(); }
+  size_t TotalOgs() const;
+
+  /// Serializes to a byte string (magic + version header, then segments).
+  std::string Serialize() const;
+
+  /// Parses a serialized catalog; throws std::runtime_error on a bad
+  /// magic/version and std::out_of_range on truncation.
+  static Catalog Deserialize(std::string_view bytes);
+
+  /// File convenience wrappers; throw std::runtime_error on I/O failure.
+  void SaveToFile(const std::string& path) const;
+  static Catalog LoadFromFile(const std::string& path);
+
+ private:
+  std::vector<CatalogSegment> segments_;
+};
+
+}  // namespace strg::storage
+
+#endif  // STRG_STORAGE_CATALOG_H_

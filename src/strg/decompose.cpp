@@ -1,0 +1,283 @@
+#include "strg/decompose.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace strg::core {
+
+namespace {
+
+/// Union-find over ORG indices for the merge step.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[b] = a;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+/// Checks the Section 2.3.2 merge criterion over the temporal overlap of
+/// two ORGs: same motion (velocity vectors agree) and spatial proximity.
+bool OrgsBelongTogether(const Org& a, const Org& b,
+                        const DecomposeParams& p) {
+  int lo = std::max(a.StartFrame(), b.StartFrame());
+  int hi = std::min(a.EndFrame(), b.EndFrame());
+  // Overlap in transitions is [lo, hi); need at least min_overlap of them.
+  if (hi - lo < static_cast<int>(p.min_overlap)) return false;
+
+  double vel_diff_sum = 0.0, dist_sum = 0.0;
+  int transitions = 0, samples = 0;
+  for (int f = lo; f <= hi; ++f) {
+    size_t ia = static_cast<size_t>(f - a.StartFrame());
+    size_t ib = static_cast<size_t>(f - b.StartFrame());
+    double dxc = a.attrs[ia].cx - b.attrs[ib].cx;
+    double dyc = a.attrs[ia].cy - b.attrs[ib].cy;
+    dist_sum += std::sqrt(dxc * dxc + dyc * dyc);
+    ++samples;
+    if (f < hi) {
+      double ax, ay, bx, by;
+      a.VelocityAt(ia, &ax, &ay);
+      b.VelocityAt(ib, &bx, &by);
+      vel_diff_sum += std::sqrt((ax - bx) * (ax - bx) + (ay - by) * (ay - by));
+      ++transitions;
+    }
+  }
+  if (transitions == 0 || samples == 0) return false;
+  if (vel_diff_sum / transitions > p.merge_velocity_tol) return false;
+  return dist_sum / samples <= p.merge_centroid_radius;
+}
+
+}  // namespace
+
+std::vector<Org> ExtractOrgs(const Strg& strg) {
+  std::vector<Org> orgs;
+  const size_t num_frames = strg.NumFrames();
+  if (num_frames == 0) return orgs;
+
+  // successor[t][v] = (node in t+1, attr) or -1. Algorithm 1 gives each
+  // node at most one outgoing temporal edge; if several exist (shouldn't),
+  // the first wins.
+  std::vector<std::vector<int>> successor(num_frames);
+  std::vector<std::vector<graph::TemporalEdgeAttr>> succ_attr(num_frames);
+  std::vector<std::vector<char>> has_pred(num_frames);
+  for (size_t t = 0; t < num_frames; ++t) {
+    successor[t].assign(strg.Frame(t).NumNodes(), -1);
+    succ_attr[t].resize(strg.Frame(t).NumNodes());
+    has_pred[t].assign(strg.Frame(t).NumNodes(), 0);
+  }
+  for (size_t t = 0; t + 1 < num_frames; ++t) {
+    for (const TemporalEdge& e : strg.TemporalEdges(t)) {
+      if (successor[t][static_cast<size_t>(e.from_node)] < 0) {
+        successor[t][static_cast<size_t>(e.from_node)] = e.to_node;
+        succ_attr[t][static_cast<size_t>(e.from_node)] = e.attr;
+      }
+      has_pred[t + 1][static_cast<size_t>(e.to_node)] = 1;
+    }
+  }
+
+  // Claim nodes into chains. Start from nodes without predecessors; a chain
+  // ends when there is no successor or the successor is already claimed by
+  // an earlier chain (temporal edges can converge).
+  std::vector<std::vector<char>> claimed(num_frames);
+  for (size_t t = 0; t < num_frames; ++t) {
+    claimed[t].assign(strg.Frame(t).NumNodes(), 0);
+  }
+  for (size_t t = 0; t < num_frames; ++t) {
+    for (size_t v = 0; v < strg.Frame(t).NumNodes(); ++v) {
+      if (claimed[t][v] || has_pred[t][v]) continue;
+      Org org;
+      size_t ct = t;
+      int cv = static_cast<int>(v);
+      while (true) {
+        claimed[ct][static_cast<size_t>(cv)] = 1;
+        org.nodes.push_back({static_cast<int>(ct), cv});
+        org.attrs.push_back(strg.Frame(ct).node(cv));
+        int next = ct + 1 < num_frames ? successor[ct][static_cast<size_t>(cv)]
+                                       : -1;
+        if (next < 0 || claimed[ct + 1][static_cast<size_t>(next)]) break;
+        org.motion.push_back(succ_attr[ct][static_cast<size_t>(cv)]);
+        ++ct;
+        cv = next;
+      }
+      orgs.push_back(std::move(org));
+    }
+  }
+  // Any node still unclaimed (predecessor existed but the chain through it
+  // got cut by a converge) becomes its own chain start.
+  for (size_t t = 0; t < num_frames; ++t) {
+    for (size_t v = 0; v < strg.Frame(t).NumNodes(); ++v) {
+      if (claimed[t][v]) continue;
+      Org org;
+      size_t ct = t;
+      int cv = static_cast<int>(v);
+      while (true) {
+        claimed[ct][static_cast<size_t>(cv)] = 1;
+        org.nodes.push_back({static_cast<int>(ct), cv});
+        org.attrs.push_back(strg.Frame(ct).node(cv));
+        int next = ct + 1 < num_frames ? successor[ct][static_cast<size_t>(cv)]
+                                       : -1;
+        if (next < 0 || claimed[ct + 1][static_cast<size_t>(next)]) break;
+        org.motion.push_back(succ_attr[ct][static_cast<size_t>(cv)]);
+        ++ct;
+        cv = next;
+      }
+      orgs.push_back(std::move(org));
+    }
+  }
+  return orgs;
+}
+
+bool IsObjectOrg(const Org& org, const DecomposeParams& params) {
+  if (org.Length() < params.min_org_length) return false;
+  // Max (not net) displacement: an out-and-back mover (U-turn) ends where
+  // it started but is still a foreground object.
+  return org.MeanVelocity() > params.min_object_velocity &&
+         org.MaxDisplacement() > params.min_displacement;
+}
+
+std::vector<Og> MergeOrgsIntoOgs(const std::vector<Org>& orgs,
+                                 const std::vector<size_t>& object_orgs,
+                                 const DecomposeParams& params) {
+  UnionFind uf(object_orgs.size());
+  for (size_t i = 0; i < object_orgs.size(); ++i) {
+    for (size_t j = i + 1; j < object_orgs.size(); ++j) {
+      if (OrgsBelongTogether(orgs[object_orgs[i]], orgs[object_orgs[j]],
+                             params)) {
+        uf.Union(i, j);
+      }
+    }
+  }
+
+  // Group member ORG indices by union-find root.
+  std::vector<std::vector<size_t>> groups;
+  std::vector<int> root_group(object_orgs.size(), -1);
+  for (size_t i = 0; i < object_orgs.size(); ++i) {
+    size_t r = uf.Find(i);
+    if (root_group[r] < 0) {
+      root_group[r] = static_cast<int>(groups.size());
+      groups.emplace_back();
+    }
+    groups[static_cast<size_t>(root_group[r])].push_back(object_orgs[i]);
+  }
+
+  std::vector<Og> ogs;
+  for (const std::vector<size_t>& group : groups) {
+    int lo = orgs[group[0]].StartFrame();
+    int hi = orgs[group[0]].EndFrame();
+    for (size_t idx : group) {
+      lo = std::min(lo, orgs[idx].StartFrame());
+      hi = std::max(hi, orgs[idx].EndFrame());
+    }
+    Og og;
+    og.id = static_cast<int>(ogs.size());
+    og.start_frame = lo;
+    og.member_orgs.assign(group.begin(), group.end());
+    for (int f = lo; f <= hi; ++f) {
+      double size = 0, r = 0, g = 0, b = 0, cx = 0, cy = 0;
+      for (size_t idx : group) {
+        const Org& org = orgs[idx];
+        if (f < org.StartFrame() || f > org.EndFrame()) continue;
+        const graph::NodeAttr& a =
+            org.attrs[static_cast<size_t>(f - org.StartFrame())];
+        size += a.size;
+        r += a.color[0] * a.size;
+        g += a.color[1] * a.size;
+        b += a.color[2] * a.size;
+        cx += a.cx * a.size;
+        cy += a.cy * a.size;
+      }
+      if (size <= 0) continue;  // gap frame: no member visible
+      graph::NodeAttr agg;
+      agg.size = size;
+      agg.color = {r / size, g / size, b / size};
+      agg.cx = cx / size;
+      agg.cy = cy / size;
+      og.sequence.push_back(agg);
+    }
+    if (!og.sequence.empty()) ogs.push_back(std::move(og));
+  }
+  return ogs;
+}
+
+BackgroundGraph BuildBackgroundGraph(
+    const Strg& strg, const std::vector<Org>& orgs,
+    const std::vector<size_t>& background_orgs) {
+  BackgroundGraph bg;
+  if (strg.NumFrames() == 0) return bg;
+
+  // Mark background membership per (frame, node).
+  std::vector<std::set<int>> bg_nodes(strg.NumFrames());
+  for (size_t idx : background_orgs) {
+    for (const OrgNode& n : orgs[idx].nodes) {
+      bg_nodes[static_cast<size_t>(n.frame)].insert(n.node);
+    }
+  }
+
+  // Representative frame: the one with the most background nodes. All the
+  // per-frame copies of the background collapse into this single graph
+  // (redundant-BG elimination, Section 2.3.3).
+  size_t best_frame = 0, best_count = 0;
+  for (size_t t = 0; t < strg.NumFrames(); ++t) {
+    if (bg_nodes[t].size() > best_count) {
+      best_count = bg_nodes[t].size();
+      best_frame = t;
+    }
+  }
+
+  const graph::Rag& frame = strg.Frame(best_frame);
+  const std::set<int>& keep = bg_nodes[best_frame];
+  std::vector<int> remap(frame.NumNodes(), -1);
+  for (int v : keep) {
+    remap[static_cast<size_t>(v)] = bg.rag.AddNode(frame.node(v));
+  }
+  for (int v : keep) {
+    for (const graph::Rag::Edge& e : frame.Neighbors(v)) {
+      if (e.to > v && remap[static_cast<size_t>(e.to)] >= 0) {
+        bg.rag.AddEdge(remap[static_cast<size_t>(v)],
+                       remap[static_cast<size_t>(e.to)], e.attr);
+      }
+    }
+  }
+  return bg;
+}
+
+Decomposition Decompose(const Strg& strg, const DecomposeParams& params) {
+  Decomposition d;
+  d.orgs = ExtractOrgs(strg);
+  for (size_t i = 0; i < d.orgs.size(); ++i) {
+    if (IsObjectOrg(d.orgs[i], params)) {
+      d.object_orgs.push_back(i);
+    } else {
+      d.background_orgs.push_back(i);
+    }
+  }
+  d.object_graphs = MergeOrgsIntoOgs(d.orgs, d.object_orgs, params);
+  d.background = BuildBackgroundGraph(strg, d.orgs, d.background_orgs);
+  return d;
+}
+
+size_t PaperStrgSizeBytes(const Decomposition& decomposition,
+                          size_t num_frames) {
+  size_t bytes = 0;
+  for (const Og& og : decomposition.object_graphs) bytes += og.SizeBytes();
+  bytes += num_frames * decomposition.background.SizeBytes();
+  return bytes;
+}
+
+}  // namespace strg::core

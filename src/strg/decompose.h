@@ -1,0 +1,72 @@
+#ifndef STRG_STRG_DECOMPOSE_H_
+#define STRG_STRG_DECOMPOSE_H_
+
+#include <vector>
+
+#include "strg/object_graph.h"
+#include "strg/strg.h"
+
+namespace strg::core {
+
+/// Parameters of the STRG decomposition (Section 2.3).
+struct DecomposeParams {
+  /// An ORG counts as a moving object when its mean speed exceeds this
+  /// (pixels/frame) AND its net displacement exceeds `min_displacement`.
+  double min_object_velocity = 0.35;
+  double min_displacement = 4.0;
+
+  /// ORGs shorter than this many frames are treated as background/noise.
+  size_t min_org_length = 4;
+
+  /// ORG merging (Section 2.3.2): two ORGs join one OG when, over their
+  /// temporal overlap, their velocity vectors agree within this tolerance
+  /// (pixels/frame, Euclidean) ...
+  double merge_velocity_tol = 1.5;
+  /// ... their centroids stay within this radius (pixels) ...
+  double merge_centroid_radius = 14.0;
+  /// ... and the overlap spans at least this many transitions.
+  size_t min_overlap = 2;
+};
+
+/// Result of decomposing an STRG into foreground object graphs and one
+/// compressed background graph.
+struct Decomposition {
+  std::vector<Org> orgs;             ///< every extracted ORG
+  std::vector<size_t> object_orgs;   ///< indices of moving-object ORGs
+  std::vector<size_t> background_orgs;  ///< the rest
+  std::vector<Og> object_graphs;     ///< merged OGs (foreground)
+  BackgroundGraph background;        ///< single BG for the segment
+};
+
+/// Extracts all ORGs of an STRG by following temporal-edge chains
+/// (Section 2.3.1). Every STRG node belongs to exactly one ORG; nodes with
+/// no temporal continuation form length-1 ORGs.
+std::vector<Org> ExtractOrgs(const Strg& strg);
+
+/// True when the ORG moves enough to be a foreground object.
+bool IsObjectOrg(const Org& org, const DecomposeParams& params);
+
+/// Merges object ORGs that share velocity/direction and stay spatially
+/// close into OGs (Section 2.3.2 / Theorem 1).
+std::vector<Og> MergeOrgsIntoOgs(const std::vector<Org>& orgs,
+                                 const std::vector<size_t>& object_orgs,
+                                 const DecomposeParams& params);
+
+/// Builds the single compressed background graph: the induced subgraph of
+/// the frame with the most background nodes, restricted to background
+/// regions (Section 2.3.3).
+BackgroundGraph BuildBackgroundGraph(const Strg& strg,
+                                     const std::vector<Org>& orgs,
+                                     const std::vector<size_t>& background_orgs);
+
+/// Full decomposition pipeline.
+Decomposition Decompose(const Strg& strg, const DecomposeParams& params = {});
+
+/// size(STRG) per Equation 9: sum of OG sizes + N * size(BG), where N is
+/// the number of frames of the segment.
+size_t PaperStrgSizeBytes(const Decomposition& decomposition,
+                          size_t num_frames);
+
+}  // namespace strg::core
+
+#endif  // STRG_STRG_DECOMPOSE_H_

@@ -1,0 +1,36 @@
+#include "strg/object_graph.h"
+
+#include <cmath>
+
+namespace strg::core {
+
+double Org::MeanVelocity() const {
+  if (motion.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& m : motion) s += m.velocity;
+  return s / static_cast<double>(motion.size());
+}
+
+double Org::NetDisplacement() const {
+  if (attrs.size() < 2) return 0.0;
+  double dx = attrs.back().cx - attrs.front().cx;
+  double dy = attrs.back().cy - attrs.front().cy;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double Org::MaxDisplacement() const {
+  double best = 0.0;
+  for (size_t i = 1; i < attrs.size(); ++i) {
+    double dx = attrs[i].cx - attrs[0].cx;
+    double dy = attrs[i].cy - attrs[0].cy;
+    best = std::max(best, std::sqrt(dx * dx + dy * dy));
+  }
+  return best;
+}
+
+void Org::VelocityAt(size_t i, double* dx, double* dy) const {
+  *dx = attrs[i + 1].cx - attrs[i].cx;
+  *dy = attrs[i + 1].cy - attrs[i].cy;
+}
+
+}  // namespace strg::core

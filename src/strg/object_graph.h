@@ -1,0 +1,78 @@
+#ifndef STRG_STRG_OBJECT_GRAPH_H_
+#define STRG_STRG_OBJECT_GRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/rag.h"
+#include "strg/strg.h"
+
+namespace strg::core {
+
+/// Reference to one STRG node: frame index + node id within that frame.
+struct OrgNode {
+  int frame = -1;
+  int node = -1;
+};
+
+/// Object Region Graph (Section 2.3.1): the trajectory of one tracked
+/// region — a temporal subgraph with an empty spatial edge set (Def. 8).
+/// A linear graph: node i connects to node i+1 by a temporal edge.
+struct Org {
+  std::vector<OrgNode> nodes;              ///< consecutive frames
+  std::vector<graph::NodeAttr> attrs;      ///< region attributes per frame
+  std::vector<graph::TemporalEdgeAttr> motion;  ///< per-transition, size-1
+
+  int StartFrame() const { return nodes.empty() ? -1 : nodes.front().frame; }
+  int EndFrame() const { return nodes.empty() ? -1 : nodes.back().frame; }
+  size_t Length() const { return nodes.size(); }
+
+  /// Mean per-frame speed over the trajectory (pixels/frame).
+  double MeanVelocity() const;
+
+  /// Net displacement between the first and last centroid (pixels).
+  double NetDisplacement() const;
+
+  /// Maximum displacement from the starting centroid over the whole
+  /// trajectory (pixels). Distinguishes genuine movers from jittering
+  /// static regions even for out-and-back (U-turn) motion, whose *net*
+  /// displacement is small.
+  double MaxDisplacement() const;
+
+  /// Velocity vector (dx, dy) at transition i, derived from centroids.
+  void VelocityAt(size_t i, double* dx, double* dy) const;
+};
+
+/// Object Graph (Section 2.3.2): ORGs belonging to one physical object,
+/// merged. Carries one aggregated region-attribute vector per frame
+/// (size = sum of parts, color/centroid = size-weighted means) — the
+/// time-series view consumed by EGED, clustering, and indexing.
+struct Og {
+  int id = -1;
+  int start_frame = 0;
+  std::vector<graph::NodeAttr> sequence;  ///< one aggregate per frame
+  std::vector<size_t> member_orgs;        ///< indices into the ORG list
+
+  size_t Length() const { return sequence.size(); }
+
+  /// Byte footprint under the Section 5.4 accounting: nodes plus the
+  /// linear chain of temporal edges.
+  size_t SizeBytes() const {
+    if (sequence.empty()) return 0;
+    return sequence.size() * kNodeBytes +
+           (sequence.size() - 1) * kTemporalEdgeBytes;
+  }
+};
+
+/// Background Graph (Section 2.3.3): one RAG representing the static
+/// background of a whole video segment after redundant per-frame copies are
+/// eliminated.
+struct BackgroundGraph {
+  graph::Rag rag;
+
+  size_t SizeBytes() const { return RagSizeBytes(rag); }
+};
+
+}  // namespace strg::core
+
+#endif  // STRG_STRG_OBJECT_GRAPH_H_

@@ -1,0 +1,42 @@
+#include "strg/smoothing.h"
+
+#include <algorithm>
+
+#include "strg/decompose.h"
+
+namespace strg::core {
+
+Og SmoothOg(const Og& og, const SmoothingParams& params) {
+  Og out = og;
+  if (params.window <= 0 || og.sequence.size() < 3 ||
+      params.strength <= 0.0) {
+    return out;
+  }
+  const int n = static_cast<int>(og.sequence.size());
+  const double s = std::min(1.0, params.strength);
+  for (int i = 0; i < n; ++i) {
+    int lo = std::max(0, i - params.window);
+    int hi = std::min(n - 1, i + params.window);
+    double cx = 0.0, cy = 0.0, size = 0.0;
+    for (int j = lo; j <= hi; ++j) {
+      cx += og.sequence[static_cast<size_t>(j)].cx;
+      cy += og.sequence[static_cast<size_t>(j)].cy;
+      size += og.sequence[static_cast<size_t>(j)].size;
+    }
+    double count = static_cast<double>(hi - lo + 1);
+    graph::NodeAttr& attr = out.sequence[static_cast<size_t>(i)];
+    attr.cx = (1.0 - s) * attr.cx + s * (cx / count);
+    attr.cy = (1.0 - s) * attr.cy + s * (cy / count);
+    attr.size = (1.0 - s) * attr.size + s * (size / count);
+  }
+  return out;
+}
+
+void SmoothDecomposition(Decomposition* decomposition,
+                         const SmoothingParams& params) {
+  for (Og& og : decomposition->object_graphs) {
+    og = SmoothOg(og, params);
+  }
+}
+
+}  // namespace strg::core

@@ -1,0 +1,34 @@
+#ifndef STRG_STRG_SMOOTHING_H_
+#define STRG_STRG_SMOOTHING_H_
+
+#include "strg/decompose.h"
+#include "strg/object_graph.h"
+
+namespace strg::core {
+
+/// Trajectory smoothing parameters.
+struct SmoothingParams {
+  /// Half-width of the centered moving-average window (0 disables).
+  int window = 1;
+  /// Exponential blend toward the moving average, in (0, 1]; 1 replaces the
+  /// value entirely, smaller values only damp the noise.
+  double strength = 1.0;
+};
+
+/// Returns a copy of the OG with its centroid trajectory (and size series)
+/// smoothed by a centered moving average.
+///
+/// Segmentation jitter adds high-frequency noise to OG trajectories that
+/// none of the alignment distances can fully discount; smoothing before
+/// indexing is the standard video-analytics mitigation, ablated by the
+/// smoothing tests. Colors are left untouched (region mean colors are
+/// already spatial averages).
+Og SmoothOg(const Og& og, const SmoothingParams& params = {});
+
+/// In-place smoothing of every OG in a decomposition.
+void SmoothDecomposition(Decomposition* decomposition,
+                         const SmoothingParams& params = {});
+
+}  // namespace strg::core
+
+#endif  // STRG_STRG_SMOOTHING_H_

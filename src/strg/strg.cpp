@@ -1,0 +1,38 @@
+#include "strg/strg.h"
+
+#include "strg/tracking.h"
+
+namespace strg::core {
+
+int Strg::AppendFrame(graph::Rag rag) {
+  if (!frames_.empty()) {
+    temporal_.push_back(BuildTemporalEdges(frames_.back(), rag, params_));
+  }
+  frames_.push_back(std::move(rag));
+  return static_cast<int>(frames_.size()) - 1;
+}
+
+size_t Strg::TotalNodes() const {
+  size_t n = 0;
+  for (const auto& f : frames_) n += f.NumNodes();
+  return n;
+}
+
+size_t Strg::TotalTemporalEdges() const {
+  size_t n = 0;
+  for (const auto& t : temporal_) n += t.size();
+  return n;
+}
+
+size_t RagSizeBytes(const graph::Rag& rag) {
+  return rag.NumNodes() * kNodeBytes + rag.NumEdges() * kSpatialEdgeBytes;
+}
+
+size_t Strg::SizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& f : frames_) bytes += RagSizeBytes(f);
+  bytes += TotalTemporalEdges() * kTemporalEdgeBytes;
+  return bytes;
+}
+
+}  // namespace strg::core

@@ -1,0 +1,85 @@
+#ifndef STRG_STRG_STRG_H_
+#define STRG_STRG_STRG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/rag.h"
+
+namespace strg::core {
+
+/// A temporal edge e_T (Definition 2): connects node `from_node` in frame t
+/// to node `to_node` in frame t+1, carrying velocity and moving direction.
+struct TemporalEdge {
+  int from_node = -1;
+  int to_node = -1;
+  graph::TemporalEdgeAttr attr;
+};
+
+/// Parameters of the graph-based tracking step (Algorithm 1).
+struct TrackingParams {
+  /// Similarity threshold T_sim: a non-isomorphic best match must exceed
+  /// this SimGraph value to produce a temporal edge.
+  double t_sim = 0.5;
+
+  /// Gating radius in pixels: candidate nodes in the next frame whose
+  /// centroids are farther than this are not considered. Objects cannot
+  /// teleport between consecutive frames; the gate also stops occlusion
+  /// artifacts (a background region split in two by a passing object) from
+  /// chaining into phantom movers via their jumping centroids.
+  double gate_distance = 16.0;
+
+  /// Attribute tolerances used for isomorphism / SimGraph decisions.
+  graph::AttrTolerance tolerance;
+};
+
+/// Spatio-Temporal Region Graph G_st(S) = {V, E_S, E_T, nu, xi, tau}
+/// (Definition 2): the RAGs of consecutive frames, temporally connected.
+///
+/// Frames are appended in order; `AppendFrame` runs the graph-based tracking
+/// of Algorithm 1 against the previously appended frame to construct the
+/// temporal edge set.
+class Strg {
+ public:
+  explicit Strg(TrackingParams params = {}) : params_(params) {}
+
+  /// Appends a frame's RAG and builds temporal edges from the previous
+  /// frame. Returns the frame index.
+  int AppendFrame(graph::Rag rag);
+
+  size_t NumFrames() const { return frames_.size(); }
+  const graph::Rag& Frame(size_t t) const { return frames_[t]; }
+
+  /// Temporal edges from frame t to frame t+1 (t in [0, NumFrames()-1)).
+  const std::vector<TemporalEdge>& TemporalEdges(size_t t) const {
+    return temporal_[t];
+  }
+
+  size_t TotalNodes() const;
+  size_t TotalTemporalEdges() const;
+
+  /// Approximate in-memory footprint of the raw STRG in bytes; the
+  /// Section 5.4 size analysis (Eq. 9) compares this against the index.
+  size_t SizeBytes() const;
+
+  const TrackingParams& params() const { return params_; }
+
+ private:
+  TrackingParams params_;
+  std::vector<graph::Rag> frames_;
+  std::vector<std::vector<TemporalEdge>> temporal_;  // [t] : t -> t+1
+};
+
+/// Approximate per-node / per-edge byte costs used by the size analysis.
+/// Kept explicit (not sizeof-based) so reported sizes are stable across
+/// compilers; they mirror the attribute payloads of Definition 2.
+constexpr size_t kNodeBytes = sizeof(graph::NodeAttr);
+constexpr size_t kSpatialEdgeBytes = sizeof(graph::SpatialEdgeAttr) + 2 * sizeof(int);
+constexpr size_t kTemporalEdgeBytes = sizeof(graph::TemporalEdgeAttr) + 2 * sizeof(int);
+
+/// Byte size of one RAG under the accounting above.
+size_t RagSizeBytes(const graph::Rag& rag);
+
+}  // namespace strg::core
+
+#endif  // STRG_STRG_STRG_H_

@@ -1,0 +1,73 @@
+#include "strg/tracking.h"
+
+#include <cmath>
+
+#include "graph/common_subgraph.h"
+#include "graph/isomorphism.h"
+#include "graph/neighborhood.h"
+
+namespace strg::core {
+
+namespace {
+
+graph::TemporalEdgeAttr MakeTemporalAttr(const graph::NodeAttr& a,
+                                         const graph::NodeAttr& b) {
+  graph::TemporalEdgeAttr attr;
+  double dx = b.cx - a.cx, dy = b.cy - a.cy;
+  attr.velocity = std::sqrt(dx * dx + dy * dy);
+  attr.direction = std::atan2(dy, dx);
+  return attr;
+}
+
+}  // namespace
+
+std::vector<TemporalEdge> BuildTemporalEdges(const graph::Rag& from,
+                                             const graph::Rag& to,
+                                             const TrackingParams& params) {
+  std::vector<TemporalEdge> edges;
+  const auto ng_from = graph::AllNeighborhoodGraphs(from);
+  const auto ng_to = graph::AllNeighborhoodGraphs(to);
+  const double gate2 = params.gate_distance * params.gate_distance;
+
+  for (size_t v = 0; v < from.NumNodes(); ++v) {
+    const graph::NeighborhoodGraph& g = ng_from[v];
+    double max_sim = 0.0;
+    int max_node = -1;
+    bool linked_isomorphic = false;
+
+    for (size_t vp = 0; vp < to.NumNodes(); ++vp) {
+      // Gate: consecutive-frame displacement is bounded.
+      double dx = to.node(static_cast<int>(vp)).cx - g.center_attr.cx;
+      double dy = to.node(static_cast<int>(vp)).cy - g.center_attr.cy;
+      if (dx * dx + dy * dy > gate2) continue;
+
+      const graph::NeighborhoodGraph& gp = ng_to[vp];
+      if (graph::NeighborhoodGraphsIsomorphic(g, gp, params.tolerance)) {
+        edges.push_back({static_cast<int>(v), static_cast<int>(vp),
+                         MakeTemporalAttr(g.center_attr, gp.center_attr)});
+        linked_isomorphic = true;
+        break;
+      }
+      // The center must still be a plausible continuation of v — SimGraph
+      // alone scores the neighborhoods, not the node itself.
+      if (!graph::NodesCompatible(g.center_attr, gp.center_attr,
+                                  params.tolerance)) {
+        continue;
+      }
+      double sim = graph::SimGraph(g, gp, params.tolerance);
+      if (sim > max_sim) {
+        max_sim = sim;
+        max_node = static_cast<int>(vp);
+      }
+    }
+
+    if (!linked_isomorphic && max_node >= 0 && max_sim > params.t_sim) {
+      edges.push_back(
+          {static_cast<int>(v), max_node,
+           MakeTemporalAttr(g.center_attr, to.node(max_node))});
+    }
+  }
+  return edges;
+}
+
+}  // namespace strg::core

@@ -1,0 +1,26 @@
+#ifndef STRG_STRG_TRACKING_H_
+#define STRG_STRG_TRACKING_H_
+
+#include <vector>
+
+#include "graph/rag.h"
+#include "strg/strg.h"
+
+namespace strg::core {
+
+/// Graph-based tracking (Algorithm 1): builds the temporal edge set between
+/// two consecutive frames' RAGs.
+///
+/// For each node v in frame m, its neighborhood graph is compared with the
+/// neighborhood graphs of candidate nodes v' in frame m+1 (gated by centroid
+/// distance). An isomorphic neighborhood graph wins immediately; otherwise
+/// the candidate with the highest SimGraph (Eq. 1) above T_sim is linked.
+/// The temporal edge carries velocity (centroid displacement) and moving
+/// direction (Definition 2).
+std::vector<TemporalEdge> BuildTemporalEdges(const graph::Rag& from,
+                                             const graph::Rag& to,
+                                             const TrackingParams& params);
+
+}  // namespace strg::core
+
+#endif  // STRG_STRG_TRACKING_H_

@@ -1,0 +1,60 @@
+#ifndef STRG_SYNTH_GENERATOR_H_
+#define STRG_SYNTH_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "distance/sequence.h"
+#include "strg/object_graph.h"
+#include "synth/patterns.h"
+
+namespace strg::synth {
+
+/// Parameters of the Section 6.1 synthetic OG generator.
+struct SynthParams {
+  double field = 100.0;           ///< square field side in pixels
+  size_t items_per_cluster = 10;  ///< OGs drawn from each of the 48 patterns
+  /// Per-point trajectory noise, as a percentage of the field side (the
+  /// x-axis of Figures 5 and 6: 5%..30%). Applied Vlachos-style: each point
+  /// is perturbed with probability `outlier_prob`.
+  double noise_pct = 10.0;
+  double outlier_prob = 0.5;
+  /// Pelleg-style Gaussian cluster spread: the whole trajectory of an item
+  /// is offset by N(0, cluster_sigma) ("distributed by Gaussian with
+  /// sigma = 5").
+  double cluster_sigma = 5.0;
+  /// Time-length jitter: item length = base_length * U(1-x, 1+x).
+  double length_jitter = 0.25;
+  uint64_t seed = 42;
+};
+
+/// A labeled synthetic data set of OGs.
+struct SynthDataset {
+  std::vector<core::Og> ogs;         ///< one OG per item
+  std::vector<int> labels;           ///< true pattern/cluster id per item
+  std::vector<core::Og> true_ogs;    ///< noise-free pattern OGs (48)
+
+  size_t NumClusters() const { return true_ogs.size(); }
+
+  /// Feature-sequence views for the distance layer.
+  std::vector<dist::Sequence> Sequences(const dist::FeatureScaling& s) const;
+  std::vector<dist::Sequence> TrueSequences(
+      const dist::FeatureScaling& s) const;
+};
+
+/// The feature scaling matching the generator's field geometry.
+dist::FeatureScaling SynthScaling(double field = 100.0);
+
+/// Generates the synthetic workload: for each of the 48 moving patterns,
+/// `items_per_cluster` OGs with Gaussian cluster spread, per-point noise,
+/// and varying time lengths, converted to OG (temporal-subgraph) format.
+SynthDataset GenerateSyntheticOgs(const SynthParams& params = {});
+
+/// Builds an OG directly from a centroid trajectory + constant region
+/// attributes. Exposed for tests and custom workloads.
+core::Og TrajectoryToOg(const std::vector<video::Point>& points,
+                        double object_size, int start_frame = 0);
+
+}  // namespace strg::synth
+
+#endif  // STRG_SYNTH_GENERATOR_H_

@@ -1,0 +1,75 @@
+#include "synth/patterns.h"
+
+namespace strg::synth {
+
+namespace {
+
+using video::Path;
+using video::Point;
+
+constexpr double kSizes[] = {16.0, 36.0, 64.0};
+constexpr size_t kLengths[] = {16, 24, 32};
+
+void Add(std::vector<PatternSpec>* out, const std::string& family,
+         Path path) {
+  PatternSpec p;
+  p.id = static_cast<int>(out->size());
+  p.family = family;
+  p.path = std::move(path);
+  // Cycle object sizes and time lengths so every family mixes both, per
+  // Section 6.1 ("different sizes of objects and various time lengths").
+  p.object_size = kSizes[out->size() % std::size(kSizes)];
+  p.base_length = kLengths[(out->size() / 2) % std::size(kLengths)];
+  out->push_back(std::move(p));
+}
+
+}  // namespace
+
+std::vector<PatternSpec> MakePatterns(double field) {
+  std::vector<PatternSpec> out;
+  out.reserve(48);
+  const double lo = 0.08 * field, hi = 0.92 * field;
+
+  // 12 vertical: 6 lanes x 2 directions.
+  for (int lane = 0; lane < 6; ++lane) {
+    double x = field * (0.12 + 0.15 * lane);
+    Add(&out, "vertical", Path::Line({x, lo}, {x, hi}));
+    Add(&out, "vertical", Path::Line({x, hi}, {x, lo}));
+  }
+  // 12 horizontal: 6 lanes x 2 directions.
+  for (int lane = 0; lane < 6; ++lane) {
+    double y = field * (0.12 + 0.15 * lane);
+    Add(&out, "horizontal", Path::Line({lo, y}, {hi, y}));
+    Add(&out, "horizontal", Path::Line({hi, y}, {lo, y}));
+  }
+  // 8 diagonal: 4 lines x 2 directions.
+  {
+    const Point corners[4][2] = {
+        {{lo, lo}, {hi, hi}},
+        {{lo, hi}, {hi, lo}},
+        {{lo, 0.5 * field}, {hi, hi}},
+        {{0.5 * field, lo}, {hi, hi}},
+    };
+    for (const auto& c : corners) {
+      Add(&out, "diagonal", Path::Line(c[0], c[1]));
+      Add(&out, "diagonal", Path::Line(c[1], c[0]));
+    }
+  }
+  // 16 U-turn: 8 shapes x 2 directions.
+  for (int i = 0; i < 4; ++i) {
+    double x = field * (0.15 + 0.22 * i);
+    // Vertical out-and-back with a sideways offset on return.
+    Point a{x, lo}, turn{x, hi}, b{x + 0.08 * field, lo};
+    Add(&out, "uturn", Path::UTurn(a, turn, b));
+    Add(&out, "uturn", Path::UTurn(b, turn, a));
+  }
+  for (int i = 0; i < 4; ++i) {
+    double y = field * (0.15 + 0.22 * i);
+    Point a{lo, y}, turn{hi, y}, b{lo, y + 0.08 * field};
+    Add(&out, "uturn", Path::UTurn(a, turn, b));
+    Add(&out, "uturn", Path::UTurn(b, turn, a));
+  }
+  return out;
+}
+
+}  // namespace strg::synth

@@ -1,0 +1,30 @@
+#ifndef STRG_SYNTH_PATTERNS_H_
+#define STRG_SYNTH_PATTERNS_H_
+
+#include <string>
+#include <vector>
+
+#include "video/motion.h"
+
+namespace strg::synth {
+
+/// One of the 48 moving patterns of Section 6.1. Each pattern is a motion
+/// path plus an object size and a base time length; items drawn from the
+/// pattern jitter around these.
+struct PatternSpec {
+  int id = -1;
+  std::string family;  ///< "vertical" | "horizontal" | "diagonal" | "uturn"
+  video::Path path;
+  double object_size = 24.0;  ///< region area in pixels
+  size_t base_length = 24;    ///< frames
+};
+
+/// Builds the paper's 48 moving patterns on a square field of the given
+/// side: 12 vertical, 12 horizontal, 8 diagonal, and 16 U-turn patterns,
+/// each family covering both directions, different object sizes, and
+/// various time lengths.
+std::vector<PatternSpec> MakePatterns(double field);
+
+}  // namespace strg::synth
+
+#endif  // STRG_SYNTH_PATTERNS_H_

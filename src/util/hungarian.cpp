@@ -1,0 +1,77 @@
+#include "util/hungarian.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace strg {
+
+std::vector<int> SolveAssignment(
+    const std::vector<std::vector<double>>& cost) {
+  const size_t n_rows = cost.size();
+  if (n_rows == 0) return {};
+  const size_t n_cols = cost[0].size();
+  for (const auto& row : cost) {
+    if (row.size() != n_cols) {
+      throw std::invalid_argument("SolveAssignment: ragged cost matrix");
+    }
+  }
+
+  // Work on a square matrix of side n = max(rows, cols); padding entries are
+  // zero-cost so they never distort the optimal assignment of real cells.
+  const size_t n = std::max(n_rows, n_cols);
+  const double kInf = std::numeric_limits<double>::infinity();
+  auto at = [&](size_t i, size_t j) -> double {
+    return (i < n_rows && j < n_cols) ? cost[i][j] : 0.0;
+  };
+
+  // Classic potentials-based Hungarian algorithm, 1-indexed internals.
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<size_t> p(n + 1, 0), way(n + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, false);
+    do {
+      used[j0] = true;
+      size_t i0 = p[j0], j1 = 0;
+      double delta = kInf;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        double cur = at(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> match(n_rows, -1);
+  for (size_t j = 1; j <= n; ++j) {
+    if (p[j] != 0 && p[j] - 1 < n_rows && j - 1 < n_cols) {
+      match[p[j] - 1] = static_cast<int>(j - 1);
+    }
+  }
+  return match;
+}
+
+}  // namespace strg

@@ -1,0 +1,24 @@
+#ifndef STRG_UTIL_HUNGARIAN_H_
+#define STRG_UTIL_HUNGARIAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace strg {
+
+/// Solves the rectangular assignment problem (minimum total cost).
+///
+/// `cost[i][j]` is the cost of assigning row i to column j. Returns, for each
+/// row, the column it is matched to, or -1 if the row is unmatched (possible
+/// only when there are more rows than columns). Runs the O(n^3) Hungarian
+/// algorithm (Jonker-style shortest augmenting paths).
+///
+/// Used by the clustering-error-rate metric (Eq. 11 in the paper): predicted
+/// cluster labels must be matched to ground-truth labels before counting
+/// "correctly clustered" OGs, and the optimal matching is an assignment
+/// problem.
+std::vector<int> SolveAssignment(const std::vector<std::vector<double>>& cost);
+
+}  // namespace strg
+
+#endif  // STRG_UTIL_HUNGARIAN_H_

@@ -1,0 +1,28 @@
+#include "util/random.h"
+
+#include <stdexcept>
+
+namespace strg {
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  if (k > n) {
+    throw std::invalid_argument("Rng::SampleIndices: k > n");
+  }
+  // Floyd's algorithm: O(k) expected draws, no O(n) scratch.
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = Index(j + 1);
+    bool seen = false;
+    for (size_t s : out) {
+      if (s == t) {
+        seen = true;
+        break;
+      }
+    }
+    out.push_back(seen ? j : t);
+  }
+  return out;
+}
+
+}  // namespace strg

@@ -1,0 +1,46 @@
+#ifndef STRG_UTIL_TABLE_H_
+#define STRG_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace strg {
+
+/// Minimal fixed-width table printer for the benchmark harnesses.
+///
+/// Benchmarks print the same rows/series the paper reports (e.g. Table 2 or
+/// the series behind Figure 7); this helper keeps those reports aligned and
+/// greppable without pulling in a formatting library.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; the row must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each value with the given precision.
+  void AddNumericRow(const std::vector<double>& values, int precision = 3);
+
+  /// Renders the table with a header rule to the stream.
+  void Print(std::ostream& os) const;
+
+  size_t NumRows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for Table cells).
+std::string FormatDouble(double v, int precision = 3);
+
+/// Formats a byte count as a human-readable string (e.g. "72.2MB").
+std::string FormatBytes(size_t bytes);
+
+/// Formats a duration given in seconds as "Hh Mm Ss".
+std::string FormatDuration(double seconds);
+
+}  // namespace strg
+
+#endif  // STRG_UTIL_TABLE_H_

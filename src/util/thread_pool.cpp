@@ -1,0 +1,86 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace strg {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& body) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  const size_t chunks = std::min(n, workers_.size() * 4);
+  const size_t chunk_size = (n + chunks - 1) / chunks;
+
+  std::atomic<size_t> remaining{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  size_t scheduled = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    size_t lo = begin + c * chunk_size;
+    if (lo >= end) break;
+    size_t hi = std::min(end, lo + chunk_size);
+    ++scheduled;
+    remaining.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.push([&, lo, hi] {
+        try {
+          for (size_t i = lo; i < hi; ++i) body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> elock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+        if (remaining.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> dlock(done_mutex);
+          done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  if (error) std::rethrow_exception(error);
+  (void)scheduled;
+}
+
+}  // namespace strg

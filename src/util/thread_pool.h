@@ -1,0 +1,48 @@
+#ifndef STRG_UTIL_THREAD_POOL_H_
+#define STRG_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace strg {
+
+/// Minimal fixed-size thread pool for data-parallel loops.
+///
+/// The hot loops of this library (EM's K x M distance matrix, index
+/// builds) are embarrassingly parallel over items; ParallelFor chunks an
+/// index range over the workers and blocks until every chunk finished.
+/// Exceptions thrown by the body are rethrown on the calling thread.
+class ThreadPool {
+ public:
+  /// `threads` = 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t NumThreads() const { return workers_.size(); }
+
+  /// Runs body(i) for i in [begin, end), distributed over the pool, and
+  /// waits for completion. Safe to call with begin >= end (no-op).
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace strg
+
+#endif  // STRG_UTIL_THREAD_POOL_H_

@@ -1,0 +1,31 @@
+#ifndef STRG_UTIL_TIMER_H_
+#define STRG_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace strg {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Reset the start point to "now".
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last Restart().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace strg
+
+#endif  // STRG_UTIL_TIMER_H_

@@ -1,0 +1,40 @@
+#ifndef STRG_VIDEO_COLOR_H_
+#define STRG_VIDEO_COLOR_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace strg::video {
+
+/// 8-bit RGB pixel.
+struct Rgb {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+
+  bool operator==(const Rgb&) const = default;
+};
+
+/// Euclidean distance in RGB space (range [0, 441.7]).
+inline double ColorDistance(const Rgb& a, const Rgb& b) {
+  double dr = static_cast<double>(a.r) - b.r;
+  double dg = static_cast<double>(a.g) - b.g;
+  double db = static_cast<double>(a.b) - b.b;
+  return std::sqrt(dr * dr + dg * dg + db * db);
+}
+
+/// Clamps a double to the 8-bit range and rounds.
+inline uint8_t ClampByte(double v) {
+  return static_cast<uint8_t>(std::clamp(v, 0.0, 255.0) + 0.5);
+}
+
+/// Linear interpolation between two colors, t in [0, 1].
+inline Rgb Lerp(const Rgb& a, const Rgb& b, double t) {
+  return Rgb{ClampByte(a.r + (b.r - a.r) * t), ClampByte(a.g + (b.g - a.g) * t),
+             ClampByte(a.b + (b.b - a.b) * t)};
+}
+
+}  // namespace strg::video
+
+#endif  // STRG_VIDEO_COLOR_H_

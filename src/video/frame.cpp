@@ -1,0 +1,21 @@
+#include "video/frame.h"
+
+#include <sstream>
+
+namespace strg::video {
+
+std::string Frame::ToPpm() const {
+  std::ostringstream ss;
+  ss << "P3\n" << width_ << " " << height_ << "\n255\n";
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const Rgb& p = At(x, y);
+      ss << static_cast<int>(p.r) << " " << static_cast<int>(p.g) << " "
+         << static_cast<int>(p.b) << (x + 1 == width_ ? "" : " ");
+    }
+    ss << "\n";
+  }
+  return ss.str();
+}
+
+}  // namespace strg::video

@@ -1,0 +1,53 @@
+#ifndef STRG_VIDEO_FRAME_H_
+#define STRG_VIDEO_FRAME_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "video/color.h"
+
+namespace strg::video {
+
+/// A single raster video frame (row-major RGB).
+class Frame {
+ public:
+  Frame() = default;
+  Frame(int width, int height, Rgb fill = Rgb{0, 0, 0})
+      : width_(width), height_(height),
+        pixels_(static_cast<size_t>(width) * height, fill) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  size_t size() const { return pixels_.size(); }
+
+  Rgb& At(int x, int y) {
+    assert(Contains(x, y));
+    return pixels_[static_cast<size_t>(y) * width_ + x];
+  }
+  const Rgb& At(int x, int y) const {
+    assert(Contains(x, y));
+    return pixels_[static_cast<size_t>(y) * width_ + x];
+  }
+
+  bool Contains(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  const std::vector<Rgb>& pixels() const { return pixels_; }
+  std::vector<Rgb>& pixels() { return pixels_; }
+
+  /// Serializes to an ASCII PPM (P3) string — used by examples to dump
+  /// frames for eyeballing without any image library.
+  std::string ToPpm() const;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Rgb> pixels_;
+};
+
+}  // namespace strg::video
+
+#endif  // STRG_VIDEO_FRAME_H_

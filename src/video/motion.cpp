@@ -1,0 +1,45 @@
+#include "video/motion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace strg::video {
+
+double Distance(const Point& a, const Point& b) {
+  double dx = a.x - b.x, dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Path::Path(std::vector<Point> waypoints) : waypoints_(std::move(waypoints)) {
+  if (waypoints_.empty()) {
+    throw std::invalid_argument("Path: needs at least one waypoint");
+  }
+  cumulative_.resize(waypoints_.size(), 0.0);
+  for (size_t i = 1; i < waypoints_.size(); ++i) {
+    cumulative_[i] =
+        cumulative_[i - 1] + Distance(waypoints_[i - 1], waypoints_[i]);
+  }
+  total_length_ = cumulative_.back();
+}
+
+Point Path::At(double t) const {
+  t = std::clamp(t, 0.0, 1.0);
+  if (waypoints_.size() == 1 || total_length_ == 0.0) return waypoints_[0];
+  double target = t * total_length_;
+  // Find the segment containing the target arc length.
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), target);
+  size_t hi = static_cast<size_t>(it - cumulative_.begin());
+  if (hi == 0) return waypoints_[0];
+  if (hi >= waypoints_.size()) return waypoints_.back();
+  size_t lo = hi - 1;
+  double seg = cumulative_[hi] - cumulative_[lo];
+  double frac = seg > 0.0 ? (target - cumulative_[lo]) / seg : 0.0;
+  return waypoints_[lo] + (waypoints_[hi] - waypoints_[lo]) * frac;
+}
+
+Path Path::Line(Point a, Point b) { return Path({a, b}); }
+
+Path Path::UTurn(Point a, Point turn, Point b) { return Path({a, turn, b}); }
+
+}  // namespace strg::video

@@ -1,0 +1,53 @@
+#ifndef STRG_VIDEO_MOTION_H_
+#define STRG_VIDEO_MOTION_H_
+
+#include <vector>
+
+namespace strg::video {
+
+/// 2-D point in frame coordinates (sub-pixel precision).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  Point operator*(double s) const { return {x * s, y * s}; }
+};
+
+double Distance(const Point& a, const Point& b);
+
+/// A motion path: a polyline through waypoints, sampled by normalized time
+/// t in [0, 1] with constant speed along the arc length.
+///
+/// This single primitive expresses every moving pattern used by the paper's
+/// synthetic workload (Section 6.1): vertical / horizontal / diagonal passes
+/// are 2-point polylines, U-turns are 3-point polylines.
+class Path {
+ public:
+  Path() = default;
+  explicit Path(std::vector<Point> waypoints);
+
+  /// Position at normalized time t (clamped to [0, 1]).
+  Point At(double t) const;
+
+  /// Total arc length of the polyline.
+  double Length() const { return total_length_; }
+
+  const std::vector<Point>& waypoints() const { return waypoints_; }
+
+  /// Straight segment from a to b.
+  static Path Line(Point a, Point b);
+
+  /// Out-and-back path: a -> turn -> b (the paper's "U-turn" pattern).
+  static Path UTurn(Point a, Point turn, Point b);
+
+ private:
+  std::vector<Point> waypoints_;
+  std::vector<double> cumulative_;  // cumulative arc length per waypoint
+  double total_length_ = 0.0;
+};
+
+}  // namespace strg::video
+
+#endif  // STRG_VIDEO_MOTION_H_

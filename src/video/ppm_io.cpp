@@ -1,0 +1,141 @@
+#include "video/ppm_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace strg::video {
+
+namespace {
+
+/// Skips whitespace and '#' comments; returns the next token.
+class PpmLexer {
+ public:
+  explicit PpmLexer(std::string_view bytes) : bytes_(bytes) {}
+
+  std::string NextToken() {
+    SkipSpaceAndComments();
+    size_t start = pos_;
+    while (pos_ < bytes_.size() &&
+           !std::isspace(static_cast<unsigned char>(bytes_[pos_]))) {
+      ++pos_;
+    }
+    if (start == pos_) throw std::runtime_error("PPM: unexpected end of file");
+    return std::string(bytes_.substr(start, pos_ - start));
+  }
+
+  int NextInt() {
+    std::string tok = NextToken();
+    try {
+      return std::stoi(tok);
+    } catch (...) {
+      throw std::runtime_error("PPM: expected integer, got '" + tok + "'");
+    }
+  }
+
+  /// Position just after the single whitespace byte that terminates the
+  /// header (binary pixel data starts here).
+  size_t SkipOneWhitespace() {
+    if (pos_ < bytes_.size() &&
+        std::isspace(static_cast<unsigned char>(bytes_[pos_]))) {
+      ++pos_;
+    }
+    return pos_;
+  }
+
+ private:
+  void SkipSpaceAndComments() {
+    while (pos_ < bytes_.size()) {
+      char c = bytes_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < bytes_.size() && bytes_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Frame ParsePpm(std::string_view bytes) {
+  PpmLexer lex(bytes);
+  std::string magic = lex.NextToken();
+  if (magic != "P3" && magic != "P6") {
+    throw std::runtime_error("PPM: unsupported magic '" + magic + "'");
+  }
+  int width = lex.NextInt();
+  int height = lex.NextInt();
+  int maxval = lex.NextInt();
+  if (width <= 0 || height <= 0) throw std::runtime_error("PPM: bad size");
+  if (maxval <= 0 || maxval > 255) {
+    throw std::runtime_error("PPM: only 8-bit maxval supported");
+  }
+
+  Frame frame(width, height);
+  const size_t pixels = frame.size();
+  if (magic == "P3") {
+    for (size_t i = 0; i < pixels; ++i) {
+      int r = lex.NextInt(), g = lex.NextInt(), b = lex.NextInt();
+      frame.pixels()[i] = Rgb{static_cast<uint8_t>(r),
+                              static_cast<uint8_t>(g),
+                              static_cast<uint8_t>(b)};
+    }
+  } else {
+    size_t data = lex.SkipOneWhitespace();
+    if (bytes.size() - data < pixels * 3) {
+      throw std::runtime_error("PPM: truncated P6 pixel data");
+    }
+    for (size_t i = 0; i < pixels; ++i) {
+      frame.pixels()[i] =
+          Rgb{static_cast<uint8_t>(bytes[data + 3 * i]),
+              static_cast<uint8_t>(bytes[data + 3 * i + 1]),
+              static_cast<uint8_t>(bytes[data + 3 * i + 2])};
+    }
+  }
+  return frame;
+}
+
+Frame LoadPpm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("PPM: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParsePpm(buf.str());
+}
+
+void SavePpm(const Frame& frame, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("PPM: cannot open " + path);
+  out << "P6\n" << frame.width() << " " << frame.height() << "\n255\n";
+  for (const Rgb& p : frame.pixels()) {
+    out.put(static_cast<char>(p.r));
+    out.put(static_cast<char>(p.g));
+    out.put(static_cast<char>(p.b));
+  }
+  if (!out) throw std::runtime_error("PPM: short write to " + path);
+}
+
+std::vector<Frame> LoadPpmDirectory(const std::string& dir) {
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".ppm") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<Frame> frames;
+  frames.reserve(paths.size());
+  for (const std::string& p : paths) frames.push_back(LoadPpm(p));
+  return frames;
+}
+
+}  // namespace strg::video

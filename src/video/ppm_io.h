@@ -1,0 +1,29 @@
+#ifndef STRG_VIDEO_PPM_IO_H_
+#define STRG_VIDEO_PPM_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "video/frame.h"
+
+namespace strg::video {
+
+/// Parses a PPM image (both ASCII "P3" and binary "P6", 8-bit, with
+/// comments). Throws std::runtime_error on malformed input. Together with
+/// Frame::ToPpm this gives the library a real frame I/O path without any
+/// image library: export frames from ffmpeg (`-c:v ppm`) and ingest them.
+Frame ParsePpm(std::string_view bytes);
+
+/// Reads a PPM file from disk.
+Frame LoadPpm(const std::string& path);
+
+/// Writes a frame as binary P6 (compact) to disk.
+void SavePpm(const Frame& frame, const std::string& path);
+
+/// Loads every `.ppm` file in a directory, sorted by filename — the frame
+/// sequence convention produced by `ffmpeg -i video.mp4 out%06d.ppm`.
+std::vector<Frame> LoadPpmDirectory(const std::string& dir);
+
+}  // namespace strg::video
+
+#endif  // STRG_VIDEO_PPM_IO_H_

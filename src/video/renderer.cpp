@@ -1,0 +1,98 @@
+#include "video/renderer.h"
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace strg::video {
+
+namespace {
+
+void DrawShape(Frame* frame, PartShape shape, Point center, double width,
+               double height, Rgb color) {
+  int x0 = static_cast<int>(std::floor(center.x - width / 2.0));
+  int x1 = static_cast<int>(std::ceil(center.x + width / 2.0));
+  int y0 = static_cast<int>(std::floor(center.y - height / 2.0));
+  int y1 = static_cast<int>(std::ceil(center.y + height / 2.0));
+  double rx = width / 2.0, ry = height / 2.0;
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      if (!frame->Contains(x, y)) continue;
+      if (shape == PartShape::kEllipse) {
+        double nx = (x + 0.5 - center.x) / rx;
+        double ny = (y + 0.5 - center.y) / ry;
+        if (nx * nx + ny * ny > 1.0) continue;
+      } else {
+        if (x + 0.5 < center.x - rx || x + 0.5 > center.x + rx ||
+            y + 0.5 < center.y - ry || y + 0.5 > center.y + ry) {
+          continue;
+        }
+      }
+      frame->At(x, y) = color;
+    }
+  }
+}
+
+}  // namespace
+
+Frame RenderFrame(const SceneSpec& scene, int frame_index) {
+  Frame frame(scene.width, scene.height, scene.background.base);
+
+  // Background checker texture.
+  if (scene.background.tile_size > 0) {
+    int ts = scene.background.tile_size;
+    for (int y = 0; y < scene.height; ++y) {
+      for (int x = 0; x < scene.width; ++x) {
+        if (((x / ts) + (y / ts)) % 2 == 1) {
+          frame.At(x, y) = scene.background.alt;
+        }
+      }
+    }
+  }
+
+  for (const StaticItem& item : scene.static_items) {
+    DrawShape(&frame, item.shape, item.center, item.width, item.height,
+              item.color);
+  }
+
+  for (const ObjectSpec& obj : scene.objects) {
+    if (!obj.ActiveAt(frame_index)) continue;
+    Point anchor = obj.PositionAt(frame_index);
+    for (const ObjectPart& part : obj.parts) {
+      DrawShape(&frame, part.shape, anchor + part.offset, part.width,
+                part.height, part.color);
+    }
+  }
+
+  if (scene.noise_stddev > 0.0) {
+    // Mix the frame index into the seed so every frame gets an independent
+    // but reproducible noise field.
+    Rng rng(scene.seed * 0x9E3779B97F4A7C15ULL +
+            static_cast<uint64_t>(frame_index) + 1);
+    for (Rgb& p : frame.pixels()) {
+      p.r = ClampByte(p.r + rng.Gaussian(0.0, scene.noise_stddev));
+      p.g = ClampByte(p.g + rng.Gaussian(0.0, scene.noise_stddev));
+      p.b = ClampByte(p.b + rng.Gaussian(0.0, scene.noise_stddev));
+    }
+  }
+  return frame;
+}
+
+std::vector<Frame> RenderScene(const SceneSpec& scene) {
+  std::vector<Frame> frames;
+  frames.reserve(static_cast<size_t>(scene.num_frames));
+  for (int t = 0; t < scene.num_frames; ++t) {
+    frames.push_back(RenderFrame(scene, t));
+  }
+  return frames;
+}
+
+int CountActiveObjects(const SceneSpec& scene, int frame_index) {
+  int n = 0;
+  for (const ObjectSpec& obj : scene.objects) {
+    if (obj.ActiveAt(frame_index)) ++n;
+  }
+  return n;
+}
+
+}  // namespace strg::video

@@ -1,0 +1,25 @@
+#ifndef STRG_VIDEO_RENDERER_H_
+#define STRG_VIDEO_RENDERER_H_
+
+#include <vector>
+
+#include "video/frame.h"
+#include "video/scene.h"
+
+namespace strg::video {
+
+/// Rasterizes one frame of a scene. Deterministic: the sensor-noise stream
+/// is seeded from (scene.seed, frame_index), so rendering frame t twice
+/// produces identical pixels.
+Frame RenderFrame(const SceneSpec& scene, int frame_index);
+
+/// Renders the whole scene. Prefer RenderFrame in streaming pipelines; this
+/// is a convenience for short clips in tests and examples.
+std::vector<Frame> RenderScene(const SceneSpec& scene);
+
+/// Number of objects visible in a given frame.
+int CountActiveObjects(const SceneSpec& scene, int frame_index);
+
+}  // namespace strg::video
+
+#endif  // STRG_VIDEO_RENDERER_H_

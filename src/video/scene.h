@@ -1,0 +1,90 @@
+#ifndef STRG_VIDEO_SCENE_H_
+#define STRG_VIDEO_SCENE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "video/color.h"
+#include "video/motion.h"
+
+namespace strg::video {
+
+/// Primitive shapes the renderer can rasterize.
+enum class PartShape { kRectangle, kEllipse };
+
+/// One rigid piece of a moving object.
+///
+/// Objects are deliberately multi-part with distinct colors (e.g. a person =
+/// head + torso + legs): region segmentation then produces several regions
+/// per object, exercising the paper's ORG->OG merging step (Section 2.3.2).
+struct ObjectPart {
+  PartShape shape = PartShape::kRectangle;
+  Point offset;        ///< part center relative to the object anchor
+  double width = 4.0;  ///< part extent in pixels
+  double height = 4.0;
+  Rgb color;
+};
+
+/// A moving object: parts sharing one motion path over a frame interval.
+struct ObjectSpec {
+  int id = -1;     ///< ground-truth identity (for tracking-quality metrics)
+  int route = -1;  ///< ground-truth motion pattern / route id (scene-level)
+  std::vector<ObjectPart> parts;
+  Path path;
+  int start_frame = 0;  ///< first frame the object is visible (inclusive)
+  int end_frame = 0;    ///< one past the last visible frame
+
+  /// True if the object is on screen at `frame`.
+  bool ActiveAt(int frame) const {
+    return frame >= start_frame && frame < end_frame;
+  }
+
+  /// Anchor position at `frame` (normalized time along the path).
+  Point PositionAt(int frame) const {
+    int span = end_frame - start_frame;
+    double t = span <= 1 ? 0.0
+                         : static_cast<double>(frame - start_frame) /
+                               static_cast<double>(span - 1);
+    return path.At(t);
+  }
+};
+
+/// A static scene element drawn over the background (furniture, road
+/// markings); part of the background from the pipeline's point of view.
+struct StaticItem {
+  PartShape shape = PartShape::kRectangle;
+  Point center;
+  double width = 8.0;
+  double height = 8.0;
+  Rgb color;
+};
+
+/// Background: flat base color plus a coarse checker texture so the
+/// background segments into a stable set of regions (a realistic BG graph,
+/// not one giant region).
+struct BackgroundSpec {
+  Rgb base{96, 96, 96};
+  Rgb alt{104, 104, 104};
+  int tile_size = 20;  ///< checker tile edge in pixels; <=0 disables texture
+};
+
+/// Complete synthetic video description.
+///
+/// This is the repository's stand-in for the paper's real camera streams
+/// (Table 1): a stationary camera, a fixed background, and moving objects
+/// entering and leaving the field of view. Per-pixel Gaussian noise models
+/// sensor noise / illumination flicker.
+struct SceneSpec {
+  int width = 80;
+  int height = 60;
+  int num_frames = 0;
+  BackgroundSpec background;
+  std::vector<StaticItem> static_items;
+  std::vector<ObjectSpec> objects;
+  double noise_stddev = 0.0;  ///< per-channel Gaussian sensor noise
+  uint64_t seed = 1;          ///< seeds the per-frame noise streams
+};
+
+}  // namespace strg::video
+
+#endif  // STRG_VIDEO_SCENE_H_

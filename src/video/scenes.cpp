@@ -1,0 +1,249 @@
+#include "video/scenes.h"
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace strg::video {
+
+namespace {
+
+// Saturated palettes kept far from the gray background (96..104 per
+// channel) so regions segment cleanly even under sensor noise.
+const Rgb kShirtColors[] = {
+    {200, 40, 40}, {40, 160, 60}, {40, 80, 200}, {210, 160, 30},
+    {160, 40, 170}, {30, 170, 170}, {230, 110, 30}, {120, 200, 40},
+};
+const Rgb kPantsColors[] = {
+    {30, 30, 120}, {40, 40, 40}, {110, 70, 30}, {60, 60, 90},
+};
+const Rgb kSkin{220, 180, 150};
+
+const Rgb kCarColors[] = {
+    {200, 30, 30}, {30, 30, 200}, {230, 230, 230}, {30, 30, 30},
+    {190, 190, 40}, {40, 170, 60}, {170, 170, 180}, {140, 40, 150},
+};
+
+struct Route {
+  Path path;
+  bool uturn = false;
+};
+
+/// Lab routes: walks between landmark positions (door, desks, cabinet,
+/// room center), including a few out-and-back (U-turn) routes. People pick
+/// a route and follow it with small endpoint jitter — the route structure
+/// real indoor streams have, and what the per-stream cluster counts of
+/// Table 2 reflect.
+std::vector<Route> LabRoutes(const SceneParams& p, int count) {
+  double w = p.width, h = p.height;
+  Point door{w * 0.08, h * 0.35};
+  Point desk1{w * 0.20, h * 0.70};
+  Point desk2{w * 0.78, h * 0.72};
+  Point cabinet{w * 0.88, h * 0.30};
+  Point center{w * 0.50, h * 0.45};
+  Point window{w * 0.55, h * 0.12};
+
+  std::vector<Route> all = {
+      {Path::Line(door, desk1), false},
+      {Path::Line(desk1, door), false},
+      {Path::Line(door, desk2), false},
+      {Path::Line(desk2, cabinet), false},
+      {Path::Line(cabinet, desk1), false},
+      {Path::Line(window, desk2), false},
+      {Path::UTurn(door, center, door), true},
+      {Path::UTurn(desk1, window, desk1), true},
+      {Path::UTurn(desk2, center, desk2), true},
+      {Path::Line(desk2, door), false},
+      {Path::Line(center, cabinet), false},
+      {Path::UTurn(cabinet, center, cabinet), true},
+  };
+  if (count > static_cast<int>(all.size())) count = static_cast<int>(all.size());
+  all.resize(static_cast<size_t>(count));
+  return all;
+}
+
+/// Vehicle classes (car / van / truck): body + cabin dimensions. The
+/// traffic streams' motion patterns are direction x vehicle class — the
+/// kind of structure the paper's ~6 traffic clusters reflect.
+struct VehicleClass {
+  double body_w, body_h, cabin_w, cabin_h;
+  double lane_offset;  ///< heavier vehicles ride a slightly outer line
+};
+constexpr VehicleClass kVehicleClasses[3] = {
+    {10.0, 5.0, 5.0, 3.0, 0.0},    // car (inner lane)
+    {13.0, 6.0, 6.0, 4.0, 14.0},   // van (middle lane)
+    {18.0, 7.0, 7.0, 5.0, 28.0},   // truck (outer lane)
+};
+
+/// Traffic routes: direction (eastbound/westbound) x vehicle class.
+/// route id = dir * 3 + class.
+std::vector<Route> TrafficRoutes(const SceneParams& p, int count) {
+  std::vector<Route> routes;
+  double x_in = -10.0, x_out = p.width + 10.0;
+  for (int dir = 0; dir < 2; ++dir) {
+    double base_y = dir == 0 ? p.height * 0.36 : p.height * 0.43;
+    for (int cls = 0; cls < 3; ++cls) {
+      // The class's lane offset is applied per vehicle in MakeVehicle (with
+      // wobble); the route path itself is the direction's base line.
+      double y = base_y;
+      Point from{dir == 0 ? x_in : x_out, y};
+      Point to{dir == 0 ? x_out : x_in, y};
+      routes.push_back({Path::Line(from, to), false});
+    }
+  }
+  if (count < static_cast<int>(routes.size())) {
+    routes.resize(static_cast<size_t>(count));
+  }
+  return routes;
+}
+
+ObjectSpec MakePerson(int id, Rng* rng, const SceneParams& p, int start,
+                      const std::vector<Route>& routes) {
+  ObjectSpec obj;
+  obj.id = id;
+  obj.start_frame = start;
+  obj.end_frame = start + p.object_lifetime;
+
+  const Rgb shirt = kShirtColors[rng->Index(std::size(kShirtColors))];
+  const Rgb pants = kPantsColors[rng->Index(std::size(kPantsColors))];
+  // Head / torso / legs stacked vertically: three regions with distinct
+  // colors that must be merged into a single OG by the pipeline.
+  obj.parts = {
+      {PartShape::kEllipse, {0.0, -6.0}, 4.0, 4.0, kSkin},
+      {PartShape::kRectangle, {0.0, -1.0}, 6.0, 6.0, shirt},
+      {PartShape::kRectangle, {0.0, 5.0}, 5.0, 6.0, pants},
+  };
+
+  obj.route = static_cast<int>(rng->Index(routes.size()));
+  const Route& route = routes[static_cast<size_t>(obj.route)];
+  // Follow the route with endpoint jitter and a meander point: people
+  // neither retrace pixel-identical paths nor walk perfect lines, which is
+  // what makes indoor streams harder to cluster than lane-bound traffic.
+  std::vector<Point> wps = route.path.waypoints();
+  for (Point& wp : wps) {
+    wp.x += rng->Gaussian(0.0, 3.5);
+    wp.y += rng->Gaussian(0.0, 3.5);
+  }
+  if (wps.size() == 2) {
+    Point mid = (wps[0] + wps[1]) * 0.5;
+    mid.x += rng->Gaussian(0.0, 6.0);
+    mid.y += rng->Gaussian(0.0, 6.0);
+    wps.insert(wps.begin() + 1, mid);
+  } else if (wps.size() == 3) {
+    wps[1].x += rng->Gaussian(0.0, 5.0);
+    wps[1].y += rng->Gaussian(0.0, 5.0);
+  }
+  obj.path = Path(std::move(wps));
+  return obj;
+}
+
+ObjectSpec MakeVehicle(int id, Rng* rng, const SceneParams& p, int start,
+                       const std::vector<Route>& routes) {
+  ObjectSpec obj;
+  obj.id = id;
+  obj.start_frame = start;
+  obj.end_frame = start + p.object_lifetime;
+
+  obj.route = static_cast<int>(rng->Index(routes.size()));
+  const VehicleClass& cls = kVehicleClasses[static_cast<size_t>(obj.route) % 3];
+
+  const Rgb body = kCarColors[rng->Index(std::size(kCarColors))];
+  const Rgb cabin = Lerp(body, Rgb{255, 255, 255}, 0.45);
+  obj.parts = {
+      {PartShape::kRectangle, {0.0, 0.0}, cls.body_w, cls.body_h, body},
+      {PartShape::kRectangle,
+       {0.0, -(cls.body_h + cls.cabin_h) / 2.0 + 0.5},
+       cls.cabin_w, cls.cabin_h, cabin},
+  };
+
+  const Route& route = routes[static_cast<size_t>(obj.route)];
+  std::vector<Point> wps = route.path.waypoints();
+  // Each class keeps its own lane (cars inner, trucks outer); small wobble
+  // keeps individual vehicles distinct.
+  double wobble = cls.lane_offset * (p.height / 100.0) +
+                  rng->Uniform(-1.0, 1.0);
+  for (Point& wp : wps) wp.y += wobble;
+  obj.path = Path(std::move(wps));
+  return obj;
+}
+
+int TotalFrames(const SceneParams& p) {
+  if (p.num_objects == 0) return p.object_lifetime;
+  return (p.num_objects - 1) * p.spawn_gap + p.object_lifetime;
+}
+
+}  // namespace
+
+SceneSpec MakeLabScene(const SceneParams& params) {
+  SceneSpec scene;
+  scene.width = params.width;
+  scene.height = params.height;
+  scene.noise_stddev = params.noise_stddev;
+  scene.seed = params.seed;
+  scene.num_frames = TotalFrames(params);
+  scene.background.base = {120, 118, 110};
+  scene.background.alt = {126, 124, 116};
+  scene.background.tile_size = params.width / 4;
+
+  // Two desks and a cabinet — static items that belong to the BG graph.
+  scene.static_items = {
+      {PartShape::kRectangle,
+       {params.width * 0.18, params.height * 0.88},
+       params.width * 0.22, params.height * 0.12, Rgb{150, 110, 60}},
+      {PartShape::kRectangle,
+       {params.width * 0.80, params.height * 0.90},
+       params.width * 0.24, params.height * 0.10, Rgb{150, 110, 60}},
+      {PartShape::kRectangle,
+       {params.width * 0.94, params.height * 0.18},
+       params.width * 0.10, params.height * 0.24, Rgb{80, 90, 100}},
+  };
+
+  Rng rng(params.seed);
+  int num_routes = params.num_routes > 0 ? params.num_routes : 9;
+  std::vector<Route> routes = LabRoutes(params, num_routes);
+  for (int i = 0; i < params.num_objects; ++i) {
+    scene.objects.push_back(
+        MakePerson(i, &rng, params, i * params.spawn_gap, routes));
+  }
+  return scene;
+}
+
+SceneSpec MakeTrafficScene(const SceneParams& params) {
+  SceneSpec scene;
+  scene.width = params.width;
+  scene.height = params.height;
+  scene.noise_stddev = params.noise_stddev;
+  scene.seed = params.seed;
+  scene.num_frames = TotalFrames(params);
+  scene.background.base = {90, 140, 80};  // grass
+  scene.background.alt = {96, 146, 86};
+  scene.background.tile_size = params.width / 4;
+
+  // Road surface plus a dashed center line. The dashes are deliberate:
+  // a single full-width line would be split in two by every passing
+  // vehicle, and the jumping half-line centroids would masquerade as a
+  // moving object; short dashes stay stable under occlusion.
+  scene.static_items = {
+      {PartShape::kRectangle,
+       {params.width * 0.5, params.height * 0.62},
+       static_cast<double>(params.width), params.height * 0.64,
+       Rgb{70, 70, 72}},
+  };
+  for (int dash = 0; dash < params.width / 16; ++dash) {
+    scene.static_items.push_back(
+        {PartShape::kRectangle,
+         {params.width * (0.06 + 0.2 * dash), params.height * 0.62},
+         6.0, 1.5, Rgb{210, 200, 60}});
+  }
+
+  Rng rng(params.seed);
+  int num_routes = params.num_routes > 0 ? params.num_routes : 6;
+  std::vector<Route> routes = TrafficRoutes(params, num_routes);
+  for (int i = 0; i < params.num_objects; ++i) {
+    scene.objects.push_back(
+        MakeVehicle(i, &rng, params, i * params.spawn_gap, routes));
+  }
+  return scene;
+}
+
+}  // namespace strg::video

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "cluster/bic.h"
+#include "distance/eged.h"
+#include "util/random.h"
+
+namespace strg::cluster {
+namespace {
+
+using dist::Sequence;
+
+Sequence Flat(double value, size_t len) {
+  Sequence s(len);
+  for (auto& v : s) {
+    v.fill(0.0);
+    v[0] = value;
+  }
+  return s;
+}
+
+std::vector<Sequence> Blobs(std::initializer_list<double> centers,
+                            size_t per_cluster, uint64_t seed) {
+  std::vector<Sequence> data;
+  Rng rng(seed);
+  for (double c : centers) {
+    for (size_t i = 0; i < per_cluster; ++i) {
+      // Fixed length: EGED between flat sequences scales with the common
+      // length, so mixing lengths would create artificial sub-structure
+      // that legitimately pushes BIC toward larger K.
+      data.push_back(Flat(c + rng.Gaussian(0.0, 0.4), 8));
+    }
+  }
+  return data;
+}
+
+TEST(Bic, PenaltyGrowsWithK) {
+  // Same log-likelihood: more components -> lower BIC.
+  EXPECT_GT(Bic(-100.0, 2, 50), Bic(-100.0, 4, 50));
+}
+
+TEST(Bic, PenaltyGrowsWithDataSize) {
+  double small = Bic(-100.0, 3, 10);
+  double large = Bic(-100.0, 3, 1000);
+  EXPECT_GT(small, large);
+}
+
+TEST(Bic, EtaFormulaMatchesSection42) {
+  // eta = (K-1) + K d(d+3)/2 with d = 1 -> 3K - 1; BIC = ll - eta log M.
+  double ll = -42.0;
+  size_t k = 4, m = 100;
+  double expected = ll - (3.0 * k - 1.0) * std::log(static_cast<double>(m));
+  EXPECT_DOUBLE_EQ(Bic(ll, k, m), expected);
+}
+
+TEST(FindOptimalK, RecoversThreeClusters) {
+  auto data = Blobs({0.0, 15.0, 30.0}, 12, 5);
+  dist::EgedDistance eged;
+  ClusterParams params;
+  params.seed = 11;
+  BicSweepResult sweep = FindOptimalK(data, 1, 6, eged, params);
+  EXPECT_EQ(sweep.best_k, 3u);
+  ASSERT_EQ(sweep.bic_values.size(), 6u);
+  ASSERT_EQ(sweep.models.size(), 6u);
+}
+
+TEST(FindOptimalK, BicPeaksNearBestK) {
+  auto data = Blobs({0.0, 20.0}, 15, 7);
+  dist::EgedDistance eged;
+  BicSweepResult sweep = FindOptimalK(data, 1, 5, eged);
+  double best = sweep.bic_values[sweep.best_k - 1];
+  for (double b : sweep.bic_values) EXPECT_LE(b, best);
+  // Classification-likelihood BIC may split one blob once (its small-K
+  // bias) but must find at least the two real blobs and not hallucinate
+  // many more.
+  EXPECT_GE(sweep.best_k, 2u);
+  EXPECT_LE(sweep.best_k, 3u);
+}
+
+TEST(FindOptimalK, SingleClusterDataStaysSmall) {
+  // The classification likelihood BIC scores can justify splitting one
+  // Gaussian blob into two halves (a known small-K bias of CL-based
+  // criteria); what matters is that it does not hallucinate many clusters.
+  auto data = Blobs({5.0}, 20, 9);
+  dist::EgedDistance eged;
+  BicSweepResult sweep = FindOptimalK(data, 1, 4, eged);
+  EXPECT_LE(sweep.best_k, 2u);
+}
+
+TEST(FindOptimalK, RejectsBadRange) {
+  auto data = Blobs({0.0}, 4, 1);
+  dist::EgedDistance eged;
+  EXPECT_THROW(FindOptimalK(data, 0, 3, eged), std::invalid_argument);
+  EXPECT_THROW(FindOptimalK(data, 5, 3, eged), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace strg::cluster

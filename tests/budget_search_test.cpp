@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "distance/eged.h"
+#include "index/strg_index.h"
+#include "mtree/mtree.h"
+#include "synth/generator.h"
+
+namespace strg {
+namespace {
+
+using dist::Sequence;
+
+struct Workload {
+  std::vector<Sequence> db;
+  std::vector<Sequence> queries;
+};
+
+Workload MakeWorkload() {
+  synth::SynthParams params;
+  params.items_per_cluster = 6;
+  params.noise_pct = 8.0;
+  params.seed = 77;
+  Workload w;
+  w.db = synth::GenerateSyntheticOgs(params).Sequences(synth::SynthScaling());
+  params.items_per_cluster = 1;
+  params.seed = 78;
+  auto q = synth::GenerateSyntheticOgs(params).Sequences(
+      synth::SynthScaling());
+  w.queries.assign(q.begin(), q.begin() + 6);
+  return w;
+}
+
+TEST(BudgetedSearch, StrgIndexRespectsBudget) {
+  Workload w = MakeWorkload();
+  index::StrgIndexParams params;
+  params.num_clusters = 12;
+  params.cluster_params.max_iterations = 6;
+  index::StrgIndex idx(params);
+  idx.AddSegment(core::BackgroundGraph{}, w.db);
+
+  for (const Sequence& q : w.queries) {
+    auto result = idx.Knn(q, 5, nullptr, 40);
+    EXPECT_LE(result.distance_computations, 40u);
+  }
+}
+
+TEST(BudgetedSearch, StrgIndexBudgetZeroMeansUnlimited) {
+  Workload w = MakeWorkload();
+  index::StrgIndexParams params;
+  params.num_clusters = 12;
+  params.cluster_params.max_iterations = 6;
+  index::StrgIndex idx(params);
+  idx.AddSegment(core::BackgroundGraph{}, w.db);
+
+  auto exact = idx.Knn(w.queries[0], 5);
+  auto unlimited = idx.Knn(w.queries[0], 5, nullptr, 0);
+  ASSERT_EQ(exact.hits.size(), unlimited.hits.size());
+  for (size_t i = 0; i < exact.hits.size(); ++i) {
+    EXPECT_DOUBLE_EQ(exact.hits[i].distance, unlimited.hits[i].distance);
+  }
+}
+
+TEST(BudgetedSearch, LargerBudgetNeverWorseTop1) {
+  Workload w = MakeWorkload();
+  index::StrgIndexParams params;
+  params.num_clusters = 12;
+  params.cluster_params.max_iterations = 6;
+  index::StrgIndex idx(params);
+  idx.AddSegment(core::BackgroundGraph{}, w.db);
+
+  for (const Sequence& q : w.queries) {
+    auto small = idx.Knn(q, 1, nullptr, 30);
+    auto large = idx.Knn(q, 1, nullptr, 300);
+    if (!small.hits.empty() && !large.hits.empty()) {
+      EXPECT_LE(large.hits[0].distance, small.hits[0].distance + 1e-9);
+    }
+  }
+}
+
+TEST(BudgetedSearch, MTreeRespectsBudget) {
+  Workload w = MakeWorkload();
+  dist::EgedMetricDistance metric;
+  mtree::MTree tree(&metric);
+  for (size_t i = 0; i < w.db.size(); ++i) tree.Insert(w.db[i], i);
+
+  for (const Sequence& q : w.queries) {
+    auto result = tree.Knn(q, 5, 40);
+    EXPECT_LE(result.distance_computations,
+              40u + 16u);  // may finish the node it is scanning
+  }
+}
+
+TEST(BudgetedSearch, BudgetedAnswersAreSubqualityNotGarbage) {
+  // Budgeted results must still come from the database and be sorted.
+  Workload w = MakeWorkload();
+  index::StrgIndexParams params;
+  params.num_clusters = 12;
+  params.cluster_params.max_iterations = 6;
+  index::StrgIndex idx(params);
+  idx.AddSegment(core::BackgroundGraph{}, w.db);
+
+  auto result = idx.Knn(w.queries[0], 5, nullptr, 60);
+  double prev = -1.0;
+  for (const auto& h : result.hits) {
+    EXPECT_LT(h.og_id, w.db.size());
+    EXPECT_GE(h.distance, prev);
+    prev = h.distance;
+    // Reported distance is the true metric distance.
+    EXPECT_NEAR(h.distance, dist::EgedMetric(w.queries[0], w.db[h.og_id]),
+                1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace strg

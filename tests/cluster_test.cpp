@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/centroid.h"
+#include "cluster/em.h"
+#include "cluster/khm.h"
+#include "cluster/kmeans.h"
+#include "cluster/metrics.h"
+#include "distance/eged.h"
+#include "util/random.h"
+
+namespace strg::cluster {
+namespace {
+
+using dist::FeatureVec;
+using dist::Sequence;
+
+Sequence Flat(double value, size_t len) {
+  Sequence s(len);
+  for (auto& v : s) {
+    v.fill(0.0);
+    v[0] = value;
+  }
+  return s;
+}
+
+/// Two well-separated groups of sequences around values 0 and 20.
+struct TwoBlobs {
+  std::vector<Sequence> data;
+  std::vector<int> labels;
+};
+
+TwoBlobs MakeTwoBlobs(size_t per_cluster = 12, uint64_t seed = 3) {
+  TwoBlobs out;
+  Rng rng(seed);
+  for (size_t c = 0; c < 2; ++c) {
+    double base = c == 0 ? 0.0 : 20.0;
+    for (size_t i = 0; i < per_cluster; ++i) {
+      size_t len = static_cast<size_t>(rng.UniformInt(6, 12));
+      Sequence s = Flat(base + rng.Gaussian(0.0, 0.5), len);
+      out.data.push_back(std::move(s));
+      out.labels.push_back(static_cast<int>(c));
+    }
+  }
+  return out;
+}
+
+TEST(WeightedCentroid, AveragesEqualLengthSequences) {
+  std::vector<Sequence> data{Flat(0.0, 5), Flat(10.0, 5)};
+  Sequence c = WeightedCentroid(data, {1.0, 1.0});
+  ASSERT_EQ(c.size(), 5u);
+  EXPECT_NEAR(c[2][0], 5.0, 1e-9);
+}
+
+TEST(WeightedCentroid, RespectsWeights) {
+  std::vector<Sequence> data{Flat(0.0, 5), Flat(10.0, 5)};
+  Sequence c = WeightedCentroid(data, {3.0, 1.0});
+  EXPECT_NEAR(c[0][0], 2.5, 1e-9);
+}
+
+TEST(WeightedCentroid, LengthIsWeightedMean) {
+  std::vector<Sequence> data{Flat(1.0, 10), Flat(1.0, 20)};
+  EXPECT_EQ(WeightedCentroid(data, {1.0, 1.0}).size(), 15u);
+  EXPECT_EQ(WeightedCentroid(data, {1.0, 0.0}).size(), 10u);
+}
+
+TEST(WeightedCentroid, ThrowsWithoutPositiveWeight) {
+  std::vector<Sequence> data{Flat(1.0, 4)};
+  EXPECT_THROW(WeightedCentroid(data, {0.0}), std::invalid_argument);
+  EXPECT_THROW(WeightedCentroid(data, {1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(CentroidOfSubset, UsesOnlyMembers) {
+  std::vector<Sequence> data{Flat(0.0, 4), Flat(10.0, 4), Flat(99.0, 4)};
+  Sequence c = CentroidOfSubset(data, {0, 1});
+  EXPECT_NEAR(c[0][0], 5.0, 1e-9);
+}
+
+TEST(EmCluster, SeparatesTwoBlobs) {
+  TwoBlobs blobs = MakeTwoBlobs();
+  dist::EgedDistance eged;
+  Clustering model = EmCluster(blobs.data, 2, eged);
+  ASSERT_EQ(model.NumClusters(), 2u);
+  EXPECT_NEAR(ClusteringErrorRate(model.assignment, blobs.labels), 0.0, 1e-9);
+}
+
+TEST(EmCluster, WeightsSumToOne) {
+  TwoBlobs blobs = MakeTwoBlobs();
+  dist::EgedDistance eged;
+  Clustering model = EmCluster(blobs.data, 3, eged);
+  double sum = 0;
+  for (double w : model.weights) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  for (double s : model.sigmas) EXPECT_GT(s, 0.0);
+}
+
+TEST(EmCluster, LogLikelihoodImprovesOverSingleCluster) {
+  TwoBlobs blobs = MakeTwoBlobs();
+  dist::EgedDistance eged;
+  Clustering one = EmCluster(blobs.data, 1, eged);
+  Clustering two = EmCluster(blobs.data, 2, eged);
+  EXPECT_GT(two.log_likelihood, one.log_likelihood);
+}
+
+TEST(EmCluster, DeterministicForFixedSeed) {
+  TwoBlobs blobs = MakeTwoBlobs();
+  dist::EgedDistance eged;
+  ClusterParams params;
+  params.seed = 17;
+  Clustering a = EmCluster(blobs.data, 2, eged, params);
+  Clustering b = EmCluster(blobs.data, 2, eged, params);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.log_likelihood, b.log_likelihood);
+}
+
+TEST(EmCluster, KClampedToDataSize) {
+  std::vector<Sequence> tiny{Flat(0, 4), Flat(1, 4)};
+  dist::EgedDistance eged;
+  Clustering model = EmCluster(tiny, 10, eged);
+  EXPECT_LE(model.NumClusters(), 2u);
+}
+
+TEST(EmCluster, ThrowsOnEmptyInput) {
+  dist::EgedDistance eged;
+  EXPECT_THROW(EmCluster({}, 2, eged), std::invalid_argument);
+}
+
+TEST(EmLogLikelihood, MatchesFittedModel) {
+  TwoBlobs blobs = MakeTwoBlobs();
+  dist::EgedDistance eged;
+  Clustering model = EmCluster(blobs.data, 2, eged);
+  double ll = EmLogLikelihood(blobs.data, model, eged);
+  // The E-step's log-likelihood is computed from the pre-M-step params, so
+  // allow a small gap — but they must be in the same ballpark.
+  EXPECT_NEAR(ll, model.log_likelihood,
+              0.05 * std::abs(model.log_likelihood) + 5.0);
+}
+
+TEST(KMeansCluster, SeparatesTwoBlobs) {
+  TwoBlobs blobs = MakeTwoBlobs();
+  dist::EgedDistance eged;
+  Clustering model = KMeansCluster(blobs.data, 2, eged);
+  EXPECT_NEAR(ClusteringErrorRate(model.assignment, blobs.labels), 0.0, 1e-9);
+}
+
+TEST(KhmCluster, SeparatesTwoBlobs) {
+  TwoBlobs blobs = MakeTwoBlobs();
+  dist::EgedDistance eged;
+  Clustering model = KhmCluster(blobs.data, 2, eged);
+  EXPECT_NEAR(ClusteringErrorRate(model.assignment, blobs.labels), 0.0, 1e-9);
+}
+
+TEST(KMeansCluster, AssignmentsCoverAllItems) {
+  TwoBlobs blobs = MakeTwoBlobs();
+  dist::EgedDistance eged;
+  Clustering model = KMeansCluster(blobs.data, 3, eged);
+  ASSERT_EQ(model.assignment.size(), blobs.data.size());
+  for (int a : model.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 3);
+  }
+}
+
+TEST(ClusteringErrorRate, PerfectAndPermuted) {
+  std::vector<int> truth{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(ClusteringErrorRate(truth, truth), 0.0);
+  // Permuted labels are still a perfect clustering.
+  std::vector<int> permuted{2, 2, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(ClusteringErrorRate(permuted, truth), 0.0);
+}
+
+TEST(ClusteringErrorRate, CountsMisassignments) {
+  std::vector<int> truth{0, 0, 0, 1, 1, 1};
+  std::vector<int> pred{0, 0, 1, 1, 1, 1};
+  EXPECT_NEAR(ClusteringErrorRate(pred, truth), 100.0 / 6.0, 1e-9);
+}
+
+TEST(ClusteringErrorRate, MorePredictedThanTrueClusters) {
+  std::vector<int> truth{0, 0, 0, 0};
+  std::vector<int> pred{0, 1, 2, 3};
+  EXPECT_NEAR(ClusteringErrorRate(pred, truth), 75.0, 1e-9);
+}
+
+TEST(Distortion, ZeroForExactCentroids) {
+  std::vector<Sequence> truth{Flat(0, 6), Flat(10, 6)};
+  dist::EgedMetricDistance metric;
+  EXPECT_NEAR(Distortion(truth, truth, metric, 10.0), 0.0, 1e-9);
+}
+
+TEST(Distortion, GrowsWithCentroidError) {
+  std::vector<Sequence> truth{Flat(0, 6), Flat(10, 6)};
+  std::vector<Sequence> near{Flat(0.5, 6), Flat(10.5, 6)};
+  std::vector<Sequence> far{Flat(2.0, 6), Flat(13.0, 6)};
+  dist::EgedMetricDistance metric;
+  double d_near = Distortion(near, truth, metric, 10.0);
+  double d_far = Distortion(far, truth, metric, 10.0);
+  EXPECT_GT(d_far, d_near);
+  EXPECT_GT(d_near, 0.0);
+}
+
+}  // namespace
+}  // namespace strg::cluster

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "strg/decompose.h"
+#include "strg/strg.h"
+
+namespace strg::core {
+namespace {
+
+graph::NodeAttr MakeAttr(double size, double gray, double cx, double cy) {
+  graph::NodeAttr a;
+  a.size = size;
+  a.color = {gray, gray, gray};
+  a.cx = cx;
+  a.cy = cy;
+  return a;
+}
+
+/// Builds an STRG with a stationary background blob plus one object made of
+/// two moving parts (distinct colors, same motion) over `frames` frames.
+Strg MakeScene(int frames, double speed = 2.0) {
+  Strg strg;
+  for (int t = 0; t < frames; ++t) {
+    graph::Rag rag;
+    int bg = rag.AddNode(MakeAttr(800, 100, 40, 30));
+    int part1 = rag.AddNode(MakeAttr(40, 200, 10 + speed * t, 10));
+    int part2 = rag.AddNode(MakeAttr(36, 30, 10 + speed * t, 15));
+    rag.AddEdge(bg, part1);
+    rag.AddEdge(bg, part2);
+    rag.AddEdge(part1, part2);
+    strg.AppendFrame(std::move(rag));
+  }
+  return strg;
+}
+
+TEST(ExtractOrgs, ChainsFollowTemporalEdges) {
+  Strg strg = MakeScene(8);
+  auto orgs = ExtractOrgs(strg);
+  // Three tracked regions -> three ORGs covering all 8 frames each.
+  ASSERT_EQ(orgs.size(), 3u);
+  for (const Org& org : orgs) {
+    EXPECT_EQ(org.Length(), 8u);
+    EXPECT_EQ(org.StartFrame(), 0);
+    EXPECT_EQ(org.EndFrame(), 7);
+    EXPECT_EQ(org.motion.size(), org.Length() - 1);
+  }
+}
+
+TEST(ExtractOrgs, EveryNodeBelongsToExactlyOneOrg) {
+  Strg strg = MakeScene(6);
+  auto orgs = ExtractOrgs(strg);
+  size_t covered = 0;
+  for (const Org& org : orgs) covered += org.Length();
+  EXPECT_EQ(covered, strg.TotalNodes());
+}
+
+TEST(Org, VelocityAndDisplacement) {
+  Strg strg = MakeScene(8, 3.0);
+  auto orgs = ExtractOrgs(strg);
+  const Org* mover = nullptr;
+  for (const Org& org : orgs) {
+    if (org.attrs[0].size < 100 && org.attrs[0].color[0] > 150) mover = &org;
+  }
+  ASSERT_NE(mover, nullptr);
+  EXPECT_NEAR(mover->MeanVelocity(), 3.0, 1e-9);
+  EXPECT_NEAR(mover->NetDisplacement(), 21.0, 1e-9);
+}
+
+TEST(IsObjectOrg, SeparatesMoversFromBackground) {
+  Strg strg = MakeScene(8);
+  auto orgs = ExtractOrgs(strg);
+  DecomposeParams params;
+  int objects = 0, backgrounds = 0;
+  for (const Org& org : orgs) {
+    if (IsObjectOrg(org, params)) {
+      ++objects;
+    } else {
+      ++backgrounds;
+    }
+  }
+  EXPECT_EQ(objects, 2);      // the two moving parts
+  EXPECT_EQ(backgrounds, 1);  // the stationary blob
+}
+
+TEST(IsObjectOrg, ShortOrgIsBackground) {
+  Strg strg = MakeScene(2, 5.0);
+  auto orgs = ExtractOrgs(strg);
+  DecomposeParams params;
+  params.min_org_length = 4;
+  for (const Org& org : orgs) {
+    EXPECT_FALSE(IsObjectOrg(org, params));
+  }
+}
+
+TEST(Decompose, MergesCoMovingPartsIntoOneOg) {
+  Strg strg = MakeScene(10);
+  Decomposition d = Decompose(strg);
+  ASSERT_EQ(d.object_graphs.size(), 1u);
+  const Og& og = d.object_graphs[0];
+  EXPECT_EQ(og.member_orgs.size(), 2u);
+  EXPECT_EQ(og.Length(), 10u);
+  // Aggregate size = sum of part sizes.
+  EXPECT_NEAR(og.sequence[0].size, 76.0, 1e-9);
+  // Aggregate centroid sits between the parts (size-weighted).
+  EXPECT_GT(og.sequence[0].cy, 10.0);
+  EXPECT_LT(og.sequence[0].cy, 15.0);
+}
+
+TEST(Decompose, SeparateObjectsStaySeparate) {
+  // Two objects moving in opposite directions never merge.
+  Strg strg;
+  for (int t = 0; t < 10; ++t) {
+    graph::Rag rag;
+    int bg = rag.AddNode(MakeAttr(800, 100, 40, 30));
+    int right = rag.AddNode(MakeAttr(40, 200, 10.0 + 2 * t, 10));
+    int left = rag.AddNode(MakeAttr(40, 30, 70.0 - 2 * t, 50));
+    rag.AddEdge(bg, right);
+    rag.AddEdge(bg, left);
+    strg.AppendFrame(std::move(rag));
+  }
+  Decomposition d = Decompose(strg);
+  EXPECT_EQ(d.object_graphs.size(), 2u);
+}
+
+TEST(Decompose, BackgroundGraphKeepsStationaryNodes) {
+  Strg strg = MakeScene(10);
+  Decomposition d = Decompose(strg);
+  EXPECT_EQ(d.background.rag.NumNodes(), 1u);
+  EXPECT_NEAR(d.background.rag.node(0).size, 800.0, 1e-9);
+}
+
+TEST(Decompose, PaperSizeEquation9Dominates) {
+  Strg strg = MakeScene(30);
+  Decomposition d = Decompose(strg);
+  size_t paper_size = PaperStrgSizeBytes(d, strg.NumFrames());
+  // N * size(BG) dominates: at 30 frames the accounted STRG must exceed
+  // the OGs alone by ~30 background copies.
+  size_t og_bytes = 0;
+  for (const Og& og : d.object_graphs) og_bytes += og.SizeBytes();
+  EXPECT_EQ(paper_size, og_bytes + 30 * d.background.SizeBytes());
+  EXPECT_GT(paper_size, og_bytes);
+}
+
+TEST(Decompose, EmptyStrg) {
+  Strg strg;
+  Decomposition d = Decompose(strg);
+  EXPECT_TRUE(d.orgs.empty());
+  EXPECT_TRUE(d.object_graphs.empty());
+  EXPECT_EQ(d.background.rag.NumNodes(), 0u);
+}
+
+TEST(Decompose, OgStartFrameReflectsAppearance) {
+  // Object appears at frame 3.
+  Strg strg;
+  for (int t = 0; t < 12; ++t) {
+    graph::Rag rag;
+    rag.AddNode(MakeAttr(800, 100, 40, 30));
+    if (t >= 3) {
+      int obj = rag.AddNode(MakeAttr(40, 200, 10.0 + 2 * (t - 3), 10));
+      rag.AddEdge(0, obj);
+    }
+    strg.AppendFrame(std::move(rag));
+  }
+  Decomposition d = Decompose(strg);
+  ASSERT_EQ(d.object_graphs.size(), 1u);
+  EXPECT_EQ(d.object_graphs[0].start_frame, 3);
+  EXPECT_EQ(d.object_graphs[0].Length(), 9u);
+}
+
+}  // namespace
+}  // namespace strg::core

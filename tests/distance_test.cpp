@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "distance/dtw.h"
+#include "distance/eged.h"
+#include "distance/lcs.h"
+#include "distance/lp.h"
+#include "distance/sequence.h"
+
+namespace strg::dist {
+namespace {
+
+/// 1-D helper: puts scalar values in feature slot 0, zeros elsewhere — this
+/// makes Definition 9's worked example directly checkable.
+Sequence Seq(std::initializer_list<double> values) {
+  Sequence s;
+  for (double v : values) {
+    FeatureVec f{};
+    f[0] = v;
+    s.push_back(f);
+  }
+  return s;
+}
+
+TEST(EgedMetric, PaperWorkedExample) {
+  // Section 3.1: OGr = {0}, OGs = {1,1}, OGt = {2,2,3}, g = 0.
+  Sequence r = Seq({0}), s = Seq({1, 1}), t = Seq({2, 2, 3});
+  EXPECT_DOUBLE_EQ(EgedMetric(r, t), 7.0);
+  EXPECT_DOUBLE_EQ(EgedMetric(r, s), 2.0);
+  EXPECT_DOUBLE_EQ(EgedMetric(s, t), 5.0);
+  // Triangle inequality holds: 7 <= 2 + 5.
+  EXPECT_LE(EgedMetric(r, t), EgedMetric(r, s) + EgedMetric(s, t));
+}
+
+TEST(EgedNonMetric, PaperWorkedExampleValues) {
+  // Section 3.1's example, exactly: OGr = {0}, OGs = {1,1}, OGt = {2,2,3}
+  // give EGED(r,t) = 7, EGED(r,s) = 2, EGED(s,t) = 4 with the non-metric
+  // gap, hence the triangle violation 7 > 2 + 4.
+  Sequence r = Seq({0}), s = Seq({1, 1}), t = Seq({2, 2, 3});
+  EXPECT_DOUBLE_EQ(EgedNonMetric(r, t), 7.0);
+  EXPECT_DOUBLE_EQ(EgedNonMetric(r, s), 2.0);
+  EXPECT_DOUBLE_EQ(EgedNonMetric(s, t), 4.0);
+  EXPECT_GT(EgedNonMetric(r, t),
+            EgedNonMetric(r, s) + EgedNonMetric(s, t));
+}
+
+TEST(EgedNonMetric, RepeatedNodesDeleteCheaply) {
+  // A node replicated in one sequence is consumed against the other
+  // sequence's interpolated value for free — the local-time-shifting
+  // behaviour the paper wants from the g_i = (v_{i-1}+v_i)/2 gap.
+  Sequence a = Seq({3, 3, 3});
+  Sequence b = Seq({3});
+  EXPECT_DOUBLE_EQ(EgedNonMetric(a, b), 0.0);
+}
+
+TEST(EgedMetric, IdenticalSequencesAreZero) {
+  Sequence a = Seq({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(EgedMetric(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(EgedNonMetric(a, a), 0.0);
+}
+
+TEST(EgedMetric, EmptyAgainstSequenceIsGapCost) {
+  // Theorem 2 discussion: m = 0 / n = 0 measure from the fixed point g.
+  Sequence empty;
+  Sequence a = Seq({3, 4});
+  EXPECT_DOUBLE_EQ(EgedMetric(empty, a), 7.0);
+  EXPECT_DOUBLE_EQ(EgedMetric(a, empty), 7.0);
+  EXPECT_DOUBLE_EQ(EgedMetric(empty, empty), 0.0);
+}
+
+TEST(EgedNonMetric, RejectsEmpty) {
+  Sequence a = Seq({1});
+  EXPECT_THROW(EgedNonMetric({}, a), std::invalid_argument);
+  EXPECT_THROW(EgedNonMetric(a, {}), std::invalid_argument);
+}
+
+TEST(EgedMetric, CustomGapConstant) {
+  FeatureVec g{};
+  g[0] = 2.0;
+  // Deleting value 2 against g=2 is free.
+  Sequence a = Seq({2}), b = Seq({2, 2});
+  EXPECT_DOUBLE_EQ(EgedMetric(a, b, g), 0.0);
+}
+
+TEST(EgedNonMetric, HandlesLocalTimeShifting) {
+  // A sequence vs its time-dilated copy: non-metric EGED stays small
+  // compared to a genuinely different sequence.
+  Sequence a = Seq({0, 1, 2, 3, 4, 5, 6, 7});
+  Sequence dilated = Seq({0, 1, 1, 2, 3, 4, 5, 5, 6, 7});
+  Sequence other = Seq({7, 6, 5, 4, 3, 2, 1, 0});
+  EXPECT_LT(EgedNonMetric(a, dilated), EgedNonMetric(a, other));
+}
+
+TEST(Dtw, ClassicProperties) {
+  Sequence a = Seq({1, 2, 3});
+  EXPECT_DOUBLE_EQ(Dtw(a, a), 0.0);
+  // DTW absorbs time dilation entirely.
+  EXPECT_DOUBLE_EQ(Dtw(Seq({1, 2, 3}), Seq({1, 1, 2, 2, 3, 3})), 0.0);
+  EXPECT_GT(Dtw(Seq({1, 2, 3}), Seq({4, 5, 6})), 0.0);
+  EXPECT_THROW(Dtw({}, a), std::invalid_argument);
+}
+
+TEST(Dtw, SymmetricOnExamples) {
+  Sequence a = Seq({1, 5, 2, 8}), b = Seq({2, 2, 7});
+  EXPECT_DOUBLE_EQ(Dtw(a, b), Dtw(b, a));
+}
+
+TEST(Lcs, LengthAndDistance) {
+  Sequence a = Seq({1, 2, 3, 4});
+  Sequence b = Seq({1, 9, 3, 9});
+  EXPECT_EQ(LcsLength(a, b, 0.5), 2u);
+  EXPECT_DOUBLE_EQ(LcsDistanceValue(a, b, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(LcsDistanceValue(a, a, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(LcsDistanceValue(a, Seq({100, 101}), 0.5), 1.0);
+}
+
+TEST(Lcs, EpsilonControlsMatching) {
+  Sequence a = Seq({1, 2, 3});
+  Sequence b = Seq({1.4, 2.4, 3.4});
+  EXPECT_EQ(LcsLength(a, b, 0.1), 0u);
+  EXPECT_EQ(LcsLength(a, b, 0.5), 3u);
+}
+
+TEST(Lp, EuclideanOnEqualLengths) {
+  Sequence a = Seq({0, 0}), b = Seq({3, 4});
+  EXPECT_DOUBLE_EQ(LpDistanceValue(a, b, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(LpDistanceValue(a, b, 1.0), 7.0);
+}
+
+TEST(Lp, ResamplesUnequalLengths) {
+  Sequence a = Seq({0, 1, 2, 3, 4});
+  Sequence b = Seq({0, 2, 4});
+  // After resampling a to length 3, the sequences align exactly.
+  EXPECT_NEAR(LpDistanceValue(a, b, 2.0), 0.0, 1e-12);
+}
+
+TEST(Lp, RejectsBadP) {
+  Sequence a = Seq({1});
+  EXPECT_THROW(LpDistanceValue(a, a, 0.5), std::invalid_argument);
+}
+
+TEST(Sequence, ResampleEndpointsAndLength) {
+  Sequence a = Seq({0, 10});
+  Sequence r = Resample(a, 5);
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_DOUBLE_EQ(r.front()[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.back()[0], 10.0);
+  EXPECT_DOUBLE_EQ(r[2][0], 5.0);
+}
+
+TEST(Sequence, ResampleDegenerateCases) {
+  Sequence single = Seq({7});
+  Sequence r = Resample(single, 4);
+  for (const auto& v : r) EXPECT_DOUBLE_EQ(v[0], 7.0);
+  Sequence down = Resample(Seq({1, 2, 3}), 1);
+  EXPECT_EQ(down.size(), 1u);
+  EXPECT_THROW(Resample({}, 3), std::invalid_argument);
+  EXPECT_THROW(Resample(single, 0), std::invalid_argument);
+}
+
+TEST(Sequence, FeatureScalingMapsAttributes) {
+  FeatureScaling s;
+  s.frame_width = 100;
+  s.frame_height = 100;
+  graph::NodeAttr attr;
+  attr.size = 100;  // 1% of the 10000-px frame
+  attr.color = {255, 0, 0};
+  attr.cx = 50;
+  attr.cy = 100;
+  FeatureVec v = s.Map(attr);
+  EXPECT_NEAR(v[0], 10.0 * 0.1, 1e-12);  // sqrt(0.01) = 0.1
+  EXPECT_NEAR(v[1], s.color_weight * 10.0, 1e-12);
+  EXPECT_NEAR(v[2], 0.0, 1e-12);
+  EXPECT_NEAR(v[4], 5.0, 1e-12);
+  EXPECT_NEAR(v[5], 10.0, 1e-12);
+}
+
+TEST(CountingDistance, CountsAndDelegates) {
+  EgedMetricDistance metric;
+  CountingDistance counted(&metric);
+  Sequence a = Seq({1, 2}), b = Seq({3});
+  double direct = metric(a, b);
+  EXPECT_DOUBLE_EQ(counted(a, b), direct);
+  counted(a, b);
+  EXPECT_EQ(counted.count(), 2u);
+  counted.Reset();
+  EXPECT_EQ(counted.count(), 0u);
+  EXPECT_EQ(counted.Name(), "EGED_M");
+}
+
+}  // namespace
+}  // namespace strg::dist

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "graph/edit_distance.h"
+
+namespace strg::graph {
+namespace {
+
+NodeAttr MakeAttr(double size, double gray, double cx, double cy) {
+  NodeAttr a;
+  a.size = size;
+  a.color = {gray, gray, gray};
+  a.cx = cx;
+  a.cy = cy;
+  return a;
+}
+
+Rag Triangle(double shift = 0.0) {
+  Rag g;
+  int a = g.AddNode(MakeAttr(10, 100, 0 + shift, 0));
+  int b = g.AddNode(MakeAttr(20, 100, 6 + shift, 0));
+  int c = g.AddNode(MakeAttr(30, 100, 0 + shift, 6));
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  g.AddEdge(a, c);
+  return g;
+}
+
+TEST(GraphEditDistance, IdenticalGraphsAreZero) {
+  Rag g = Triangle();
+  EXPECT_DOUBLE_EQ(ApproxGraphEditDistance(g, g), 0.0);
+}
+
+TEST(GraphEditDistance, EmptyGraphs) {
+  Rag empty;
+  EXPECT_DOUBLE_EQ(ApproxGraphEditDistance(empty, empty), 0.0);
+  // Deleting a whole triangle: 3 node deletions + edge penalties.
+  double d = ApproxGraphEditDistance(Triangle(), empty);
+  GedCosts costs;
+  double expected = 3 * costs.node_insert_delete +
+                    costs.edge_mismatch * 6;  // degree sum = 2*edges
+  EXPECT_DOUBLE_EQ(d, expected);
+}
+
+TEST(GraphEditDistance, SymmetricForInsertDelete) {
+  Rag empty;
+  Rag g = Triangle();
+  EXPECT_DOUBLE_EQ(ApproxGraphEditDistance(g, empty),
+                   ApproxGraphEditDistance(empty, g));
+}
+
+TEST(GraphEditDistance, GrowsWithAttributeGap) {
+  Rag g = Triangle();
+  double near = ApproxGraphEditDistance(g, Triangle(2.0));
+  double far = ApproxGraphEditDistance(g, Triangle(40.0));
+  EXPECT_GT(far, near);
+  EXPECT_GT(near, 0.0);
+}
+
+TEST(GraphEditDistance, ExtraNodeCostsOneDeletion) {
+  Rag g = Triangle();
+  Rag h = Triangle();
+  h.AddNode(MakeAttr(15, 100, 50, 50));  // isolated extra node
+  GedCosts costs;
+  double d = ApproxGraphEditDistance(g, h, costs);
+  EXPECT_NEAR(d, costs.node_insert_delete, 1e-9);
+}
+
+TEST(GraphEditDistance, DegreeMismatchPenalized) {
+  // Same nodes; one graph has an edge, the other does not.
+  Rag g, h;
+  for (int i = 0; i < 2; ++i) {
+    g.AddNode(MakeAttr(10, 100, i * 6.0, 0));
+    h.AddNode(MakeAttr(10, 100, i * 6.0, 0));
+  }
+  g.AddEdge(0, 1);
+  GedCosts costs;
+  double d = ApproxGraphEditDistance(g, h, costs);
+  EXPECT_NEAR(d, costs.edge_mismatch * 2, 1e-9);  // both endpoints differ
+}
+
+TEST(GraphEditDistance, SubstitutionCappedAtDeletePlusInsert) {
+  GedCosts costs;
+  NodeAttr a = MakeAttr(10, 0, 0, 0);
+  NodeAttr b = MakeAttr(100000, 255, 1000, 1000);
+  EXPECT_LE(NodeSubstitutionCost(a, b, costs),
+            2.0 * costs.node_insert_delete + 1e-12);
+}
+
+}  // namespace
+}  // namespace strg::graph

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "distance/edr.h"
+#include "util/random.h"
+
+namespace strg::dist {
+namespace {
+
+Sequence Seq(std::initializer_list<double> values) {
+  Sequence s;
+  for (double v : values) {
+    FeatureVec f{};
+    f[0] = v;
+    s.push_back(f);
+  }
+  return s;
+}
+
+TEST(Edr, IdenticalSequencesAreZero) {
+  Sequence a = Seq({1, 2, 3});
+  EXPECT_DOUBLE_EQ(Edr(a, a, 0.5), 0.0);
+}
+
+TEST(Edr, CountsEditOperations) {
+  // One substitution.
+  EXPECT_DOUBLE_EQ(Edr(Seq({1, 2, 3}), Seq({1, 9, 3}), 0.5), 1.0);
+  // One insertion.
+  EXPECT_DOUBLE_EQ(Edr(Seq({1, 2, 3}), Seq({1, 2, 2.9, 3}), 0.5), 1.0);
+  // Completely different: every element must be edited.
+  EXPECT_DOUBLE_EQ(Edr(Seq({1, 2}), Seq({50, 60, 70}), 0.5), 3.0);
+}
+
+TEST(Edr, EpsilonControlsMatching) {
+  Sequence a = Seq({1, 2, 3});
+  Sequence b = Seq({1.4, 2.4, 3.4});
+  EXPECT_DOUBLE_EQ(Edr(a, b, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Edr(a, b, 0.1), 3.0);
+}
+
+TEST(Edr, OutlierCostsAtMostOne) {
+  Sequence clean = Seq({1, 2, 3, 4, 5});
+  Sequence spiked = Seq({1, 2, 500, 4, 5});
+  EXPECT_DOUBLE_EQ(Edr(clean, spiked, 0.5), 1.0);
+}
+
+TEST(Edr, NormalizedInUnitRange) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Sequence a(static_cast<size_t>(rng.UniformInt(1, 15)));
+    Sequence b(static_cast<size_t>(rng.UniformInt(1, 15)));
+    for (auto& v : a) v[0] = rng.Uniform(0, 10);
+    for (auto& v : b) v[0] = rng.Uniform(0, 10);
+    double d = EdrNormalized(a, b, 1.0);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(Edr, SymmetricAndRejectsEmpty) {
+  Sequence a = Seq({1, 5, 2}), b = Seq({2, 2});
+  EXPECT_DOUBLE_EQ(Edr(a, b, 0.5), Edr(b, a, 0.5));
+  EXPECT_THROW(Edr({}, a, 0.5), std::invalid_argument);
+}
+
+TEST(EdrDistance, InterfaceWorks) {
+  EdrDistance d(0.5);
+  EXPECT_EQ(d.Name(), "EDR");
+  EXPECT_DOUBLE_EQ(d(Seq({1}), Seq({1})), 0.0);
+}
+
+}  // namespace
+}  // namespace strg::dist

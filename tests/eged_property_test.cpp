@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "distance/dtw.h"
+#include "distance/eged.h"
+#include "distance/lcs.h"
+#include "distance/lp.h"
+#include "util/random.h"
+
+namespace strg::dist {
+namespace {
+
+/// Random walk sequence resembling an OG feature series.
+Sequence RandomSequence(Rng* rng, size_t min_len = 2, size_t max_len = 24) {
+  size_t len = static_cast<size_t>(rng->UniformInt(
+      static_cast<int>(min_len), static_cast<int>(max_len)));
+  Sequence s(len);
+  FeatureVec cur{};
+  for (size_t k = 0; k < kFeatureDim; ++k) cur[k] = rng->Uniform(0.0, 10.0);
+  for (size_t i = 0; i < len; ++i) {
+    for (size_t k = 0; k < kFeatureDim; ++k) {
+      cur[k] += rng->Gaussian(0.0, 0.5);
+    }
+    s[i] = cur;
+  }
+  return s;
+}
+
+/// Property-style sweep: each seed draws fresh random triples and checks
+/// the metric axioms of EGED_M (Theorem 2).
+class MetricPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricPropertyTest, EgedMetricSatisfiesMetricAxioms) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    Sequence a = RandomSequence(&rng);
+    Sequence b = RandomSequence(&rng);
+    Sequence c = RandomSequence(&rng);
+    double ab = EgedMetric(a, b);
+    double ba = EgedMetric(b, a);
+    double ac = EgedMetric(a, c);
+    double bc = EgedMetric(b, c);
+    // Non-negativity, reflexivity, symmetry.
+    EXPECT_GE(ab, 0.0);
+    EXPECT_DOUBLE_EQ(EgedMetric(a, a), 0.0);
+    EXPECT_NEAR(ab, ba, 1e-9);
+    // Triangle inequality (Theorem 2).
+    EXPECT_LE(ac, ab + bc + 1e-9);
+    EXPECT_LE(ab, ac + bc + 1e-9);
+    EXPECT_LE(bc, ab + ac + 1e-9);
+  }
+}
+
+TEST_P(MetricPropertyTest, EgedMetricTriangleWithCustomGap) {
+  Rng rng(GetParam() ^ 0xABCD);
+  FeatureVec g{};
+  for (size_t k = 0; k < kFeatureDim; ++k) g[k] = rng.Uniform(0.0, 5.0);
+  for (int trial = 0; trial < 15; ++trial) {
+    Sequence a = RandomSequence(&rng);
+    Sequence b = RandomSequence(&rng);
+    Sequence c = RandomSequence(&rng);
+    EXPECT_LE(EgedMetric(a, c, g),
+              EgedMetric(a, b, g) + EgedMetric(b, c, g) + 1e-9);
+  }
+}
+
+TEST_P(MetricPropertyTest, NonMetricEgedSymmetricAndReflexive) {
+  Rng rng(GetParam() ^ 0x1234);
+  for (int trial = 0; trial < 25; ++trial) {
+    Sequence a = RandomSequence(&rng);
+    Sequence b = RandomSequence(&rng);
+    EXPECT_GE(EgedNonMetric(a, b), 0.0);
+    EXPECT_NEAR(EgedNonMetric(a, b), EgedNonMetric(b, a), 1e-9);
+    EXPECT_DOUBLE_EQ(EgedNonMetric(a, a), 0.0);
+  }
+}
+
+TEST_P(MetricPropertyTest, MetricEgedUpperBoundsAreSane) {
+  // EGED_M(a, b) can never exceed deleting everything: EGED_M(a, {}) +
+  // EGED_M({}, b).
+  Rng rng(GetParam() ^ 0x77);
+  for (int trial = 0; trial < 25; ++trial) {
+    Sequence a = RandomSequence(&rng);
+    Sequence b = RandomSequence(&rng);
+    double all_gap = EgedMetric(a, {}) + EgedMetric({}, b);
+    EXPECT_LE(EgedMetric(a, b), all_gap + 1e-9);
+  }
+}
+
+TEST_P(MetricPropertyTest, DtwSymmetricNonNegative) {
+  Rng rng(GetParam() ^ 0xD7);
+  for (int trial = 0; trial < 25; ++trial) {
+    Sequence a = RandomSequence(&rng);
+    Sequence b = RandomSequence(&rng);
+    EXPECT_GE(Dtw(a, b), 0.0);
+    EXPECT_NEAR(Dtw(a, b), Dtw(b, a), 1e-9);
+    EXPECT_DOUBLE_EQ(Dtw(a, a), 0.0);
+  }
+}
+
+TEST_P(MetricPropertyTest, LcsDistanceBoundedInUnitInterval) {
+  Rng rng(GetParam() ^ 0x1C5);
+  for (int trial = 0; trial < 25; ++trial) {
+    Sequence a = RandomSequence(&rng);
+    Sequence b = RandomSequence(&rng);
+    double d = LcsDistanceValue(a, b, 1.0);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+    EXPECT_DOUBLE_EQ(LcsDistanceValue(a, a, 1.0), 0.0);
+  }
+}
+
+TEST_P(MetricPropertyTest, ResamplePreservesEndpoints) {
+  Rng rng(GetParam() ^ 0x9A);
+  for (int trial = 0; trial < 25; ++trial) {
+    Sequence a = RandomSequence(&rng, 2, 30);
+    size_t len = static_cast<size_t>(rng.UniformInt(2, 40));
+    Sequence r = Resample(a, len);
+    ASSERT_EQ(r.size(), len);
+    for (size_t k = 0; k < kFeatureDim; ++k) {
+      EXPECT_NEAR(r.front()[k], a.front()[k], 1e-9);
+      EXPECT_NEAR(r.back()[k], a.back()[k], 1e-9);
+    }
+  }
+}
+
+TEST_P(MetricPropertyTest, ResampleToSameLengthIsIdentity) {
+  Rng rng(GetParam() ^ 0x5F);
+  Sequence a = RandomSequence(&rng, 3, 20);
+  Sequence r = Resample(a, a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t k = 0; k < kFeatureDim; ++k) {
+      EXPECT_NEAR(r[i][k], a[i][k], 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace strg::dist

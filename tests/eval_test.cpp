@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "eval/retrieval_metrics.h"
+#include "index/strg_index.h"
+#include "synth/generator.h"
+
+namespace strg::eval {
+namespace {
+
+TEST(RetrievalMetrics, PrecisionAtK) {
+  std::vector<bool> rel{true, false, true, true, false};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(rel, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(rel, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(rel, 4), 0.75);
+  // k beyond the list: missing ranks count as misses.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(rel, 10), 0.3);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(rel, 0), 0.0);
+}
+
+TEST(RetrievalMetrics, RecallAtK) {
+  std::vector<bool> rel{true, false, true};
+  EXPECT_DOUBLE_EQ(RecallAtK(rel, 1, 4), 0.25);
+  EXPECT_DOUBLE_EQ(RecallAtK(rel, 3, 4), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK(rel, 3, 0), 0.0);
+}
+
+TEST(RetrievalMetrics, AveragePrecisionWorkedExample) {
+  // Relevant at ranks 1 and 3 of 2 total relevant:
+  // AP = (1/1 + 2/3) / 2 = 5/6.
+  std::vector<bool> rel{true, false, true};
+  EXPECT_NEAR(AveragePrecision(rel, 2), 5.0 / 6.0, 1e-12);
+  // Perfect ranking.
+  EXPECT_DOUBLE_EQ(AveragePrecision({true, true}, 2), 1.0);
+  // Nothing relevant retrieved.
+  EXPECT_DOUBLE_EQ(AveragePrecision({false, false}, 2), 0.0);
+}
+
+TEST(RetrievalMetrics, MeanAveragePrecision) {
+  std::vector<std::vector<bool>> rels{{true}, {false, true}};
+  std::vector<size_t> totals{1, 1};
+  // AP1 = 1, AP2 = 1/2 -> MAP = 0.75.
+  EXPECT_DOUBLE_EQ(MeanAveragePrecision(rels, totals), 0.75);
+  EXPECT_THROW(MeanAveragePrecision(rels, {1}), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(MeanAveragePrecision({}, {}), 0.0);
+}
+
+TEST(RetrievalMetrics, RelevanceMask) {
+  auto mask = RelevanceMask({3, 1, 3, 2}, 3);
+  EXPECT_EQ(mask, (std::vector<bool>{true, false, true, false}));
+}
+
+TEST(IndexStats, ReflectStructure) {
+  synth::SynthParams sp;
+  sp.items_per_cluster = 3;
+  sp.seed = 9;
+  auto db = synth::GenerateSyntheticOgs(sp).Sequences(synth::SynthScaling());
+  index::StrgIndexParams params;
+  params.num_clusters = 8;
+  params.cluster_params.max_iterations = 5;
+  index::StrgIndex idx(params);
+  idx.AddSegment(core::BackgroundGraph{}, db);
+
+  auto stats = idx.ComputeStats();
+  EXPECT_EQ(stats.segments, 1u);
+  EXPECT_EQ(stats.clusters, idx.NumClusters());
+  EXPECT_EQ(stats.ogs, db.size());
+  EXPECT_LE(stats.min_leaf, stats.max_leaf);
+  EXPECT_NEAR(stats.mean_leaf,
+              static_cast<double>(stats.ogs) / stats.clusters, 1e-9);
+  EXPECT_GT(stats.mean_covering_radius, 0.0);
+  EXPECT_GE(stats.max_covering_radius, stats.mean_covering_radius);
+}
+
+TEST(IndexStats, EmptyIndex) {
+  index::StrgIndex idx;
+  auto stats = idx.ComputeStats();
+  EXPECT_EQ(stats.segments, 0u);
+  EXPECT_EQ(stats.clusters, 0u);
+  EXPECT_EQ(stats.ogs, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_leaf, 0.0);
+}
+
+}  // namespace
+}  // namespace strg::eval

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/common_subgraph.h"
+#include "graph/edit_distance.h"
+#include "graph/isomorphism.h"
+#include "util/random.h"
+
+namespace strg::graph {
+namespace {
+
+/// Random attributed graph with well-separated node attributes (so the
+/// tolerance matcher behaves like exact matching on distinct nodes).
+Rag RandomGraph(Rng* rng, size_t nodes, double edge_prob) {
+  Rag g;
+  for (size_t i = 0; i < nodes; ++i) {
+    NodeAttr a;
+    a.size = 100.0 + 200.0 * static_cast<double>(i);  // far apart in size
+    a.color = {rng->Uniform(0, 255), rng->Uniform(0, 255),
+               rng->Uniform(0, 255)};
+    a.cx = rng->Uniform(0, 10);  // keep positions close: size decides
+    a.cy = rng->Uniform(0, 10);
+    g.AddNode(a);
+  }
+  for (size_t i = 0; i < nodes; ++i) {
+    for (size_t j = i + 1; j < nodes; ++j) {
+      if (rng->Bernoulli(edge_prob)) {
+        g.AddEdge(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  return g;
+}
+
+/// Relabels nodes by a random permutation (an isomorphic copy).
+Rag Permuted(const Rag& g, Rng* rng) {
+  std::vector<int> perm(g.NumNodes());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<int>(i);
+  std::vector<int> shuffled = perm;
+  rng->Shuffle(&shuffled);
+  Rag out;
+  std::vector<int> position(g.NumNodes());
+  for (size_t i = 0; i < shuffled.size(); ++i) {
+    position[static_cast<size_t>(shuffled[i])] =
+        out.AddNode(g.node(shuffled[i]));
+  }
+  for (size_t v = 0; v < g.NumNodes(); ++v) {
+    for (const Rag::Edge& e : g.Neighbors(static_cast<int>(v))) {
+      if (e.to > static_cast<int>(v)) {
+        out.AddEdge(position[v], position[static_cast<size_t>(e.to)], e.attr);
+      }
+    }
+  }
+  return out;
+}
+
+AttrTolerance LooseColorTol() {
+  AttrTolerance tol;
+  tol.color = 1000.0;  // colors are random; size identifies nodes
+  tol.size_ratio = 0.2;
+  tol.position = 1000.0;
+  tol.edge_distance = 1000.0;
+  tol.edge_orientation = 10.0;
+  return tol;
+}
+
+class GraphPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphPropertyTest, PermutedCopyIsIsomorphic) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    Rag g = RandomGraph(&rng, static_cast<size_t>(rng.UniformInt(2, 7)), 0.4);
+    Rag h = Permuted(g, &rng);
+    EXPECT_TRUE(AreIsomorphic(g, h, LooseColorTol()));
+    EXPECT_TRUE(IsSubgraphIsomorphic(g, h, LooseColorTol()));
+  }
+}
+
+TEST_P(GraphPropertyTest, McsOfIsomorphicGraphsIsFullSize) {
+  Rng rng(GetParam() ^ 0xA1);
+  for (int trial = 0; trial < 5; ++trial) {
+    Rag g = RandomGraph(&rng, static_cast<size_t>(rng.UniformInt(2, 6)), 0.4);
+    Rag h = Permuted(g, &rng);
+    EXPECT_EQ(MostCommonSubgraphSize(g, h, LooseColorTol()), g.NumNodes());
+  }
+}
+
+TEST_P(GraphPropertyTest, McsBoundedByMinNodeCount) {
+  Rng rng(GetParam() ^ 0xB2);
+  Rag g = RandomGraph(&rng, 5, 0.5);
+  Rag h = RandomGraph(&rng, 3, 0.5);
+  size_t mcs = MostCommonSubgraphSize(g, h, LooseColorTol());
+  EXPECT_LE(mcs, 3u);
+}
+
+TEST_P(GraphPropertyTest, GedZeroIffSameForPermutedCopies) {
+  Rng rng(GetParam() ^ 0xC3);
+  Rag g = RandomGraph(&rng, static_cast<size_t>(rng.UniformInt(3, 6)), 0.4);
+  // Bipartite-approximate GED of identical graphs is exactly 0; a permuted
+  // copy keeps node multiset + degrees, so assignment cost stays 0 too
+  // (the approximation only looks at local structure).
+  EXPECT_DOUBLE_EQ(ApproxGraphEditDistance(g, g), 0.0);
+  Rag h = Permuted(g, &rng);
+  EXPECT_NEAR(ApproxGraphEditDistance(g, h), 0.0, 1e-9);
+}
+
+TEST_P(GraphPropertyTest, GedSymmetricOnRandomPairs) {
+  Rng rng(GetParam() ^ 0xD4);
+  Rag g = RandomGraph(&rng, static_cast<size_t>(rng.UniformInt(2, 6)), 0.5);
+  Rag h = RandomGraph(&rng, static_cast<size_t>(rng.UniformInt(2, 6)), 0.5);
+  EXPECT_NEAR(ApproxGraphEditDistance(g, h), ApproxGraphEditDistance(h, g),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphPropertyTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace strg::graph

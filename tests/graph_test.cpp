@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/neighborhood.h"
+#include "graph/rag.h"
+#include "segment/segmenter.h"
+#include "video/frame.h"
+
+namespace strg::graph {
+namespace {
+
+NodeAttr MakeAttr(double size, double r, double g, double b, double cx,
+                  double cy) {
+  NodeAttr a;
+  a.size = size;
+  a.color = {r, g, b};
+  a.cx = cx;
+  a.cy = cy;
+  return a;
+}
+
+TEST(Rag, AddNodesAndEdges) {
+  Rag rag;
+  int a = rag.AddNode(MakeAttr(10, 0, 0, 0, 0, 0));
+  int b = rag.AddNode(MakeAttr(20, 0, 0, 0, 3, 4));
+  rag.AddEdge(a, b);
+  EXPECT_EQ(rag.NumNodes(), 2u);
+  EXPECT_EQ(rag.NumEdges(), 1u);
+  EXPECT_TRUE(rag.HasEdge(a, b));
+  EXPECT_TRUE(rag.HasEdge(b, a));
+  const SpatialEdgeAttr* e = rag.EdgeAttr(a, b);
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->distance, 5.0);  // 3-4-5 triangle
+  EXPECT_NEAR(e->orientation, std::atan2(4, 3), 1e-12);
+}
+
+TEST(Rag, BackEdgeOrientationIsReversed) {
+  Rag rag;
+  int a = rag.AddNode(MakeAttr(10, 0, 0, 0, 0, 0));
+  int b = rag.AddNode(MakeAttr(10, 0, 0, 0, 10, 0));
+  rag.AddEdge(a, b);
+  EXPECT_NEAR(rag.EdgeAttr(a, b)->orientation, 0.0, 1e-12);
+  EXPECT_NEAR(std::fabs(rag.EdgeAttr(b, a)->orientation), M_PI, 1e-9);
+}
+
+TEST(Rag, DuplicateEdgeIgnored) {
+  Rag rag;
+  int a = rag.AddNode(MakeAttr(1, 0, 0, 0, 0, 0));
+  int b = rag.AddNode(MakeAttr(1, 0, 0, 0, 1, 0));
+  rag.AddEdge(a, b);
+  rag.AddEdge(b, a);
+  EXPECT_EQ(rag.NumEdges(), 1u);
+}
+
+TEST(Rag, RejectsSelfLoopAndBadIds) {
+  Rag rag;
+  int a = rag.AddNode(MakeAttr(1, 0, 0, 0, 0, 0));
+  EXPECT_THROW(rag.AddEdge(a, a), std::invalid_argument);
+  EXPECT_THROW(rag.AddEdge(a, 5), std::out_of_range);
+}
+
+TEST(Rag, BuildFromSegmentationMatchesDefinition1) {
+  video::Frame f(20, 10, video::Rgb{0, 0, 0});
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 10; x < 20; ++x) f.At(x, y) = video::Rgb{255, 255, 255};
+  }
+  segment::SegmenterParams params;
+  params.use_mean_shift = false;
+  Rag rag = BuildRag(segment::SegmentFrame(f, params));
+  ASSERT_EQ(rag.NumNodes(), 2u);
+  EXPECT_EQ(rag.NumEdges(), 1u);
+  // Node attributes carry size, color, centroid.
+  double total_size = rag.node(0).size + rag.node(1).size;
+  EXPECT_DOUBLE_EQ(total_size, 200.0);
+  EXPECT_NEAR(rag.EdgeAttr(0, 1)->distance, 10.0, 1e-9);
+}
+
+TEST(Attributes, AngleDiffWrapsAround) {
+  EXPECT_NEAR(AngleDiff(3.0, -3.0), 2 * M_PI - 6.0, 1e-12);
+  EXPECT_NEAR(AngleDiff(0.5, 0.75), 0.25, 1e-12);
+  EXPECT_NEAR(AngleDiff(0.0, 2 * M_PI), 0.0, 1e-12);
+}
+
+TEST(Attributes, NodesCompatibleRespectsTolerances) {
+  AttrTolerance tol;
+  NodeAttr a = MakeAttr(100, 200, 0, 0, 10, 10);
+  NodeAttr same_ish = MakeAttr(110, 210, 5, 5, 12, 11);
+  NodeAttr far_away = MakeAttr(100, 200, 0, 0, 60, 10);
+  NodeAttr wrong_color = MakeAttr(100, 0, 200, 0, 10, 10);
+  NodeAttr wrong_size = MakeAttr(500, 200, 0, 0, 10, 10);
+  EXPECT_TRUE(NodesCompatible(a, a, tol));
+  EXPECT_TRUE(NodesCompatible(a, same_ish, tol));
+  EXPECT_FALSE(NodesCompatible(a, far_away, tol));
+  EXPECT_FALSE(NodesCompatible(a, wrong_color, tol));
+  EXPECT_FALSE(NodesCompatible(a, wrong_size, tol));
+}
+
+TEST(Attributes, EdgesCompatibleRespectsTolerances) {
+  AttrTolerance tol;
+  SpatialEdgeAttr e1{10.0, 0.0};
+  SpatialEdgeAttr e2{12.0, 0.3};
+  SpatialEdgeAttr too_long{30.0, 0.0};
+  SpatialEdgeAttr wrong_dir{10.0, 2.5};
+  EXPECT_TRUE(EdgesCompatible(e1, e2, tol));
+  EXPECT_FALSE(EdgesCompatible(e1, too_long, tol));
+  EXPECT_FALSE(EdgesCompatible(e1, wrong_dir, tol));
+}
+
+TEST(Neighborhood, StarOfCenterNode) {
+  Rag rag;
+  int hub = rag.AddNode(MakeAttr(10, 0, 0, 0, 0, 0));
+  int n1 = rag.AddNode(MakeAttr(20, 0, 0, 0, 5, 0));
+  int n2 = rag.AddNode(MakeAttr(30, 0, 0, 0, 0, 5));
+  int isolated = rag.AddNode(MakeAttr(40, 0, 0, 0, 9, 9));
+  rag.AddEdge(hub, n1);
+  rag.AddEdge(hub, n2);
+  rag.AddEdge(n1, n2);
+
+  NeighborhoodGraph ng = MakeNeighborhoodGraph(rag, hub);
+  EXPECT_EQ(ng.center, hub);
+  EXPECT_EQ(ng.neighbor_ids.size(), 2u);
+  EXPECT_EQ(ng.NumNodes(), 3u);
+  EXPECT_EQ(ng.neighbor_attrs.size(), ng.edge_attrs.size());
+
+  NeighborhoodGraph lonely = MakeNeighborhoodGraph(rag, isolated);
+  EXPECT_EQ(lonely.NumNodes(), 1u);
+
+  auto all = AllNeighborhoodGraphs(rag);
+  EXPECT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[static_cast<size_t>(n1)].neighbor_ids.size(), 2u);
+}
+
+}  // namespace
+}  // namespace strg::graph

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "distance/eged.h"
+#include "index/strg_index.h"
+#include "synth/generator.h"
+
+namespace strg::index {
+namespace {
+
+using dist::Sequence;
+
+std::vector<Sequence> MakeDb() {
+  synth::SynthParams params;
+  params.items_per_cluster = 4;
+  params.noise_pct = 8.0;
+  params.seed = 61;
+  return synth::GenerateSyntheticOgs(params).Sequences(
+      synth::SynthScaling());
+}
+
+StrgIndex BuildIndex(const std::vector<Sequence>& db) {
+  StrgIndexParams params;
+  params.num_clusters = 10;
+  params.cluster_params.max_iterations = 6;
+  StrgIndex idx(params);
+  idx.AddSegment(core::BackgroundGraph{}, db);
+  return idx;
+}
+
+TEST(IndexRemove, RemovedOgNoLongerRetrieved) {
+  auto db = MakeDb();
+  StrgIndex idx = BuildIndex(db);
+  ASSERT_EQ(idx.Remove(7), 1u);
+  EXPECT_EQ(idx.NumIndexedOgs(), db.size() - 1);
+  auto result = idx.Knn(db[7], 3);
+  for (const KnnHit& h : result.hits) {
+    EXPECT_NE(h.og_id, 7u);
+  }
+}
+
+TEST(IndexRemove, UnknownIdIsNoop) {
+  auto db = MakeDb();
+  StrgIndex idx = BuildIndex(db);
+  EXPECT_EQ(idx.Remove(999999), 0u);
+  EXPECT_EQ(idx.NumIndexedOgs(), db.size());
+}
+
+TEST(IndexRemove, RemainingAnswersStayExact) {
+  auto db = MakeDb();
+  StrgIndex idx = BuildIndex(db);
+  for (size_t id : {0ul, 5ul, 11ul, 60ul}) idx.Remove(id);
+
+  // Brute force over the surviving set.
+  const Sequence& q = db[20];
+  std::vector<KnnHit> expected;
+  for (size_t i = 0; i < db.size(); ++i) {
+    if (i == 0 || i == 5 || i == 11 || i == 60) continue;
+    expected.push_back({i, dist::EgedMetric(q, db[i])});
+  }
+  std::sort(expected.begin(), expected.end(),
+            [](const KnnHit& a, const KnnHit& b) {
+              return a.distance < b.distance;
+            });
+  auto got = idx.Knn(q, 5);
+  ASSERT_EQ(got.hits.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(got.hits[i].distance, expected[i].distance, 1e-9);
+  }
+}
+
+TEST(IndexRemove, EmptyingAClusterDropsIt) {
+  StrgIndexParams params;
+  params.num_clusters = 1;
+  StrgIndex idx(params);
+  Sequence s(6, dist::FeatureVec{});
+  idx.AddSegment(core::BackgroundGraph{}, {s, s}, {1, 2});
+  EXPECT_EQ(idx.NumClusters(), 1u);
+  EXPECT_EQ(idx.Remove(1), 1u);
+  EXPECT_EQ(idx.Remove(2), 1u);
+  EXPECT_EQ(idx.NumClusters(), 0u);
+  EXPECT_TRUE(idx.Knn(s, 1).hits.empty());
+}
+
+TEST(IndexRemove, DuplicateIdsAllRemoved) {
+  StrgIndexParams params;
+  params.num_clusters = 2;
+  StrgIndex idx(params);
+  auto db = MakeDb();
+  int root = idx.AddSegment(core::BackgroundGraph{},
+                            {db.begin(), db.begin() + 6});
+  idx.Insert(root, db[10], 3);  // id 3 now appears twice
+  EXPECT_EQ(idx.Remove(3), 2u);
+}
+
+}  // namespace
+}  // namespace strg::index

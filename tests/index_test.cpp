@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "distance/eged.h"
+#include "index/strg_index.h"
+#include "synth/generator.h"
+#include "util/random.h"
+
+namespace strg::index {
+namespace {
+
+using dist::Sequence;
+
+/// Brute-force k-NN under EGED_M for ground truth.
+std::vector<KnnHit> BruteForceKnn(const std::vector<Sequence>& db,
+                                  const Sequence& q, size_t k) {
+  std::vector<KnnHit> hits;
+  for (size_t i = 0; i < db.size(); ++i) {
+    hits.push_back({i, dist::EgedMetric(q, db[i])});
+  }
+  std::sort(hits.begin(), hits.end(), [](const KnnHit& a, const KnnHit& b) {
+    return a.distance < b.distance;
+  });
+  hits.resize(std::min(k, hits.size()));
+  return hits;
+}
+
+struct Workload {
+  std::vector<Sequence> db;
+  std::vector<Sequence> queries;
+};
+
+Workload MakeWorkload(size_t items_per_cluster = 6, uint64_t seed = 21) {
+  synth::SynthParams params;
+  params.items_per_cluster = items_per_cluster;
+  params.noise_pct = 8.0;
+  params.seed = seed;
+  synth::SynthDataset ds = synth::GenerateSyntheticOgs(params);
+  Workload w;
+  w.db = ds.Sequences(synth::SynthScaling());
+
+  synth::SynthParams qparams = params;
+  qparams.items_per_cluster = 1;
+  qparams.seed = seed + 1;
+  synth::SynthDataset qs = synth::GenerateSyntheticOgs(qparams);
+  auto all = qs.Sequences(synth::SynthScaling());
+  w.queries.assign(all.begin(), all.begin() + 12);
+  return w;
+}
+
+StrgIndexParams FastParams() {
+  StrgIndexParams p;
+  p.num_clusters = 12;  // skip the BIC sweep in unit tests
+  p.cluster_params.max_iterations = 8;
+  return p;
+}
+
+TEST(StrgIndex, BuildPopulatesThreeLevels) {
+  Workload w = MakeWorkload(4);
+  StrgIndex idx(FastParams());
+  int root = idx.AddSegment(core::BackgroundGraph{}, w.db);
+  EXPECT_EQ(root, 0);
+  EXPECT_EQ(idx.NumSegments(), 1u);
+  EXPECT_GT(idx.NumClusters(), 1u);
+  EXPECT_EQ(idx.NumIndexedOgs(), w.db.size());
+}
+
+TEST(StrgIndex, LeafKeysSortedAscending) {
+  Workload w = MakeWorkload(4);
+  StrgIndex idx(FastParams());
+  int root = idx.AddSegment(core::BackgroundGraph{}, w.db);
+  for (size_t c = 0; c < 3; ++c) {
+    auto keys = idx.LeafKeys(root, c);
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+    for (double k : keys) EXPECT_GE(k, 0.0);
+  }
+}
+
+TEST(StrgIndex, KnnMatchesBruteForce) {
+  Workload w = MakeWorkload(5);
+  StrgIndex idx(FastParams());
+  idx.AddSegment(core::BackgroundGraph{}, w.db);
+  for (const Sequence& q : w.queries) {
+    auto expected = BruteForceKnn(w.db, q, 5);
+    auto got = idx.Knn(q, 5);
+    ASSERT_EQ(got.hits.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR(got.hits[i].distance, expected[i].distance, 1e-9)
+          << "rank " << i;
+    }
+  }
+}
+
+TEST(StrgIndex, KnnPrunesDistanceComputations) {
+  Workload w = MakeWorkload(6);
+  StrgIndex idx(FastParams());
+  idx.AddSegment(core::BackgroundGraph{}, w.db);
+  size_t total = 0;
+  for (const Sequence& q : w.queries) {
+    total += idx.Knn(q, 5).distance_computations;
+  }
+  double avg = static_cast<double>(total) / w.queries.size();
+  // Pruning must beat a linear scan (db size + centroid comparisons).
+  EXPECT_LT(avg, 0.8 * static_cast<double>(w.db.size()));
+}
+
+TEST(StrgIndex, KnnRespectsK) {
+  Workload w = MakeWorkload(3);
+  StrgIndex idx(FastParams());
+  idx.AddSegment(core::BackgroundGraph{}, w.db);
+  EXPECT_EQ(idx.Knn(w.queries[0], 1).hits.size(), 1u);
+  EXPECT_EQ(idx.Knn(w.queries[0], 7).hits.size(), 7u);
+  EXPECT_TRUE(idx.Knn(w.queries[0], 0).hits.empty());
+  auto all = idx.Knn(w.queries[0], w.db.size() + 50);
+  EXPECT_EQ(all.hits.size(), w.db.size());
+}
+
+TEST(StrgIndex, HitsAscendingAndUnique) {
+  Workload w = MakeWorkload(4);
+  StrgIndex idx(FastParams());
+  idx.AddSegment(core::BackgroundGraph{}, w.db);
+  auto result = idx.Knn(w.queries[0], 10);
+  std::set<size_t> ids;
+  double prev = -1.0;
+  for (const KnnHit& h : result.hits) {
+    EXPECT_GE(h.distance, prev);
+    prev = h.distance;
+    ids.insert(h.og_id);
+  }
+  EXPECT_EQ(ids.size(), result.hits.size());
+}
+
+TEST(StrgIndex, InsertThenFindable) {
+  Workload w = MakeWorkload(3);
+  StrgIndex idx(FastParams());
+  int root = idx.AddSegment(core::BackgroundGraph{}, w.db);
+  Sequence novel = w.queries[0];
+  idx.Insert(root, novel, 9999);
+  auto result = idx.Knn(novel, 1);
+  ASSERT_EQ(result.hits.size(), 1u);
+  EXPECT_EQ(result.hits[0].og_id, 9999u);
+  EXPECT_NEAR(result.hits[0].distance, 0.0, 1e-9);
+}
+
+TEST(StrgIndex, InsertIntoEmptySegmentCreatesCluster) {
+  StrgIndex idx(FastParams());
+  int root = idx.AddSegment(core::BackgroundGraph{}, {});
+  EXPECT_EQ(idx.NumClusters(), 0u);
+  Sequence s(6, dist::FeatureVec{});
+  idx.Insert(root, s, 1);
+  EXPECT_EQ(idx.NumClusters(), 1u);
+  EXPECT_EQ(idx.Knn(s, 1).hits[0].og_id, 1u);
+}
+
+TEST(StrgIndex, LeafSplitKeepsAllEntriesSearchable) {
+  // Build a genuinely bimodal overfull leaf: OGs from just two distant
+  // moving patterns. The Section 5.3 split test (EM K=2 vs K=1 by BIC)
+  // must split it; a 48-pattern hodgepodge would rightly NOT split, since
+  // its per-half sigma barely shrinks.
+  synth::SynthParams sp;
+  sp.items_per_cluster = 30;
+  sp.noise_pct = 4.0;
+  sp.seed = 5;
+  synth::SynthDataset ds = synth::GenerateSyntheticOgs(sp);
+  auto all = ds.Sequences(synth::SynthScaling());
+  std::vector<dist::Sequence> two_patterns;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (ds.labels[i] == 0 || ds.labels[i] == 10) {
+      two_patterns.push_back(all[i]);  // opposite vertical lanes
+    }
+  }
+  ASSERT_EQ(two_patterns.size(), 60u);
+
+  StrgIndexParams params = FastParams();
+  params.num_clusters = 1;           // force everything into one leaf
+  params.leaf_split_threshold = 16;  // then make it split on inserts
+  StrgIndex idx(params);
+  int root = idx.AddSegment(core::BackgroundGraph{},
+                            {two_patterns.begin(), two_patterns.begin() + 10});
+  for (size_t i = 10; i < two_patterns.size(); ++i) {
+    idx.Insert(root, two_patterns[i], i);
+  }
+  EXPECT_EQ(idx.NumIndexedOgs(), 60u);
+  EXPECT_GT(idx.NumClusters(), 1u);  // at least one split happened
+  // Every inserted OG is still retrievable as its own nearest neighbor.
+  for (size_t i = 10; i < two_patterns.size(); i += 7) {
+    auto r = idx.Knn(two_patterns[i], 1);
+    ASSERT_EQ(r.hits.size(), 1u);
+    EXPECT_NEAR(r.hits[0].distance, 0.0, 1e-9);
+  }
+}
+
+TEST(StrgIndex, MultipleSegmentsSearchedWithoutBg) {
+  Workload w = MakeWorkload(3);
+  StrgIndex idx(FastParams());
+  size_t half = w.db.size() / 2;
+  std::vector<Sequence> first(w.db.begin(), w.db.begin() + half);
+  std::vector<Sequence> second(w.db.begin() + half, w.db.end());
+  std::vector<size_t> ids2;
+  for (size_t i = half; i < w.db.size(); ++i) ids2.push_back(i);
+  idx.AddSegment(core::BackgroundGraph{}, first);
+  idx.AddSegment(core::BackgroundGraph{}, second, ids2);
+  EXPECT_EQ(idx.NumSegments(), 2u);
+
+  auto expected = BruteForceKnn(w.db, w.queries[0], 5);
+  auto got = idx.Knn(w.queries[0], 5);
+  ASSERT_EQ(got.hits.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(got.hits[i].distance, expected[i].distance, 1e-9);
+  }
+}
+
+TEST(StrgIndex, BgRoutingPicksMatchingSegment) {
+  // Two segments with distinguishable backgrounds; a query BG matching the
+  // second must be routed there (Algorithm 3 step 2).
+  graph::NodeAttr bg_a;
+  bg_a.size = 500;
+  bg_a.color = {10, 10, 10};
+  bg_a.cx = 40;
+  bg_a.cy = 30;
+  graph::NodeAttr bg_b = bg_a;
+  bg_b.color = {240, 240, 240};
+
+  core::BackgroundGraph bga, bgb;
+  bga.rag.AddNode(bg_a);
+  bgb.rag.AddNode(bg_b);
+
+  Workload w = MakeWorkload(3);
+  StrgIndex idx(FastParams());
+  size_t half = w.db.size() / 2;
+  idx.AddSegment(bga, {w.db.begin(), w.db.begin() + half});
+  std::vector<size_t> ids2;
+  for (size_t i = half; i < w.db.size(); ++i) ids2.push_back(i);
+  idx.AddSegment(bgb, {w.db.begin() + half, w.db.end()}, ids2);
+
+  auto result = idx.Knn(w.db[half + 3], w.db.size(), &bgb);
+  // Only the second segment's OGs are reachable through BG routing.
+  for (const KnnHit& h : result.hits) {
+    EXPECT_GE(h.og_id, half);
+  }
+}
+
+TEST(StrgIndex, SizeBytesTracksContent) {
+  Workload w = MakeWorkload(3);
+  StrgIndex empty(FastParams());
+  StrgIndex idx(FastParams());
+  idx.AddSegment(core::BackgroundGraph{}, w.db);
+  EXPECT_EQ(empty.SizeBytes(), 0u);
+  EXPECT_GT(idx.SizeBytes(), 0u);
+}
+
+TEST(StrgIndex, BicDrivenClusterCountIsReasonable) {
+  // With auto-K (BIC), the index should find more than one cluster on
+  // multi-pattern data.
+  synth::SynthParams sp;
+  sp.items_per_cluster = 2;
+  sp.noise_pct = 5.0;
+  synth::SynthDataset ds = synth::GenerateSyntheticOgs(sp);
+  StrgIndexParams params;
+  params.num_clusters = 0;
+  params.k_min = 2;
+  params.k_max = 8;
+  params.cluster_params.max_iterations = 6;
+  StrgIndex idx(params);
+  idx.AddSegment(core::BackgroundGraph{}, ds.Sequences(synth::SynthScaling()));
+  EXPECT_GE(idx.NumClusters(), 2u);
+  EXPECT_LE(idx.NumClusters(), 8u);
+}
+
+TEST(PaperIndexSize, Equation10SmallerThanEquation9) {
+  // Build a tiny decomposition by hand: 3 OGs + a BG; with many frames the
+  // Eq. 9 STRG size must dwarf the Eq. 10 index size (Table 2's 10-15x).
+  core::Decomposition d;
+  for (int i = 0; i < 3; ++i) {
+    core::Og og;
+    og.sequence.resize(20);
+    d.object_graphs.push_back(og);
+  }
+  graph::NodeAttr attr;
+  for (int i = 0; i < 10; ++i) d.background.rag.AddNode(attr);
+  size_t strg_size = core::PaperStrgSizeBytes(d, 1000);
+  size_t index_size = PaperIndexSizeBytes(d, 2);
+  EXPECT_GT(strg_size, 10 * index_size);
+}
+
+}  // namespace
+}  // namespace strg::index

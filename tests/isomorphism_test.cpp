@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "graph/common_subgraph.h"
+#include "graph/isomorphism.h"
+#include "graph/neighborhood.h"
+#include "graph/rag.h"
+
+namespace strg::graph {
+namespace {
+
+NodeAttr MakeAttr(double size, double gray, double cx, double cy) {
+  NodeAttr a;
+  a.size = size;
+  a.color = {gray, gray, gray};
+  a.cx = cx;
+  a.cy = cy;
+  return a;
+}
+
+/// Triangle with distinct node sizes.
+Rag Triangle(double dx = 0.0, double dy = 0.0) {
+  Rag g;
+  int a = g.AddNode(MakeAttr(10, 100, 0 + dx, 0 + dy));
+  int b = g.AddNode(MakeAttr(20, 100, 6 + dx, 0 + dy));
+  int c = g.AddNode(MakeAttr(30, 100, 0 + dx, 6 + dy));
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  g.AddEdge(a, c);
+  return g;
+}
+
+TEST(Isomorphism, GraphIsIsomorphicToItself) {
+  Rag g = Triangle();
+  EXPECT_TRUE(AreIsomorphic(g, g, AttrTolerance{}));
+}
+
+TEST(Isomorphism, SlightlyShiftedCopyIsIsomorphic) {
+  EXPECT_TRUE(AreIsomorphic(Triangle(), Triangle(2.0, 1.0), AttrTolerance{}));
+}
+
+TEST(Isomorphism, FarShiftBreaksIsomorphismUnderPositionTolerance) {
+  EXPECT_FALSE(
+      AreIsomorphic(Triangle(), Triangle(100.0, 0.0), AttrTolerance{}));
+}
+
+TEST(Isomorphism, DifferentNodeCountNotIsomorphic) {
+  Rag g = Triangle();
+  Rag h = Triangle();
+  h.AddNode(MakeAttr(10, 100, 3, 3));
+  EXPECT_FALSE(AreIsomorphic(g, h, AttrTolerance{}));
+}
+
+TEST(Isomorphism, ExtraEdgeBreaksExactIsomorphism) {
+  // Path a-b-c vs triangle: same nodes, different edge sets.
+  Rag path;
+  int a = path.AddNode(MakeAttr(10, 100, 0, 0));
+  int b = path.AddNode(MakeAttr(20, 100, 6, 0));
+  int c = path.AddNode(MakeAttr(30, 100, 0, 6));
+  path.AddEdge(a, b);
+  path.AddEdge(b, c);
+  EXPECT_FALSE(AreIsomorphic(path, Triangle(), AttrTolerance{}));
+}
+
+TEST(SubgraphIsomorphism, EdgeSubsetIsSubgraphIsomorphic) {
+  // A single edge pattern embeds in the triangle (Definition 5).
+  Rag pattern;
+  int a = pattern.AddNode(MakeAttr(10, 100, 0, 0));
+  int b = pattern.AddNode(MakeAttr(20, 100, 6, 0));
+  pattern.AddEdge(a, b);
+  EXPECT_TRUE(IsSubgraphIsomorphic(pattern, Triangle(), AttrTolerance{}));
+}
+
+TEST(SubgraphIsomorphism, LargerPatternCannotEmbed) {
+  Rag big = Triangle();
+  big.AddNode(MakeAttr(40, 100, 3, 3));
+  EXPECT_FALSE(IsSubgraphIsomorphic(big, Triangle(), AttrTolerance{}));
+}
+
+TEST(SubgraphIsomorphism, IncompatibleAttributesBlockEmbedding) {
+  Rag pattern;
+  pattern.AddNode(MakeAttr(500, 100, 0, 0));  // no triangle node this big
+  EXPECT_FALSE(IsSubgraphIsomorphic(pattern, Triangle(), AttrTolerance{}));
+}
+
+NeighborhoodGraph StarOf(const Rag& g, int center) {
+  return MakeNeighborhoodGraph(g, center);
+}
+
+TEST(NeighborhoodIsomorphism, MatchingStars) {
+  Rag g = Triangle();
+  Rag h = Triangle(1.0, 0.5);
+  EXPECT_TRUE(
+      NeighborhoodGraphsIsomorphic(StarOf(g, 0), StarOf(h, 0), AttrTolerance{}));
+}
+
+TEST(NeighborhoodIsomorphism, DifferentDegreeFails) {
+  Rag g = Triangle();
+  Rag h = Triangle();
+  int extra = h.AddNode(MakeAttr(15, 100, 3, 3));
+  h.AddEdge(0, extra);
+  EXPECT_FALSE(
+      NeighborhoodGraphsIsomorphic(StarOf(g, 0), StarOf(h, 0), AttrTolerance{}));
+}
+
+TEST(NeighborhoodIsomorphism, IncompatibleCenterFails) {
+  Rag g = Triangle();
+  Rag h = Triangle();
+  h.node(0).size = 900;
+  EXPECT_FALSE(
+      NeighborhoodGraphsIsomorphic(StarOf(g, 0), StarOf(h, 0), AttrTolerance{}));
+}
+
+TEST(CommonSubgraph, IdenticalGraphsShareAllNodes) {
+  Rag g = Triangle();
+  EXPECT_EQ(MostCommonSubgraphSize(g, g, AttrTolerance{}), 3u);
+}
+
+TEST(CommonSubgraph, DisjointAttributeSpacesShareNothing) {
+  Rag g = Triangle();
+  Rag far = Triangle(500.0, 500.0);
+  EXPECT_EQ(MostCommonSubgraphSize(g, far, AttrTolerance{}), 0u);
+}
+
+TEST(CommonSubgraph, PartialOverlap) {
+  // Second graph keeps two triangle nodes, moves the third out of reach.
+  Rag h;
+  int a = h.AddNode(MakeAttr(10, 100, 0, 0));
+  int b = h.AddNode(MakeAttr(20, 100, 6, 0));
+  int c = h.AddNode(MakeAttr(30, 100, 400, 400));
+  h.AddEdge(a, b);
+  h.AddEdge(b, c);
+  h.AddEdge(a, c);
+  size_t common = MostCommonSubgraphSize(Triangle(), h, AttrTolerance{});
+  EXPECT_EQ(common, 2u);
+}
+
+TEST(SimGraph, IdenticalNeighborhoodsScoreOne) {
+  Rag g = Triangle();
+  EXPECT_DOUBLE_EQ(SimGraph(StarOf(g, 0), StarOf(g, 0), AttrTolerance{}), 1.0);
+}
+
+TEST(SimGraph, AgreesWithCliqueBasedMcsOnStars) {
+  // Cross-check the fast star-specialized SimGraph against the generic
+  // association-graph + Bron-Kerbosch MCS (Definition 6).
+  Rag g = Triangle();
+  Rag h = Triangle(1.0, 1.0);
+  h.node(2).size = 900;  // one neighbor becomes incompatible
+  for (int center = 0; center < 2; ++center) {
+    NeighborhoodGraph ng = StarOf(g, center);
+    NeighborhoodGraph nh = StarOf(h, center);
+    size_t mcs = MostCommonSubgraphSize(NeighborhoodToRag(ng),
+                                        NeighborhoodToRag(nh),
+                                        AttrTolerance{});
+    double expected = static_cast<double>(mcs) /
+                      static_cast<double>(std::min(ng.NumNodes(),
+                                                   nh.NumNodes()));
+    EXPECT_DOUBLE_EQ(SimGraph(ng, nh, AttrTolerance{}), expected)
+        << "center " << center;
+  }
+}
+
+TEST(SimGraph, ScoreDropsWithNeighborMismatch) {
+  Rag g = Triangle();
+  Rag h = Triangle();
+  h.node(1).color = {0, 0, 0};  // neighbor color now incompatible
+  double sim = SimGraph(StarOf(g, 0), StarOf(h, 0), AttrTolerance{});
+  EXPECT_LT(sim, 1.0);
+  EXPECT_GT(sim, 0.0);
+}
+
+}  // namespace
+}  // namespace strg::graph

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "distance/eged.h"
+#include "mtree/mtree.h"
+#include "synth/generator.h"
+
+namespace strg::mtree {
+namespace {
+
+using dist::Sequence;
+
+/// Parameter sweep: node capacity x promotion policy. The M-tree must stay
+/// correct (exact k-NN, valid invariants) for every configuration.
+class MTreeCapacityTest
+    : public ::testing::TestWithParam<std::tuple<size_t, Promotion>> {};
+
+TEST_P(MTreeCapacityTest, ExactKnnAndInvariants) {
+  auto [capacity, promotion] = GetParam();
+
+  synth::SynthParams sp;
+  sp.items_per_cluster = 4;
+  sp.noise_pct = 10.0;
+  sp.seed = 17;
+  auto db = synth::GenerateSyntheticOgs(sp).Sequences(synth::SynthScaling());
+
+  dist::EgedMetricDistance metric;
+  MTreeParams params;
+  params.node_capacity = capacity;
+  params.promotion = promotion;
+  MTree tree(&metric, params);
+  for (size_t i = 0; i < db.size(); ++i) tree.Insert(db[i], i);
+
+  EXPECT_EQ(tree.Size(), db.size());
+  EXPECT_NO_THROW(tree.CheckInvariants());
+
+  // Exactness against brute force for a few queries.
+  for (size_t qi : {3ul, 50ul, 150ul}) {
+    std::vector<std::pair<double, size_t>> expected;
+    for (size_t i = 0; i < db.size(); ++i) {
+      expected.emplace_back(dist::EgedMetric(db[qi], db[i]), i);
+    }
+    std::sort(expected.begin(), expected.end());
+    auto got = tree.Knn(db[qi], 4);
+    ASSERT_EQ(got.hits.size(), 4u);
+    for (size_t r = 0; r < 4; ++r) {
+      EXPECT_NEAR(got.hits[r].distance, expected[r].first, 1e-9)
+          << "capacity " << capacity << " rank " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MTreeCapacityTest,
+    ::testing::Combine(::testing::Values(4u, 8u, 16u, 32u),
+                       ::testing::Values(Promotion::kRandom,
+                                         Promotion::kSampling)));
+
+}  // namespace
+}  // namespace strg::mtree

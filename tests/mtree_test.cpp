@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "distance/eged.h"
+#include "mtree/mtree.h"
+#include "synth/generator.h"
+
+namespace strg::mtree {
+namespace {
+
+using dist::Sequence;
+
+std::vector<Sequence> MakeDb(size_t items_per_cluster = 5,
+                             uint64_t seed = 31) {
+  synth::SynthParams params;
+  params.items_per_cluster = items_per_cluster;
+  params.noise_pct = 8.0;
+  params.seed = seed;
+  return synth::GenerateSyntheticOgs(params).Sequences(
+      synth::SynthScaling());
+}
+
+std::vector<MTreeHit> BruteForce(const std::vector<Sequence>& db,
+                                 const Sequence& q, size_t k) {
+  std::vector<MTreeHit> hits;
+  for (size_t i = 0; i < db.size(); ++i) {
+    hits.push_back({i, dist::EgedMetric(q, db[i])});
+  }
+  std::sort(hits.begin(), hits.end(), [](const MTreeHit& a, const MTreeHit& b) {
+    return a.distance < b.distance;
+  });
+  hits.resize(std::min(k, hits.size()));
+  return hits;
+}
+
+class MTreePromotionTest : public ::testing::TestWithParam<Promotion> {};
+
+TEST_P(MTreePromotionTest, InvariantsHoldAfterBulkInsert) {
+  auto db = MakeDb(4);
+  dist::EgedMetricDistance metric;
+  MTreeParams params;
+  params.promotion = GetParam();
+  params.node_capacity = 8;
+  MTree tree(&metric, params);
+  for (size_t i = 0; i < db.size(); ++i) tree.Insert(db[i], i);
+  EXPECT_EQ(tree.Size(), db.size());
+  EXPECT_GT(tree.Height(), 1u);
+  EXPECT_NO_THROW(tree.CheckInvariants());
+}
+
+TEST_P(MTreePromotionTest, KnnMatchesBruteForce) {
+  auto db = MakeDb(4);
+  dist::EgedMetricDistance metric;
+  MTreeParams params;
+  params.promotion = GetParam();
+  MTree tree(&metric, params);
+  for (size_t i = 0; i < db.size(); ++i) tree.Insert(db[i], i);
+
+  auto queries = MakeDb(1, 77);
+  for (size_t qi = 0; qi < 10; ++qi) {
+    auto expected = BruteForce(db, queries[qi], 5);
+    auto got = tree.Knn(queries[qi], 5);
+    ASSERT_EQ(got.hits.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR(got.hits[i].distance, expected[i].distance, 1e-9)
+          << "query " << qi << " rank " << i;
+    }
+  }
+}
+
+TEST_P(MTreePromotionTest, KnnPrunesAgainstLinearScan) {
+  auto db = MakeDb(6);
+  dist::EgedMetricDistance metric;
+  MTreeParams params;
+  params.promotion = GetParam();
+  MTree tree(&metric, params);
+  for (size_t i = 0; i < db.size(); ++i) tree.Insert(db[i], i);
+
+  auto queries = MakeDb(1, 79);
+  size_t total = 0;
+  for (size_t qi = 0; qi < 10; ++qi) {
+    total += tree.Knn(queries[qi], 5).distance_computations;
+  }
+  EXPECT_LT(total / 10, db.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, MTreePromotionTest,
+                         ::testing::Values(Promotion::kRandom,
+                                           Promotion::kSampling));
+
+TEST(MTree, EmptyTreeKnn) {
+  dist::EgedMetricDistance metric;
+  MTree tree(&metric);
+  Sequence q(4, dist::FeatureVec{});
+  EXPECT_TRUE(tree.Knn(q, 3).hits.empty());
+  EXPECT_EQ(tree.Size(), 0u);
+  EXPECT_EQ(tree.Height(), 1u);
+}
+
+TEST(MTree, SingleElement) {
+  dist::EgedMetricDistance metric;
+  MTree tree(&metric);
+  Sequence s(4, dist::FeatureVec{});
+  tree.Insert(s, 42);
+  auto r = tree.Knn(s, 3);
+  ASSERT_EQ(r.hits.size(), 1u);
+  EXPECT_EQ(r.hits[0].id, 42u);
+  EXPECT_NEAR(r.hits[0].distance, 0.0, 1e-12);
+}
+
+TEST(MTree, KnnReturnsKUniqueIds) {
+  auto db = MakeDb(3);
+  dist::EgedMetricDistance metric;
+  MTree tree(&metric);
+  for (size_t i = 0; i < db.size(); ++i) tree.Insert(db[i], i);
+  auto r = tree.Knn(db[0], 9);
+  ASSERT_EQ(r.hits.size(), 9u);
+  std::set<size_t> ids;
+  for (const MTreeHit& h : r.hits) ids.insert(h.id);
+  EXPECT_EQ(ids.size(), 9u);
+  EXPECT_EQ(r.hits[0].id, 0u);  // the object itself is its own 1-NN
+}
+
+TEST(MTree, RangeSearchFindsAllWithinRadius) {
+  auto db = MakeDb(3);
+  dist::EgedMetricDistance metric;
+  MTree tree(&metric);
+  for (size_t i = 0; i < db.size(); ++i) tree.Insert(db[i], i);
+
+  const Sequence& q = db[7];
+  double radius = 15.0;
+  std::set<size_t> expected;
+  for (size_t i = 0; i < db.size(); ++i) {
+    if (dist::EgedMetric(q, db[i]) <= radius) expected.insert(i);
+  }
+  auto r = tree.RangeSearch(q, radius);
+  std::set<size_t> got;
+  for (const MTreeHit& h : r.hits) {
+    got.insert(h.id);
+    EXPECT_LE(h.distance, radius + 1e-9);
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(MTree, RangeSearchZeroRadiusFindsSelf) {
+  auto db = MakeDb(2);
+  dist::EgedMetricDistance metric;
+  MTree tree(&metric);
+  for (size_t i = 0; i < db.size(); ++i) tree.Insert(db[i], i);
+  auto r = tree.RangeSearch(db[5], 1e-9);
+  ASSERT_GE(r.hits.size(), 1u);
+  EXPECT_EQ(r.hits[0].id, 5u);
+}
+
+TEST(MTree, SamplingBuildCostsMoreThanRandom) {
+  // MT-SA evaluates candidate promotion pairs, so building must spend more
+  // distance computations than MT-RA (this is the Figure 7a trade-off).
+  auto db = MakeDb(4);
+  dist::EgedMetricDistance metric;
+
+  MTreeParams ra;
+  ra.promotion = Promotion::kRandom;
+  MTree tree_ra(&metric, ra);
+  for (size_t i = 0; i < db.size(); ++i) tree_ra.Insert(db[i], i);
+
+  MTreeParams sa;
+  sa.promotion = Promotion::kSampling;
+  MTree tree_sa(&metric, sa);
+  for (size_t i = 0; i < db.size(); ++i) tree_sa.Insert(db[i], i);
+
+  EXPECT_GT(tree_sa.TotalDistanceComputations(),
+            tree_ra.TotalDistanceComputations());
+}
+
+TEST(MTree, DuplicateObjectsSupported) {
+  dist::EgedMetricDistance metric;
+  MTreeParams params;
+  params.node_capacity = 4;
+  MTree tree(&metric, params);
+  Sequence s(5, dist::FeatureVec{});
+  for (size_t i = 0; i < 20; ++i) tree.Insert(s, i);
+  EXPECT_NO_THROW(tree.CheckInvariants());
+  auto r = tree.Knn(s, 20);
+  EXPECT_EQ(r.hits.size(), 20u);
+  for (const MTreeHit& h : r.hits) EXPECT_NEAR(h.distance, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace strg::mtree

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "video/scenes.h"
+
+namespace strg::api {
+namespace {
+
+PipelineParams FastPipeline() {
+  PipelineParams p;
+  p.segmenter.use_mean_shift = false;  // synthetic frames are clean enough
+  return p;
+}
+
+video::SceneSpec SmallLab(int num_objects, uint64_t seed = 7) {
+  video::SceneParams sp;
+  sp.num_objects = num_objects;
+  sp.noise_stddev = 0.0;
+  sp.seed = seed;
+  return video::MakeLabScene(sp);
+}
+
+TEST(Pipeline, ExtractsOneOgPerSceneObject) {
+  // Non-overlapping objects: spawn gap >= lifetime.
+  video::SceneParams sp;
+  sp.num_objects = 3;
+  sp.object_lifetime = 16;
+  sp.spawn_gap = 20;
+  sp.noise_stddev = 0.0;
+  video::SceneSpec scene = video::MakeLabScene(sp);
+
+  SegmentResult result = ProcessScene(scene, FastPipeline());
+  EXPECT_EQ(result.num_frames, static_cast<size_t>(scene.num_frames));
+  // Each person (3 co-moving parts) should merge into one OG.
+  EXPECT_EQ(result.decomposition.object_graphs.size(), 3u);
+  for (const core::Og& og : result.decomposition.object_graphs) {
+    EXPECT_GE(og.member_orgs.size(), 2u);  // parts were merged
+    EXPECT_GE(og.Length(), 8u);            // tracked over most of its life
+  }
+}
+
+TEST(Pipeline, BackgroundGraphIsSubstantial) {
+  SegmentResult result = ProcessScene(SmallLab(2), FastPipeline());
+  // Checker tiles + furniture: the BG must keep several regions.
+  EXPECT_GE(result.decomposition.background.rag.NumNodes(), 4u);
+}
+
+TEST(Pipeline, OgSequencesScaleWithFrameGeometry) {
+  SegmentResult result = ProcessScene(SmallLab(2), FastPipeline());
+  auto seqs = result.ObjectSequences();
+  ASSERT_EQ(seqs.size(), result.decomposition.object_graphs.size());
+  for (const auto& seq : seqs) {
+    for (const auto& v : seq) {
+      // Normalized features stay in sane ranges.
+      for (double x : v) {
+        EXPECT_GE(x, -1e-9);
+        EXPECT_LE(x, 20.0);
+      }
+    }
+  }
+}
+
+TEST(Pipeline, StreamingMatchesBatch) {
+  video::SceneSpec scene = SmallLab(2);
+  VideoPipeline streaming(FastPipeline());
+  for (int t = 0; t < scene.num_frames; ++t) {
+    EXPECT_EQ(streaming.PushFrame(video::RenderFrame(scene, t)), t);
+  }
+  SegmentResult a = streaming.Finish();
+  SegmentResult b = ProcessScene(scene, FastPipeline());
+  EXPECT_EQ(a.num_frames, b.num_frames);
+  EXPECT_EQ(a.decomposition.object_graphs.size(),
+            b.decomposition.object_graphs.size());
+  EXPECT_EQ(a.strg_size_bytes, b.strg_size_bytes);
+}
+
+TEST(Pipeline, WorksWithMeanShiftOnNoisyVideo) {
+  video::SceneParams sp;
+  sp.num_objects = 1;
+  sp.object_lifetime = 12;
+  sp.noise_stddev = 2.5;
+  video::SceneSpec scene = video::MakeLabScene(sp);
+  PipelineParams params;  // mean-shift enabled
+  SegmentResult result = ProcessScene(scene, params);
+  EXPECT_GE(result.decomposition.object_graphs.size(), 1u);
+}
+
+TEST(Pipeline, Equation9SizeRelation) {
+  SegmentResult result = ProcessScene(SmallLab(2), FastPipeline());
+  size_t eq9 = core::PaperStrgSizeBytes(result.decomposition,
+                                        result.num_frames);
+  // The per-frame raw STRG and the Eq. 9 accounting are both dominated by
+  // N copies of the background; they agree within an order of magnitude.
+  EXPECT_GT(eq9, 0u);
+  EXPECT_GT(result.strg_size_bytes, 0u);
+}
+
+TEST(Pipeline, TrafficSceneProducesHorizontalOgs) {
+  video::SceneParams sp;
+  sp.num_objects = 3;
+  sp.object_lifetime = 16;
+  sp.spawn_gap = 20;
+  sp.noise_stddev = 0.0;
+  video::SceneSpec scene = video::MakeTrafficScene(sp);
+  SegmentResult result = ProcessScene(scene, FastPipeline());
+  ASSERT_GE(result.decomposition.object_graphs.size(), 2u);
+  for (const core::Og& og : result.decomposition.object_graphs) {
+    double dy = og.sequence.back().cy - og.sequence.front().cy;
+    double dx = og.sequence.back().cx - og.sequence.front().cx;
+    EXPECT_GT(std::abs(dx), std::abs(dy));  // vehicles move horizontally
+  }
+}
+
+}  // namespace
+}  // namespace strg::api

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "video/ppm_io.h"
+#include "video/renderer.h"
+#include "video/scenes.h"
+
+namespace strg::video {
+namespace {
+
+TEST(PpmIo, ParsesAsciiP3) {
+  std::string ppm = "P3\n2 1\n255\n255 0 0 0 255 0\n";
+  Frame f = ParsePpm(ppm);
+  EXPECT_EQ(f.width(), 2);
+  EXPECT_EQ(f.height(), 1);
+  EXPECT_EQ(f.At(0, 0), (Rgb{255, 0, 0}));
+  EXPECT_EQ(f.At(1, 0), (Rgb{0, 255, 0}));
+}
+
+TEST(PpmIo, ParsesCommentsAndWhitespace) {
+  std::string ppm = "P3 # magic\n# a comment line\n 2   2 \n255\n"
+                    "1 2 3 4 5 6\n7 8 9 10 11 12\n";
+  Frame f = ParsePpm(ppm);
+  EXPECT_EQ(f.At(1, 1), (Rgb{10, 11, 12}));
+}
+
+TEST(PpmIo, RoundTripsFrameToPpmOutput) {
+  SceneParams sp;
+  sp.num_objects = 1;
+  Frame original = RenderFrame(MakeLabScene(sp), 5);
+  Frame back = ParsePpm(original.ToPpm());
+  EXPECT_EQ(back.pixels(), original.pixels());
+}
+
+TEST(PpmIo, BinaryP6FileRoundTrip) {
+  SceneParams sp;
+  sp.num_objects = 2;
+  Frame original = RenderFrame(MakeTrafficScene(sp), 8);
+  std::string path = ::testing::TempDir() + "/strg_ppm_test.ppm";
+  SavePpm(original, path);
+  Frame back = LoadPpm(path);
+  EXPECT_EQ(back.pixels(), original.pixels());
+  std::remove(path.c_str());
+}
+
+TEST(PpmIo, RejectsMalformedInput) {
+  EXPECT_THROW(ParsePpm("P5\n2 2\n255\n"), std::runtime_error);   // PGM
+  EXPECT_THROW(ParsePpm("P3\n2 2\n70000\n"), std::runtime_error);  // 16-bit
+  EXPECT_THROW(ParsePpm("P3\n2 2\n255\n1 2"), std::runtime_error);  // short
+  EXPECT_THROW(ParsePpm("P6\n4 4\n255\nxy"), std::runtime_error);  // short
+  EXPECT_THROW(ParsePpm(""), std::runtime_error);
+}
+
+TEST(PpmIo, LoadsDirectorySorted) {
+  std::string dir = ::testing::TempDir() + "/strg_ppm_seq";
+  std::filesystem::create_directories(dir);
+  SceneParams sp;
+  sp.num_objects = 1;
+  SceneSpec scene = MakeLabScene(sp);
+  for (int t = 0; t < 3; ++t) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "%s/frame%03d.ppm", dir.c_str(), t);
+    SavePpm(RenderFrame(scene, t), name);
+  }
+  auto frames = LoadPpmDirectory(dir);
+  ASSERT_EQ(frames.size(), 3u);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(frames[static_cast<size_t>(t)].pixels(),
+              RenderFrame(scene, t).pixels());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace strg::video

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "distance/eged.h"
+#include "index/strg_index.h"
+#include "synth/generator.h"
+
+namespace strg::index {
+namespace {
+
+using dist::Sequence;
+
+std::vector<Sequence> MakeDb(uint64_t seed = 51) {
+  synth::SynthParams params;
+  params.items_per_cluster = 5;
+  params.noise_pct = 8.0;
+  params.seed = seed;
+  return synth::GenerateSyntheticOgs(params).Sequences(
+      synth::SynthScaling());
+}
+
+StrgIndex BuildIndex(const std::vector<Sequence>& db) {
+  StrgIndexParams params;
+  params.num_clusters = 12;
+  params.cluster_params.max_iterations = 6;
+  StrgIndex idx(params);
+  idx.AddSegment(core::BackgroundGraph{}, db);
+  return idx;
+}
+
+TEST(RangeSearch, MatchesBruteForce) {
+  auto db = MakeDb();
+  StrgIndex idx = BuildIndex(db);
+  for (double radius : {5.0, 20.0, 60.0}) {
+    for (size_t qi : {0ul, 17ul, 101ul}) {
+      std::set<size_t> expected;
+      for (size_t i = 0; i < db.size(); ++i) {
+        if (dist::EgedMetric(db[qi], db[i]) <= radius) expected.insert(i);
+      }
+      auto result = idx.RangeSearch(db[qi], radius);
+      std::set<size_t> got;
+      for (const KnnHit& h : result.hits) {
+        got.insert(h.og_id);
+        EXPECT_LE(h.distance, radius + 1e-9);
+      }
+      EXPECT_EQ(got, expected) << "radius " << radius << " query " << qi;
+    }
+  }
+}
+
+TEST(RangeSearch, ResultsSortedAscending) {
+  auto db = MakeDb();
+  StrgIndex idx = BuildIndex(db);
+  auto result = idx.RangeSearch(db[3], 50.0);
+  double prev = -1.0;
+  for (const KnnHit& h : result.hits) {
+    EXPECT_GE(h.distance, prev);
+    prev = h.distance;
+  }
+  ASSERT_FALSE(result.hits.empty());
+  EXPECT_EQ(result.hits[0].og_id, 3u);  // the query object itself
+}
+
+TEST(RangeSearch, ZeroRadiusFindsExactMatches) {
+  auto db = MakeDb();
+  StrgIndex idx = BuildIndex(db);
+  auto result = idx.RangeSearch(db[9], 0.0);
+  ASSERT_GE(result.hits.size(), 1u);
+  for (const KnnHit& h : result.hits) {
+    EXPECT_NEAR(h.distance, 0.0, 1e-12);
+  }
+}
+
+TEST(RangeSearch, NegativeRadiusEmpty) {
+  auto db = MakeDb();
+  StrgIndex idx = BuildIndex(db);
+  EXPECT_TRUE(idx.RangeSearch(db[0], -1.0).hits.empty());
+}
+
+TEST(RangeSearch, PrunesAgainstLinearScan) {
+  auto db = MakeDb();
+  StrgIndex idx = BuildIndex(db);
+  auto result = idx.RangeSearch(db[0], 10.0);
+  // Small radius: the key band should exclude most of the database.
+  EXPECT_LT(result.distance_computations, db.size() / 2);
+}
+
+}  // namespace
+}  // namespace strg::index

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "rtree3d/rtree3d.h"
+#include "util/random.h"
+
+namespace strg::rtree3d {
+namespace {
+
+Box3 MakeBox(double x0, double y0, double t0, double x1, double y1,
+             double t1) {
+  Box3 b;
+  b.min = {x0, y0, t0};
+  b.max = {x1, y1, t1};
+  return b;
+}
+
+TEST(Box3, VolumeMarginIntersects) {
+  Box3 a = MakeBox(0, 0, 0, 2, 3, 4);
+  EXPECT_DOUBLE_EQ(a.Volume(), 24.0);
+  EXPECT_DOUBLE_EQ(a.Margin(), 9.0);
+  EXPECT_TRUE(a.Intersects(MakeBox(1, 1, 1, 5, 5, 5)));
+  EXPECT_FALSE(a.Intersects(MakeBox(3, 0, 0, 5, 5, 5)));
+  EXPECT_TRUE(a.Contains(MakeBox(0.5, 0.5, 0.5, 1, 1, 1)));
+  EXPECT_FALSE(a.Contains(MakeBox(0, 0, 0, 3, 3, 3)));
+}
+
+TEST(Box3, EnlargementAndUnion) {
+  Box3 a = MakeBox(0, 0, 0, 1, 1, 1);
+  Box3 b = MakeBox(2, 0, 0, 3, 1, 1);
+  Box3 u = a.Union(b);
+  EXPECT_DOUBLE_EQ(u.Volume(), 3.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(b), 2.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(a), 0.0);
+}
+
+TEST(Box3, MinDist2) {
+  Box3 a = MakeBox(0, 0, 0, 1, 1, 1);
+  EXPECT_DOUBLE_EQ(a.MinDist2(MakeBox(0.5, 0.5, 0.5, 2, 2, 2)), 0.0);
+  // Separated by 2 along x only.
+  EXPECT_DOUBLE_EQ(a.MinDist2(MakeBox(3, 0, 0, 4, 1, 1)), 4.0);
+  // Separated along two axes: 3-4-5 style.
+  EXPECT_DOUBLE_EQ(a.MinDist2(MakeBox(4, 5, 0, 6, 6, 1)), 9.0 + 16.0);
+}
+
+TEST(Box3, OfOgBoundsTrajectory) {
+  core::Og og;
+  og.start_frame = 10;
+  for (int i = 0; i < 5; ++i) {
+    graph::NodeAttr a;
+    a.cx = 10.0 + i;
+    a.cy = 20.0 - i;
+    og.sequence.push_back(a);
+  }
+  Box3 box = Box3::OfOg(og);
+  EXPECT_DOUBLE_EQ(box.min[0], 10.0);
+  EXPECT_DOUBLE_EQ(box.max[0], 14.0);
+  EXPECT_DOUBLE_EQ(box.min[1], 16.0);
+  EXPECT_DOUBLE_EQ(box.max[1], 20.0);
+  EXPECT_DOUBLE_EQ(box.min[2], 10.0);
+  EXPECT_DOUBLE_EQ(box.max[2], 14.0);
+}
+
+std::vector<Box3> RandomBoxes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Box3> boxes;
+  for (size_t i = 0; i < n; ++i) {
+    double x = rng.Uniform(0, 100), y = rng.Uniform(0, 100),
+           t = rng.Uniform(0, 1000);
+    boxes.push_back(MakeBox(x, y, t, x + rng.Uniform(1, 10),
+                            y + rng.Uniform(1, 10), t + rng.Uniform(5, 40)));
+  }
+  return boxes;
+}
+
+TEST(RTree3D, InvariantsHoldAfterManyInserts) {
+  auto boxes = RandomBoxes(300, 3);
+  RTree3D tree;
+  for (size_t i = 0; i < boxes.size(); ++i) tree.Insert(boxes[i], i);
+  EXPECT_EQ(tree.Size(), 300u);
+  EXPECT_GT(tree.Height(), 1u);
+  EXPECT_NO_THROW(tree.CheckInvariants());
+}
+
+TEST(RTree3D, WindowQueryMatchesBruteForce) {
+  auto boxes = RandomBoxes(200, 7);
+  RTree3D tree;
+  for (size_t i = 0; i < boxes.size(); ++i) tree.Insert(boxes[i], i);
+
+  Box3 window = MakeBox(20, 20, 100, 60, 60, 400);
+  std::set<size_t> expected;
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    if (boxes[i].Intersects(window)) expected.insert(i);
+  }
+  auto got_v = tree.WindowQuery(window);
+  std::set<size_t> got(got_v.begin(), got_v.end());
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(got_v.size(), got.size());  // no duplicates
+}
+
+TEST(RTree3D, KnnMatchesBruteForce) {
+  auto boxes = RandomBoxes(200, 11);
+  RTree3D tree;
+  for (size_t i = 0; i < boxes.size(); ++i) tree.Insert(boxes[i], i);
+
+  Box3 q = MakeBox(50, 50, 500, 51, 51, 510);
+  std::vector<std::pair<double, size_t>> expected;
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    expected.emplace_back(boxes[i].MinDist2(q), i);
+  }
+  std::sort(expected.begin(), expected.end());
+
+  auto hits = tree.Knn(q, 7);
+  ASSERT_EQ(hits.size(), 7u);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_NEAR(hits[i].mbr_distance * hits[i].mbr_distance,
+                expected[i].first, 1e-9)
+        << "rank " << i;
+  }
+}
+
+TEST(RTree3D, KnnEdgeCases) {
+  RTree3D tree;
+  Box3 q = MakeBox(0, 0, 0, 1, 1, 1);
+  EXPECT_TRUE(tree.Knn(q, 3).empty());
+  tree.Insert(q, 42);
+  auto hits = tree.Knn(q, 5);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 42u);
+  EXPECT_DOUBLE_EQ(hits[0].mbr_distance, 0.0);
+}
+
+TEST(RTree3D, RejectsBadParams) {
+  RTreeParams params;
+  params.max_entries = 4;
+  params.min_entries = 3;  // > max/2
+  EXPECT_THROW(RTree3D{params}, std::invalid_argument);
+}
+
+TEST(RTree3D, WindowQueryOnEmptyTree) {
+  RTree3D tree;
+  EXPECT_TRUE(tree.WindowQuery(MakeBox(0, 0, 0, 10, 10, 10)).empty());
+}
+
+}  // namespace
+}  // namespace strg::rtree3d

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "strg/object_graph.h"
+#include "video/scenes.h"
+
+namespace strg::video {
+namespace {
+
+TEST(LabScene, ObjectsCarryRouteIds) {
+  SceneParams sp;
+  sp.num_objects = 30;
+  SceneSpec scene = MakeLabScene(sp);
+  std::set<int> routes;
+  for (const ObjectSpec& obj : scene.objects) {
+    ASSERT_GE(obj.route, 0);
+    EXPECT_LT(obj.route, 9);  // default lab route count
+    routes.insert(obj.route);
+  }
+  // 30 draws over 9 routes: overwhelmingly likely to hit most of them.
+  EXPECT_GE(routes.size(), 5u);
+}
+
+TEST(LabScene, SameRouteObjectsFollowSimilarPaths) {
+  SceneParams sp;
+  sp.num_objects = 40;
+  SceneSpec scene = MakeLabScene(sp);
+  // Find two objects on the same route and compare their endpoints.
+  for (size_t i = 0; i < scene.objects.size(); ++i) {
+    for (size_t j = i + 1; j < scene.objects.size(); ++j) {
+      const ObjectSpec& a = scene.objects[i];
+      const ObjectSpec& b = scene.objects[j];
+      if (a.route != b.route) continue;
+      double start_gap = Distance(a.path.At(0), b.path.At(0));
+      // Endpoint jitter is sigma 3.5 per axis; 25 allows ~5 sigma.
+      EXPECT_LT(start_gap, 25.0)
+          << "objects " << i << "," << j << " route " << a.route;
+    }
+  }
+}
+
+TEST(LabScene, ContainsUTurnRoutes) {
+  SceneParams sp;
+  sp.num_objects = 60;
+  SceneSpec scene = MakeLabScene(sp);
+  bool found_uturn = false;
+  for (const ObjectSpec& obj : scene.objects) {
+    double net = Distance(obj.path.At(0), obj.path.At(1.0));
+    if (obj.path.Length() > 0 && net < 0.5 * obj.path.Length()) {
+      found_uturn = true;
+    }
+  }
+  EXPECT_TRUE(found_uturn);
+}
+
+TEST(LabScene, RouteCountConfigurable) {
+  SceneParams sp;
+  sp.num_objects = 50;
+  sp.num_routes = 3;
+  SceneSpec scene = MakeLabScene(sp);
+  for (const ObjectSpec& obj : scene.objects) {
+    EXPECT_LT(obj.route, 3);
+  }
+}
+
+TEST(TrafficScene, RoutesAreDirectionTimesClass) {
+  SceneParams sp;
+  sp.num_objects = 60;
+  sp.height = 100;
+  SceneSpec scene = MakeTrafficScene(sp);
+  for (const ObjectSpec& obj : scene.objects) {
+    ASSERT_GE(obj.route, 0);
+    ASSERT_LT(obj.route, 6);
+    // route id = dir * 3 + class; eastbound routes move +x.
+    bool eastbound = obj.route < 3;
+    double dx = obj.path.At(1.0).x - obj.path.At(0.0).x;
+    EXPECT_EQ(dx > 0, eastbound) << "route " << obj.route;
+  }
+}
+
+TEST(TrafficScene, VehicleClassControlsSize) {
+  SceneParams sp;
+  sp.num_objects = 60;
+  sp.height = 100;
+  SceneSpec scene = MakeTrafficScene(sp);
+  auto body_area = [](const ObjectSpec& obj) {
+    return obj.parts[0].width * obj.parts[0].height;
+  };
+  double areas[3] = {0, 0, 0};
+  int counts[3] = {0, 0, 0};
+  for (const ObjectSpec& obj : scene.objects) {
+    areas[obj.route % 3] += body_area(obj);
+    counts[obj.route % 3] += 1;
+  }
+  for (int c = 0; c < 3; ++c) ASSERT_GT(counts[c], 0);
+  EXPECT_LT(areas[0] / counts[0], areas[1] / counts[1]);  // car < van
+  EXPECT_LT(areas[1] / counts[1], areas[2] / counts[2]);  // van < truck
+}
+
+TEST(TrafficScene, ClassesRideSeparatedLanes) {
+  SceneParams sp;
+  sp.num_objects = 90;
+  sp.height = 100;
+  SceneSpec scene = MakeTrafficScene(sp);
+  // Mean |y| per class within one direction must be ordered and separated.
+  double y[3] = {0, 0, 0};
+  int n[3] = {0, 0, 0};
+  for (const ObjectSpec& obj : scene.objects) {
+    if (obj.route >= 3) continue;  // eastbound only
+    y[obj.route % 3] += obj.path.At(0.5).y;
+    n[obj.route % 3] += 1;
+  }
+  for (int c = 0; c < 3; ++c) ASSERT_GT(n[c], 0);
+  EXPECT_GT(y[1] / n[1], y[0] / n[0] + 5.0);
+  EXPECT_GT(y[2] / n[2], y[1] / n[1] + 5.0);
+}
+
+TEST(Org, MaxDisplacementSeesUTurnExtent) {
+  core::Org org;
+  for (int i = 0; i < 11; ++i) {
+    graph::NodeAttr a;
+    // Out 5 steps, back 5 steps: net ~0, max 5.
+    a.cx = i <= 5 ? i : 10 - i;
+    a.cy = 0;
+    org.attrs.push_back(a);
+    org.nodes.push_back({i, 0});
+  }
+  EXPECT_NEAR(org.NetDisplacement(), 0.0, 1e-9);
+  EXPECT_NEAR(org.MaxDisplacement(), 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace strg::video

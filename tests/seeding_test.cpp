@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/seeding.h"
+#include "distance/eged.h"
+#include "distance/lp.h"
+#include "util/random.h"
+
+namespace strg::cluster {
+namespace {
+
+using dist::Sequence;
+
+Sequence Flat(double value, size_t len = 6) {
+  Sequence s(len);
+  for (auto& v : s) {
+    v.fill(0.0);
+    v[0] = value;
+  }
+  return s;
+}
+
+TEST(Seeding, ReturnsDistinctIndices) {
+  std::vector<Sequence> data;
+  Rng gen(1);
+  for (int i = 0; i < 30; ++i) data.push_back(Flat(gen.Uniform(0, 100)));
+  dist::EgedMetricDistance metric;
+  Rng rng(2);
+  auto seeds = SeedCentroidIndices(data, 8, metric, &rng);
+  std::set<size_t> uniq(seeds.begin(), seeds.end());
+  EXPECT_EQ(uniq.size(), 8u);
+  for (size_t s : seeds) EXPECT_LT(s, data.size());
+}
+
+TEST(Seeding, SpreadsAcrossSeparatedBlobs) {
+  // Three well-separated blobs; 3 seeds should land one per blob (D^2
+  // weighting makes any other outcome vanishingly unlikely).
+  std::vector<Sequence> data;
+  Rng gen(3);
+  for (double center : {0.0, 50.0, 100.0}) {
+    for (int i = 0; i < 10; ++i) {
+      data.push_back(Flat(center + gen.Gaussian(0, 0.5)));
+    }
+  }
+  dist::EgedMetricDistance metric;
+  Rng rng(4);
+  auto seeds = SeedCentroidIndices(data, 3, metric, &rng);
+  std::set<size_t> blobs;
+  for (size_t s : seeds) blobs.insert(s / 10);
+  EXPECT_EQ(blobs.size(), 3u);
+}
+
+TEST(Seeding, HandlesDuplicatePoints) {
+  std::vector<Sequence> data(10, Flat(5.0));
+  dist::EgedMetricDistance metric;
+  Rng rng(5);
+  auto seeds = SeedCentroidIndices(data, 4, metric, &rng);
+  std::set<size_t> uniq(seeds.begin(), seeds.end());
+  EXPECT_EQ(uniq.size(), 4u);  // falls back to distinct indices
+}
+
+TEST(Seeding, SampleCapStillCoversBlobs) {
+  std::vector<Sequence> data;
+  Rng gen(6);
+  for (double center : {0.0, 60.0}) {
+    for (int i = 0; i < 50; ++i) {
+      data.push_back(Flat(center + gen.Gaussian(0, 0.5)));
+    }
+  }
+  dist::EgedMetricDistance metric;
+  Rng rng(7);
+  auto seeds = SeedCentroidIndices(data, 2, metric, &rng, 20);
+  ASSERT_EQ(seeds.size(), 2u);
+  std::set<size_t> blobs;
+  for (size_t s : seeds) blobs.insert(s / 50);
+  EXPECT_EQ(blobs.size(), 2u);
+}
+
+TEST(Seeding, KClampedToDataSize) {
+  std::vector<Sequence> data{Flat(1), Flat(2)};
+  dist::EgedMetricDistance metric;
+  Rng rng(8);
+  EXPECT_EQ(SeedCentroidIndices(data, 9, metric, &rng).size(), 2u);
+}
+
+TEST(Seeding, ThrowsOnEmpty) {
+  dist::EgedMetricDistance metric;
+  Rng rng(9);
+  std::vector<Sequence> empty;
+  EXPECT_THROW(SeedCentroidIndices(empty, 2, metric, &rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace strg::cluster

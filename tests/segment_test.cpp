@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "segment/connected_components.h"
+#include "segment/mean_shift.h"
+#include "segment/segmenter.h"
+#include "video/renderer.h"
+#include "video/scenes.h"
+
+namespace strg::segment {
+namespace {
+
+using video::Frame;
+using video::Rgb;
+
+Frame TwoHalvesFrame() {
+  Frame f(20, 10, Rgb{0, 0, 0});
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 10; x < 20; ++x) f.At(x, y) = Rgb{255, 255, 255};
+  }
+  return f;
+}
+
+TEST(ConnectedComponents, TwoHalves) {
+  int n = 0;
+  auto labels = LabelConnectedComponents(TwoHalvesFrame(), 10.0, &n);
+  EXPECT_EQ(n, 2);
+  EXPECT_EQ(labels[0], labels[9]);
+  EXPECT_NE(labels[0], labels[10]);
+}
+
+TEST(ConnectedComponents, ToleranceJoinsEverything) {
+  int n = 0;
+  LabelConnectedComponents(TwoHalvesFrame(), 500.0, &n);
+  EXPECT_EQ(n, 1);
+}
+
+TEST(ConnectedComponents, DiagonalIsNotConnected) {
+  // 4-connectivity: two diagonal pixels stay separate components.
+  Frame f(2, 2, Rgb{0, 0, 0});
+  f.At(0, 0) = Rgb{255, 0, 0};
+  f.At(1, 1) = Rgb{255, 0, 0};
+  int n = 0;
+  auto labels = LabelConnectedComponents(f, 10.0, &n);
+  // The two red pixels are diagonal (not 4-adjacent) and so are the two
+  // black ones: four singleton components.
+  EXPECT_EQ(n, 4);
+  EXPECT_NE(labels[0], labels[3]);
+}
+
+TEST(MeanShift, FlattensGaussianNoise) {
+  // Noisy constant-color frame: after filtering, pixel spread shrinks.
+  video::SceneSpec scene;
+  scene.width = 24;
+  scene.height = 24;
+  scene.background.tile_size = 0;
+  scene.background.base = {100, 100, 100};
+  scene.noise_stddev = 6.0;
+  scene.num_frames = 1;
+  Frame noisy = video::RenderFrame(scene, 0);
+
+  MeanShiftParams params;
+  Frame smooth = MeanShiftFilter(noisy, params);
+
+  auto spread = [](const Frame& f) {
+    double mn = 255, mx = 0;
+    for (const Rgb& p : f.pixels()) {
+      mn = std::min(mn, static_cast<double>(p.r));
+      mx = std::max(mx, static_cast<double>(p.r));
+    }
+    return mx - mn;
+  };
+  EXPECT_LT(spread(smooth), spread(noisy) * 0.6);
+}
+
+TEST(MeanShift, PreservesStrongEdges) {
+  Frame f = TwoHalvesFrame();
+  MeanShiftParams params;
+  Frame out = MeanShiftFilter(f, params);
+  // Pixels on each side of the edge keep their side's color.
+  EXPECT_LT(out.At(8, 5).r, 60);
+  EXPECT_GT(out.At(12, 5).r, 200);
+}
+
+TEST(Segmenter, CleanFrameTwoRegions) {
+  SegmenterParams params;
+  params.use_mean_shift = false;
+  Segmentation seg = SegmentFrame(TwoHalvesFrame(), params);
+  EXPECT_EQ(seg.regions.size(), 2u);
+  EXPECT_EQ(seg.adjacency.size(), 1u);
+  // Sizes and centroids are exact for this synthetic input.
+  int total = 0;
+  for (const Region& r : seg.regions) total += r.size;
+  EXPECT_EQ(total, 200);
+  for (const Region& r : seg.regions) {
+    EXPECT_EQ(r.size, 100);
+    EXPECT_NEAR(r.centroid_y, 4.5, 1e-9);
+  }
+}
+
+TEST(Segmenter, RegionAttributesMatchDrawnObject) {
+  Frame f(30, 30, Rgb{10, 10, 10});
+  for (int y = 10; y < 20; ++y) {
+    for (int x = 10; x < 20; ++x) f.At(x, y) = Rgb{200, 30, 30};
+  }
+  SegmenterParams params;
+  params.use_mean_shift = false;
+  Segmentation seg = SegmentFrame(f, params);
+  ASSERT_EQ(seg.regions.size(), 2u);
+  const Region* red = nullptr;
+  for (const Region& r : seg.regions) {
+    if (r.mean_color.r > 100) red = &r;
+  }
+  ASSERT_NE(red, nullptr);
+  EXPECT_EQ(red->size, 100);
+  EXPECT_NEAR(red->centroid_x, 14.5, 1e-9);
+  EXPECT_NEAR(red->centroid_y, 14.5, 1e-9);
+  EXPECT_EQ(red->min_x, 10);
+  EXPECT_EQ(red->max_x, 19);
+}
+
+TEST(Segmenter, SmallRegionsMergedAway) {
+  Frame f(20, 20, Rgb{10, 10, 10});
+  f.At(5, 5) = Rgb{250, 250, 250};  // 1-pixel speck
+  SegmenterParams params;
+  params.use_mean_shift = false;
+  params.min_region_size = 4;
+  Segmentation seg = SegmentFrame(f, params);
+  EXPECT_EQ(seg.regions.size(), 1u);
+  EXPECT_EQ(seg.regions[0].size, 400);
+}
+
+TEST(Segmenter, NoisyRenderedSceneSegmentsStably) {
+  video::SceneParams sp;
+  sp.num_objects = 1;
+  sp.noise_stddev = 2.5;
+  video::SceneSpec scene = video::MakeLabScene(sp);
+  SegmenterParams params;  // mean-shift path
+  Segmentation seg =
+      SegmentFrame(video::RenderFrame(scene, sp.object_lifetime / 2), params);
+  // The scene has a textured background, 3 furniture items, and a 3-part
+  // person: expect a moderate, stable region count (not per-pixel noise).
+  EXPECT_GE(seg.regions.size(), 5u);
+  EXPECT_LE(seg.regions.size(), 40u);
+  // Label map must be consistent with regions.
+  for (int l : seg.labels) {
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, static_cast<int>(seg.regions.size()));
+  }
+}
+
+TEST(Segmenter, AdjacencyIsSymmetricConsistent) {
+  SegmenterParams params;
+  params.use_mean_shift = false;
+  Segmentation seg = SegmentFrame(TwoHalvesFrame(), params);
+  for (auto [a, b] : seg.adjacency) {
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, static_cast<int>(seg.regions.size()));
+  }
+}
+
+}  // namespace
+}  // namespace strg::segment

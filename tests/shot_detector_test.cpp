@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "segment/shot_detector.h"
+#include "video/renderer.h"
+#include "video/scenes.h"
+
+namespace strg::segment {
+namespace {
+
+std::vector<video::Frame> TwoShotStream(int shot_len = 20) {
+  // Shot 1: lab scene; shot 2: traffic scene (very different histograms).
+  video::SceneParams sp;
+  sp.num_objects = 2;
+  sp.noise_stddev = 0.0;
+  video::SceneSpec lab = video::MakeLabScene(sp);
+  video::SceneSpec traffic = video::MakeTrafficScene(sp);
+  std::vector<video::Frame> frames;
+  for (int t = 0; t < shot_len; ++t) {
+    frames.push_back(video::RenderFrame(lab, t));
+  }
+  for (int t = 0; t < shot_len; ++t) {
+    frames.push_back(video::RenderFrame(traffic, t));
+  }
+  return frames;
+}
+
+TEST(ShotDetector, FindsSceneCut) {
+  auto frames = TwoShotStream();
+  auto shots = DetectShots(frames);
+  ASSERT_EQ(shots.size(), 2u);
+  EXPECT_EQ(shots[0].first, 0);
+  EXPECT_EQ(shots[0].second, 20);
+  EXPECT_EQ(shots[1].first, 20);
+  EXPECT_EQ(shots[1].second, 40);
+}
+
+TEST(ShotDetector, NoCutWithinOneScene) {
+  video::SceneParams sp;
+  sp.num_objects = 3;
+  sp.noise_stddev = 2.0;
+  video::SceneSpec lab = video::MakeLabScene(sp);
+  ShotDetector detector;
+  for (int t = 0; t < 40; ++t) {
+    EXPECT_FALSE(detector.PushFrame(video::RenderFrame(lab, t)))
+        << "frame " << t;
+  }
+  EXPECT_TRUE(detector.boundaries().empty());
+  EXPECT_EQ(detector.frames_seen(), 40);
+}
+
+TEST(ShotDetector, MinShotLengthSuppressesDoubleCuts) {
+  auto frames = TwoShotStream(3);  // cuts every 3 frames would violate min
+  ShotDetectorParams params;
+  params.min_shot_length = 10;
+  auto shots = DetectShots(frames, params);
+  EXPECT_EQ(shots.size(), 1u);  // cut at frame 3 suppressed
+}
+
+TEST(ShotDetector, EmptyStream) {
+  EXPECT_TRUE(DetectShots({}).empty());
+}
+
+TEST(ProcessFrames, OneSegmentPerShot) {
+  auto frames = TwoShotStream(24);
+  api::PipelineParams pp;
+  pp.segmenter.use_mean_shift = false;
+  auto segments = api::ProcessFrames(frames, pp);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].num_frames, 24u);
+  EXPECT_EQ(segments[1].num_frames, 24u);
+  // Each shot carries its own background graph.
+  EXPECT_GT(segments[0].decomposition.background.rag.NumNodes(), 0u);
+  EXPECT_GT(segments[1].decomposition.background.rag.NumNodes(), 0u);
+}
+
+}  // namespace
+}  // namespace strg::segment

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "strg/smoothing.h"
+#include "util/random.h"
+
+namespace strg::core {
+namespace {
+
+Og NoisyLine(double noise_sigma, uint64_t seed = 3, int n = 30) {
+  Rng rng(seed);
+  Og og;
+  for (int i = 0; i < n; ++i) {
+    graph::NodeAttr a;
+    a.cx = i * 2.0 + rng.Gaussian(0, noise_sigma);
+    a.cy = 10.0 + rng.Gaussian(0, noise_sigma);
+    a.size = 50.0 + rng.Gaussian(0, noise_sigma);
+    a.color = {100, 100, 100};
+    og.sequence.push_back(a);
+  }
+  return og;
+}
+
+double RoughnessY(const Og& og) {
+  double acc = 0.0;
+  for (size_t i = 1; i < og.sequence.size(); ++i) {
+    acc += std::fabs(og.sequence[i].cy - og.sequence[i - 1].cy);
+  }
+  return acc;
+}
+
+TEST(Smoothing, ReducesJitter) {
+  Og noisy = NoisyLine(1.5);
+  Og smooth = SmoothOg(noisy, {.window = 2, .strength = 1.0});
+  EXPECT_LT(RoughnessY(smooth), 0.6 * RoughnessY(noisy));
+}
+
+TEST(Smoothing, PreservesCleanTrajectory) {
+  Og clean = NoisyLine(0.0);
+  Og smooth = SmoothOg(clean, {.window = 2, .strength = 1.0});
+  // A straight constant-speed line is a fixed point of a centered moving
+  // average (up to the ends).
+  for (size_t i = 2; i + 2 < clean.sequence.size(); ++i) {
+    EXPECT_NEAR(smooth.sequence[i].cx, clean.sequence[i].cx, 1e-9);
+    EXPECT_NEAR(smooth.sequence[i].cy, clean.sequence[i].cy, 1e-9);
+  }
+}
+
+TEST(Smoothing, StrengthInterpolates) {
+  Og noisy = NoisyLine(1.5);
+  Og half = SmoothOg(noisy, {.window = 2, .strength = 0.5});
+  Og full = SmoothOg(noisy, {.window = 2, .strength = 1.0});
+  double r_noisy = RoughnessY(noisy);
+  double r_half = RoughnessY(half);
+  double r_full = RoughnessY(full);
+  EXPECT_LT(r_full, r_half);
+  EXPECT_LT(r_half, r_noisy);
+}
+
+TEST(Smoothing, LeavesColorAndMetadataAlone) {
+  Og noisy = NoisyLine(1.0);
+  noisy.id = 9;
+  noisy.start_frame = 17;
+  Og smooth = SmoothOg(noisy, {.window = 1, .strength = 1.0});
+  EXPECT_EQ(smooth.id, 9);
+  EXPECT_EQ(smooth.start_frame, 17);
+  ASSERT_EQ(smooth.Length(), noisy.Length());
+  for (size_t i = 0; i < noisy.Length(); ++i) {
+    EXPECT_EQ(smooth.sequence[i].color, noisy.sequence[i].color);
+  }
+}
+
+TEST(Smoothing, NoopCases) {
+  Og noisy = NoisyLine(1.0);
+  Og w0 = SmoothOg(noisy, {.window = 0, .strength = 1.0});
+  EXPECT_DOUBLE_EQ(RoughnessY(w0), RoughnessY(noisy));
+  Og s0 = SmoothOg(noisy, {.window = 2, .strength = 0.0});
+  EXPECT_DOUBLE_EQ(RoughnessY(s0), RoughnessY(noisy));
+
+  Og tiny;
+  graph::NodeAttr a;
+  tiny.sequence = {a, a};
+  EXPECT_EQ(SmoothOg(tiny, {.window = 3, .strength = 1.0}).Length(), 2u);
+}
+
+TEST(Smoothing, DecompositionHelperSmoothsAllOgs) {
+  Decomposition d;
+  d.object_graphs = {NoisyLine(1.5, 1), NoisyLine(1.5, 2)};
+  double before =
+      RoughnessY(d.object_graphs[0]) + RoughnessY(d.object_graphs[1]);
+  SmoothDecomposition(&d, {.window = 2, .strength = 1.0});
+  double after =
+      RoughnessY(d.object_graphs[0]) + RoughnessY(d.object_graphs[1]);
+  EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace strg::core

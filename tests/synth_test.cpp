@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "synth/generator.h"
+#include "synth/patterns.h"
+
+namespace strg::synth {
+namespace {
+
+TEST(Patterns, FortyEightPatternsWithPaperFamilies) {
+  auto patterns = MakePatterns(100.0);
+  ASSERT_EQ(patterns.size(), 48u);
+  int vertical = 0, horizontal = 0, diagonal = 0, uturn = 0;
+  for (const PatternSpec& p : patterns) {
+    if (p.family == "vertical") ++vertical;
+    if (p.family == "horizontal") ++horizontal;
+    if (p.family == "diagonal") ++diagonal;
+    if (p.family == "uturn") ++uturn;
+  }
+  // Section 6.1: vertical (12), horizontal (12), diagonal (8), U-turn (16).
+  EXPECT_EQ(vertical, 12);
+  EXPECT_EQ(horizontal, 12);
+  EXPECT_EQ(diagonal, 8);
+  EXPECT_EQ(uturn, 16);
+}
+
+TEST(Patterns, IdsAreDenseAndUnique) {
+  auto patterns = MakePatterns(100.0);
+  std::set<int> ids;
+  for (const PatternSpec& p : patterns) ids.insert(p.id);
+  EXPECT_EQ(ids.size(), 48u);
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), 47);
+}
+
+TEST(Patterns, MixesSizesAndLengths) {
+  auto patterns = MakePatterns(100.0);
+  std::set<double> sizes;
+  std::set<size_t> lengths;
+  for (const PatternSpec& p : patterns) {
+    sizes.insert(p.object_size);
+    lengths.insert(p.base_length);
+  }
+  EXPECT_GE(sizes.size(), 3u);
+  EXPECT_GE(lengths.size(), 3u);
+}
+
+TEST(Patterns, VerticalPathsAreVertical) {
+  for (const PatternSpec& p : MakePatterns(100.0)) {
+    if (p.family != "vertical") continue;
+    video::Point a = p.path.At(0.0), b = p.path.At(1.0);
+    EXPECT_NEAR(a.x, b.x, 1e-9);
+    EXPECT_GT(std::fabs(b.y - a.y), 50.0);
+  }
+}
+
+TEST(Patterns, UTurnsReturnNearStart) {
+  for (const PatternSpec& p : MakePatterns(100.0)) {
+    if (p.family != "uturn") continue;
+    video::Point a = p.path.At(0.0), b = p.path.At(1.0);
+    double net = std::hypot(b.x - a.x, b.y - a.y);
+    EXPECT_LT(net, 0.2 * p.path.Length());  // comes back near the start
+  }
+}
+
+TEST(Generator, DatasetShapeMatchesParams) {
+  SynthParams params;
+  params.items_per_cluster = 4;
+  SynthDataset ds = GenerateSyntheticOgs(params);
+  EXPECT_EQ(ds.NumClusters(), 48u);
+  EXPECT_EQ(ds.ogs.size(), 48u * 4u);
+  EXPECT_EQ(ds.labels.size(), ds.ogs.size());
+  for (int label : ds.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 48);
+  }
+}
+
+TEST(Generator, Deterministic) {
+  SynthParams params;
+  params.items_per_cluster = 2;
+  SynthDataset a = GenerateSyntheticOgs(params);
+  SynthDataset b = GenerateSyntheticOgs(params);
+  ASSERT_EQ(a.ogs.size(), b.ogs.size());
+  for (size_t i = 0; i < a.ogs.size(); ++i) {
+    ASSERT_EQ(a.ogs[i].Length(), b.ogs[i].Length());
+    EXPECT_DOUBLE_EQ(a.ogs[i].sequence[0].cx, b.ogs[i].sequence[0].cx);
+  }
+}
+
+TEST(Generator, NoiseIncreasesSpread) {
+  SynthParams clean;
+  clean.items_per_cluster = 3;
+  clean.noise_pct = 0.0;
+  clean.cluster_sigma = 0.0;
+  clean.length_jitter = 0.0;
+  SynthParams noisy = clean;
+  noisy.noise_pct = 25.0;
+
+  SynthDataset a = GenerateSyntheticOgs(clean);
+  SynthDataset b = GenerateSyntheticOgs(noisy);
+
+  // Deviation of item trajectories from their pattern centroids.
+  auto spread = [](const SynthDataset& ds) {
+    double acc = 0;
+    size_t n = 0;
+    for (size_t i = 0; i < ds.ogs.size(); ++i) {
+      const core::Og& truth = ds.true_ogs[static_cast<size_t>(ds.labels[i])];
+      const core::Og& og = ds.ogs[i];
+      size_t len = std::min(og.Length(), truth.Length());
+      for (size_t t = 0; t < len; ++t) {
+        acc += std::hypot(og.sequence[t].cx - truth.sequence[t].cx,
+                          og.sequence[t].cy - truth.sequence[t].cy);
+        ++n;
+      }
+    }
+    return acc / static_cast<double>(n);
+  };
+  EXPECT_GT(spread(b), spread(a) + 1.0);
+}
+
+TEST(Generator, CleanDataMatchesTrueCentroidExactly) {
+  SynthParams params;
+  params.items_per_cluster = 1;
+  params.noise_pct = 0.0;
+  params.cluster_sigma = 0.0;
+  params.length_jitter = 0.0;
+  SynthDataset ds = GenerateSyntheticOgs(params);
+  for (size_t i = 0; i < ds.ogs.size(); ++i) {
+    const core::Og& truth = ds.true_ogs[static_cast<size_t>(ds.labels[i])];
+    ASSERT_EQ(ds.ogs[i].Length(), truth.Length());
+    for (size_t t = 0; t < truth.Length(); ++t) {
+      EXPECT_NEAR(ds.ogs[i].sequence[t].cx, truth.sequence[t].cx, 1e-9);
+      EXPECT_NEAR(ds.ogs[i].sequence[t].cy, truth.sequence[t].cy, 1e-9);
+    }
+  }
+}
+
+TEST(Generator, SequencesViewMatchesOgs) {
+  SynthParams params;
+  params.items_per_cluster = 2;
+  SynthDataset ds = GenerateSyntheticOgs(params);
+  auto seqs = ds.Sequences(SynthScaling(params.field));
+  ASSERT_EQ(seqs.size(), ds.ogs.size());
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_EQ(seqs[i].size(), ds.ogs[i].Length());
+  }
+  auto true_seqs = ds.TrueSequences(SynthScaling(params.field));
+  EXPECT_EQ(true_seqs.size(), 48u);
+}
+
+TEST(TrajectoryToOg, BuildsTemporalSubgraphFormat) {
+  std::vector<video::Point> pts{{0, 0}, {1, 1}, {2, 2}};
+  core::Og og = TrajectoryToOg(pts, 25.0, 7);
+  EXPECT_EQ(og.Length(), 3u);
+  EXPECT_EQ(og.start_frame, 7);
+  EXPECT_DOUBLE_EQ(og.sequence[1].cx, 1.0);
+  EXPECT_DOUBLE_EQ(og.sequence[1].size, 25.0);
+}
+
+}  // namespace
+}  // namespace strg::synth

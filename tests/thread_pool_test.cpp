@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "cluster/em.h"
+#include "distance/eged.h"
+#include "synth/generator.h"
+#include "util/thread_pool.h"
+
+namespace strg {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.NumThreads(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(5, 5, [&](size_t) { ++calls; });
+  pool.ParallelFor(7, 3, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(0, 100,
+                                [&](size_t i) {
+                                  if (i == 50) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool must still be usable afterwards.
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, 10, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ReusableAcrossManyCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<long> sum{0};
+    pool.ParallelFor(0, 100, [&](size_t i) {
+      sum.fetch_add(static_cast<long>(i));
+    });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+TEST(ThreadPool, ParallelEmMatchesSerialEm) {
+  synth::SynthParams sp;
+  sp.items_per_cluster = 4;
+  sp.noise_pct = 8.0;
+  auto seqs = synth::GenerateSyntheticOgs(sp).Sequences(
+      synth::SynthScaling());
+  dist::EgedDistance eged;
+
+  cluster::ClusterParams serial;
+  serial.max_iterations = 6;
+  cluster::Clustering a = cluster::EmCluster(seqs, 8, eged, serial);
+
+  ThreadPool pool(4);
+  cluster::ClusterParams parallel = serial;
+  parallel.pool = &pool;
+  cluster::Clustering b = cluster::EmCluster(seqs, 8, eged, parallel);
+
+  // Same seeds, same deterministic math: identical results.
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.log_likelihood, b.log_likelihood);
+}
+
+}  // namespace
+}  // namespace strg

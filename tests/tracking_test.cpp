@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/rag.h"
+#include "segment/segmenter.h"
+#include "strg/strg.h"
+#include "strg/tracking.h"
+#include "video/renderer.h"
+#include "video/scenes.h"
+
+namespace strg::core {
+namespace {
+
+graph::NodeAttr MakeAttr(double size, double gray, double cx, double cy) {
+  graph::NodeAttr a;
+  a.size = size;
+  a.color = {gray, gray, gray};
+  a.cx = cx;
+  a.cy = cy;
+  return a;
+}
+
+/// Two nodes: a big "background" blob and a small moving blob.
+graph::Rag TwoNodeFrame(double mover_x) {
+  graph::Rag g;
+  int bg = g.AddNode(MakeAttr(500, 100, 40, 30));
+  int obj = g.AddNode(MakeAttr(30, 200, mover_x, 10));
+  g.AddEdge(bg, obj);
+  return g;
+}
+
+TEST(Tracking, LinksCorrespondingNodes) {
+  TrackingParams params;
+  auto edges = BuildTemporalEdges(TwoNodeFrame(10), TwoNodeFrame(13), params);
+  // Both nodes should be tracked (background stays, object moves 3px).
+  ASSERT_EQ(edges.size(), 2u);
+  for (const TemporalEdge& e : edges) {
+    EXPECT_EQ(e.from_node, e.to_node);  // same construction order
+  }
+}
+
+TEST(Tracking, TemporalAttrCarriesVelocityAndDirection) {
+  TrackingParams params;
+  auto edges = BuildTemporalEdges(TwoNodeFrame(10), TwoNodeFrame(13), params);
+  bool found_mover = false;
+  for (const TemporalEdge& e : edges) {
+    if (e.from_node == 1) {
+      found_mover = true;
+      EXPECT_NEAR(e.attr.velocity, 3.0, 1e-9);
+      EXPECT_NEAR(e.attr.direction, 0.0, 1e-9);  // moving in +x
+    } else {
+      EXPECT_NEAR(e.attr.velocity, 0.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found_mover);
+}
+
+TEST(Tracking, GateBlocksTeleportingNodes) {
+  TrackingParams params;
+  params.gate_distance = 10.0;
+  // The background's star lost its only matching neighbor (the mover
+  // teleported), leaving SimGraph at exactly 0.5; relax T_sim so this test
+  // isolates the gating behaviour.
+  params.t_sim = 0.4;
+  auto edges = BuildTemporalEdges(TwoNodeFrame(10), TwoNodeFrame(50), params);
+  // The mover jumped 40px — beyond the gate; only the background links.
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].from_node, 0);
+}
+
+TEST(Tracking, IncompatibleNodeNotLinked) {
+  graph::Rag a = TwoNodeFrame(10);
+  graph::Rag b = TwoNodeFrame(10);
+  b.node(1).color = {0, 0, 0};  // mover changes color entirely
+  b.node(1).size = 500;         // and size
+  TrackingParams params;
+  auto edges = BuildTemporalEdges(a, b, params);
+  for (const TemporalEdge& e : edges) {
+    EXPECT_NE(e.from_node, 1);
+  }
+}
+
+TEST(Tracking, EndToEndObjectTrackedThroughRenderedScene) {
+  // Render a small scene with one moving person and verify the pipeline
+  // produces an unbroken chain of temporal edges for its regions.
+  video::SceneParams sp;
+  sp.num_objects = 1;
+  sp.object_lifetime = 10;
+  sp.noise_stddev = 0.0;
+  video::SceneSpec scene = video::MakeLabScene(sp);
+
+  segment::SegmenterParams seg_params;
+  seg_params.use_mean_shift = false;
+
+  Strg strg;
+  for (int t = 0; t < 10; ++t) {
+    strg.AppendFrame(
+        graph::BuildRag(segment::SegmentFrame(video::RenderFrame(scene, t),
+                                              seg_params)));
+  }
+  ASSERT_EQ(strg.NumFrames(), 10u);
+  // Every consecutive pair must produce temporal edges, and most nodes
+  // should be tracked (background + person parts).
+  for (size_t t = 0; t + 1 < 10; ++t) {
+    EXPECT_GE(strg.TemporalEdges(t).size(), 3u) << "frame " << t;
+  }
+}
+
+TEST(Strg, SizeAccountingGrowsWithFrames) {
+  Strg strg;
+  strg.AppendFrame(TwoNodeFrame(10));
+  size_t s1 = strg.SizeBytes();
+  strg.AppendFrame(TwoNodeFrame(12));
+  size_t s2 = strg.SizeBytes();
+  EXPECT_GT(s2, s1);
+  EXPECT_EQ(strg.TotalNodes(), 4u);
+  EXPECT_GT(strg.TotalTemporalEdges(), 0u);
+}
+
+TEST(Strg, NoTemporalEdgesForSingleFrame) {
+  Strg strg;
+  strg.AppendFrame(TwoNodeFrame(10));
+  EXPECT_EQ(strg.NumFrames(), 1u);
+  EXPECT_EQ(strg.TotalTemporalEdges(), 0u);
+}
+
+}  // namespace
+}  // namespace strg::core

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "video/frame.h"
+#include "video/motion.h"
+#include "video/renderer.h"
+#include "video/scenes.h"
+
+namespace strg::video {
+namespace {
+
+TEST(Color, DistanceAndLerp) {
+  Rgb a{0, 0, 0}, b{255, 255, 255};
+  EXPECT_NEAR(ColorDistance(a, b), 441.67, 0.01);
+  EXPECT_EQ(ColorDistance(a, a), 0.0);
+  Rgb mid = Lerp(a, b, 0.5);
+  EXPECT_NEAR(mid.r, 128, 1);
+  EXPECT_NEAR(mid.g, 128, 1);
+}
+
+TEST(Color, ClampByteSaturates) {
+  EXPECT_EQ(ClampByte(-5.0), 0);
+  EXPECT_EQ(ClampByte(300.0), 255);
+  EXPECT_EQ(ClampByte(99.6), 100);
+}
+
+TEST(Frame, FillAndAccess) {
+  Frame f(8, 4, Rgb{1, 2, 3});
+  EXPECT_EQ(f.width(), 8);
+  EXPECT_EQ(f.height(), 4);
+  EXPECT_EQ(f.size(), 32u);
+  EXPECT_EQ(f.At(7, 3), (Rgb{1, 2, 3}));
+  f.At(0, 0) = Rgb{9, 9, 9};
+  EXPECT_EQ(f.At(0, 0).r, 9);
+  EXPECT_TRUE(f.Contains(0, 0));
+  EXPECT_FALSE(f.Contains(8, 0));
+  EXPECT_FALSE(f.Contains(-1, 0));
+}
+
+TEST(Frame, PpmRoundTripHeader) {
+  Frame f(2, 2, Rgb{10, 20, 30});
+  std::string ppm = f.ToPpm();
+  EXPECT_EQ(ppm.rfind("P3\n2 2\n255\n", 0), 0u);
+  EXPECT_NE(ppm.find("10 20 30"), std::string::npos);
+}
+
+TEST(Path, LineInterpolatesAtConstantSpeed) {
+  Path p = Path::Line({0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(p.At(0.0).x, 0.0);
+  EXPECT_DOUBLE_EQ(p.At(0.5).x, 5.0);
+  EXPECT_DOUBLE_EQ(p.At(1.0).x, 10.0);
+  EXPECT_DOUBLE_EQ(p.Length(), 10.0);
+}
+
+TEST(Path, ClampsOutOfRangeTime) {
+  Path p = Path::Line({0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(p.At(-1.0).x, 0.0);
+  EXPECT_DOUBLE_EQ(p.At(2.0).x, 10.0);
+}
+
+TEST(Path, UTurnPassesThroughTurnPoint) {
+  // Arc length: 10 up + 10 down; t=0.5 is the turn point.
+  Path p = Path::UTurn({0, 0}, {0, 10}, {0, 0});
+  EXPECT_DOUBLE_EQ(p.At(0.5).y, 10.0);
+  EXPECT_DOUBLE_EQ(p.At(0.25).y, 5.0);
+  EXPECT_DOUBLE_EQ(p.At(0.75).y, 5.0);
+}
+
+TEST(Path, SinglePointPathIsConstant) {
+  Path p({{3, 4}});
+  EXPECT_DOUBLE_EQ(p.At(0.7).x, 3.0);
+  EXPECT_DOUBLE_EQ(p.Length(), 0.0);
+}
+
+TEST(Path, EmptyThrows) {
+  EXPECT_THROW(Path(std::vector<Point>{}), std::invalid_argument);
+}
+
+TEST(Renderer, Deterministic) {
+  SceneParams params;
+  params.num_objects = 3;
+  params.noise_stddev = 3.0;
+  SceneSpec scene = MakeLabScene(params);
+  Frame a = RenderFrame(scene, 5);
+  Frame b = RenderFrame(scene, 5);
+  EXPECT_EQ(a.pixels(), b.pixels());
+}
+
+TEST(Renderer, NoiseDiffersAcrossFrames) {
+  SceneParams params;
+  params.num_objects = 0;
+  params.noise_stddev = 3.0;
+  SceneSpec scene = MakeLabScene(params);
+  scene.num_frames = 2;
+  Frame a = RenderFrame(scene, 0);
+  Frame b = RenderFrame(scene, 1);
+  EXPECT_NE(a.pixels(), b.pixels());
+}
+
+TEST(Renderer, ObjectAppearsOnlyWhenActive) {
+  SceneSpec scene;
+  scene.width = 40;
+  scene.height = 30;
+  scene.num_frames = 20;
+  scene.background.tile_size = 0;
+  scene.background.base = {0, 0, 0};
+  ObjectSpec obj;
+  obj.id = 0;
+  obj.start_frame = 5;
+  obj.end_frame = 10;
+  obj.parts = {{PartShape::kRectangle, {0, 0}, 6, 6, Rgb{255, 0, 0}}};
+  obj.path = Path::Line({20, 15}, {20, 15});
+  scene.objects.push_back(obj);
+
+  auto has_red = [&](int t) {
+    Frame f = RenderFrame(scene, t);
+    for (const Rgb& p : f.pixels()) {
+      if (p.r > 200) return true;
+    }
+    return false;
+  };
+  EXPECT_FALSE(has_red(4));
+  EXPECT_TRUE(has_red(5));
+  EXPECT_TRUE(has_red(9));
+  EXPECT_FALSE(has_red(10));
+  EXPECT_EQ(CountActiveObjects(scene, 7), 1);
+  EXPECT_EQ(CountActiveObjects(scene, 2), 0);
+}
+
+TEST(Renderer, ObjectMovesAlongPath) {
+  SceneSpec scene;
+  scene.width = 60;
+  scene.height = 20;
+  scene.num_frames = 11;
+  scene.background.tile_size = 0;
+  scene.background.base = {0, 0, 0};
+  ObjectSpec obj;
+  obj.start_frame = 0;
+  obj.end_frame = 11;
+  obj.parts = {{PartShape::kRectangle, {0, 0}, 4, 4, Rgb{0, 255, 0}}};
+  obj.path = Path::Line({5, 10}, {55, 10});
+  scene.objects.push_back(obj);
+
+  auto center_x = [&](int t) {
+    Frame f = RenderFrame(scene, t);
+    double sx = 0;
+    int n = 0;
+    for (int y = 0; y < f.height(); ++y) {
+      for (int x = 0; x < f.width(); ++x) {
+        if (f.At(x, y).g > 200) {
+          sx += x;
+          ++n;
+        }
+      }
+    }
+    return n > 0 ? sx / n : -1.0;
+  };
+  double x0 = center_x(0), x5 = center_x(5), x10 = center_x(10);
+  EXPECT_LT(x0, x5);
+  EXPECT_LT(x5, x10);
+  EXPECT_NEAR(x5, 30.0, 2.0);
+}
+
+TEST(Scenes, LabSceneShapesMatchParams) {
+  SceneParams params;
+  params.num_objects = 10;
+  SceneSpec scene = MakeLabScene(params);
+  EXPECT_EQ(scene.objects.size(), 10u);
+  EXPECT_EQ(scene.num_frames, 9 * params.spawn_gap + params.object_lifetime);
+  // People are three-part objects.
+  for (const ObjectSpec& obj : scene.objects) {
+    EXPECT_EQ(obj.parts.size(), 3u);
+  }
+}
+
+TEST(Scenes, TrafficVehiclesCrossHorizontally) {
+  SceneParams params;
+  params.num_objects = 8;
+  SceneSpec scene = MakeTrafficScene(params);
+  for (const ObjectSpec& obj : scene.objects) {
+    Point a = obj.path.At(0.0), b = obj.path.At(1.0);
+    EXPECT_NEAR(a.y, b.y, 0.01);             // lanes are horizontal
+    EXPECT_GT(std::abs(b.x - a.x), scene.width * 0.9);
+  }
+}
+
+}  // namespace
+}  // namespace strg::video
