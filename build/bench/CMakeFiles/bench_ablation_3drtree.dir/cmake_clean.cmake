@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_3drtree.dir/bench_ablation_3drtree.cpp.o"
+  "CMakeFiles/bench_ablation_3drtree.dir/bench_ablation_3drtree.cpp.o.d"
+  "bench_ablation_3drtree"
+  "bench_ablation_3drtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_3drtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_complexity.dir/bench_ablation_complexity.cpp.o"
+  "CMakeFiles/bench_ablation_complexity.dir/bench_ablation_complexity.cpp.o.d"
+  "bench_ablation_complexity"
+  "bench_ablation_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tracking.dir/bench_ablation_tracking.cpp.o"
+  "CMakeFiles/bench_ablation_tracking.dir/bench_ablation_tracking.cpp.o.d"
+  "bench_ablation_tracking"
+  "bench_ablation_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

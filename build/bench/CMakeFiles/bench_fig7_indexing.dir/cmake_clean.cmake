@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_indexing.dir/bench_fig7_indexing.cpp.o"
+  "CMakeFiles/bench_fig7_indexing.dir/bench_fig7_indexing.cpp.o.d"
+  "bench_fig7_indexing"
+  "bench_fig7_indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_bic.dir/bench_fig8_bic.cpp.o"
+  "CMakeFiles/bench_fig8_bic.dir/bench_fig8_bic.cpp.o.d"
+  "bench_fig8_bic"
+  "bench_fig8_bic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_bic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

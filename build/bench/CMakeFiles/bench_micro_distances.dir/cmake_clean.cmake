@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_distances.dir/bench_micro_distances.cpp.o"
+  "CMakeFiles/bench_micro_distances.dir/bench_micro_distances.cpp.o.d"
+  "bench_micro_distances"
+  "bench_micro_distances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_distances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_videos.dir/bench_table1_videos.cpp.o"
+  "CMakeFiles/bench_table1_videos.dir/bench_table1_videos.cpp.o.d"
+  "bench_table1_videos"
+  "bench_table1_videos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_videos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_real_data.dir/bench_table2_real_data.cpp.o"
+  "CMakeFiles/bench_table2_real_data.dir/bench_table2_real_data.cpp.o.d"
+  "bench_table2_real_data"
+  "bench_table2_real_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_real_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/index_tour.cpp" "examples/CMakeFiles/index_tour.dir/index_tour.cpp.o" "gcc" "examples/CMakeFiles/index_tour.dir/index_tour.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/strg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/strg_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtree/CMakeFiles/strg_mtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree3d/CMakeFiles/strg_rtree3d.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/strg_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/strg_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/strg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/strg_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/strg/CMakeFiles/strg_strg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/strg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/segment/CMakeFiles/strg_segment.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/strg_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/strg_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/strg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

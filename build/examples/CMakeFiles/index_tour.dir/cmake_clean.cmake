@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_tour.dir/index_tour.cpp.o"
+  "CMakeFiles/index_tour.dir/index_tour.cpp.o.d"
+  "index_tour"
+  "index_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

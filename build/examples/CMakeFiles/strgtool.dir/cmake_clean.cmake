@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strgtool.dir/strgtool.cpp.o"
+  "CMakeFiles/strgtool.dir/strgtool.cpp.o.d"
+  "strgtool"
+  "strgtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strgtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

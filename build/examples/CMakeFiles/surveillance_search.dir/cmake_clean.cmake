@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveillance_search.dir/surveillance_search.cpp.o"
+  "CMakeFiles/surveillance_search.dir/surveillance_search.cpp.o.d"
+  "surveillance_search"
+  "surveillance_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveillance_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

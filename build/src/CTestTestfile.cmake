@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("video")
+subdirs("segment")
+subdirs("graph")
+subdirs("strg")
+subdirs("distance")
+subdirs("cluster")
+subdirs("synth")
+subdirs("storage")
+subdirs("eval")
+subdirs("index")
+subdirs("mtree")
+subdirs("rtree3d")
+subdirs("core")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/bic.cpp" "src/cluster/CMakeFiles/strg_cluster.dir/bic.cpp.o" "gcc" "src/cluster/CMakeFiles/strg_cluster.dir/bic.cpp.o.d"
+  "/root/repo/src/cluster/centroid.cpp" "src/cluster/CMakeFiles/strg_cluster.dir/centroid.cpp.o" "gcc" "src/cluster/CMakeFiles/strg_cluster.dir/centroid.cpp.o.d"
+  "/root/repo/src/cluster/em.cpp" "src/cluster/CMakeFiles/strg_cluster.dir/em.cpp.o" "gcc" "src/cluster/CMakeFiles/strg_cluster.dir/em.cpp.o.d"
+  "/root/repo/src/cluster/khm.cpp" "src/cluster/CMakeFiles/strg_cluster.dir/khm.cpp.o" "gcc" "src/cluster/CMakeFiles/strg_cluster.dir/khm.cpp.o.d"
+  "/root/repo/src/cluster/kmeans.cpp" "src/cluster/CMakeFiles/strg_cluster.dir/kmeans.cpp.o" "gcc" "src/cluster/CMakeFiles/strg_cluster.dir/kmeans.cpp.o.d"
+  "/root/repo/src/cluster/metrics.cpp" "src/cluster/CMakeFiles/strg_cluster.dir/metrics.cpp.o" "gcc" "src/cluster/CMakeFiles/strg_cluster.dir/metrics.cpp.o.d"
+  "/root/repo/src/cluster/seeding.cpp" "src/cluster/CMakeFiles/strg_cluster.dir/seeding.cpp.o" "gcc" "src/cluster/CMakeFiles/strg_cluster.dir/seeding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/distance/CMakeFiles/strg_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/strg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/strg/CMakeFiles/strg_strg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/strg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/segment/CMakeFiles/strg_segment.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/strg_video.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strg_cluster.dir/bic.cpp.o"
+  "CMakeFiles/strg_cluster.dir/bic.cpp.o.d"
+  "CMakeFiles/strg_cluster.dir/centroid.cpp.o"
+  "CMakeFiles/strg_cluster.dir/centroid.cpp.o.d"
+  "CMakeFiles/strg_cluster.dir/em.cpp.o"
+  "CMakeFiles/strg_cluster.dir/em.cpp.o.d"
+  "CMakeFiles/strg_cluster.dir/khm.cpp.o"
+  "CMakeFiles/strg_cluster.dir/khm.cpp.o.d"
+  "CMakeFiles/strg_cluster.dir/kmeans.cpp.o"
+  "CMakeFiles/strg_cluster.dir/kmeans.cpp.o.d"
+  "CMakeFiles/strg_cluster.dir/metrics.cpp.o"
+  "CMakeFiles/strg_cluster.dir/metrics.cpp.o.d"
+  "CMakeFiles/strg_cluster.dir/seeding.cpp.o"
+  "CMakeFiles/strg_cluster.dir/seeding.cpp.o.d"
+  "libstrg_cluster.a"
+  "libstrg_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strg_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

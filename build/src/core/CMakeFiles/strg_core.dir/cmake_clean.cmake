@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strg_core.dir/persistence.cpp.o"
+  "CMakeFiles/strg_core.dir/persistence.cpp.o.d"
+  "CMakeFiles/strg_core.dir/pipeline.cpp.o"
+  "CMakeFiles/strg_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/strg_core.dir/video_database.cpp.o"
+  "CMakeFiles/strg_core.dir/video_database.cpp.o.d"
+  "libstrg_core.a"
+  "libstrg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/distance/dtw.cpp" "src/distance/CMakeFiles/strg_distance.dir/dtw.cpp.o" "gcc" "src/distance/CMakeFiles/strg_distance.dir/dtw.cpp.o.d"
+  "/root/repo/src/distance/edr.cpp" "src/distance/CMakeFiles/strg_distance.dir/edr.cpp.o" "gcc" "src/distance/CMakeFiles/strg_distance.dir/edr.cpp.o.d"
+  "/root/repo/src/distance/eged.cpp" "src/distance/CMakeFiles/strg_distance.dir/eged.cpp.o" "gcc" "src/distance/CMakeFiles/strg_distance.dir/eged.cpp.o.d"
+  "/root/repo/src/distance/lcs.cpp" "src/distance/CMakeFiles/strg_distance.dir/lcs.cpp.o" "gcc" "src/distance/CMakeFiles/strg_distance.dir/lcs.cpp.o.d"
+  "/root/repo/src/distance/lp.cpp" "src/distance/CMakeFiles/strg_distance.dir/lp.cpp.o" "gcc" "src/distance/CMakeFiles/strg_distance.dir/lp.cpp.o.d"
+  "/root/repo/src/distance/sequence.cpp" "src/distance/CMakeFiles/strg_distance.dir/sequence.cpp.o" "gcc" "src/distance/CMakeFiles/strg_distance.dir/sequence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/strg/CMakeFiles/strg_strg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/strg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/strg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/segment/CMakeFiles/strg_segment.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/strg_video.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

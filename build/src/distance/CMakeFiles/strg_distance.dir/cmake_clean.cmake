@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strg_distance.dir/dtw.cpp.o"
+  "CMakeFiles/strg_distance.dir/dtw.cpp.o.d"
+  "CMakeFiles/strg_distance.dir/edr.cpp.o"
+  "CMakeFiles/strg_distance.dir/edr.cpp.o.d"
+  "CMakeFiles/strg_distance.dir/eged.cpp.o"
+  "CMakeFiles/strg_distance.dir/eged.cpp.o.d"
+  "CMakeFiles/strg_distance.dir/lcs.cpp.o"
+  "CMakeFiles/strg_distance.dir/lcs.cpp.o.d"
+  "CMakeFiles/strg_distance.dir/lp.cpp.o"
+  "CMakeFiles/strg_distance.dir/lp.cpp.o.d"
+  "CMakeFiles/strg_distance.dir/sequence.cpp.o"
+  "CMakeFiles/strg_distance.dir/sequence.cpp.o.d"
+  "libstrg_distance.a"
+  "libstrg_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strg_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strg_eval.dir/retrieval_metrics.cpp.o"
+  "CMakeFiles/strg_eval.dir/retrieval_metrics.cpp.o.d"
+  "libstrg_eval.a"
+  "libstrg_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strg_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

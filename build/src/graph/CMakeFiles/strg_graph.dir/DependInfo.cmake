@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/common_subgraph.cpp" "src/graph/CMakeFiles/strg_graph.dir/common_subgraph.cpp.o" "gcc" "src/graph/CMakeFiles/strg_graph.dir/common_subgraph.cpp.o.d"
+  "/root/repo/src/graph/edit_distance.cpp" "src/graph/CMakeFiles/strg_graph.dir/edit_distance.cpp.o" "gcc" "src/graph/CMakeFiles/strg_graph.dir/edit_distance.cpp.o.d"
+  "/root/repo/src/graph/isomorphism.cpp" "src/graph/CMakeFiles/strg_graph.dir/isomorphism.cpp.o" "gcc" "src/graph/CMakeFiles/strg_graph.dir/isomorphism.cpp.o.d"
+  "/root/repo/src/graph/neighborhood.cpp" "src/graph/CMakeFiles/strg_graph.dir/neighborhood.cpp.o" "gcc" "src/graph/CMakeFiles/strg_graph.dir/neighborhood.cpp.o.d"
+  "/root/repo/src/graph/rag.cpp" "src/graph/CMakeFiles/strg_graph.dir/rag.cpp.o" "gcc" "src/graph/CMakeFiles/strg_graph.dir/rag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/segment/CMakeFiles/strg_segment.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/strg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/strg_video.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

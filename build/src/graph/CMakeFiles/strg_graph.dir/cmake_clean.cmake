@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strg_graph.dir/common_subgraph.cpp.o"
+  "CMakeFiles/strg_graph.dir/common_subgraph.cpp.o.d"
+  "CMakeFiles/strg_graph.dir/edit_distance.cpp.o"
+  "CMakeFiles/strg_graph.dir/edit_distance.cpp.o.d"
+  "CMakeFiles/strg_graph.dir/isomorphism.cpp.o"
+  "CMakeFiles/strg_graph.dir/isomorphism.cpp.o.d"
+  "CMakeFiles/strg_graph.dir/neighborhood.cpp.o"
+  "CMakeFiles/strg_graph.dir/neighborhood.cpp.o.d"
+  "CMakeFiles/strg_graph.dir/rag.cpp.o"
+  "CMakeFiles/strg_graph.dir/rag.cpp.o.d"
+  "libstrg_graph.a"
+  "libstrg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

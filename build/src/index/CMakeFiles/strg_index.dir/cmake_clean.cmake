@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strg_index.dir/strg_index.cpp.o"
+  "CMakeFiles/strg_index.dir/strg_index.cpp.o.d"
+  "libstrg_index.a"
+  "libstrg_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strg_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strg_mtree.dir/mtree.cpp.o"
+  "CMakeFiles/strg_mtree.dir/mtree.cpp.o.d"
+  "libstrg_mtree.a"
+  "libstrg_mtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strg_mtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

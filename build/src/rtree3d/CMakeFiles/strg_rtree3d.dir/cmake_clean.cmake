@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strg_rtree3d.dir/rtree3d.cpp.o"
+  "CMakeFiles/strg_rtree3d.dir/rtree3d.cpp.o.d"
+  "libstrg_rtree3d.a"
+  "libstrg_rtree3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strg_rtree3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

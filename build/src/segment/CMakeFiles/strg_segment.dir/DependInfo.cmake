@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/segment/connected_components.cpp" "src/segment/CMakeFiles/strg_segment.dir/connected_components.cpp.o" "gcc" "src/segment/CMakeFiles/strg_segment.dir/connected_components.cpp.o.d"
+  "/root/repo/src/segment/mean_shift.cpp" "src/segment/CMakeFiles/strg_segment.dir/mean_shift.cpp.o" "gcc" "src/segment/CMakeFiles/strg_segment.dir/mean_shift.cpp.o.d"
+  "/root/repo/src/segment/segmenter.cpp" "src/segment/CMakeFiles/strg_segment.dir/segmenter.cpp.o" "gcc" "src/segment/CMakeFiles/strg_segment.dir/segmenter.cpp.o.d"
+  "/root/repo/src/segment/shot_detector.cpp" "src/segment/CMakeFiles/strg_segment.dir/shot_detector.cpp.o" "gcc" "src/segment/CMakeFiles/strg_segment.dir/shot_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/video/CMakeFiles/strg_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/strg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

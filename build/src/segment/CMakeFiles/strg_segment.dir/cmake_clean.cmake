@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strg_segment.dir/connected_components.cpp.o"
+  "CMakeFiles/strg_segment.dir/connected_components.cpp.o.d"
+  "CMakeFiles/strg_segment.dir/mean_shift.cpp.o"
+  "CMakeFiles/strg_segment.dir/mean_shift.cpp.o.d"
+  "CMakeFiles/strg_segment.dir/segmenter.cpp.o"
+  "CMakeFiles/strg_segment.dir/segmenter.cpp.o.d"
+  "CMakeFiles/strg_segment.dir/shot_detector.cpp.o"
+  "CMakeFiles/strg_segment.dir/shot_detector.cpp.o.d"
+  "libstrg_segment.a"
+  "libstrg_segment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strg_segment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

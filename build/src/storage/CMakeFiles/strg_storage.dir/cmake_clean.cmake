@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strg_storage.dir/catalog.cpp.o"
+  "CMakeFiles/strg_storage.dir/catalog.cpp.o.d"
+  "CMakeFiles/strg_storage.dir/serializer.cpp.o"
+  "CMakeFiles/strg_storage.dir/serializer.cpp.o.d"
+  "libstrg_storage.a"
+  "libstrg_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strg_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

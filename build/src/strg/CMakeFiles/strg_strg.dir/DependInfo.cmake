@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/strg/decompose.cpp" "src/strg/CMakeFiles/strg_strg.dir/decompose.cpp.o" "gcc" "src/strg/CMakeFiles/strg_strg.dir/decompose.cpp.o.d"
+  "/root/repo/src/strg/object_graph.cpp" "src/strg/CMakeFiles/strg_strg.dir/object_graph.cpp.o" "gcc" "src/strg/CMakeFiles/strg_strg.dir/object_graph.cpp.o.d"
+  "/root/repo/src/strg/smoothing.cpp" "src/strg/CMakeFiles/strg_strg.dir/smoothing.cpp.o" "gcc" "src/strg/CMakeFiles/strg_strg.dir/smoothing.cpp.o.d"
+  "/root/repo/src/strg/strg.cpp" "src/strg/CMakeFiles/strg_strg.dir/strg.cpp.o" "gcc" "src/strg/CMakeFiles/strg_strg.dir/strg.cpp.o.d"
+  "/root/repo/src/strg/tracking.cpp" "src/strg/CMakeFiles/strg_strg.dir/tracking.cpp.o" "gcc" "src/strg/CMakeFiles/strg_strg.dir/tracking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/strg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/strg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/segment/CMakeFiles/strg_segment.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/strg_video.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strg_strg.dir/decompose.cpp.o"
+  "CMakeFiles/strg_strg.dir/decompose.cpp.o.d"
+  "CMakeFiles/strg_strg.dir/object_graph.cpp.o"
+  "CMakeFiles/strg_strg.dir/object_graph.cpp.o.d"
+  "CMakeFiles/strg_strg.dir/smoothing.cpp.o"
+  "CMakeFiles/strg_strg.dir/smoothing.cpp.o.d"
+  "CMakeFiles/strg_strg.dir/strg.cpp.o"
+  "CMakeFiles/strg_strg.dir/strg.cpp.o.d"
+  "CMakeFiles/strg_strg.dir/tracking.cpp.o"
+  "CMakeFiles/strg_strg.dir/tracking.cpp.o.d"
+  "libstrg_strg.a"
+  "libstrg_strg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strg_strg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

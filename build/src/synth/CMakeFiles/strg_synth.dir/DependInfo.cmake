@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/generator.cpp" "src/synth/CMakeFiles/strg_synth.dir/generator.cpp.o" "gcc" "src/synth/CMakeFiles/strg_synth.dir/generator.cpp.o.d"
+  "/root/repo/src/synth/patterns.cpp" "src/synth/CMakeFiles/strg_synth.dir/patterns.cpp.o" "gcc" "src/synth/CMakeFiles/strg_synth.dir/patterns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/distance/CMakeFiles/strg_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/strg_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/strg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/strg/CMakeFiles/strg_strg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/strg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/segment/CMakeFiles/strg_segment.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strg_synth.dir/generator.cpp.o"
+  "CMakeFiles/strg_synth.dir/generator.cpp.o.d"
+  "CMakeFiles/strg_synth.dir/patterns.cpp.o"
+  "CMakeFiles/strg_synth.dir/patterns.cpp.o.d"
+  "libstrg_synth.a"
+  "libstrg_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strg_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

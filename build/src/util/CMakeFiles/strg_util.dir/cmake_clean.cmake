@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strg_util.dir/hungarian.cpp.o"
+  "CMakeFiles/strg_util.dir/hungarian.cpp.o.d"
+  "CMakeFiles/strg_util.dir/random.cpp.o"
+  "CMakeFiles/strg_util.dir/random.cpp.o.d"
+  "CMakeFiles/strg_util.dir/stats.cpp.o"
+  "CMakeFiles/strg_util.dir/stats.cpp.o.d"
+  "CMakeFiles/strg_util.dir/table.cpp.o"
+  "CMakeFiles/strg_util.dir/table.cpp.o.d"
+  "CMakeFiles/strg_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/strg_util.dir/thread_pool.cpp.o.d"
+  "libstrg_util.a"
+  "libstrg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

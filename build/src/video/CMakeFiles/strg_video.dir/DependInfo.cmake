@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/frame.cpp" "src/video/CMakeFiles/strg_video.dir/frame.cpp.o" "gcc" "src/video/CMakeFiles/strg_video.dir/frame.cpp.o.d"
+  "/root/repo/src/video/motion.cpp" "src/video/CMakeFiles/strg_video.dir/motion.cpp.o" "gcc" "src/video/CMakeFiles/strg_video.dir/motion.cpp.o.d"
+  "/root/repo/src/video/ppm_io.cpp" "src/video/CMakeFiles/strg_video.dir/ppm_io.cpp.o" "gcc" "src/video/CMakeFiles/strg_video.dir/ppm_io.cpp.o.d"
+  "/root/repo/src/video/renderer.cpp" "src/video/CMakeFiles/strg_video.dir/renderer.cpp.o" "gcc" "src/video/CMakeFiles/strg_video.dir/renderer.cpp.o.d"
+  "/root/repo/src/video/scenes.cpp" "src/video/CMakeFiles/strg_video.dir/scenes.cpp.o" "gcc" "src/video/CMakeFiles/strg_video.dir/scenes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/strg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

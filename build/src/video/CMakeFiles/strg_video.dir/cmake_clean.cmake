@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strg_video.dir/frame.cpp.o"
+  "CMakeFiles/strg_video.dir/frame.cpp.o.d"
+  "CMakeFiles/strg_video.dir/motion.cpp.o"
+  "CMakeFiles/strg_video.dir/motion.cpp.o.d"
+  "CMakeFiles/strg_video.dir/ppm_io.cpp.o"
+  "CMakeFiles/strg_video.dir/ppm_io.cpp.o.d"
+  "CMakeFiles/strg_video.dir/renderer.cpp.o"
+  "CMakeFiles/strg_video.dir/renderer.cpp.o.d"
+  "CMakeFiles/strg_video.dir/scenes.cpp.o"
+  "CMakeFiles/strg_video.dir/scenes.cpp.o.d"
+  "libstrg_video.a"
+  "libstrg_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strg_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

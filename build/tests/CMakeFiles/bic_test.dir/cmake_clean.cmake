@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bic_test.dir/bic_test.cpp.o"
+  "CMakeFiles/bic_test.dir/bic_test.cpp.o.d"
+  "bic_test"
+  "bic_test.pdb"
+  "bic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/budget_search_test.dir/budget_search_test.cpp.o"
+  "CMakeFiles/budget_search_test.dir/budget_search_test.cpp.o.d"
+  "budget_search_test"
+  "budget_search_test.pdb"
+  "budget_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/budget_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

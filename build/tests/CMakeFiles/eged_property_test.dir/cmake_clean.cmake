@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eged_property_test.dir/eged_property_test.cpp.o"
+  "CMakeFiles/eged_property_test.dir/eged_property_test.cpp.o.d"
+  "eged_property_test"
+  "eged_property_test.pdb"
+  "eged_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eged_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

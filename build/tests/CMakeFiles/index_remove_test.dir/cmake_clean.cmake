@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_remove_test.dir/index_remove_test.cpp.o"
+  "CMakeFiles/index_remove_test.dir/index_remove_test.cpp.o.d"
+  "index_remove_test"
+  "index_remove_test.pdb"
+  "index_remove_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_remove_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtree_param_test.dir/mtree_param_test.cpp.o"
+  "CMakeFiles/mtree_param_test.dir/mtree_param_test.cpp.o.d"
+  "mtree_param_test"
+  "mtree_param_test.pdb"
+  "mtree_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtree_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

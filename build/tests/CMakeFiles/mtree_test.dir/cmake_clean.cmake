@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtree_test.dir/mtree_test.cpp.o"
+  "CMakeFiles/mtree_test.dir/mtree_test.cpp.o.d"
+  "mtree_test"
+  "mtree_test.pdb"
+  "mtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

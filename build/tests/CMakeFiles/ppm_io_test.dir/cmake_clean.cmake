@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_io_test.dir/ppm_io_test.cpp.o"
+  "CMakeFiles/ppm_io_test.dir/ppm_io_test.cpp.o.d"
+  "ppm_io_test"
+  "ppm_io_test.pdb"
+  "ppm_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

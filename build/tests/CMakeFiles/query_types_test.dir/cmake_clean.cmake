@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_types_test.dir/query_types_test.cpp.o"
+  "CMakeFiles/query_types_test.dir/query_types_test.cpp.o.d"
+  "query_types_test"
+  "query_types_test.pdb"
+  "query_types_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

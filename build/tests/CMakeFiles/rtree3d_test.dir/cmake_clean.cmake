@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtree3d_test.dir/rtree3d_test.cpp.o"
+  "CMakeFiles/rtree3d_test.dir/rtree3d_test.cpp.o.d"
+  "rtree3d_test"
+  "rtree3d_test.pdb"
+  "rtree3d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtree3d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

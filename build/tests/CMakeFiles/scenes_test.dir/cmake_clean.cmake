@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenes_test.dir/scenes_test.cpp.o"
+  "CMakeFiles/scenes_test.dir/scenes_test.cpp.o.d"
+  "scenes_test"
+  "scenes_test.pdb"
+  "scenes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

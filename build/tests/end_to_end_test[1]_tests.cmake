@@ -1,0 +1,3 @@
+add_test([=[EndToEnd.MultiShotPersistenceAndRetrieval]=]  /root/repo/build/tests/end_to_end_test [==[--gtest_filter=EndToEnd.MultiShotPersistenceAndRetrieval]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[EndToEnd.MultiShotPersistenceAndRetrieval]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  end_to_end_test_TESTS EndToEnd.MultiShotPersistenceAndRetrieval)
