@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 build + full test suite, then an AddressSanitizer
+# pass over the concurrency-sensitive tests (serving layer + thread pool).
+#
+#   scripts/check.sh                 # tier-1 + ASan concurrency tests
+#   STRG_CHECK_ASAN_ALL=1 scripts/check.sh   # ASan over the whole suite
+#   STRG_CHECK_TSAN=1 scripts/check.sh       # also a ThreadSanitizer pass
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+echo
+echo "== ASan pass (STRG_SANITIZE=address) =="
+cmake -B build-asan -S . -DSTRG_SANITIZE=address \
+  -DSTRG_BUILD_BENCHMARKS=OFF -DSTRG_BUILD_EXAMPLES=OFF >/dev/null
+if [[ "${STRG_CHECK_ASAN_ALL:-0}" == "1" ]]; then
+  cmake --build build-asan -j
+  ctest --test-dir build-asan --output-on-failure -j
+else
+  cmake --build build-asan -j --target server_concurrency_test thread_pool_test
+  ./build-asan/tests/server_concurrency_test
+  ./build-asan/tests/thread_pool_test
+fi
+
+if [[ "${STRG_CHECK_TSAN:-0}" == "1" ]]; then
+  echo
+  echo "== TSan pass (STRG_SANITIZE=thread) =="
+  cmake -B build-tsan -S . -DSTRG_SANITIZE=thread \
+    -DSTRG_BUILD_BENCHMARKS=OFF -DSTRG_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-tsan -j --target server_concurrency_test thread_pool_test
+  ./build-tsan/tests/server_concurrency_test
+  ./build-tsan/tests/thread_pool_test
+fi
+
+echo
+echo "check.sh: all passes green"

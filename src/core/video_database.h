@@ -17,6 +17,14 @@ class VideoDatabase {
  public:
   explicit VideoDatabase(index::StrgIndexParams params = {});
 
+  /// Value-copy snapshot hook for the serving layer (`server::QueryEngine`):
+  /// copy-on-write generations are built by cloning the current database,
+  /// mutating the clone, and atomically publishing it. The query methods
+  /// below are const and touch no mutable state besides the index's atomic
+  /// distance counter, so any number of threads may query one published
+  /// (immutable) clone concurrently without locks.
+  VideoDatabase Clone() const { return *this; }
+
   /// Registers a processed video segment under a name: its BG becomes a
   /// root record, its OGs are clustered and indexed (Algorithm 2). Returns
   /// the root/segment id.

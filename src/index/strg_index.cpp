@@ -57,9 +57,30 @@ constexpr size_t kIdBytes = sizeof(int);
 StrgIndex::StrgIndex(StrgIndexParams params)
     : params_(params), metric_(params.metric_gap) {}
 
+StrgIndex::StrgIndex(const StrgIndex& other)
+    : params_(other.params_),
+      metric_(other.metric_),
+      nonmetric_(other.nonmetric_),
+      distance_count_(
+          other.distance_count_.load(std::memory_order_relaxed)),
+      roots_(other.roots_),
+      next_cluster_id_(other.next_cluster_id_) {}
+
+StrgIndex& StrgIndex::operator=(const StrgIndex& other) {
+  if (this == &other) return *this;
+  params_ = other.params_;
+  metric_ = other.metric_;
+  nonmetric_ = other.nonmetric_;
+  distance_count_.store(other.distance_count_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  roots_ = other.roots_;
+  next_cluster_id_ = other.next_cluster_id_;
+  return *this;
+}
+
 double StrgIndex::Metric(const dist::Sequence& a,
                          const dist::Sequence& b) const {
-  ++distance_count_;
+  distance_count_.fetch_add(1, std::memory_order_relaxed);
   return metric_(a, b);
 }
 
@@ -247,7 +268,9 @@ void StrgIndex::MaybeSplit(RootRecord* root, size_t cluster_pos) {
 void StrgIndex::SearchClusters(const RootRecord& root,
                                const dist::Sequence& query, size_t k,
                                size_t budget_limit, KnnResult* result) const {
-  auto budget_spent = [&]() { return distance_count_ >= budget_limit; };
+  auto budget_spent = [&]() {
+    return distance_count_.load(std::memory_order_relaxed) >= budget_limit;
+  };
   if (budget_spent()) return;
 
   // Per-cluster scan frontier. Leaf entries are sorted by key
@@ -344,7 +367,7 @@ KnnResult StrgIndex::Knn(const dist::Sequence& query, size_t k,
                          size_t max_distance_computations) const {
   KnnResult result;
   if (k == 0 || roots_.empty()) return result;
-  size_t before = distance_count_;
+  size_t before = distance_count_.load(std::memory_order_relaxed);
   size_t budget_limit = max_distance_computations == 0
                             ? std::numeric_limits<size_t>::max()
                             : before + max_distance_computations;
@@ -367,7 +390,8 @@ KnnResult StrgIndex::Knn(const dist::Sequence& query, size_t k,
       SearchClusters(root, query, k, budget_limit, &result);
     }
   }
-  result.distance_computations = distance_count_ - before;
+  result.distance_computations =
+      distance_count_.load(std::memory_order_relaxed) - before;
   return result;
 }
 
@@ -389,7 +413,7 @@ KnnResult StrgIndex::RangeSearch(const dist::Sequence& query, double radius,
                                  const core::BackgroundGraph* query_bg) const {
   KnnResult result;
   if (roots_.empty() || radius < 0.0) return result;
-  size_t before = distance_count_;
+  size_t before = distance_count_.load(std::memory_order_relaxed);
 
   auto search_root = [&](const RootRecord& root) {
     for (const ClusterRecord& cluster : root.clusters) {
@@ -428,7 +452,8 @@ KnnResult StrgIndex::RangeSearch(const dist::Sequence& query, double radius,
             [](const KnnHit& a, const KnnHit& b) {
               return a.distance < b.distance;
             });
-  result.distance_computations = distance_count_ - before;
+  result.distance_computations =
+      distance_count_.load(std::memory_order_relaxed) - before;
   return result;
 }
 

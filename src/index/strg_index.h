@@ -1,6 +1,7 @@
 #ifndef STRG_INDEX_STRG_INDEX_H_
 #define STRG_INDEX_STRG_INDEX_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -62,6 +63,12 @@ class StrgIndex {
  public:
   explicit StrgIndex(StrgIndexParams params = {});
 
+  /// Copyable so a serving layer can snapshot the whole index (copy-on-write
+  /// generations). Hand-written because the atomic distance counter deletes
+  /// the defaults; the copy carries the counter value over.
+  StrgIndex(const StrgIndex& other);
+  StrgIndex& operator=(const StrgIndex& other);
+
   /// Builds one index segment per Algorithm 2: stores the BG in the root
   /// node, clusters the OG sequences, fills cluster + leaf nodes. `og_ids`
   /// are the caller's identifiers (indices into its OG store); when empty,
@@ -101,10 +108,17 @@ class StrgIndex {
                         const core::BackgroundGraph* query_bg = nullptr) const;
 
   /// Total distance computations since construction (build + queries).
-  /// Note: the counter is plain (not atomic); a single StrgIndex is not
-  /// meant to be queried from multiple threads concurrently.
-  size_t TotalDistanceComputations() const { return distance_count_; }
-  void ResetDistanceCount() { distance_count_ = 0; }
+  /// Atomic (relaxed) so concurrent readers sharing one published index
+  /// snapshot race-freely account their work — the counter is the only
+  /// state the const query path (Knn / RangeSearch) touches. Per-query
+  /// `distance_computations` deltas are exact single-threaded; under
+  /// concurrent queries they interleave and only the total is meaningful.
+  size_t TotalDistanceComputations() const {
+    return distance_count_.load(std::memory_order_relaxed);
+  }
+  void ResetDistanceCount() {
+    distance_count_.store(0, std::memory_order_relaxed);
+  }
 
   /// Index footprint per Equation 10: member OGs + centroid OGs + BGs,
   /// plus per-record key/pointer overhead.
@@ -158,7 +172,7 @@ class StrgIndex {
   StrgIndexParams params_;
   dist::EgedMetricDistance metric_;
   dist::EgedDistance nonmetric_;
-  mutable size_t distance_count_ = 0;
+  mutable std::atomic<size_t> distance_count_{0};
   std::vector<RootRecord> roots_;
   int next_cluster_id_ = 0;
 };

@@ -1,0 +1,140 @@
+#include "server/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace strg::server {
+
+namespace {
+
+/// Formats a double with bounded precision (JSON-safe, no locale).
+void AppendNumber(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out->append(buf);
+}
+
+void AppendCount(std::string* out, uint64_t v) {
+  out->append(std::to_string(v));
+}
+
+}  // namespace
+
+double LatencyHistogram::BucketUpperMicros(size_t i) {
+  // 2^(i/2): 1us, 1.41us, 2us, ... ~2.96e6 us for the last finite bucket.
+  return std::pow(2.0, static_cast<double>(i) / 2.0);
+}
+
+void LatencyHistogram::Record(double micros) {
+  if (micros < 0.0) micros = 0.0;
+  // Inverse of BucketUpperMicros: first bucket whose upper bound >= micros.
+  size_t b = 0;
+  if (micros > 1.0) {
+    b = static_cast<size_t>(std::ceil(2.0 * std::log2(micros)));
+  }
+  b = std::min(b, kNumBuckets - 1);
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(static_cast<uint64_t>(micros),
+                        std::memory_order_relaxed);
+}
+
+double LatencyHistogram::MeanMicros() const {
+  uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n);
+}
+
+double LatencyHistogram::PercentileMicros(double p) const {
+  uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 *
+                                                  static_cast<double>(n)));
+  rank = std::max<uint64_t>(rank, 1);
+  uint64_t cum = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    cum += buckets_[b].load(std::memory_order_relaxed);
+    if (cum >= rank) return BucketUpperMicros(b);
+  }
+  return BucketUpperMicros(kNumBuckets - 1);
+}
+
+void LatencyHistogram::AppendJson(std::string* out) const {
+  out->append("{\"count\":");
+  AppendCount(out, Count());
+  out->append(",\"mean_us\":");
+  AppendNumber(out, MeanMicros());
+  out->append(",\"p50_us\":");
+  AppendNumber(out, PercentileMicros(50.0));
+  out->append(",\"p95_us\":");
+  AppendNumber(out, PercentileMicros(95.0));
+  out->append(",\"p99_us\":");
+  AppendNumber(out, PercentileMicros(99.0));
+  out->append("}");
+}
+
+void ServerMetrics::NoteQueueDepth(int64_t depth) {
+  int64_t seen = max_queue_depth.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !max_queue_depth.compare_exchange_weak(seen, depth,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+double ServerMetrics::CacheHitRate() const {
+  uint64_t h = cache_hits.load(std::memory_order_relaxed);
+  uint64_t m = cache_misses.load(std::memory_order_relaxed);
+  if (h + m == 0) return 0.0;
+  return static_cast<double>(h) / static_cast<double>(h + m);
+}
+
+std::string ServerMetrics::ToJson(uint64_t generation) const {
+  std::string out;
+  out.reserve(1024);
+  out.append("{\"generation\":");
+  AppendCount(&out, generation);
+
+  out.append(",\"admission\":{\"admitted\":");
+  AppendCount(&out, admitted.load(std::memory_order_relaxed));
+  out.append(",\"rejected_overloaded\":");
+  AppendCount(&out, rejected_overloaded.load(std::memory_order_relaxed));
+  out.append(",\"expired_in_queue\":");
+  AppendCount(&out, expired_in_queue.load(std::memory_order_relaxed));
+  out.append(",\"deadline_exceeded\":");
+  AppendCount(&out, deadline_exceeded.load(std::memory_order_relaxed));
+  out.append(",\"queue_depth\":");
+  out.append(std::to_string(queue_depth.load(std::memory_order_relaxed)));
+  out.append(",\"max_queue_depth\":");
+  out.append(std::to_string(max_queue_depth.load(std::memory_order_relaxed)));
+  out.append("}");
+
+  out.append(",\"cache\":{\"hits\":");
+  AppendCount(&out, cache_hits.load(std::memory_order_relaxed));
+  out.append(",\"misses\":");
+  AppendCount(&out, cache_misses.load(std::memory_order_relaxed));
+  out.append(",\"hit_rate\":");
+  AppendNumber(&out, CacheHitRate());
+  out.append("}");
+
+  out.append(",\"ingest\":{\"count\":");
+  AppendCount(&out, ingests.load(std::memory_order_relaxed));
+  out.append(",\"snapshots_published\":");
+  AppendCount(&out, snapshots_published.load(std::memory_order_relaxed));
+  out.append(",\"latency\":");
+  ingest_latency.AppendJson(&out);
+  out.append("}");
+
+  out.append(",\"queries\":{\"knn\":");
+  knn_latency.AppendJson(&out);
+  out.append(",\"range\":");
+  range_latency.AppendJson(&out);
+  out.append(",\"active\":");
+  active_latency.AppendJson(&out);
+  out.append("}}");
+  return out;
+}
+
+}  // namespace strg::server

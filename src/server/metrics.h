@@ -1,0 +1,82 @@
+#ifndef STRG_SERVER_METRICS_H_
+#define STRG_SERVER_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace strg::server {
+
+/// Lock-free fixed-bucket latency histogram (microseconds).
+///
+/// Buckets grow geometrically by sqrt(2) from 1 us to ~3 s plus one
+/// overflow bucket, so Record is a single relaxed fetch_add and percentile
+/// estimates carry at most ~19% relative bucket error — plenty for p50/p95/
+/// p99 serving dashboards. All methods are safe to call concurrently;
+/// readers see a (possibly slightly stale) consistent-enough view, which is
+/// the usual contract for scrape-style metrics.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 45;  ///< 44 finite + overflow
+
+  void Record(double micros);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double MeanMicros() const;
+  /// p in [0, 100]; returns the upper bound of the bucket containing the
+  /// p-th percentile observation (0 when empty).
+  double PercentileMicros(double p) const;
+
+  /// Appends {"count":..,"mean_us":..,"p50_us":..,"p95_us":..,"p99_us":..}.
+  void AppendJson(std::string* out) const;
+
+  /// Upper bound (us) of bucket i — exposed for tests.
+  static double BucketUpperMicros(size_t i);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_micros_{0};
+};
+
+/// Central registry of the serving layer's observability surface: atomic
+/// counters + per-operation latency histograms, dumpable as JSON. Owned by
+/// the QueryEngine; all fields may be read while the engine is serving.
+class ServerMetrics {
+ public:
+  // Admission control.
+  std::atomic<uint64_t> admitted{0};
+  std::atomic<uint64_t> rejected_overloaded{0};
+  std::atomic<uint64_t> expired_in_queue{0};    ///< deadline hit before run
+  std::atomic<uint64_t> deadline_exceeded{0};   ///< caller gave up waiting
+  std::atomic<int64_t> queue_depth{0};          ///< admitted, not finished
+  std::atomic<int64_t> max_queue_depth{0};
+
+  // Result cache.
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+
+  // Ingest / snapshot publication.
+  std::atomic<uint64_t> ingests{0};
+  std::atomic<uint64_t> snapshots_published{0};
+
+  // Latency per operation type (admission-to-completion for queries).
+  LatencyHistogram knn_latency;
+  LatencyHistogram range_latency;
+  LatencyHistogram active_latency;
+  LatencyHistogram ingest_latency;
+
+  /// Tracks the high-water mark after a queue_depth update.
+  void NoteQueueDepth(int64_t depth);
+
+  double CacheHitRate() const;
+
+  /// Whole registry as one JSON object; `generation` is the currently
+  /// published snapshot generation (the engine supplies it).
+  std::string ToJson(uint64_t generation) const;
+};
+
+}  // namespace strg::server
+
+#endif  // STRG_SERVER_METRICS_H_

@@ -1,0 +1,205 @@
+#include "server/query_engine.h"
+
+#include <future>
+#include <utility>
+
+namespace strg::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Per-kind digest seeds so "kNN k=3" and "range r=3" never collide.
+constexpr uint64_t kKnnSeed = 0x6b6e6e5f71756572ULL;
+constexpr uint64_t kRangeSeed = 0x72616e67655f7175ULL;
+constexpr uint64_t kActiveSeed = 0x6163746976655f71ULL;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+std::shared_ptr<const Snapshot> GenesisSnapshot(index::StrgIndexParams params) {
+  auto genesis = std::make_shared<Snapshot>();
+  genesis->generation = 0;
+  genesis->db = api::VideoDatabase(params);
+  return genesis;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(index::StrgIndexParams params, EngineOptions opts)
+    : opts_(opts),
+      cache_(opts.cache_capacity, opts.cache_shards),
+      head_(GenesisSnapshot(params)),
+      pool_(opts.num_threads) {}
+
+template <typename MutateFn>
+uint64_t QueryEngine::Publish(MutateFn&& mutate) {
+  const auto start = Clock::now();
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::shared_ptr<const Snapshot> cur = head_.load();
+  auto next = std::make_shared<Snapshot>();
+  next->generation = cur->generation + 1;
+  next->db = cur->db.Clone();
+  mutate(&next->db);
+  head_.store(std::shared_ptr<const Snapshot>(std::move(next)));
+  metrics_.ingests.fetch_add(1, std::memory_order_relaxed);
+  metrics_.snapshots_published.fetch_add(1, std::memory_order_relaxed);
+  metrics_.ingest_latency.Record(MicrosSince(start));
+  return head_.load()->generation;
+}
+
+uint64_t QueryEngine::AddVideo(const std::string& name,
+                               const api::SegmentResult& segment,
+                               int* segment_id) {
+  return Publish([&](api::VideoDatabase* db) {
+    int id = db->AddVideo(name, segment);
+    if (segment_id != nullptr) *segment_id = id;
+  });
+}
+
+uint64_t QueryEngine::AddObjectGraph(int segment_id, const std::string& video,
+                                     const core::Og& og,
+                                     const dist::FeatureScaling& scaling) {
+  return Publish([&](api::VideoDatabase* db) {
+    db->AddObjectGraph(segment_id, video, og, scaling);
+  });
+}
+
+QueryResult QueryEngine::Execute(uint64_t digest, LatencyHistogram* histogram,
+                                 const QueryOptions& opts, ComputeFn compute) {
+  const auto start = Clock::now();
+
+  // Fast path: serve repeated queries from the result cache on the calling
+  // thread — one shard mutex, no admission slot, no pool round-trip.
+  if (opts.use_cache) {
+    std::shared_ptr<const Snapshot> snap = head_.load();
+    QueryResult result;
+    if (cache_.Get({digest, snap->generation}, &result.hits)) {
+      metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      result.status = StatusCode::kOk;
+      result.generation = snap->generation;
+      result.from_cache = true;
+      result.latency_micros = MicrosSince(start);
+      histogram->Record(result.latency_micros);
+      return result;
+    }
+  }
+
+  // Bounded admission: the queue-depth gauge doubles as the token counter.
+  int64_t depth =
+      metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed) + 1;
+  metrics_.NoteQueueDepth(depth);
+  if (depth > static_cast<int64_t>(opts_.max_pending)) {
+    metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+    metrics_.rejected_overloaded.fetch_add(1, std::memory_order_relaxed);
+    QueryResult rejected;
+    rejected.status = StatusCode::kOverloaded;
+    rejected.latency_micros = MicrosSince(start);
+    return rejected;
+  }
+  metrics_.admitted.fetch_add(1, std::memory_order_relaxed);
+
+  const bool has_deadline = opts.timeout.count() != 0;
+  const auto deadline = start + opts.timeout;
+
+  std::future<QueryResult> pending = pool_.Submit(
+      [this, digest, histogram, start, deadline, has_deadline,
+       use_cache = opts.use_cache, compute = std::move(compute)] {
+        QueryResult result;
+        // Expired while queued: release the slot without doing the work.
+        if (has_deadline && Clock::now() >= deadline) {
+          metrics_.expired_in_queue.fetch_add(1, std::memory_order_relaxed);
+          metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+          result.status = StatusCode::kDeadlineExceeded;
+          result.latency_micros = MicrosSince(start);
+          return result;
+        }
+        std::shared_ptr<const Snapshot> snap = head_.load();
+        CacheKey key{digest, snap->generation};
+        bool hit = use_cache && cache_.Get(key, &result.hits);
+        if (hit) {
+          // Another request filled it between our fast-path miss and now.
+          metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          result.hits = compute(snap->db);
+          if (use_cache) {
+            metrics_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+            cache_.Put(key, result.hits);
+          }
+        }
+        metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+        result.status = StatusCode::kOk;
+        result.generation = snap->generation;
+        result.from_cache = hit;
+        result.latency_micros = MicrosSince(start);
+        histogram->Record(result.latency_micros);
+        return result;
+      });
+
+  if (!has_deadline) return pending.get();
+  if (pending.wait_until(deadline) == std::future_status::ready) {
+    return pending.get();
+  }
+  // The task will still run (and notice the expired deadline if it has not
+  // started); the caller stops waiting now. The admission slot is released
+  // by the task itself.
+  metrics_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+  QueryResult expired;
+  expired.status = StatusCode::kDeadlineExceeded;
+  expired.latency_micros = MicrosSince(start);
+  return expired;
+}
+
+QueryResult QueryEngine::FindSimilar(const dist::Sequence& query, size_t k,
+                                     const QueryOptions& opts) {
+  uint64_t digest = HashSequence(query, kKnnSeed);
+  digest = HashBytes(&k, sizeof(k), digest);
+  return Execute(digest, &metrics_.knn_latency, opts,
+                 [query, k](const api::VideoDatabase& db) {
+                   return db.FindSimilar(query, k);
+                 });
+}
+
+QueryResult QueryEngine::FindWithinRadius(const dist::Sequence& query,
+                                          double radius,
+                                          const QueryOptions& opts) {
+  uint64_t digest = HashSequence(query, kRangeSeed);
+  digest = HashBytes(&radius, sizeof(radius), digest);
+  return Execute(digest, &metrics_.range_latency, opts,
+                 [query, radius](const api::VideoDatabase& db) {
+                   return db.FindWithinRadius(query, radius);
+                 });
+}
+
+QueryResult QueryEngine::FindActive(const std::string& video, int first_frame,
+                                    int last_frame,
+                                    const QueryOptions& opts) {
+  uint64_t digest = HashBytes(video.data(), video.size(), kActiveSeed);
+  const int window[2] = {first_frame, last_frame};
+  digest = HashBytes(window, sizeof(window), digest);
+  return Execute(digest, &metrics_.active_latency, opts,
+                 [video, first_frame, last_frame](
+                     const api::VideoDatabase& db) {
+                   return db.FindActive(video, first_frame, last_frame);
+                 });
+}
+
+}  // namespace strg::server

@@ -1,0 +1,176 @@
+#ifndef STRG_SERVER_QUERY_ENGINE_H_
+#define STRG_SERVER_QUERY_ENGINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/video_database.h"
+#include "server/metrics.h"
+#include "server/result_cache.h"
+#include "util/thread_pool.h"
+
+namespace strg::server {
+
+/// Typed request outcome. The engine degrades predictably instead of
+/// collapsing: saturation yields kOverloaded, slow queries against a
+/// deadline yield kDeadlineExceeded — both cheap, both counted.
+enum class StatusCode {
+  kOk = 0,
+  kOverloaded,         ///< admission queue full; request was never executed
+  kDeadlineExceeded,   ///< deadline hit while queued or while executing
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+struct EngineOptions {
+  /// Worker threads executing queries (0 = hardware concurrency).
+  size_t num_threads = 2;
+  /// Max requests admitted but not yet finished (queued + running). The
+  /// bound is what turns overload into fast typed rejections instead of an
+  /// unbounded queue whose latency grows without limit.
+  size_t max_pending = 256;
+  /// Total cached query results across all cache shards.
+  size_t cache_capacity = 4096;
+  size_t cache_shards = 8;
+};
+
+struct QueryOptions {
+  /// Per-request deadline measured from submission. 0 = none. Negative =
+  /// already expired (deterministic deadline handling, used by tests).
+  std::chrono::microseconds timeout{0};
+  bool use_cache = true;
+};
+
+struct QueryResult {
+  StatusCode status = StatusCode::kOk;
+  std::vector<api::VideoDatabase::QueryHit> hits;
+  /// Index generation the answer was computed against (0 when the request
+  /// never reached a snapshot: overload / expiry).
+  uint64_t generation = 0;
+  bool from_cache = false;
+  double latency_micros = 0.0;
+};
+
+/// One immutable published index generation. Readers hold it via
+/// shared_ptr, so a generation stays alive until the last in-flight query
+/// over it finishes, no matter how many newer generations exist.
+struct Snapshot {
+  uint64_t generation = 0;
+  api::VideoDatabase db;
+};
+
+/// Epoch pointer to the published Snapshot. store/load are a constant-time
+/// shared_ptr copy under a mutex — deliberately NOT std::atomic<shared_ptr>:
+/// libstdc++ 12's lock-bit protocol for it is opaque to ThreadSanitizer and
+/// drowns real races in false reports. The critical section is a refcount
+/// bump (~ns); queries (~us..ms) never execute under it. Swapping in a
+/// lock-free scheme (hazard pointers / RCU) later only touches this class.
+class SnapshotHolder {
+ public:
+  explicit SnapshotHolder(std::shared_ptr<const Snapshot> initial)
+      : ptr_(std::move(initial)) {}
+
+  std::shared_ptr<const Snapshot> load() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ptr_;
+  }
+  void store(std::shared_ptr<const Snapshot> next) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ptr_ = std::move(next);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const Snapshot> ptr_;
+};
+
+/// Concurrent query-serving front-end over api::VideoDatabase.
+///
+/// Concurrency model — snapshot isolation via copy-on-write epochs:
+///  - Writers (AddVideo / AddObjectGraph) serialize on a mutex, clone the
+///    current generation, mutate the clone, and atomically publish it.
+///    A writer never touches a published Snapshot.
+///  - Readers grab the current Snapshot (a constant-time epoch-pointer
+///    copy) and run the whole query against that immutable generation: no
+///    lock is held during query execution, so there are no torn reads and
+///    no half-inserted trees — at the cost of ingest copying the database
+///    (fine for this workload; later PRs can shard or delta-copy).
+///
+/// Request path: result-cache fast path on the calling thread (a cache hit
+/// costs one shard mutex, no admission), then bounded admission, then
+/// execution on the worker pool while the caller waits on the task future —
+/// with `future::wait_until` when a deadline is set, so nothing busy-waits.
+class QueryEngine {
+ public:
+  explicit QueryEngine(index::StrgIndexParams params = {},
+                       EngineOptions opts = {});
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  // ---- Writers (copy-on-write publish; serialized among themselves). ----
+
+  /// Indexes a processed segment under `name`. Returns the new generation;
+  /// `*segment_id` (optional) receives the root/segment id for later
+  /// AddObjectGraph calls.
+  uint64_t AddVideo(const std::string& name,
+                    const api::SegmentResult& segment,
+                    int* segment_id = nullptr);
+
+  /// Streams one more OG into an existing segment. Each call publishes
+  /// exactly one new generation containing exactly one more OG — the
+  /// invariant the concurrency stress test leans on.
+  uint64_t AddObjectGraph(int segment_id, const std::string& video,
+                          const core::Og& og,
+                          const dist::FeatureScaling& scaling);
+
+  // ---- Readers (admission-controlled, snapshot-isolated). ----
+
+  QueryResult FindSimilar(const dist::Sequence& query, size_t k,
+                          const QueryOptions& opts = {});
+  QueryResult FindWithinRadius(const dist::Sequence& query, double radius,
+                               const QueryOptions& opts = {});
+  QueryResult FindActive(const std::string& video, int first_frame,
+                         int last_frame, const QueryOptions& opts = {});
+
+  // ---- Introspection. ----
+
+  /// Currently published generation (constant-time epoch read). Tests query
+  /// the returned snapshot's db directly to validate immutability.
+  std::shared_ptr<const Snapshot> snapshot() const { return head_.load(); }
+  uint64_t Generation() const { return snapshot()->generation; }
+
+  const ServerMetrics& metrics() const { return metrics_; }
+  std::string MetricsJson() const {
+    return metrics_.ToJson(Generation());
+  }
+
+ private:
+  using ComputeFn =
+      std::function<ShardedResultCache::Value(const api::VideoDatabase&)>;
+
+  QueryResult Execute(uint64_t digest, LatencyHistogram* histogram,
+                      const QueryOptions& opts, ComputeFn compute);
+
+  template <typename MutateFn>
+  uint64_t Publish(MutateFn&& mutate);
+
+  EngineOptions opts_;
+  ServerMetrics metrics_;
+  ShardedResultCache cache_;
+  std::mutex writer_mu_;
+  SnapshotHolder head_;
+  /// Declared last: destroyed first, so queued tasks drain while the
+  /// members they reference are still alive.
+  ThreadPool pool_;
+};
+
+}  // namespace strg::server
+
+#endif  // STRG_SERVER_QUERY_ENGINE_H_

@@ -1,0 +1,75 @@
+#include "server/result_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace strg::server {
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  // FNV-1a, 64-bit.
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed ^ 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t HashSequence(const dist::Sequence& seq, uint64_t seed) {
+  uint64_t h = HashBytes(&seed, sizeof(seed), seq.size());
+  for (const dist::FeatureVec& v : seq) {
+    h = HashBytes(v.data(), sizeof(double) * v.size(), h);
+  }
+  return h;
+}
+
+ShardedResultCache::ShardedResultCache(size_t capacity, size_t num_shards) {
+  num_shards = std::bit_ceil(std::max<size_t>(num_shards, 1));
+  capacity = std::max(capacity, num_shards);
+  per_shard_capacity_ = capacity / num_shards;
+  shard_mask_ = num_shards - 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool ShardedResultCache::Get(const CacheKey& key, Value* out) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = it->second->second;
+  return true;
+}
+
+void ShardedResultCache::Put(const CacheKey& key, Value value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(value));
+  shard.map[key] = shard.lru.begin();
+  if (shard.lru.size() > per_shard_capacity_) {
+    shard.map.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+  }
+}
+
+size_t ShardedResultCache::Size() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->lru.size();
+  }
+  return n;
+}
+
+}  // namespace strg::server

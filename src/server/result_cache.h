@@ -1,0 +1,87 @@
+#ifndef STRG_SERVER_RESULT_CACHE_H_
+#define STRG_SERVER_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/video_database.h"
+#include "distance/sequence.h"
+
+namespace strg::server {
+
+/// Cache key: a digest of the full request (query sequence bytes + query
+/// type + k/radius/frame-window parameters) plus the index generation the
+/// answer was computed against. Publishing a new generation changes every
+/// key, so ingest invalidates the cache *naturally* — stale entries simply
+/// stop being addressable and age out of the LRU lists.
+struct CacheKey {
+  uint64_t digest = 0;
+  uint64_t generation = 0;
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& k) const {
+    // Digest is already well-mixed FNV; fold the generation in.
+    return static_cast<size_t>(k.digest ^ (k.generation * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// FNV-1a over arbitrary bytes, seedable for chaining.
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed);
+
+/// Digest of a query sequence (its raw feature doubles).
+uint64_t HashSequence(const dist::Sequence& seq, uint64_t seed);
+
+/// Sharded LRU cache of resolved query results.
+///
+/// Shard = independent (mutex, LRU list, hash map); the shard index is
+/// derived from the key digest, so concurrent queries for different keys
+/// rarely contend on the same lock. Capacity is divided evenly across
+/// shards; per-shard LRU eviction approximates global LRU, which is the
+/// standard serving-cache trade-off.
+class ShardedResultCache {
+ public:
+  using Value = std::vector<api::VideoDatabase::QueryHit>;
+
+  /// `capacity` = total cached results across all shards (>= num_shards).
+  /// `num_shards` is rounded up to a power of two.
+  ShardedResultCache(size_t capacity, size_t num_shards);
+
+  /// On hit, copies the cached hits into `*out`, refreshes LRU recency, and
+  /// returns true.
+  bool Get(const CacheKey& key, Value* out);
+
+  /// Inserts or refreshes `key`, evicting the shard's LRU tail when full.
+  void Put(const CacheKey& key, Value value);
+
+  size_t Size() const;
+  size_t NumShards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<std::pair<CacheKey, Value>> lru;  ///< front = most recent
+    std::unordered_map<CacheKey, std::list<std::pair<CacheKey, Value>>::iterator,
+                       CacheKeyHash>
+        map;
+  };
+
+  Shard& ShardFor(const CacheKey& key) {
+    return *shards_[key.digest & shard_mask_];
+  }
+
+  size_t per_shard_capacity_;
+  size_t shard_mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace strg::server
+
+#endif  // STRG_SERVER_RESULT_CACHE_H_

@@ -1,7 +1,6 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 #include <exception>
 
 namespace strg {
@@ -46,41 +45,46 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   const size_t chunks = std::min(n, workers_.size() * 4);
   const size_t chunk_size = (n + chunks - 1) / chunks;
 
-  std::atomic<size_t> remaining{0};
+  // Completion handshake. `remaining` is guarded by `done_mutex` (not an
+  // atomic): the last worker must publish "done" and notify while holding
+  // the lock, so the waiter — which can only re-check the predicate under
+  // the same lock — cannot wake, return, and destroy these locals while a
+  // worker still touches them.
   std::exception_ptr error;
   std::mutex error_mutex;
   std::mutex done_mutex;
   std::condition_variable done_cv;
+  size_t remaining = 0;
 
-  size_t scheduled = 0;
+  std::vector<std::function<void()>> chunk_tasks;
   for (size_t c = 0; c < chunks; ++c) {
     size_t lo = begin + c * chunk_size;
     if (lo >= end) break;
     size_t hi = std::min(end, lo + chunk_size);
-    ++scheduled;
-    remaining.fetch_add(1);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      tasks_.push([&, lo, hi] {
-        try {
-          for (size_t i = lo; i < hi; ++i) body(i);
-        } catch (...) {
-          std::lock_guard<std::mutex> elock(error_mutex);
-          if (!error) error = std::current_exception();
-        }
-        if (remaining.fetch_sub(1) == 1) {
-          std::lock_guard<std::mutex> dlock(done_mutex);
-          done_cv.notify_all();
-        }
-      });
-    }
+    ++remaining;
+    chunk_tasks.push_back([&, lo, hi] {
+      try {
+        for (size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> elock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> dlock(done_mutex);
+        if (--remaining == 0) done_cv.notify_all();
+      }
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& t : chunk_tasks) tasks_.push(std::move(t));
   }
   cv_.notify_all();
 
   std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  done_cv.wait(lock, [&] { return remaining == 0; });
+  lock.unlock();
   if (error) std::rethrow_exception(error);
-  (void)scheduled;
 }
 
 }  // namespace strg

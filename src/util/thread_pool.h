@@ -4,19 +4,28 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace strg {
 
-/// Minimal fixed-size thread pool for data-parallel loops.
+/// Minimal fixed-size thread pool.
 ///
-/// The hot loops of this library (EM's K x M distance matrix, index
-/// builds) are embarrassingly parallel over items; ParallelFor chunks an
-/// index range over the workers and blocks until every chunk finished.
-/// Exceptions thrown by the body are rethrown on the calling thread.
+/// Two usage modes:
+///  - ParallelFor: data-parallel loops (EM's K x M distance matrix, index
+///    builds) — chunks an index range over the workers and blocks until
+///    every chunk finished. Exceptions thrown by the body are rethrown on
+///    the calling thread.
+///  - Submit: one-off tasks returning a std::future — the serving layer's
+///    QueryEngine executes admitted queries this way, so callers can wait
+///    with a deadline (future::wait_until) instead of busy-waiting.
 class ThreadPool {
  public:
   /// `threads` = 0 picks the hardware concurrency (at least 1).
@@ -32,6 +41,26 @@ class ThreadPool {
   /// waits for completion. Safe to call with begin >= end (no-op).
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t)>& body);
+
+  /// Schedules `f()` on the pool and returns a future for its result.
+  /// Exceptions propagate through the future. Tasks already queued when the
+  /// pool is destroyed still run to completion before the workers join.
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_) {
+        throw std::runtime_error("ThreadPool::Submit on stopped pool");
+      }
+      tasks_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
 
  private:
   void WorkerLoop();

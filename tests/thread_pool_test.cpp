@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "cluster/em.h"
 #include "distance/eged.h"
@@ -51,6 +56,67 @@ TEST(ThreadPool, ReusableAcrossManyCalls) {
     });
     EXPECT_EQ(sum.load(), 4950);
   }
+}
+
+TEST(ThreadPool, SubmitReturnsValueThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> f = pool.Submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+  std::future<std::string> g =
+      pool.Submit([] { return std::string("hello"); });
+  EXPECT_EQ(g.get(), "hello");
+}
+
+TEST(ThreadPool, SubmitVoidTaskCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::future<void> f = pool.Submit([&] { ran.fetch_add(1); });
+  f.get();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> f = pool.Submit(
+      []() -> int { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The worker survives a throwing task.
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ManyConcurrentSubmitsAllComplete) {
+  ThreadPool pool(4);
+  std::vector<std::future<size_t>> futures;
+  futures.reserve(200);
+  for (size_t i = 0; i < 200; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, SubmittedTasksWaitableWithDeadline) {
+  ThreadPool pool(1);
+  // A queued task behind a slow one: wait_for with a generous deadline must
+  // succeed; the QueryEngine relies on this instead of busy-waiting.
+  std::future<void> slow = pool.Submit(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(20)); });
+  std::future<int> queued = pool.Submit([] { return 5; });
+  ASSERT_EQ(queued.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  EXPECT_EQ(queued.get(), 5);
+  slow.get();
+}
+
+TEST(ThreadPool, SubmitInterleavesWithParallelFor) {
+  ThreadPool pool(3);
+  std::future<int> f = pool.Submit([] { return 11; });
+  std::atomic<long> sum{0};
+  pool.ParallelFor(0, 50,
+                   [&](size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  EXPECT_EQ(sum.load(), 1225);
+  EXPECT_EQ(f.get(), 11);
 }
 
 TEST(ThreadPool, ParallelEmMatchesSerialEm) {
