@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Repo verification: tier-1 build + full test suite, then an AddressSanitizer
-# pass over the concurrency-sensitive tests (serving layer + thread pool).
+# pass over the concurrency-sensitive tests (serving layer + thread pool +
+# the WAL crash-recovery matrix), then a UBSan pass over the recovery-labeled
+# tests (the durability layer does raw byte punning — exactly where UB hides).
 #
-#   scripts/check.sh                 # tier-1 + ASan concurrency tests
+#   scripts/check.sh                 # tier-1 + ASan + UBSan passes
 #   STRG_CHECK_ASAN_ALL=1 scripts/check.sh   # ASan over the whole suite
 #   STRG_CHECK_TSAN=1 scripts/check.sh       # also a ThreadSanitizer pass
 set -euo pipefail
@@ -21,10 +23,19 @@ if [[ "${STRG_CHECK_ASAN_ALL:-0}" == "1" ]]; then
   cmake --build build-asan -j
   ctest --test-dir build-asan --output-on-failure -j
 else
-  cmake --build build-asan -j --target server_concurrency_test thread_pool_test
+  cmake --build build-asan -j \
+    --target server_concurrency_test thread_pool_test wal_recovery_test
   ./build-asan/tests/server_concurrency_test
   ./build-asan/tests/thread_pool_test
+  ./build-asan/tests/wal_recovery_test
 fi
+
+echo
+echo "== UBSan pass over recovery-labeled tests (STRG_SANITIZE=undefined) =="
+cmake -B build-ubsan -S . -DSTRG_SANITIZE=undefined \
+  -DSTRG_BUILD_BENCHMARKS=OFF -DSTRG_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-ubsan -j --target wal_recovery_test
+ctest --test-dir build-ubsan -L recovery --output-on-failure -j
 
 if [[ "${STRG_CHECK_TSAN:-0}" == "1" ]]; then
   echo

@@ -1,0 +1,54 @@
+#include "api/query_spec.h"
+
+namespace strg::api {
+
+namespace {
+
+// Per-kind digest seeds and the exact FNV-1a chaining the serving layer
+// used before digest computation moved here — digests stay bit-identical
+// across the migration.
+constexpr uint64_t kKnnSeed = 0x6b6e6e5f71756572ULL;
+constexpr uint64_t kRangeSeed = 0x72616e67655f7175ULL;
+constexpr uint64_t kActiveSeed = 0x6163746976655f71ULL;
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  // FNV-1a, 64-bit.
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed ^ 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t HashSequence(const dist::Sequence& seq, uint64_t seed) {
+  uint64_t h = HashBytes(&seed, sizeof(seed), seq.size());
+  for (const dist::FeatureVec& v : seq) {
+    h = HashBytes(v.data(), sizeof(double) * v.size(), h);
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t QuerySpec::Digest() const {
+  switch (kind) {
+    case Kind::kSimilar: {
+      uint64_t h = HashSequence(sequence, kKnnSeed);
+      return HashBytes(&k, sizeof(k), h);
+    }
+    case Kind::kRange: {
+      uint64_t h = HashSequence(sequence, kRangeSeed);
+      return HashBytes(&radius, sizeof(radius), h);
+    }
+    case Kind::kActive: {
+      uint64_t h = HashBytes(video.data(), video.size(), kActiveSeed);
+      const int window[2] = {first_frame, last_frame};
+      return HashBytes(window, sizeof(window), h);
+    }
+  }
+  return 0;
+}
+
+}  // namespace strg::api

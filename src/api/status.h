@@ -1,0 +1,143 @@
+#ifndef STRG_API_STATUS_H_
+#define STRG_API_STATUS_H_
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace strg::api {
+
+/// One typed outcome vocabulary for the whole system. The serving layer's
+/// admission verdicts (kOverloaded / kDeadlineExceeded) and the storage
+/// layer's durability verdicts (kIoError / kCorruption / kNotFound) share
+/// this enum, so a request that crosses both layers carries one code end to
+/// end instead of being translated between per-module enums.
+enum class StatusCode {
+  kOk = 0,
+  kOverloaded,        ///< admission queue full; request was never executed
+  kDeadlineExceeded,  ///< deadline hit while queued or while executing
+  kIoError,           ///< the OS refused a read/write/sync/rename
+  kCorruption,        ///< bytes parsed but failed validation (magic, CRC,
+                      ///< truncation mid-record)
+  kNotFound,          ///< named file/segment/video does not exist
+  kInvalidArgument,   ///< the caller's request is malformed
+};
+
+inline constexpr size_t kNumStatusCodes = 7;
+
+inline std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+  }
+  return "UNKNOWN";
+}
+
+/// Value-type status: a code plus a human-readable message for non-OK
+/// outcomes. Deliberately tiny (no payload slots, no stack traces) — it is
+/// copied across threads on every request.
+class Status {
+ public:
+  Status() = default;  ///< OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out(StatusCodeName(code_));
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  /// Bridge to the legacy exception surface: the thin throwing wrappers
+  /// (Catalog::LoadFromFile and friends) are one `ThrowIfError()` away from
+  /// the StatusOr core, so both styles stay in sync by construction.
+  void ThrowIfError() const {
+    if (!ok()) throw std::runtime_error(ToString());
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or a non-OK Status. Accessing value() on an error throws
+/// std::runtime_error carrying the status text — which is exactly the
+/// behaviour the legacy throwing wrappers need, so they are one-liners.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : rep_(std::move(status)) {}  // NOLINT: implicit
+  StatusOr(T value) : rep_(std::move(value)) {}         // NOLINT: implicit
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+
+  T& value() & {
+    EnsureOk();
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    EnsureOk();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    EnsureOk();
+    return std::get<T>(std::move(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) throw std::runtime_error(std::get<Status>(rep_).ToString());
+  }
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace strg::api
+
+#endif  // STRG_API_STATUS_H_

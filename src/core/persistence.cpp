@@ -16,18 +16,7 @@ storage::CatalogSegment ToCatalogSegment(const std::string& video_name,
 
 VideoDatabase RestoreVideoDatabase(const storage::Catalog& catalog,
                                    const index::StrgIndexParams& params) {
-  VideoDatabase db(params);
-  for (const storage::CatalogSegment& s : catalog.segments()) {
-    // Reconstitute the minimal SegmentResult the database needs.
-    SegmentResult segment;
-    segment.num_frames = s.num_frames;
-    segment.frame_width = s.frame_width;
-    segment.frame_height = s.frame_height;
-    segment.decomposition.background = s.background;
-    segment.decomposition.object_graphs = s.ogs;
-    db.AddVideo(s.video_name, segment);
-  }
-  return db;
+  return VideoDatabase(catalog, params);
 }
 
 }  // namespace strg::api

@@ -5,6 +5,21 @@ namespace strg::api {
 VideoDatabase::VideoDatabase(index::StrgIndexParams params)
     : index_(params) {}
 
+VideoDatabase::VideoDatabase(const storage::Catalog& catalog,
+                             index::StrgIndexParams params)
+    : index_(params) {
+  for (const storage::CatalogSegment& s : catalog.segments()) {
+    // Reconstitute the minimal SegmentResult the database needs.
+    SegmentResult segment;
+    segment.num_frames = s.num_frames;
+    segment.frame_width = s.frame_width;
+    segment.frame_height = s.frame_height;
+    segment.decomposition.background = s.background;
+    segment.decomposition.object_graphs = s.ogs;
+    AddVideo(s.video_name, segment);
+  }
+}
+
 int VideoDatabase::AddVideo(const std::string& name,
                             const SegmentResult& segment) {
   std::vector<dist::Sequence> sequences = segment.ObjectSequences();
@@ -28,33 +43,34 @@ void VideoDatabase::AddObjectGraph(int segment_id,
   index_.Insert(segment_id, dist::OgToSequence(og, scaling), id);
 }
 
+std::vector<VideoDatabase::QueryHit> VideoDatabase::Query(
+    const QuerySpec& spec) const {
+  switch (spec.kind) {
+    case QuerySpec::Kind::kSimilar:
+      return Resolve(index_.Knn(spec.sequence, spec.k));
+    case QuerySpec::Kind::kRange:
+      return Resolve(index_.RangeSearch(spec.sequence, spec.radius));
+    case QuerySpec::Kind::kActive: {
+      std::vector<QueryHit> hits;
+      for (size_t id = 0; id < records_.size(); ++id) {
+        const OgRecord& rec = records_[id];
+        if (rec.video != spec.video) continue;
+        int end = rec.start_frame + static_cast<int>(rec.length) - 1;
+        if (end < spec.first_frame || rec.start_frame > spec.last_frame) {
+          continue;
+        }
+        hits.push_back({rec.video, id, rec.start_frame, rec.length, 0.0});
+      }
+      return hits;
+    }
+  }
+  return {};
+}
+
 std::vector<VideoDatabase::QueryHit> VideoDatabase::FindSimilar(
     const core::Og& query, size_t k,
     const dist::FeatureScaling& scaling) const {
-  return FindSimilar(dist::OgToSequence(query, scaling), k);
-}
-
-std::vector<VideoDatabase::QueryHit> VideoDatabase::FindSimilar(
-    const dist::Sequence& query, size_t k) const {
-  return Resolve(index_.Knn(query, k));
-}
-
-std::vector<VideoDatabase::QueryHit> VideoDatabase::FindWithinRadius(
-    const dist::Sequence& query, double radius) const {
-  return Resolve(index_.RangeSearch(query, radius));
-}
-
-std::vector<VideoDatabase::QueryHit> VideoDatabase::FindActive(
-    const std::string& video, int first_frame, int last_frame) const {
-  std::vector<QueryHit> hits;
-  for (size_t id = 0; id < records_.size(); ++id) {
-    const OgRecord& rec = records_[id];
-    if (rec.video != video) continue;
-    int end = rec.start_frame + static_cast<int>(rec.length) - 1;
-    if (end < first_frame || rec.start_frame > last_frame) continue;
-    hits.push_back({rec.video, id, rec.start_frame, rec.length, 0.0});
-  }
-  return hits;
+  return Query(QuerySpec::Similar(dist::OgToSequence(query, scaling), k));
 }
 
 std::vector<VideoDatabase::QueryHit> VideoDatabase::Resolve(

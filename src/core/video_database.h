@@ -4,8 +4,10 @@
 #include <string>
 #include <vector>
 
+#include "api/query_spec.h"
 #include "core/pipeline.h"
 #include "index/strg_index.h"
+#include "storage/catalog.h"
 
 namespace strg::api {
 
@@ -16,6 +18,13 @@ namespace strg::api {
 class VideoDatabase {
  public:
   explicit VideoDatabase(index::StrgIndexParams params = {});
+
+  /// Rebuild-from-catalog: re-registers every stored segment. The index
+  /// build is deterministic for fixed parameters, so this reproduces the
+  /// pre-shutdown database — the constructor crash recovery replays
+  /// snapshots through.
+  explicit VideoDatabase(const storage::Catalog& catalog,
+                         index::StrgIndexParams params = {});
 
   /// Value-copy snapshot hook for the serving layer (`server::QueryEngine`):
   /// copy-on-write generations are built by cloning the current database,
@@ -43,23 +52,31 @@ class VideoDatabase {
     double distance = 0.0;   ///< EGED_M to the query
   };
 
-  /// k-NN over all stored OGs (Algorithm 3). The query OG is converted
-  /// with `scaling` (use the producing segment's Scaling()).
+  /// The one retrieval entry point: dispatches on spec.kind (k-NN /
+  /// range / temporal window). Every layer above — the serving engine, the
+  /// cache digest, the tools — speaks QuerySpec; the Find* methods below
+  /// are legacy spellings of the same calls.
+  std::vector<QueryHit> Query(const QuerySpec& spec) const;
+
+  // ---- Legacy entry points: one-line wrappers over Query(QuerySpec),
+  // ---- kept for source compatibility and slated for eventual removal.
+
+  /// k-NN with the query given as an OG, converted with `scaling` (use the
+  /// producing segment's Scaling()).
   std::vector<QueryHit> FindSimilar(const core::Og& query, size_t k,
                                     const dist::FeatureScaling& scaling) const;
   std::vector<QueryHit> FindSimilar(const dist::Sequence& query,
-                                    size_t k) const;
-
-  /// Similarity range query: every stored OG within `radius` (EGED_M) of
-  /// the query, ascending by distance.
+                                    size_t k) const {
+    return Query(QuerySpec::Similar(query, k));
+  }
   std::vector<QueryHit> FindWithinRadius(const dist::Sequence& query,
-                                         double radius) const;
-
-  /// Temporal window query: OGs of `video` whose lifetime intersects the
-  /// frame interval [first_frame, last_frame] — "what moved between
-  /// t1 and t2 on this camera?". Pure metadata scan (no distances).
+                                         double radius) const {
+    return Query(QuerySpec::WithinRadius(query, radius));
+  }
   std::vector<QueryHit> FindActive(const std::string& video, int first_frame,
-                                   int last_frame) const;
+                                   int last_frame) const {
+    return Query(QuerySpec::Active(video, first_frame, last_frame));
+  }
 
   size_t NumVideos() const { return num_videos_; }
   size_t NumObjectGraphs() const { return records_.size(); }

@@ -1,0 +1,384 @@
+#include "server/durable_engine.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/persistence.h"
+#include "storage/serializer.h"
+
+namespace strg::server {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Snapshot file: [u32 magic][u32 version][u64 applied_seq][catalog bytes,
+// length-prefixed]. applied_seq is the last WAL sequence number the
+// snapshot covers — recovery skips log records at or below it, which is
+// what makes "crash between snapshot rename and log reset" replay-safe.
+constexpr uint32_t kSnapMagic = 0x534E5053;  // "SNPS"
+constexpr uint32_t kSnapVersion = 1;
+
+// WAL payload op tags.
+constexpr uint8_t kOpAddVideo = 1;
+constexpr uint8_t kOpAddObjectGraph = 2;
+
+void EncodeScaling(const dist::FeatureScaling& s, storage::Writer* w) {
+  w->PutDouble(s.frame_width);
+  w->PutDouble(s.frame_height);
+  w->PutDouble(s.position_weight);
+  w->PutDouble(s.size_weight);
+  w->PutDouble(s.color_weight);
+}
+
+dist::FeatureScaling DecodeScaling(storage::Reader* r) {
+  dist::FeatureScaling s;
+  s.frame_width = r->GetDouble();
+  s.frame_height = r->GetDouble();
+  s.position_weight = r->GetDouble();
+  s.size_weight = r->GetDouble();
+  s.color_weight = r->GetDouble();
+  return s;
+}
+
+api::SegmentResult ReconstituteSegment(const storage::CatalogSegment& s) {
+  api::SegmentResult segment;
+  segment.num_frames = s.num_frames;
+  segment.frame_width = s.frame_width;
+  segment.frame_height = s.frame_height;
+  segment.decomposition.background = s.background;
+  segment.decomposition.object_graphs = s.ogs;
+  return segment;
+}
+
+/// Durable file write: the tmp half of the tmp-write + rename protocol.
+api::Status WriteFileSync(const std::string& path, std::string_view bytes) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return api::Status::IoError("snapshot: open of " + path + ": " +
+                                std::strerror(errno));
+  }
+  size_t done = 0;
+  while (done < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      api::Status st = api::Status::IoError("snapshot: write to " + path +
+                                            ": " + std::strerror(errno));
+      ::close(fd);
+      return st;
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    api::Status st = api::Status::IoError("snapshot: fsync of " + path +
+                                          ": " + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  ::close(fd);
+  return api::Status::Ok();
+}
+
+uint64_t PayloadSeq(std::string_view payload) {
+  storage::Reader r(payload);
+  return r.GetU64();
+}
+
+}  // namespace
+
+std::string DurableQueryEngine::SnapshotPath(const std::string& wal_dir) {
+  return wal_dir + "/catalog.snap";
+}
+std::string DurableQueryEngine::SnapshotTmpPath(const std::string& wal_dir) {
+  return wal_dir + "/catalog.snap.tmp";
+}
+std::string DurableQueryEngine::LogPath(const std::string& wal_dir) {
+  return wal_dir + "/wal.log";
+}
+
+DurableQueryEngine::DurableQueryEngine(std::string wal_dir,
+                                       index::StrgIndexParams params,
+                                       DurableEngineOptions opts)
+    : wal_dir_(std::move(wal_dir)),
+      opts_(opts),
+      engine_(params, opts.engine) {}
+
+api::StatusOr<std::unique_ptr<DurableQueryEngine>> DurableQueryEngine::Open(
+    const std::string& wal_dir, index::StrgIndexParams params,
+    DurableEngineOptions opts) {
+  std::unique_ptr<DurableQueryEngine> engine(
+      new DurableQueryEngine(wal_dir, params, opts));
+  api::Status st = engine->Recover();
+  if (!st.ok()) return st;
+  return engine;
+}
+
+api::Status DurableQueryEngine::Recover() {
+  const auto start = std::chrono::steady_clock::now();
+  std::error_code ec;
+  fs::create_directories(wal_dir_, ec);
+  if (ec) {
+    return api::Status::IoError("recovery: cannot create " + wal_dir_ + ": " +
+                                ec.message());
+  }
+
+  // 1. A leftover tmp snapshot means a compaction died before publishing;
+  //    the real snapshot is still the previous, complete one.
+  if (fs::exists(SnapshotTmpPath(wal_dir_), ec)) {
+    fs::remove(SnapshotTmpPath(wal_dir_), ec);
+    if (ec) {
+      return api::Status::IoError("recovery: cannot remove orphan tmp: " +
+                                  ec.message());
+    }
+    recovery_.removed_orphan_tmp = true;
+  }
+
+  // 2. Snapshot: the bulk of the state, loaded in one deterministic
+  //    rebuild. Corruption here is fatal — the log alone cannot prove it
+  //    holds the complete history.
+  uint64_t applied_seq = 0;
+  {
+    std::ifstream in(SnapshotPath(wal_dir_), std::ios::binary);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const std::string bytes = buf.str();
+      try {
+        storage::Reader r(bytes);
+        if (r.GetU32() != kSnapMagic) {
+          return api::Status::Corruption("recovery: snapshot has bad magic");
+        }
+        if (r.GetU32() != kSnapVersion) {
+          return api::Status::Corruption(
+              "recovery: unsupported snapshot version");
+        }
+        applied_seq = r.GetU64();
+        api::StatusOr<storage::Catalog> catalog =
+            storage::Catalog::TryDeserialize(r.GetString());
+        if (!catalog.ok()) return catalog.status();
+        if (!r.AtEnd()) {
+          return api::Status::Corruption(
+              "recovery: trailing bytes after snapshot");
+        }
+        catalog_ = std::move(catalog).value();
+      } catch (const std::out_of_range&) {
+        return api::Status::Corruption("recovery: truncated snapshot");
+      }
+      for (const storage::CatalogSegment& s : catalog_.segments()) {
+        engine_.AddVideo(s.video_name, ReconstituteSegment(s));
+        recovery_.snapshot_ogs += s.ogs.size();
+      }
+      recovery_.snapshot_segments = catalog_.NumSegments();
+    }
+  }
+  next_seq_ = applied_seq + 1;
+
+  // 3+4. Log: CRC-validate (truncating any torn/corrupt tail), then replay
+  //      records newer than the snapshot through the normal ingest path.
+  api::StatusOr<storage::WalRecovery> scanned =
+      storage::RecoverWal(LogPath(wal_dir_));
+  if (!scanned.ok()) return scanned.status();
+  recovery_.tail_truncated = scanned->tail_truncated;
+  log_records_ = scanned->records.size();
+  for (const std::string& payload : scanned->records) {
+    uint64_t seq = 0;
+    try {
+      seq = PayloadSeq(payload);
+    } catch (const std::out_of_range&) {
+      return api::Status::Corruption("recovery: WAL record too short");
+    }
+    if (seq <= applied_seq) {
+      // Already folded into the snapshot (crash between snapshot rename
+      // and log reset): skip, never double-apply.
+      ++recovery_.stale_records;
+      continue;
+    }
+    api::Status st = ApplyRecord(payload, &seq);
+    if (!st.ok()) return st;
+    ++recovery_.replayed_records;
+    if (seq >= next_seq_) next_seq_ = seq + 1;
+  }
+
+  // Generation tokens equal WAL sequence numbers in this engine, so after
+  // a snapshot rebuild (which collapses many original publishes into a few)
+  // the counter is fast-forwarded to the last applied sequence — an acked
+  // generation from before the crash is never "in the future" after it.
+  engine_.RestoreGeneration(next_seq_ - 1);
+
+  api::StatusOr<storage::WalWriter> writer =
+      storage::WalWriter::Open(LogPath(wal_dir_), opts_.wal);
+  if (!writer.ok()) return writer.status();
+  wal_ = std::move(writer).value();
+
+  recovery_.replay_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return api::Status::Ok();
+}
+
+api::Status DurableQueryEngine::ApplyRecord(std::string_view payload,
+                                            uint64_t* seq) {
+  try {
+    storage::Reader r(payload);
+    *seq = r.GetU64();
+    const uint8_t op = r.GetU8();
+    if (op == kOpAddVideo) {
+      storage::CatalogSegment seg = storage::DecodeCatalogSegment(&r);
+      engine_.AddVideo(seg.video_name, ReconstituteSegment(seg));
+      catalog_.AddSegment(std::move(seg));
+      return api::Status::Ok();
+    }
+    if (op == kOpAddObjectGraph) {
+      const size_t segment_id = static_cast<size_t>(r.GetVarint());
+      std::string video = r.GetString();
+      dist::FeatureScaling scaling = DecodeScaling(&r);
+      core::Og og = storage::DecodeOg(&r);
+      if (segment_id >= catalog_.NumSegments()) {
+        return api::Status::Corruption(
+            "recovery: WAL AddObjectGraph names unknown segment");
+      }
+      engine_.AddObjectGraph(static_cast<int>(segment_id), video, og,
+                             scaling);
+      catalog_.AppendOg(segment_id, std::move(og));
+      return api::Status::Ok();
+    }
+    return api::Status::Corruption("recovery: unknown WAL op " +
+                                   std::to_string(op));
+  } catch (const std::out_of_range&) {
+    return api::Status::Corruption("recovery: truncated WAL payload");
+  }
+}
+
+api::StatusOr<uint64_t> DurableQueryEngine::AddVideo(
+    const std::string& name, const api::SegmentResult& segment,
+    int* segment_id) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  storage::CatalogSegment seg = api::ToCatalogSegment(name, segment);
+
+  storage::Writer w;
+  w.PutU64(next_seq_);
+  w.PutU8(kOpAddVideo);
+  storage::EncodeCatalogSegment(seg, &w);
+  api::Status st = wal_.Append(w.bytes());
+  if (!st.ok()) return st;  // nothing published: the ack stays honest
+  if (fail_point_ == FailPoint::kAfterWalAppend) {
+    return api::Status::IoError("fail point: crashed after WAL append");
+  }
+  ++next_seq_;
+  ++log_records_;
+
+  catalog_.AddSegment(std::move(seg));
+  uint64_t gen = engine_.AddVideo(name, segment, segment_id);
+
+  ServerMetrics& m = engine_.mutable_metrics();
+  m.wal_appends.store(wal_.records_appended(), std::memory_order_relaxed);
+  m.wal_synced_bytes.store(wal_.bytes_appended(), std::memory_order_relaxed);
+  m.wal_syncs.store(wal_.syncs(), std::memory_order_relaxed);
+
+  if (opts_.compact_every != 0 && log_records_ >= opts_.compact_every) {
+    st = CompactLocked();
+    if (!st.ok()) return st;  // the ingest itself is durable; surfacing the
+                              // failed compaction beats hiding it
+  }
+  return gen;
+}
+
+api::StatusOr<uint64_t> DurableQueryEngine::AddObjectGraph(
+    int segment_id, const std::string& video, const core::Og& og,
+    const dist::FeatureScaling& scaling) {
+  if (segment_id < 0) {
+    return api::Status::InvalidArgument("AddObjectGraph: negative segment id");
+  }
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  if (static_cast<size_t>(segment_id) >= catalog_.NumSegments()) {
+    return api::Status::NotFound("AddObjectGraph: unknown segment " +
+                                 std::to_string(segment_id));
+  }
+
+  storage::Writer w;
+  w.PutU64(next_seq_);
+  w.PutU8(kOpAddObjectGraph);
+  w.PutVarint(static_cast<uint64_t>(segment_id));
+  w.PutString(video);
+  EncodeScaling(scaling, &w);
+  storage::EncodeOg(og, &w);
+  api::Status st = wal_.Append(w.bytes());
+  if (!st.ok()) return st;
+  if (fail_point_ == FailPoint::kAfterWalAppend) {
+    return api::Status::IoError("fail point: crashed after WAL append");
+  }
+  ++next_seq_;
+  ++log_records_;
+
+  catalog_.AppendOg(static_cast<size_t>(segment_id), og);
+  uint64_t gen = engine_.AddObjectGraph(segment_id, video, og, scaling);
+
+  ServerMetrics& m = engine_.mutable_metrics();
+  m.wal_appends.store(wal_.records_appended(), std::memory_order_relaxed);
+  m.wal_synced_bytes.store(wal_.bytes_appended(), std::memory_order_relaxed);
+  m.wal_syncs.store(wal_.syncs(), std::memory_order_relaxed);
+
+  if (opts_.compact_every != 0 && log_records_ >= opts_.compact_every) {
+    st = CompactLocked();
+    if (!st.ok()) return st;
+  }
+  return gen;
+}
+
+api::Status DurableQueryEngine::CompactLocked() {
+  // Publish protocol: tmp write + fsync, rename over the live snapshot,
+  // directory fsync, then (and only then) reset the log. A crash at any
+  // point leaves either the old snapshot + full log, or the new snapshot
+  // + a log whose records are all <= applied_seq and thus skipped.
+  storage::Writer w;
+  w.PutU32(kSnapMagic);
+  w.PutU32(kSnapVersion);
+  w.PutU64(next_seq_ - 1);
+  w.PutString(catalog_.Serialize());
+
+  const std::string tmp = SnapshotTmpPath(wal_dir_);
+  api::Status st = WriteFileSync(tmp, w.bytes());
+  if (!st.ok()) return st;
+  if (std::rename(tmp.c_str(), SnapshotPath(wal_dir_).c_str()) != 0) {
+    return api::Status::IoError("snapshot: rename failed: " +
+                                std::string(std::strerror(errno)));
+  }
+  st = storage::SyncDir(wal_dir_);
+  if (!st.ok()) return st;
+  if (fail_point_ == FailPoint::kAfterSnapshotRename) {
+    return api::Status::IoError("fail point: crashed after snapshot rename");
+  }
+
+  st = wal_.Reset();
+  if (!st.ok()) return st;
+  log_records_ = 0;
+  engine_.mutable_metrics().wal_compactions.fetch_add(
+      1, std::memory_order_relaxed);
+  return api::Status::Ok();
+}
+
+api::Status DurableQueryEngine::Compact() {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  return CompactLocked();
+}
+
+api::Status DurableQueryEngine::Sync() {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  api::Status st = wal_.Sync();
+  engine_.mutable_metrics().wal_syncs.store(wal_.syncs(),
+                                            std::memory_order_relaxed);
+  return st;
+}
+
+}  // namespace strg::server

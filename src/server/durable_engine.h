@@ -1,0 +1,162 @@
+#ifndef STRG_SERVER_DURABLE_ENGINE_H_
+#define STRG_SERVER_DURABLE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "api/query_spec.h"
+#include "api/status.h"
+#include "server/query_engine.h"
+#include "storage/catalog.h"
+#include "storage/wal.h"
+
+namespace strg::server {
+
+struct DurableEngineOptions {
+  /// WAL fsync policy (see storage::WalSyncPolicy for the durability
+  /// window each choice buys).
+  storage::WalOptions wal;
+  /// Automatic compaction period: after this many WAL records, the catalog
+  /// is snapshotted and the log reset so replay cost stays bounded.
+  /// 0 disables automatic compaction (Compact() stays available).
+  size_t compact_every = 1024;
+  /// Serving-layer options forwarded to the wrapped QueryEngine.
+  EngineOptions engine;
+};
+
+/// Named crash points for fault-injection tests: the engine abandons the
+/// operation exactly there, leaving on-disk state as a real crash would.
+/// After a fail point fires the engine must be discarded (like the process
+/// it simulates).
+enum class FailPoint {
+  kNone,
+  /// The WAL record was appended (and synced per policy) but the
+  /// generation was never published or acked.
+  kAfterWalAppend,
+  /// Compaction published the new snapshot (rename + dir fsync done) but
+  /// died before resetting the log — every log record is now stale.
+  kAfterSnapshotRename,
+};
+
+/// What recovery found and did when the engine opened its directory.
+struct RecoveryStats {
+  size_t snapshot_segments = 0;  ///< segments loaded from catalog.snap
+  size_t snapshot_ogs = 0;
+  size_t replayed_records = 0;   ///< log records applied after the snapshot
+  size_t stale_records = 0;      ///< records already covered by the snapshot
+  bool tail_truncated = false;   ///< a torn/corrupt log tail was cut
+  bool removed_orphan_tmp = false;  ///< crash mid-compaction was cleaned up
+  double replay_seconds = 0.0;   ///< snapshot load + log replay wall time
+};
+
+/// Crash-durable front over QueryEngine.
+///
+/// Write path — log, sync, then publish:
+///   AddVideo / AddObjectGraph first frame the operation into the WAL
+///   (CRC32C per record) and fsync per policy, and only then publish the
+///   new in-memory generation. An acked call therefore implies the bytes
+///   reached the log (and, under kEveryRecord, stable storage), so every
+///   acked generation survives a crash.
+///
+/// Recovery (Open) — snapshot, then log:
+///   1. Remove an orphaned catalog.snap.tmp (a compaction died mid-write;
+///      the published snapshot is still the old, complete one).
+///   2. Load catalog.snap if present; it records the last WAL sequence
+///      number it covers.
+///   3. Scan wal.log: CRC-validate records, truncate the first torn or
+///      corrupt frame and everything after it.
+///   4. Rebuild the VideoDatabase from the snapshot catalog (deterministic
+///      index rebuild), then re-apply log records with seq > snapshot seq
+///      through the normal ingest path. Records at or below the snapshot
+///      seq are stale duplicates from a crash between snapshot publication
+///      and log reset, and are skipped.
+///
+/// Compaction — bounded replay:
+///   Every `compact_every` records the full catalog (segments + streamed
+///   OGs folded in) is written to catalog.snap.tmp, fsynced, renamed over
+///   catalog.snap (directory fsynced), and the log is reset. Compaction
+///   folds streamed OGs into their segment, so replay-after-compaction maps
+///   them with the segment's geometry-derived FeatureScaling — the
+///   documented contract of AddObjectGraph (use the producing segment's
+///   Scaling()).
+///
+/// Concurrency: reads go straight to the wrapped QueryEngine (snapshot
+/// isolation, admission control, caching — unchanged). Ingest serializes
+/// on one mutex covering the WAL append + publish + compaction decision.
+class DurableQueryEngine {
+ public:
+  /// Opens (creating if needed) the durability directory and recovers
+  /// state. kCorruption from the snapshot is an error (the log alone
+  /// cannot prove completeness); log damage is self-healing by truncation.
+  static api::StatusOr<std::unique_ptr<DurableQueryEngine>> Open(
+      const std::string& wal_dir, index::StrgIndexParams params = {},
+      DurableEngineOptions opts = {});
+
+  // ---- Writers (durable: logged + synced before publication). ----
+
+  api::StatusOr<uint64_t> AddVideo(const std::string& name,
+                                   const api::SegmentResult& segment,
+                                   int* segment_id = nullptr);
+  api::StatusOr<uint64_t> AddObjectGraph(int segment_id,
+                                         const std::string& video,
+                                         const core::Og& og,
+                                         const dist::FeatureScaling& scaling);
+
+  // ---- Readers (delegate to the serving engine). ----
+
+  QueryResult Query(const api::QuerySpec& spec, const QueryOptions& opts = {}) {
+    return engine_.Query(spec, opts);
+  }
+
+  // ---- Durability controls. ----
+
+  /// Publishes a catalog snapshot and resets the log now.
+  api::Status Compact();
+  /// Forces an fsync of pending log records (relevant under kEveryN /
+  /// kOnPublish).
+  api::Status Sync();
+
+  // ---- Introspection. ----
+
+  QueryEngine& engine() { return engine_; }
+  const QueryEngine& engine() const { return engine_; }
+  uint64_t Generation() const { return engine_.Generation(); }
+  std::string MetricsJson() const { return engine_.MetricsJson(); }
+  const RecoveryStats& recovery() const { return recovery_; }
+  /// The durable mirror: exactly what a crash-now recovery would rebuild.
+  const storage::Catalog& catalog() const { return catalog_; }
+
+  static std::string SnapshotPath(const std::string& wal_dir);
+  static std::string SnapshotTmpPath(const std::string& wal_dir);
+  static std::string LogPath(const std::string& wal_dir);
+
+  /// Arms a crash point (fault-injection tests only).
+  void set_fail_point(FailPoint point) { fail_point_ = point; }
+
+ private:
+  DurableQueryEngine(std::string wal_dir, index::StrgIndexParams params,
+                     DurableEngineOptions opts);
+
+  api::Status Recover();
+  api::Status CompactLocked();
+  /// Applies one decoded WAL payload to the engine + catalog mirror.
+  api::Status ApplyRecord(std::string_view payload, uint64_t* seq);
+
+  const std::string wal_dir_;
+  const DurableEngineOptions opts_;
+  RecoveryStats recovery_;
+  FailPoint fail_point_ = FailPoint::kNone;
+
+  std::mutex ingest_mu_;
+  uint64_t next_seq_ = 1;          ///< next WAL record sequence number
+  uint64_t log_records_ = 0;       ///< records in the live log
+  storage::Catalog catalog_;       ///< durable mirror of engine state
+  storage::WalWriter wal_;
+  QueryEngine engine_;
+};
+
+}  // namespace strg::server
+
+#endif  // STRG_SERVER_DURABLE_ENGINE_H_

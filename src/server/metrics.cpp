@@ -111,6 +111,17 @@ std::string ServerMetrics::ToJson(uint64_t generation) const {
   out.append(std::to_string(max_queue_depth.load(std::memory_order_relaxed)));
   out.append("}");
 
+  // Per-status-code request breakdown (one slot per api::StatusCode).
+  out.append(",\"status_codes\":{");
+  for (size_t i = 0; i < api::kNumStatusCodes; ++i) {
+    if (i != 0) out.push_back(',');
+    out.push_back('"');
+    out.append(api::StatusCodeName(static_cast<api::StatusCode>(i)));
+    out.append("\":");
+    AppendCount(&out, status_counts[i].load(std::memory_order_relaxed));
+  }
+  out.append("}");
+
   out.append(",\"cache\":{\"hits\":");
   AppendCount(&out, cache_hits.load(std::memory_order_relaxed));
   out.append(",\"misses\":");
@@ -125,6 +136,16 @@ std::string ServerMetrics::ToJson(uint64_t generation) const {
   AppendCount(&out, snapshots_published.load(std::memory_order_relaxed));
   out.append(",\"latency\":");
   ingest_latency.AppendJson(&out);
+  out.append("}");
+
+  out.append(",\"wal\":{\"appends\":");
+  AppendCount(&out, wal_appends.load(std::memory_order_relaxed));
+  out.append(",\"bytes\":");
+  AppendCount(&out, wal_synced_bytes.load(std::memory_order_relaxed));
+  out.append(",\"syncs\":");
+  AppendCount(&out, wal_syncs.load(std::memory_order_relaxed));
+  out.append(",\"compactions\":");
+  AppendCount(&out, wal_compactions.load(std::memory_order_relaxed));
   out.append("}");
 
   out.append(",\"queries\":{\"knn\":");

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <string>
 
+#include "api/status.h"
+
 namespace strg::server {
 
 /// Lock-free fixed-bucket latency histogram (microseconds).
@@ -61,6 +63,19 @@ class ServerMetrics {
   std::atomic<uint64_t> ingests{0};
   std::atomic<uint64_t> snapshots_published{0};
 
+  // Request outcomes by api::StatusCode — every QueryResult the engine
+  // hands back increments exactly one slot, so the dashboard shows the
+  // full ok/overloaded/deadline/io/corruption breakdown directly instead
+  // of it being derivable only from bench output.
+  std::array<std::atomic<uint64_t>, api::kNumStatusCodes> status_counts{};
+
+  // Durability layer (written by DurableQueryEngine; zero on a
+  // memory-only engine).
+  std::atomic<uint64_t> wal_appends{0};
+  std::atomic<uint64_t> wal_synced_bytes{0};  ///< bytes framed into the log
+  std::atomic<uint64_t> wal_syncs{0};         ///< fsync calls issued
+  std::atomic<uint64_t> wal_compactions{0};   ///< snapshot publications
+
   // Latency per operation type (admission-to-completion for queries).
   LatencyHistogram knn_latency;
   LatencyHistogram range_latency;
@@ -69,6 +84,12 @@ class ServerMetrics {
 
   /// Tracks the high-water mark after a queue_depth update.
   void NoteQueueDepth(int64_t depth);
+
+  /// Attributes one finished request to its status code.
+  void NoteStatus(api::StatusCode code) {
+    status_counts[static_cast<size_t>(code)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
 
   double CacheHitRate() const;
 

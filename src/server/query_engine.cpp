@@ -9,31 +9,10 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-// Per-kind digest seeds so "kNN k=3" and "range r=3" never collide.
-constexpr uint64_t kKnnSeed = 0x6b6e6e5f71756572ULL;
-constexpr uint64_t kRangeSeed = 0x72616e67655f7175ULL;
-constexpr uint64_t kActiveSeed = 0x6163746976655f71ULL;
-
 double MicrosSince(Clock::time_point start) {
   return std::chrono::duration<double, std::micro>(Clock::now() - start)
       .count();
 }
-
-}  // namespace
-
-std::string_view StatusCodeName(StatusCode code) {
-  switch (code) {
-    case StatusCode::kOk:
-      return "OK";
-    case StatusCode::kOverloaded:
-      return "OVERLOADED";
-    case StatusCode::kDeadlineExceeded:
-      return "DEADLINE_EXCEEDED";
-  }
-  return "UNKNOWN";
-}
-
-namespace {
 
 std::shared_ptr<const Snapshot> GenesisSnapshot(index::StrgIndexParams params) {
   auto genesis = std::make_shared<Snapshot>();
@@ -83,6 +62,16 @@ uint64_t QueryEngine::AddObjectGraph(int segment_id, const std::string& video,
   });
 }
 
+void QueryEngine::RestoreGeneration(uint64_t generation) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::shared_ptr<const Snapshot> cur = head_.load();
+  if (generation <= cur->generation) return;
+  auto next = std::make_shared<Snapshot>();
+  next->generation = generation;
+  next->db = cur->db.Clone();
+  head_.store(std::shared_ptr<const Snapshot>(std::move(next)));
+}
+
 QueryResult QueryEngine::Execute(uint64_t digest, LatencyHistogram* histogram,
                                  const QueryOptions& opts, ComputeFn compute) {
   const auto start = Clock::now();
@@ -99,6 +88,7 @@ QueryResult QueryEngine::Execute(uint64_t digest, LatencyHistogram* histogram,
       result.from_cache = true;
       result.latency_micros = MicrosSince(start);
       histogram->Record(result.latency_micros);
+      metrics_.NoteStatus(result.status);
       return result;
     }
   }
@@ -113,6 +103,7 @@ QueryResult QueryEngine::Execute(uint64_t digest, LatencyHistogram* histogram,
     QueryResult rejected;
     rejected.status = StatusCode::kOverloaded;
     rejected.latency_micros = MicrosSince(start);
+    metrics_.NoteStatus(rejected.status);
     return rejected;
   }
   metrics_.admitted.fetch_add(1, std::memory_order_relaxed);
@@ -154,9 +145,15 @@ QueryResult QueryEngine::Execute(uint64_t digest, LatencyHistogram* histogram,
         return result;
       });
 
-  if (!has_deadline) return pending.get();
+  if (!has_deadline) {
+    QueryResult done = pending.get();
+    metrics_.NoteStatus(done.status);
+    return done;
+  }
   if (pending.wait_until(deadline) == std::future_status::ready) {
-    return pending.get();
+    QueryResult done = pending.get();
+    metrics_.NoteStatus(done.status);
+    return done;
   }
   // The task will still run (and notice the expired deadline if it has not
   // started); the caller stops waiting now. The admission slot is released
@@ -165,40 +162,31 @@ QueryResult QueryEngine::Execute(uint64_t digest, LatencyHistogram* histogram,
   QueryResult expired;
   expired.status = StatusCode::kDeadlineExceeded;
   expired.latency_micros = MicrosSince(start);
+  metrics_.NoteStatus(expired.status);
   return expired;
 }
 
-QueryResult QueryEngine::FindSimilar(const dist::Sequence& query, size_t k,
-                                     const QueryOptions& opts) {
-  uint64_t digest = HashSequence(query, kKnnSeed);
-  digest = HashBytes(&k, sizeof(k), digest);
-  return Execute(digest, &metrics_.knn_latency, opts,
-                 [query, k](const api::VideoDatabase& db) {
-                   return db.FindSimilar(query, k);
-                 });
-}
-
-QueryResult QueryEngine::FindWithinRadius(const dist::Sequence& query,
-                                          double radius,
-                                          const QueryOptions& opts) {
-  uint64_t digest = HashSequence(query, kRangeSeed);
-  digest = HashBytes(&radius, sizeof(radius), digest);
-  return Execute(digest, &metrics_.range_latency, opts,
-                 [query, radius](const api::VideoDatabase& db) {
-                   return db.FindWithinRadius(query, radius);
-                 });
-}
-
-QueryResult QueryEngine::FindActive(const std::string& video, int first_frame,
-                                    int last_frame,
-                                    const QueryOptions& opts) {
-  uint64_t digest = HashBytes(video.data(), video.size(), kActiveSeed);
-  const int window[2] = {first_frame, last_frame};
-  digest = HashBytes(window, sizeof(window), digest);
-  return Execute(digest, &metrics_.active_latency, opts,
-                 [video, first_frame, last_frame](
-                     const api::VideoDatabase& db) {
-                   return db.FindActive(video, first_frame, last_frame);
+QueryResult QueryEngine::Query(const api::QuerySpec& spec,
+                               const QueryOptions& opts) {
+  // One digest computation at the API edge serves cache keying for every
+  // kind; per-kind histograms keep the latency attribution of the old
+  // dedicated entry points.
+  const uint64_t digest = spec.Digest();
+  LatencyHistogram* histogram = nullptr;
+  switch (spec.kind) {
+    case api::QuerySpec::Kind::kSimilar:
+      histogram = &metrics_.knn_latency;
+      break;
+    case api::QuerySpec::Kind::kRange:
+      histogram = &metrics_.range_latency;
+      break;
+    case api::QuerySpec::Kind::kActive:
+      histogram = &metrics_.active_latency;
+      break;
+  }
+  return Execute(digest, histogram, opts,
+                 [spec](const api::VideoDatabase& db) {
+                   return db.Query(spec);
                  });
 }
 

@@ -10,6 +10,8 @@
 #include <string_view>
 #include <vector>
 
+#include "api/query_spec.h"
+#include "api/status.h"
 #include "core/video_database.h"
 #include "server/metrics.h"
 #include "server/result_cache.h"
@@ -17,16 +19,14 @@
 
 namespace strg::server {
 
-/// Typed request outcome. The engine degrades predictably instead of
-/// collapsing: saturation yields kOverloaded, slow queries against a
-/// deadline yield kDeadlineExceeded — both cheap, both counted.
-enum class StatusCode {
-  kOk = 0,
-  kOverloaded,         ///< admission queue full; request was never executed
-  kDeadlineExceeded,   ///< deadline hit while queued or while executing
-};
-
-std::string_view StatusCodeName(StatusCode code);
+/// Typed request outcome — the system-wide api::StatusCode vocabulary
+/// (this used to be a server-local enum; it folded into api so the storage
+/// and serving layers speak one set of codes). The engine degrades
+/// predictably instead of collapsing: saturation yields kOverloaded, slow
+/// queries against a deadline yield kDeadlineExceeded — both cheap, both
+/// counted.
+using StatusCode = api::StatusCode;
+using api::StatusCodeName;
 
 struct EngineOptions {
   /// Worker threads executing queries (0 = hardware concurrency).
@@ -130,14 +130,35 @@ class QueryEngine {
                           const core::Og& og,
                           const dist::FeatureScaling& scaling);
 
+  /// Fast-forwards the published generation number without changing data
+  /// (only forward; lower targets are ignored). Recovery uses this to keep
+  /// generation tokens continuous across restarts: a snapshot rebuild
+  /// collapses many original publishes into a few, but clients holding
+  /// pre-crash generation numbers must still see Generation() >= theirs.
+  void RestoreGeneration(uint64_t generation);
+
   // ---- Readers (admission-controlled, snapshot-isolated). ----
 
+  /// The one read entry point: the digest is computed once from the spec
+  /// (cache key + metrics attribution), then the request flows through the
+  /// cache / admission / deadline machinery regardless of kind.
+  QueryResult Query(const api::QuerySpec& spec, const QueryOptions& opts = {});
+
+  // Legacy spellings — one-line wrappers over Query(QuerySpec), kept for
+  // source compatibility and slated for eventual removal.
   QueryResult FindSimilar(const dist::Sequence& query, size_t k,
-                          const QueryOptions& opts = {});
+                          const QueryOptions& opts = {}) {
+    return Query(api::QuerySpec::Similar(query, k), opts);
+  }
   QueryResult FindWithinRadius(const dist::Sequence& query, double radius,
-                               const QueryOptions& opts = {});
+                               const QueryOptions& opts = {}) {
+    return Query(api::QuerySpec::WithinRadius(query, radius), opts);
+  }
   QueryResult FindActive(const std::string& video, int first_frame,
-                         int last_frame, const QueryOptions& opts = {});
+                         int last_frame, const QueryOptions& opts = {}) {
+    return Query(api::QuerySpec::Active(video, first_frame, last_frame),
+                 opts);
+  }
 
   // ---- Introspection. ----
 
@@ -147,6 +168,9 @@ class QueryEngine {
   uint64_t Generation() const { return snapshot()->generation; }
 
   const ServerMetrics& metrics() const { return metrics_; }
+  /// Mutable registry access for layers that wrap the engine and account
+  /// their own work here (the durable engine's WAL counters).
+  ServerMetrics& mutable_metrics() { return metrics_; }
   std::string MetricsJson() const {
     return metrics_.ToJson(Generation());
   }

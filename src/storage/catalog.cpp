@@ -3,11 +3,16 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace strg::storage {
 
 void Catalog::AddSegment(CatalogSegment segment) {
   segments_.push_back(std::move(segment));
+}
+
+void Catalog::AppendOg(size_t segment_index, core::Og og) {
+  segments_.at(segment_index).ogs.push_back(std::move(og));
 }
 
 size_t Catalog::TotalOgs() const {
@@ -16,67 +21,85 @@ size_t Catalog::TotalOgs() const {
   return n;
 }
 
+void EncodeCatalogSegment(const CatalogSegment& s, Writer* w) {
+  w->PutString(s.video_name);
+  w->PutU32(static_cast<uint32_t>(s.frame_width));
+  w->PutU32(static_cast<uint32_t>(s.frame_height));
+  w->PutU64(s.num_frames);
+  EncodeBackgroundGraph(s.background, w);
+  w->PutVarint(s.ogs.size());
+  for (const core::Og& og : s.ogs) EncodeOg(og, w);
+}
+
+CatalogSegment DecodeCatalogSegment(Reader* r) {
+  CatalogSegment s;
+  s.video_name = r->GetString();
+  s.frame_width = static_cast<int>(r->GetU32());
+  s.frame_height = static_cast<int>(r->GetU32());
+  s.num_frames = r->GetU64();
+  s.background = DecodeBackgroundGraph(r);
+  size_t ogs = static_cast<size_t>(r->GetVarint());
+  s.ogs.reserve(ogs);
+  for (size_t j = 0; j < ogs; ++j) s.ogs.push_back(DecodeOg(r));
+  return s;
+}
+
 std::string Catalog::Serialize() const {
   Writer w;
   w.PutU32(kMagic);
   w.PutU32(kVersion);
   w.PutVarint(segments_.size());
-  for (const CatalogSegment& s : segments_) {
-    w.PutString(s.video_name);
-    w.PutU32(static_cast<uint32_t>(s.frame_width));
-    w.PutU32(static_cast<uint32_t>(s.frame_height));
-    w.PutU64(s.num_frames);
-    EncodeBackgroundGraph(s.background, &w);
-    w.PutVarint(s.ogs.size());
-    for (const core::Og& og : s.ogs) EncodeOg(og, &w);
-  }
+  for (const CatalogSegment& s : segments_) EncodeCatalogSegment(s, &w);
   return w.Take();
 }
 
-Catalog Catalog::Deserialize(std::string_view bytes) {
-  Reader r(bytes);
-  if (r.GetU32() != kMagic) {
-    throw std::runtime_error("Catalog: bad magic (not a STRG catalog)");
+api::StatusOr<Catalog> Catalog::TryDeserialize(std::string_view bytes) {
+  // The Reader throws std::out_of_range on truncation; translate every
+  // parse-level failure into one typed kCorruption outcome so truncated
+  // files and bad magic surface identically to callers.
+  try {
+    Reader r(bytes);
+    if (r.GetU32() != kMagic) {
+      return api::Status::Corruption("Catalog: bad magic (not a STRG catalog)");
+    }
+    uint32_t version = r.GetU32();
+    if (version != kVersion) {
+      return api::Status::Corruption("Catalog: unsupported version " +
+                                     std::to_string(version));
+    }
+    Catalog catalog;
+    size_t segments = static_cast<size_t>(r.GetVarint());
+    for (size_t i = 0; i < segments; ++i) {
+      catalog.AddSegment(DecodeCatalogSegment(&r));
+    }
+    if (!r.AtEnd()) {
+      return api::Status::Corruption(
+          "Catalog: trailing bytes after last segment");
+    }
+    return catalog;
+  } catch (const std::out_of_range&) {
+    return api::Status::Corruption("Catalog: truncated input");
+  } catch (const std::length_error&) {
+    return api::Status::Corruption("Catalog: implausible length field");
   }
-  uint32_t version = r.GetU32();
-  if (version != kVersion) {
-    throw std::runtime_error("Catalog: unsupported version " +
-                             std::to_string(version));
-  }
-  Catalog catalog;
-  size_t segments = static_cast<size_t>(r.GetVarint());
-  for (size_t i = 0; i < segments; ++i) {
-    CatalogSegment s;
-    s.video_name = r.GetString();
-    s.frame_width = static_cast<int>(r.GetU32());
-    s.frame_height = static_cast<int>(r.GetU32());
-    s.num_frames = r.GetU64();
-    s.background = DecodeBackgroundGraph(&r);
-    size_t ogs = static_cast<size_t>(r.GetVarint());
-    s.ogs.reserve(ogs);
-    for (size_t j = 0; j < ogs; ++j) s.ogs.push_back(DecodeOg(&r));
-    catalog.AddSegment(std::move(s));
-  }
-  if (!r.AtEnd()) {
-    throw std::runtime_error("Catalog: trailing bytes after last segment");
-  }
-  return catalog;
 }
 
-void Catalog::SaveToFile(const std::string& path) const {
+api::Status Catalog::TrySaveToFile(const std::string& path) const {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("Catalog: cannot open " + path);
+  if (!out) return api::Status::IoError("Catalog: cannot open " + path);
   std::string bytes = Serialize();
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw std::runtime_error("Catalog: short write to " + path);
+  out.flush();
+  if (!out) return api::Status::IoError("Catalog: short write to " + path);
+  return api::Status::Ok();
 }
 
-Catalog Catalog::LoadFromFile(const std::string& path) {
+api::StatusOr<Catalog> Catalog::TryLoadFromFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("Catalog: cannot open " + path);
+  if (!in) return api::Status::NotFound("Catalog: cannot open " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return Deserialize(buf.str());
+  return TryDeserialize(buf.str());
 }
 
 }  // namespace strg::storage

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "api/status.h"
 #include "storage/serializer.h"
 #include "strg/object_graph.h"
 
@@ -21,6 +22,11 @@ struct CatalogSegment {
   std::vector<core::Og> ogs;
 };
 
+/// Segment codec, shared by the catalog body and the WAL's AddVideo record
+/// payloads (one wire format, two containers).
+void EncodeCatalogSegment(const CatalogSegment& s, Writer* w);
+CatalogSegment DecodeCatalogSegment(Reader* r);
+
 /// On-disk catalog of processed video segments.
 ///
 /// The catalog stores the pipeline's *artifacts* (OGs and BGs), not the
@@ -28,12 +34,22 @@ struct CatalogSegment {
 /// reload rebuilds an identical index from the catalog — the same policy
 /// the paper's size analysis assumes (the index is small and lives in
 /// memory; the OG payloads are the durable data).
+///
+/// Error surface: the Try* methods are the primary API and return
+/// api::Status / api::StatusOr — a bad magic, an unsupported version, and a
+/// truncated buffer all surface uniformly as kCorruption (missing files as
+/// kNotFound, OS failures as kIoError). The historical throwing methods
+/// remain as thin wrappers over them and will eventually be removed.
 class Catalog {
  public:
   static constexpr uint32_t kMagic = 0x53545247;  // "STRG"
   static constexpr uint32_t kVersion = 1;
 
   void AddSegment(CatalogSegment segment);
+
+  /// Appends one more OG to an existing segment (the durable mirror of
+  /// api::VideoDatabase::AddObjectGraph; used by WAL compaction).
+  void AppendOg(size_t segment_index, core::Og og);
 
   const std::vector<CatalogSegment>& segments() const { return segments_; }
   size_t NumSegments() const { return segments_.size(); }
@@ -42,13 +58,29 @@ class Catalog {
   /// Serializes to a byte string (magic + version header, then segments).
   std::string Serialize() const;
 
-  /// Parses a serialized catalog; throws std::runtime_error on a bad
-  /// magic/version and std::out_of_range on truncation.
-  static Catalog Deserialize(std::string_view bytes);
+  /// Parses a serialized catalog. Any malformed input — bad magic,
+  /// unsupported version, truncation, trailing bytes — is kCorruption.
+  static api::StatusOr<Catalog> TryDeserialize(std::string_view bytes);
 
-  /// File convenience wrappers; throw std::runtime_error on I/O failure.
-  void SaveToFile(const std::string& path) const;
-  static Catalog LoadFromFile(const std::string& path);
+  /// File persistence. Missing file on load is kNotFound; OS-level
+  /// failures are kIoError; malformed contents are kCorruption.
+  api::Status TrySaveToFile(const std::string& path) const;
+  static api::StatusOr<Catalog> TryLoadFromFile(const std::string& path);
+
+  // ---- Thin throwing wrappers (legacy surface; prefer the Try* forms). ----
+
+  /// Throws std::runtime_error on any parse failure.
+  static Catalog Deserialize(std::string_view bytes) {
+    return std::move(TryDeserialize(bytes).value());
+  }
+  /// Throws std::runtime_error on I/O failure.
+  void SaveToFile(const std::string& path) const {
+    TrySaveToFile(path).ThrowIfError();
+  }
+  /// Throws std::runtime_error on I/O or parse failure.
+  static Catalog LoadFromFile(const std::string& path) {
+    return std::move(TryLoadFromFile(path).value());
+  }
 
  private:
   std::vector<CatalogSegment> segments_;
