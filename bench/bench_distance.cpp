@@ -1,0 +1,264 @@
+// Distance-kernel benchmark: the fast EGED path vs the reference DP.
+//
+// Part 1 — kernel micro: ref vs flat(exact) vs bounded(tau) across sequence
+// lengths. The flat kernel isolates what precomputed gap costs + zero
+// allocation buy; the bounded kernel adds the lower-bound cascade and early
+// abandoning under a realistic tau (the true 10-NN radius of the probe).
+//
+// Part 2 — kNN cold path: the same index queried with
+// use_fast_kernel=false (the pre-optimization query path) and =true.
+// Per-query latencies give p50/p99; the counters show how much of the
+// speedup is pruned candidates vs abandoned DPs. Acceptance: >= 3x on
+// uncached p50.
+//
+// Output: human-readable stdout + BENCH_distance.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "distance/eged.h"
+#include "distance/eged_fast.h"
+#include "index/strg_index.h"
+#include "synth/generator.h"
+#include "util/random.h"
+
+namespace strg {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using dist::EgedKernelStats;
+using dist::EgedMetric;
+using dist::EgedMetricBounded;
+using dist::EgedMetricFlat;
+using dist::EgedWorkspace;
+using dist::FeatureVec;
+using dist::FlatSequence;
+using dist::Sequence;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+Sequence RandomSequence(Rng* rng, size_t len) {
+  Sequence s(len);
+  FeatureVec cur{};
+  for (size_t k = 0; k < dist::kFeatureDim; ++k) {
+    cur[k] = rng->Uniform(0.0, 10.0);
+  }
+  for (size_t i = 0; i < len; ++i) {
+    for (size_t k = 0; k < dist::kFeatureDim; ++k) {
+      cur[k] += rng->Gaussian(0.0, 0.5);
+    }
+    s[i] = cur;
+  }
+  return s;
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p / 100.0 *
+                                   static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+struct MicroRow {
+  size_t length = 0;
+  double ref_us = 0.0;
+  double flat_us = 0.0;
+  double bounded_us = 0.0;
+  double prune_rate = 0.0;    // fraction of bounded calls with no DP
+  double abandon_rate = 0.0;  // fraction of bounded calls truncated
+};
+
+MicroRow MicroBench(size_t length, int pairs, int reps) {
+  Rng rng(1000 + length);
+  std::vector<Sequence> a(pairs), b(pairs);
+  std::vector<FlatSequence> fa(pairs), fb(pairs);
+  for (int i = 0; i < pairs; ++i) {
+    a[i] = RandomSequence(&rng, length);
+    b[i] = RandomSequence(&rng, length);
+    fa[i].Assign(a[i], FeatureVec{});
+    fb[i].Assign(b[i], FeatureVec{});
+  }
+  // Realistic tau: the 10th percentile of the pairwise distances — the
+  // regime a kNN search settles into once its heap is warm.
+  std::vector<double> exact(pairs);
+  for (int i = 0; i < pairs; ++i) exact[i] = EgedMetric(a[i], b[i]);
+  double tau = Percentile(exact, 10.0);
+
+  MicroRow row;
+  row.length = length;
+  volatile double sink = 0.0;
+
+  auto t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) {
+    for (int i = 0; i < pairs; ++i) sink += EgedMetric(a[i], b[i]);
+  }
+  row.ref_us = MicrosSince(t0) / static_cast<double>(pairs * reps);
+
+  EgedWorkspace ws;
+  t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) {
+    for (int i = 0; i < pairs; ++i) sink += EgedMetricFlat(fa[i], fb[i], &ws);
+  }
+  row.flat_us = MicrosSince(t0) / static_cast<double>(pairs * reps);
+
+  EgedKernelStats stats;
+  t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) {
+    for (int i = 0; i < pairs; ++i) {
+      sink += EgedMetricBounded(fa[i], fb[i], tau, &ws, &stats);
+    }
+  }
+  row.bounded_us = MicrosSince(t0) / static_cast<double>(pairs * reps);
+  double calls = static_cast<double>(pairs) * reps;
+  row.prune_rate = static_cast<double>(stats.lb_prunes) / calls;
+  row.abandon_rate = static_cast<double>(stats.early_abandons) / calls;
+  (void)sink;
+  return row;
+}
+
+struct KnnPhase {
+  std::string name;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_dp = 0.0;       // DP evaluations per query
+  double mean_prunes = 0.0;   // lower-bound prunes per query
+  double mean_abandons = 0.0; // early abandons per query
+};
+
+KnnPhase KnnBench(const std::string& name, bool use_fast,
+                  const std::vector<Sequence>& db,
+                  const std::vector<Sequence>& queries, int reps) {
+  index::StrgIndexParams params;
+  params.num_clusters = 12;
+  params.cluster_params.max_iterations = 8;
+  params.use_fast_kernel = use_fast;
+  index::StrgIndex idx(params);
+  idx.AddSegment(core::BackgroundGraph{}, db);
+
+  KnnPhase phase;
+  phase.name = name;
+  std::vector<double> lat;
+  lat.reserve(queries.size() * static_cast<size_t>(reps));
+  double dp = 0.0, prunes = 0.0, abandons = 0.0;
+  size_t n = 0;
+  for (int r = 0; r < reps; ++r) {
+    for (const Sequence& q : queries) {
+      auto t0 = Clock::now();
+      auto result = idx.Knn(q, 10);
+      lat.push_back(MicrosSince(t0));
+      dp += static_cast<double>(result.distance_computations);
+      prunes += static_cast<double>(result.lb_prunes);
+      abandons += static_cast<double>(result.early_abandons);
+      ++n;
+    }
+  }
+  phase.p50_us = Percentile(lat, 50.0);
+  phase.p99_us = Percentile(lat, 99.0);
+  phase.mean_dp = dp / static_cast<double>(n);
+  phase.mean_prunes = prunes / static_cast<double>(n);
+  phase.mean_abandons = abandons / static_cast<double>(n);
+  return phase;
+}
+
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+}  // namespace strg
+
+int main() {
+  using namespace strg;
+  bench::Banner("BENCH distance",
+                "fast EGED kernel: flat + lower-bound cascade + early "
+                "abandoning vs reference DP");
+
+  const int scale = bench::EnvInt("STRG_BENCH_SCALE", 1);
+  const int pairs = 200 * scale;
+  const int reps = 20 * scale;
+
+  std::vector<MicroRow> micro;
+  std::printf("%-8s %10s %10s %12s %8s %8s %8s\n", "length", "ref_us",
+              "flat_us", "bounded_us", "flat_x", "bound_x", "prune%");
+  for (size_t length : {8u, 16u, 32u, 64u}) {
+    MicroRow row = MicroBench(length, pairs, reps);
+    micro.push_back(row);
+    std::printf("%-8zu %10.3f %10.3f %12.3f %7.2fx %7.2fx %7.1f%%\n",
+                row.length, row.ref_us, row.flat_us, row.bounded_us,
+                row.ref_us / row.flat_us, row.ref_us / row.bounded_us,
+                100.0 * (row.prune_rate + row.abandon_rate));
+  }
+
+  // kNN cold path: identical index structure (builds always use the flat
+  // exact kernel), only the query kernel differs.
+  synth::SynthParams sp;
+  sp.items_per_cluster = 20;
+  sp.noise_pct = 8.0;
+  sp.seed = 77;
+  auto db = synth::GenerateSyntheticOgs(sp).Sequences(synth::SynthScaling());
+  sp.items_per_cluster = 1;
+  sp.seed = 78;
+  auto qall = synth::GenerateSyntheticOgs(sp).Sequences(
+      synth::SynthScaling());
+  std::vector<dist::Sequence> queries(qall.begin(),
+                                      qall.begin() + 24);
+
+  KnnPhase ref = KnnBench("knn_reference_kernel", false, db, queries,
+                          4 * scale);
+  KnnPhase fast = KnnBench("knn_fast_kernel", true, db, queries, 4 * scale);
+  double speedup_p50 = ref.p50_us / fast.p50_us;
+  std::printf("\n%-22s %10s %10s %10s %10s %10s\n", "knn phase", "p50_us",
+              "p99_us", "dp/query", "prunes/q", "abandon/q");
+  for (const KnnPhase* p : {&ref, &fast}) {
+    std::printf("%-22s %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+                p->name.c_str(), p->p50_us, p->p99_us, p->mean_dp,
+                p->mean_prunes, p->mean_abandons);
+  }
+  std::printf("\nuncached kNN p50 speedup: %.2fx (acceptance floor 3x)\n",
+              speedup_p50);
+
+  std::string json = "{\"micro\":[";
+  for (size_t i = 0; i < micro.size(); ++i) {
+    const MicroRow& r = micro[i];
+    if (i != 0) json += ",";
+    json += "{\"length\":" + std::to_string(r.length);
+    json += ",\"ref_us\":" + Num(r.ref_us);
+    json += ",\"flat_us\":" + Num(r.flat_us);
+    json += ",\"bounded_us\":" + Num(r.bounded_us);
+    json += ",\"flat_speedup\":" + Num(r.ref_us / r.flat_us);
+    json += ",\"bounded_speedup\":" + Num(r.ref_us / r.bounded_us);
+    json += ",\"prune_rate\":" + Num(r.prune_rate);
+    json += ",\"abandon_rate\":" + Num(r.abandon_rate) + "}";
+  }
+  json += "],\"knn\":[";
+  bool first = true;
+  for (const KnnPhase* p : {&ref, &fast}) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"phase\":\"" + p->name + "\"";
+    json += ",\"p50_us\":" + Num(p->p50_us);
+    json += ",\"p99_us\":" + Num(p->p99_us);
+    json += ",\"mean_distance_computations\":" + Num(p->mean_dp);
+    json += ",\"mean_lb_prunes\":" + Num(p->mean_prunes);
+    json += ",\"mean_early_abandons\":" + Num(p->mean_abandons) + "}";
+  }
+  json += "],\"knn_p50_speedup\":" + Num(speedup_p50) + "}";
+
+  std::ofstream out("BENCH_distance.json");
+  out << json << "\n";
+  std::cout << "report written to BENCH_distance.json\n";
+  return 0;
+}

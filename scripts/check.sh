@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Repo verification: tier-1 build + full test suite, then an AddressSanitizer
 # pass over the concurrency-sensitive tests (serving layer + thread pool +
-# the WAL crash-recovery matrix), then a UBSan pass over the recovery-labeled
-# tests (the durability layer does raw byte punning — exactly where UB hides).
+# the WAL crash-recovery matrix + the distance-kernel equivalence suite),
+# then a UBSan pass over the recovery- and distance-labeled tests (the
+# durability layer does raw byte punning; the fast EGED kernel does banded
+# DP over raw row pointers — exactly where UB hides).
 #
 #   scripts/check.sh                 # tier-1 + ASan + UBSan passes
 #   STRG_CHECK_ASAN_ALL=1 scripts/check.sh   # ASan over the whole suite
@@ -24,27 +26,34 @@ if [[ "${STRG_CHECK_ASAN_ALL:-0}" == "1" ]]; then
   ctest --test-dir build-asan --output-on-failure -j
 else
   cmake --build build-asan -j \
-    --target server_concurrency_test thread_pool_test wal_recovery_test
+    --target server_concurrency_test thread_pool_test wal_recovery_test \
+    distance_kernel_test
   ./build-asan/tests/server_concurrency_test
   ./build-asan/tests/thread_pool_test
   ./build-asan/tests/wal_recovery_test
+  ./build-asan/tests/distance_kernel_test
 fi
 
 echo
-echo "== UBSan pass over recovery-labeled tests (STRG_SANITIZE=undefined) =="
+echo "== UBSan pass over recovery+distance-labeled tests (STRG_SANITIZE=undefined) =="
 cmake -B build-ubsan -S . -DSTRG_SANITIZE=undefined \
   -DSTRG_BUILD_BENCHMARKS=OFF -DSTRG_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-ubsan -j --target wal_recovery_test
-ctest --test-dir build-ubsan -L recovery --output-on-failure -j
+cmake --build build-ubsan -j --target wal_recovery_test distance_kernel_test
+ctest --test-dir build-ubsan -L 'recovery|distance' --output-on-failure -j
 
 if [[ "${STRG_CHECK_TSAN:-0}" == "1" ]]; then
   echo
   echo "== TSan pass (STRG_SANITIZE=thread) =="
   cmake -B build-tsan -S . -DSTRG_SANITIZE=thread \
     -DSTRG_BUILD_BENCHMARKS=OFF -DSTRG_BUILD_EXAMPLES=OFF >/dev/null
-  cmake --build build-tsan -j --target server_concurrency_test thread_pool_test
+  cmake --build build-tsan -j --target server_concurrency_test \
+    thread_pool_test distance_kernel_test
   ./build-tsan/tests/server_concurrency_test
   ./build-tsan/tests/thread_pool_test
+  # Fast/reference equivalence with the thread pool engaged (parallel build
+  # + concurrent queries) — the data-race check for the kernel's thread-local
+  # workspaces and the per-query counter plumbing.
+  ./build-tsan/tests/distance_kernel_test
 fi
 
 echo

@@ -257,6 +257,31 @@ Clustering EmCluster(const std::vector<dist::Sequence>& data, size_t k,
                      const dist::SequenceDistance& distance,
                      const ClusterParams& params) {
   int restarts = std::max(1, params.restarts);
+  if (params.pool != nullptr && restarts > 1 && !data.empty() && k > 0) {
+    // Restarts are independent fits, so they fan out over the pool. Each
+    // restart runs with pool = nullptr inside: ParallelFor blocks the
+    // calling worker, so a nested ParallelFor from inside a restart would
+    // deadlock the pool — restart-level parallelism replaces the
+    // matrix-level parallelism of the serial path.
+    std::vector<Clustering> models(static_cast<size_t>(restarts));
+    params.pool->ParallelFor(
+        0, static_cast<size_t>(restarts), [&](size_t r) {
+          ClusterParams p = params;
+          p.pool = nullptr;
+          p.seed = params.seed + 0x9E3779B9ull * static_cast<uint64_t>(r);
+          models[r] = EmClusterOnce(data, k, distance, p);
+        });
+    // Serial reduction in restart order (strict >): same winner as the
+    // serial loop, so the build is deterministic with or without a pool.
+    Clustering best = std::move(models[0]);
+    for (size_t r = 1; r < models.size(); ++r) {
+      if (models[r].classification_log_likelihood >
+          best.classification_log_likelihood) {
+        best = std::move(models[r]);
+      }
+    }
+    return best;
+  }
   Clustering best;
   for (int r = 0; r < restarts; ++r) {
     ClusterParams p = params;

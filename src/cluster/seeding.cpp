@@ -1,6 +1,7 @@
 #include "cluster/seeding.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -35,11 +36,15 @@ std::vector<size_t> SeedCentroidIndices(
 
   std::vector<double> best_sq(m, std::numeric_limits<double>::infinity());
   while (seeds.size() < k) {
-    // Update nearest-seed distances with the most recent seed only.
+    // Update nearest-seed distances with the most recent seed only. The
+    // current nearest distance bounds the evaluation: whenever the new seed
+    // is farther than sqrt(best_sq[j]), Bounded may stop early and return
+    // any v with tau < v <= d — then v*v > best_sq[j] and the min keeps the
+    // old value, so the D^2 weights stay exact.
     const dist::Sequence& last = data[seeds.back()];
     double total = 0.0;
     for (size_t j = 0; j < m; ++j) {
-      double d = distance(data[j], last);
+      double d = distance.Bounded(data[j], last, std::sqrt(best_sq[j]));
       best_sq[j] = std::min(best_sq[j], d * d);
       total += best_sq[j];
     }

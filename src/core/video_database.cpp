@@ -44,12 +44,20 @@ void VideoDatabase::AddObjectGraph(int segment_id,
 }
 
 std::vector<VideoDatabase::QueryHit> VideoDatabase::Query(
-    const QuerySpec& spec) const {
+    const QuerySpec& spec, QueryStats* stats) const {
+  auto with_stats = [&](const index::KnnResult& knn) {
+    if (stats != nullptr) {
+      stats->distance_computations = knn.distance_computations;
+      stats->lb_prunes = knn.lb_prunes;
+      stats->early_abandons = knn.early_abandons;
+    }
+    return Resolve(knn);
+  };
   switch (spec.kind) {
     case QuerySpec::Kind::kSimilar:
-      return Resolve(index_.Knn(spec.sequence, spec.k));
+      return with_stats(index_.Knn(spec.sequence, spec.k));
     case QuerySpec::Kind::kRange:
-      return Resolve(index_.RangeSearch(spec.sequence, spec.radius));
+      return with_stats(index_.RangeSearch(spec.sequence, spec.radius));
     case QuerySpec::Kind::kActive: {
       std::vector<QueryHit> hits;
       for (size_t id = 0; id < records_.size(); ++id) {

@@ -52,11 +52,22 @@ class VideoDatabase {
     double distance = 0.0;   ///< EGED_M to the query
   };
 
+  /// Per-query cost counters (the paper's Figure 7b metric plus the fast
+  /// kernel's pruning breakdown). Counted locally per query — exact under
+  /// concurrent load; zero for kActive queries, which compute no distances.
+  struct QueryStats {
+    size_t distance_computations = 0;  ///< EGED DP evaluations
+    size_t lb_prunes = 0;              ///< answered by the O(m+n) cascade
+    size_t early_abandons = 0;         ///< DPs truncated by the tau radius
+  };
+
   /// The one retrieval entry point: dispatches on spec.kind (k-NN /
   /// range / temporal window). Every layer above — the serving engine, the
   /// cache digest, the tools — speaks QuerySpec; the Find* methods below
-  /// are legacy spellings of the same calls.
-  std::vector<QueryHit> Query(const QuerySpec& spec) const;
+  /// are legacy spellings of the same calls. When `stats` is non-null the
+  /// query's cost counters are written there.
+  std::vector<QueryHit> Query(const QuerySpec& spec,
+                              QueryStats* stats = nullptr) const;
 
   // ---- Legacy entry points: one-line wrappers over Query(QuerySpec),
   // ---- kept for source compatibility and slated for eventual removal.

@@ -20,6 +20,18 @@ class SequenceDistance {
   /// Distance between two sequences (>= 0; semantics depend on the measure).
   virtual double operator()(const Sequence& a, const Sequence& b) const = 0;
 
+  /// Bounded evaluation for callers that only need distances at or below
+  /// `tau` (running-minimum assignment loops, kNN radii). Contract: the
+  /// exact distance d is returned whenever d <= tau; otherwise the measure
+  /// may stop early and return any v with tau < v <= d. The default is the
+  /// exact distance (always a valid answer); measures with cheap lower
+  /// bounds (metric EGED) override it.
+  virtual double Bounded(const Sequence& a, const Sequence& b,
+                         double tau) const {
+    (void)tau;
+    return (*this)(a, b);
+  }
+
   /// Human-readable name used in benchmark reports (e.g. "EGED").
   virtual std::string Name() const = 0;
 };

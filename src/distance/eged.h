@@ -2,6 +2,7 @@
 #define STRG_DISTANCE_EGED_H_
 
 #include "distance/distance.h"
+#include "distance/eged_fast.h"
 
 namespace strg::dist {
 
@@ -17,6 +18,11 @@ double EgedNonMetric(const Sequence& a, const Sequence& b);
 /// Metric EGED (Theorem 2): the gap is a fixed constant vector g, making
 /// the measure a true metric (it coincides with Chen's ERP). Used to compute
 /// index keys in the STRG-Index and as the M-tree's metric.
+///
+/// This is the reference implementation (heap-allocating, always fills the
+/// full DP matrix); the hot paths run the numerically identical flat kernel
+/// in eged_fast.h, and the randomized equivalence tests pin the two
+/// together.
 double EgedMetric(const Sequence& a, const Sequence& b,
                   const FeatureVec& g = FeatureVec{});
 
@@ -31,10 +37,20 @@ class EgedDistance final : public SequenceDistance {
 class EgedMetricDistance final : public SequenceDistance {
  public:
   explicit EgedMetricDistance(FeatureVec g = FeatureVec{}) : g_(g) {}
+  /// Flat fast path: bit-identical values to EgedMetric(a, b, g) without
+  /// its per-call heap allocations (thread-local scratch).
   double operator()(const Sequence& a, const Sequence& b) const override {
-    return EgedMetric(a, b, g_);
+    return EgedMetricFast(a, b, g_);
+  }
+  /// Lower-bound cascade + early-abandoning DP; exact whenever the true
+  /// distance is <= tau (see SequenceDistance::Bounded contract).
+  double Bounded(const Sequence& a, const Sequence& b,
+                 double tau) const override {
+    return EgedMetricBoundedSeq(a, b, tau, g_);
   }
   std::string Name() const override { return "EGED_M"; }
+
+  const FeatureVec& gap() const { return g_; }
 
  private:
   FeatureVec g_{};

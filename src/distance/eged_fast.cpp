@@ -1,0 +1,282 @@
+#include "distance/eged_fast.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace strg::dist {
+
+namespace {
+
+/// Relative safety margin applied to every analytic lower bound. The bounds
+/// are admissible in exact arithmetic; the DP accumulates with ~1e-16
+/// relative rounding per step, so shaving ~1e-12 keeps them admissible in
+/// floating point with margin to spare while costing nothing measurable in
+/// pruning power.
+inline double Shave(double lb) {
+  return lb <= 0.0 ? 0.0 : lb * (1.0 - 1e-12);
+}
+
+inline double Min3(double x, double y, double z) {
+  double v = x;
+  if (y < v) v = y;
+  if (z < v) v = z;
+  return v;
+}
+
+struct TlsFlatScratch {
+  FlatSequence a, b;
+};
+
+TlsFlatScratch& ThreadLocalFlats() {
+  static thread_local TlsFlatScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+void FlatSequence::Assign(const Sequence& seq, const FeatureVec& g) {
+  size_ = seq.size();
+  values_.resize(kFeatureDim * size_);
+  gap_costs_.resize(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    for (size_t k = 0; k < kFeatureDim; ++k) {
+      values_[i * kFeatureDim + k] = seq[i][k];
+    }
+  }
+  // Left-to-right accumulation, matching the DP's first row exactly, so
+  // gap_mass() is bit-identical to EgedMetric(seq, {}).
+  gap_mass_ = 0.0;
+  for (size_t i = 0; i < size_; ++i) {
+    gap_costs_[i] = PointDistance(seq[i], g);
+    gap_mass_ += gap_costs_[i];
+  }
+  front_ = size_ > 0 ? seq.front() : FeatureVec{};
+  back_ = size_ > 0 ? seq.back() : FeatureVec{};
+}
+
+EgedWorkspace& ThreadLocalEgedWorkspace() {
+  static thread_local EgedWorkspace ws;
+  return ws;
+}
+
+double EgedLowerBound(const FlatSequence& a, const FlatSequence& b) {
+  // Gap-mass bound: EGED_M is a metric (Theorem 2) and EGED_M(x, {}) is the
+  // gap mass, so |gap_mass(a) - gap_mass(b)| <= EGED_M(a, b) by the
+  // triangle inequality through the empty sequence.
+  double lb = std::fabs(a.gap_mass() - b.gap_mass());
+  if (!a.empty() && !b.empty()) {
+    // Endpoint bound: the first edit op of any alignment consumes a_1 or
+    // b_1 (or both), costing at least min(d(a1,b1), d(a1,g), d(b1,g)); when
+    // max(m, n) >= 2 the alignment has at least two ops and its distinct
+    // last op likewise pays for a_m or b_n.
+    const double first = Min3(PointDistance(a.front(), b.front()),
+                              a.gap_cost(0), b.gap_cost(0));
+    double endpoint = first;
+    if (a.size() >= 2 || b.size() >= 2) {
+      const double last =
+          Min3(PointDistance(a.back(), b.back()),
+               a.gap_cost(a.size() - 1), b.gap_cost(b.size() - 1));
+      endpoint = first + last;
+    }
+    lb = std::max(lb, endpoint);
+  }
+  return Shave(lb);
+}
+
+namespace {
+
+/// Shared DP body with band pruning (the pruned-DTW idea of Silva &
+/// Batista, adapted to the EGED/ERP recurrence). Identical arithmetic, in
+/// identical order, to the reference EgedMetric (eged.cpp) for every cell
+/// whose true value is <= tau — which is what makes a completed run return
+/// the reference result bit-for-bit whenever the true distance is <= tau.
+///
+/// Band invariant: [pb, pe] spans every column of the previous row whose
+/// computed value is <= tau; columns outside behave as +infinity. A cell
+/// with true value <= tau draws its optimal predecessor from a cell with
+/// value <= tau (edit costs are non-negative), which by induction lies
+/// inside the band and is exact; the remaining candidates are >= their true
+/// values, which are >= the optimal one, so the three-way min — and hence
+/// the cell — is computed exactly (ties share the same value, so this holds
+/// bitwise). Each row is scanned from pb and stops once it is both past
+/// pe + 1 (no finite vertical/diagonal candidates remain) and above tau
+/// (the horizontal chain only accumulates non-negative gap costs).
+///
+/// When a row ends with no cell <= tau, or the final cell falls outside the
+/// last band, every path to (m, n) costs more than tau: the DP abandons and
+/// returns nextafter(tau) — the smallest value that is both > tau and <= d
+/// for any true distance d > tau.
+double BoundedDp(const FlatSequence& a, const FlatSequence& b, double tau,
+                 EgedWorkspace* ws, bool* abandoned) {
+  const size_t m = a.size(), n = b.size();
+  const double* agap = a.gap_costs();
+  const double* bgap = b.gap_costs();
+  const double* av = a.points();
+  const double* bv = b.points();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  double* prev = nullptr;
+  double* cur = nullptr;
+  ws->Rows(n + 1, &prev, &cur);
+
+  // First row accumulates non-negative gap costs, so its band is a prefix.
+  prev[0] = 0.0;
+  size_t pb = 0, pe = n;
+  for (size_t j = 1; j <= n; ++j) {
+    prev[j] = prev[j - 1] + bgap[j - 1];
+    if (prev[j] > tau) {
+      pe = j - 1;
+      break;
+    }
+  }
+
+  for (size_t i = 1; i <= m; ++i) {
+    const double ga_i = agap[i - 1];
+    const double* ai = av + (i - 1) * kFeatureDim;
+    size_t cb = n + 1;  // first column of this row's band
+    size_t ce = 0;      // last column of this row's band
+    double left;        // cur[j - 1], tracked in a register
+    size_t j;
+    auto note = [&](double v) {
+      if (v <= tau) {
+        if (cb > j) cb = j;
+        ce = j;
+      }
+    };
+    if (pb == 0) {
+      left = prev[0] + ga_i;
+      cur[0] = left;
+      j = 0;
+      note(left);
+      j = 1;
+    } else {
+      // Columns left of pb have only +inf predecessors. At j = pb the
+      // diagonal (prev[pb-1]) and horizontal (cur[pb-1]) candidates are
+      // both +inf, so the cell reduces to the vertical deletion — no point
+      // distance needed.
+      j = pb;
+      left = prev[pb] + ga_i;
+      cur[pb] = left;
+      note(left);
+      j = pb + 1;
+    }
+    // In-band phase: all three predecessors lie inside the previous band.
+    // Interior band cells can still individually exceed tau; when every
+    // candidate already does, the cell can never re-enter the band — its
+    // value is only ever read as "+inf by a successor", so the point
+    // distance (and its sqrt) is skipped outright.
+    for (; j <= pe; ++j) {
+      const double diag = prev[j - 1];
+      const double del_a = prev[j] + ga_i;
+      const double del_b = left + bgap[j - 1];
+      if (diag > tau && del_a > tau && del_b > tau) {
+        cur[j] = kInf;
+        left = kInf;
+        continue;
+      }
+      const double* bj = bv + (j - 1) * kFeatureDim;
+      double s = 0.0;
+      for (size_t k = 0; k < kFeatureDim; ++k) {
+        const double dk = ai[k] - bj[k];
+        s += dk * dk;
+      }
+      const double subst = diag + std::sqrt(s);
+      double v = subst;
+      if (del_a < v) v = del_a;
+      if (del_b < v) v = del_b;
+      cur[j] = v;
+      left = v;
+      note(v);
+    }
+    // Boundary column pe + 1: the vertical candidate (prev[pe+1]) is
+    // outside the band, so the cell is min(subst, horizontal).
+    if (j == pe + 1 && j <= n) {
+      const double* bj = bv + (j - 1) * kFeatureDim;
+      double s = 0.0;
+      for (size_t k = 0; k < kFeatureDim; ++k) {
+        const double dk = ai[k] - bj[k];
+        s += dk * dk;
+      }
+      const double subst = prev[j - 1] + std::sqrt(s);
+      const double del_b = left + bgap[j - 1];
+      double v = subst < del_b ? subst : del_b;
+      cur[j] = v;
+      left = v;
+      note(v);
+      ++j;
+      // Horizontal tail: beyond pe + 1 every diagonal/vertical candidate is
+      // +inf, so cells are just left + gap — no point distance, and the
+      // chain only grows, so it stops at the first value above tau.
+      for (; j <= n && left <= tau; ++j) {
+        left += bgap[j - 1];
+        cur[j] = left;
+        note(left);
+      }
+    }
+    if (cb > n) {
+      *abandoned = true;
+      return std::nextafter(tau, kInf);
+    }
+    pb = cb;
+    pe = ce;
+    std::swap(prev, cur);
+  }
+  if (pe == n) {
+    *abandoned = false;
+    return prev[n];
+  }
+  // The corner cell exceeded tau (or was never reached).
+  *abandoned = true;
+  return std::nextafter(tau, kInf);
+}
+
+}  // namespace
+
+double EgedMetricFlat(const FlatSequence& a, const FlatSequence& b,
+                      EgedWorkspace* ws) {
+  if (a.empty()) return b.gap_mass();
+  if (b.empty()) return a.gap_mass();
+  bool abandoned = false;
+  return BoundedDp(a, b, std::numeric_limits<double>::infinity(), ws,
+                   &abandoned);
+}
+
+double EgedMetricBounded(const FlatSequence& a, const FlatSequence& b,
+                         double tau, EgedWorkspace* ws,
+                         EgedKernelStats* stats) {
+  if (a.empty() || b.empty()) {
+    if (stats != nullptr) ++stats->dp_evals;
+    return a.empty() ? b.gap_mass() : a.gap_mass();
+  }
+  if (tau < std::numeric_limits<double>::infinity()) {
+    const double lb = EgedLowerBound(a, b);
+    if (lb > tau) {
+      if (stats != nullptr) ++stats->lb_prunes;
+      return lb;
+    }
+  }
+  if (stats != nullptr) ++stats->dp_evals;
+  bool abandoned = false;
+  const double v = BoundedDp(a, b, tau, ws, &abandoned);
+  if (abandoned && stats != nullptr) ++stats->early_abandons;
+  return v;
+}
+
+double EgedMetricFast(const Sequence& a, const Sequence& b,
+                      const FeatureVec& g) {
+  TlsFlatScratch& scratch = ThreadLocalFlats();
+  scratch.a.Assign(a, g);
+  scratch.b.Assign(b, g);
+  return EgedMetricFlat(scratch.a, scratch.b, &ThreadLocalEgedWorkspace());
+}
+
+double EgedMetricBoundedSeq(const Sequence& a, const Sequence& b, double tau,
+                            const FeatureVec& g) {
+  TlsFlatScratch& scratch = ThreadLocalFlats();
+  scratch.a.Assign(a, g);
+  scratch.b.Assign(b, g);
+  return EgedMetricBounded(scratch.a, scratch.b, tau,
+                           &ThreadLocalEgedWorkspace());
+}
+
+}  // namespace strg::dist

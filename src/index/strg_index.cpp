@@ -14,6 +14,8 @@ namespace strg::index {
 
 namespace {
 
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
 /// Similarity in [0, 1] between two background graphs: optimal node
 /// matching (Hungarian on attribute distances thresholded by tolerance)
 /// normalized by the smaller node count — the root-level analogue of
@@ -54,6 +56,19 @@ constexpr size_t kIdBytes = sizeof(int);
 
 }  // namespace
 
+/// Per-query search state. Counters live here (not in the global atomic)
+/// so concurrent queries report exact values; the aggregate atomic receives
+/// one fetch_add of `stats.dp_evals` when the query finishes.
+struct StrgIndex::SearchCtx {
+  const dist::Sequence* query_seq = nullptr;  ///< for the reference kernel
+  dist::FlatSequence query_flat;              ///< for the fast kernel
+  bool use_fast = true;
+  size_t budget = std::numeric_limits<size_t>::max();  ///< max DP evals
+  dist::EgedKernelStats stats;
+
+  bool Exhausted() const { return stats.dp_evals >= budget; }
+};
+
 StrgIndex::StrgIndex(StrgIndexParams params)
     : params_(params), metric_(params.metric_gap) {}
 
@@ -84,6 +99,48 @@ double StrgIndex::Metric(const dist::Sequence& a,
   return metric_(a, b);
 }
 
+double StrgIndex::MetricFlat(const dist::FlatSequence& a,
+                             const dist::FlatSequence& b) const {
+  distance_count_.fetch_add(1, std::memory_order_relaxed);
+  return dist::EgedMetricFlat(a, b, &dist::ThreadLocalEgedWorkspace());
+}
+
+double StrgIndex::MetricFlatBounded(const dist::FlatSequence& a,
+                                    const dist::FlatSequence& b,
+                                    double tau) const {
+  dist::EgedKernelStats stats;
+  double v = dist::EgedMetricBounded(a, b, tau,
+                                     &dist::ThreadLocalEgedWorkspace(),
+                                     &stats);
+  distance_count_.fetch_add(stats.dp_evals, std::memory_order_relaxed);
+  return v;
+}
+
+double StrgIndex::SearchMetricLeaf(SearchCtx* ctx, const LeafEntry& entry,
+                                   double tau) const {
+  if (!ctx->use_fast) {
+    ++ctx->stats.dp_evals;
+    return dist::EgedMetric(*ctx->query_seq, entry.sequence,
+                            params_.metric_gap);
+  }
+  return dist::EgedMetricBounded(ctx->query_flat, entry.flat, tau,
+                                 &dist::ThreadLocalEgedWorkspace(),
+                                 &ctx->stats);
+}
+
+double StrgIndex::SearchMetricCentroid(SearchCtx* ctx,
+                                       const ClusterRecord& cluster,
+                                       double tau) const {
+  if (!ctx->use_fast) {
+    ++ctx->stats.dp_evals;
+    return dist::EgedMetric(*ctx->query_seq, cluster.centroid,
+                            params_.metric_gap);
+  }
+  return dist::EgedMetricBounded(ctx->query_flat, cluster.centroid_flat, tau,
+                                 &dist::ThreadLocalEgedWorkspace(),
+                                 &ctx->stats);
+}
+
 int StrgIndex::AddSegment(core::BackgroundGraph bg,
                           std::vector<dist::Sequence> og_sequences,
                           std::vector<size_t> og_ids) {
@@ -100,7 +157,10 @@ int StrgIndex::AddSegment(core::BackgroundGraph bg,
   root.bg = std::move(bg);
 
   if (!og_sequences.empty()) {
-    // Cluster the OGs with EM + non-metric EGED (Section 4).
+    // Cluster the OGs with EM + non-metric EGED (Section 4). The E-step
+    // keeps exact distances to every component (soft posteriors need the
+    // full matrix); the pool — when the caller also wires it into
+    // cluster_params — parallelizes the K x M matrix and EM restarts.
     cluster::Clustering model;
     if (params_.num_clusters > 0) {
       model = cluster::EmCluster(og_sequences,
@@ -119,28 +179,51 @@ int StrgIndex::AddSegment(core::BackgroundGraph bg,
     for (size_t c = 0; c < model.NumClusters(); ++c) {
       root.clusters[c].id = next_cluster_id_++;
       root.clusters[c].centroid = model.centroids[c];
+      root.clusters[c].centroid_flat = MakeFlat(root.clusters[c].centroid);
     }
-    for (size_t j = 0; j < og_sequences.size(); ++j) {
-      // Place each OG under the centroid nearest in *metric* EGED — the
-      // space its leaf key and the covering radii live in. EM's posterior
-      // assignment (non-metric EGED) usually agrees, but when it does not,
-      // following it would inflate a cluster's covering radius and weaken
-      // the triangle-inequality pruning of Algorithm 3.
-      size_t best = static_cast<size_t>(model.assignment[j]);
-      double best_key = Metric(og_sequences[j], root.clusters[best].centroid);
+
+    // Place each OG under the centroid nearest in *metric* EGED — the
+    // space its leaf key and the covering radii live in. EM's posterior
+    // assignment (non-metric EGED) usually agrees, but when it does not,
+    // following it would inflate a cluster's covering radius and weaken
+    // the triangle-inequality pruning of Algorithm 3.
+    //
+    // Each OG is independent (disjoint output slots, atomic distance
+    // counter), so the placement fans out over the pool; the EM hint is
+    // evaluated exactly first, every other centroid only up to the running
+    // best (bounded kernel) — the same argmin, usually without the DP.
+    const size_t n = og_sequences.size();
+    std::vector<dist::FlatSequence> flats(n);
+    std::vector<size_t> best(n, 0);
+    std::vector<double> best_key(n, 0.0);
+    auto place_one = [&](size_t j) {
+      flats[j].Assign(og_sequences[j], params_.metric_gap);
+      size_t b = static_cast<size_t>(model.assignment[j]);
+      double bk = MetricFlat(flats[j], root.clusters[b].centroid_flat);
       for (size_t c = 0; c < root.clusters.size(); ++c) {
-        if (c == best) continue;
-        double key = Metric(og_sequences[j], root.clusters[c].centroid);
-        if (key < best_key) {
-          best_key = key;
-          best = c;
+        if (c == b) continue;
+        double key = MetricFlatBounded(flats[j],
+                                       root.clusters[c].centroid_flat, bk);
+        if (key < bk) {
+          bk = key;
+          b = c;
         }
       }
+      best[j] = b;
+      best_key[j] = bk;
+    };
+    if (params_.pool != nullptr && n > 1) {
+      params_.pool->ParallelFor(0, n, place_one);
+    } else {
+      for (size_t j = 0; j < n; ++j) place_one(j);
+    }
+    for (size_t j = 0; j < n; ++j) {
       LeafEntry entry;
-      entry.sequence = std::move(og_sequences[j]);
+      entry.key = best_key[j];
       entry.og_id = og_ids[j];
-      entry.key = best_key;
-      root.clusters[best].leaf.push_back(std::move(entry));
+      entry.sequence = std::move(og_sequences[j]);
+      entry.flat = std::move(flats[j]);
+      root.clusters[best[j]].leaf.push_back(std::move(entry));
     }
     // Drop clusters EM left empty, sort leaves by key (Algorithm 2 line 12).
     std::erase_if(root.clusters,
@@ -161,7 +244,8 @@ int StrgIndex::AddSegment(core::BackgroundGraph bg,
 void StrgIndex::InsertIntoCluster(ClusterRecord* cluster, dist::Sequence seq,
                                   size_t og_id) {
   LeafEntry entry;
-  entry.key = Metric(seq, cluster->centroid);
+  entry.flat = MakeFlat(seq);
+  entry.key = MetricFlat(entry.flat, cluster->centroid_flat);
   entry.og_id = og_id;
   entry.sequence = std::move(seq);
   auto pos = std::lower_bound(cluster->leaf.begin(), cluster->leaf.end(),
@@ -184,20 +268,38 @@ void StrgIndex::Insert(int root_id, dist::Sequence og_sequence,
     ClusterRecord cluster;
     cluster.id = next_cluster_id_++;
     cluster.centroid = og_sequence;
+    cluster.centroid_flat = MakeFlat(cluster.centroid);
     root.clusters.push_back(std::move(cluster));
     InsertIntoCluster(&root.clusters.back(), std::move(og_sequence), og_id);
     return;
   }
+  // Nearest-centroid routing with the running best as tau: identical argmin
+  // to the exact scan, but far centroids fall to the lower-bound cascade.
+  dist::FlatSequence flat = MakeFlat(og_sequence);
   size_t best = 0;
-  double best_d = std::numeric_limits<double>::infinity();
-  for (size_t c = 0; c < root.clusters.size(); ++c) {
-    double d = Metric(og_sequence, root.clusters[c].centroid);
+  double best_d = MetricFlat(flat, root.clusters[0].centroid_flat);
+  for (size_t c = 1; c < root.clusters.size(); ++c) {
+    double d = MetricFlatBounded(flat, root.clusters[c].centroid_flat,
+                                 best_d);
     if (d < best_d) {
       best_d = d;
       best = c;
     }
   }
-  InsertIntoCluster(&root.clusters[best], std::move(og_sequence), og_id);
+  // Reuse the exact routing distance as the leaf key (it is the key).
+  ClusterRecord* cluster = &root.clusters[best];
+  LeafEntry entry;
+  entry.key = best_d;
+  entry.og_id = og_id;
+  entry.sequence = std::move(og_sequence);
+  entry.flat = std::move(flat);
+  auto pos = std::lower_bound(cluster->leaf.begin(), cluster->leaf.end(),
+                              entry.key,
+                              [](const LeafEntry& e, double k) {
+                                return e.key < k;
+                              });
+  cluster->covering_radius = std::max(cluster->covering_radius, entry.key);
+  cluster->leaf.insert(pos, std::move(entry));
   MaybeSplit(&root, best);
 }
 
@@ -225,9 +327,19 @@ void StrgIndex::MaybeSplit(RootRecord* root, size_t cluster_pos) {
   ClusterRecord& cluster = root->clusters[cluster_pos];
   if (cluster.leaf.size() <= params_.leaf_split_threshold) return;
 
-  std::vector<dist::Sequence> members;
-  members.reserve(cluster.leaf.size());
-  for (const LeafEntry& e : cluster.leaf) members.push_back(e.sequence);
+  // Move (not copy) the member sequences out for EM; the leaf entries keep
+  // their keys, ids, and flat forms, so the no-split path restores them
+  // without recomputing anything.
+  const size_t n = cluster.leaf.size();
+  std::vector<dist::Sequence> members(n);
+  for (size_t j = 0; j < n; ++j) {
+    members[j] = std::move(cluster.leaf[j].sequence);
+  }
+  auto restore_members = [&]() {
+    for (size_t j = 0; j < n; ++j) {
+      cluster.leaf[j].sequence = std::move(members[j]);
+    }
+  };
 
   // Section 5.3: split only when BIC prefers the 2-component model. The
   // split is decided in the *metric* EGED space — the space the leaf keys
@@ -243,35 +355,64 @@ void StrgIndex::MaybeSplit(RootRecord* root, size_t cluster_pos) {
                              members.size());
   double bic2 = cluster::Bic(two.classification_log_likelihood, 2,
                              members.size());
-  if (bic2 <= bic1 || two.NumClusters() < 2) return;
+  if (bic2 <= bic1 || two.NumClusters() < 2) {
+    restore_members();
+    return;
+  }
+  size_t side_a = 0;
+  for (int a : two.assignment) side_a += a == 0 ? 1 : 0;
+  if (side_a == 0 || side_a == n) {
+    // Degenerate split: keep the original cluster as-is. Its centroid is
+    // unchanged, so every leaf key is already correct — zero recomputation.
+    restore_members();
+    return;
+  }
 
   ClusterRecord a, b;
   a.id = next_cluster_id_++;
   b.id = next_cluster_id_++;
   a.centroid = two.centroids[0];
   b.centroid = two.centroids[1];
-  std::vector<LeafEntry> old = std::move(cluster.leaf);
-  for (size_t j = 0; j < old.size(); ++j) {
-    ClusterRecord* target = two.assignment[j] == 0 ? &a : &b;
-    InsertIntoCluster(target, std::move(old[j].sequence), old[j].og_id);
+  a.centroid_flat = MakeFlat(a.centroid);
+  b.centroid_flat = MakeFlat(b.centroid);
+
+  // New keys against the (new) target centroids, reusing each member's
+  // cached flat form; independent per member, so the pool fans it out.
+  std::vector<double> keys(n, 0.0);
+  auto key_one = [&](size_t j) {
+    const ClusterRecord& target = two.assignment[j] == 0 ? a : b;
+    keys[j] = MetricFlat(cluster.leaf[j].flat, target.centroid_flat);
+  };
+  if (params_.pool != nullptr && n > 1) {
+    params_.pool->ParallelFor(0, n, key_one);
+  } else {
+    for (size_t j = 0; j < n; ++j) key_one(j);
   }
-  if (a.leaf.empty() || b.leaf.empty()) {
-    // Degenerate split; keep the original cluster.
-    ClusterRecord* keep = a.leaf.empty() ? &b : &a;
-    root->clusters[cluster_pos] = std::move(*keep);
-    return;
+
+  a.leaf.reserve(side_a);
+  b.leaf.reserve(n - side_a);
+  for (size_t j = 0; j < n; ++j) {
+    LeafEntry entry;
+    entry.key = keys[j];
+    entry.og_id = cluster.leaf[j].og_id;
+    entry.sequence = std::move(members[j]);
+    entry.flat = std::move(cluster.leaf[j].flat);
+    (two.assignment[j] == 0 ? a : b).leaf.push_back(std::move(entry));
+  }
+  for (ClusterRecord* side : {&a, &b}) {
+    std::sort(side->leaf.begin(), side->leaf.end(),
+              [](const LeafEntry& x, const LeafEntry& y) {
+                return x.key < y.key;
+              });
+    side->covering_radius = side->leaf.back().key;
   }
   root->clusters[cluster_pos] = std::move(a);
   root->clusters.push_back(std::move(b));
 }
 
-void StrgIndex::SearchClusters(const RootRecord& root,
-                               const dist::Sequence& query, size_t k,
-                               size_t budget_limit, KnnResult* result) const {
-  auto budget_spent = [&]() {
-    return distance_count_.load(std::memory_order_relaxed) >= budget_limit;
-  };
-  if (budget_spent()) return;
+void StrgIndex::SearchClusters(const RootRecord& root, SearchCtx* ctx,
+                               size_t k, KnnResult* result) const {
+  if (ctx->Exhausted()) return;
 
   // Per-cluster scan frontier. Leaf entries are sorted by key
   // = EGED_M(member, centroid); with key_q = EGED_M(query, centroid) the
@@ -279,17 +420,16 @@ void StrgIndex::SearchClusters(const RootRecord& root,
   // outward from the key_q position visits a cluster's entries in
   // increasing lower-bound order.
   struct Frontier {
-    size_t cluster = 0;
     double key_q = 0.0;
     size_t lo = 0;   // next candidate below (exclusive upper index)
     size_t hi = 0;   // next candidate at/above
+    bool opened = false;  // centroid evaluated, lo/hi valid
   };
 
   // Max-heap semantics over the current k best via sorted vector (k small).
   auto& hits = result->hits;
   auto worst = [&]() {
-    return hits.size() < k ? std::numeric_limits<double>::infinity()
-                           : hits.back().distance;
+    return hits.size() < k ? kInf : hits.back().distance;
   };
   auto offer = [&](size_t og_id, double d) {
     if (d >= worst()) return;
@@ -303,26 +443,31 @@ void StrgIndex::SearchClusters(const RootRecord& root,
   };
 
   std::vector<Frontier> frontiers(root.clusters.size());
-  auto frontier_bound = [&](const Frontier& f) {
-    const auto& leaf = root.clusters[f.cluster].leaf;
-    double lb = std::numeric_limits<double>::infinity();
+  auto frontier_bound = [&](const Frontier& f, size_t c) {
+    const auto& leaf = root.clusters[c].leaf;
+    double lb = kInf;
     if (f.lo > 0) lb = std::min(lb, f.key_q - leaf[f.lo - 1].key);
     if (f.hi < leaf.size()) lb = std::min(lb, leaf[f.hi].key - f.key_q);
     return lb;
   };
-
-  // Global best-first scan: always evaluate the entry with the smallest
-  // lower bound across ALL clusters, so the worst-of-k radius tightens as
-  // fast as possible and whole clusters fall away without being touched.
-  using Queued = std::pair<double, size_t>;  // (lower bound, cluster)
-  std::priority_queue<Queued, std::vector<Queued>, std::greater<>> queue;
-
-  for (size_t c = 0; c < root.clusters.size(); ++c) {
-    if (budget_spent()) return;
+  // Opens a cluster: evaluates its centroid (bounded — if even a lower
+  // bound on key_q exceeds worst + covering_radius, every member's triangle
+  // bound key_q - covering_radius already beats worst and the cluster is
+  // dead without an exact key_q) and positions the scan cursors. Returns
+  // the first member lower bound, or kInf when the cluster cannot
+  // contribute. (worst only shrinks as the scan proceeds, so skips stay
+  // valid.)
+  auto open_cluster = [&](size_t c) {
+    const ClusterRecord& cluster = root.clusters[c];
+    const double w = worst();
+    const double tau_c =
+        ctx->use_fast && w < kInf ? w + cluster.covering_radius : kInf;
+    double key_q = SearchMetricCentroid(ctx, cluster, tau_c);
+    if (key_q > tau_c) return kInf;
     Frontier& f = frontiers[c];
-    f.cluster = c;
-    f.key_q = Metric(query, root.clusters[c].centroid);
-    const auto& leaf = root.clusters[c].leaf;
+    f.opened = true;
+    f.key_q = key_q;
+    const auto& leaf = cluster.leaf;
     f.hi = static_cast<size_t>(
         std::lower_bound(leaf.begin(), leaf.end(), f.key_q,
                          [](const LeafEntry& e, double v) {
@@ -330,36 +475,97 @@ void StrgIndex::SearchClusters(const RootRecord& root,
                          }) -
         leaf.begin());
     f.lo = f.hi;
-    double lb = frontier_bound(f);
-    if (lb != std::numeric_limits<double>::infinity()) queue.push({lb, c});
+    return frontier_bound(f, c);
+  };
+
+  // Global best-first scan: always advance the item with the smallest lower
+  // bound across ALL clusters, so the worst-of-k radius tightens as fast as
+  // possible and whole clusters fall away without being touched.
+  using Queued = std::pair<double, size_t>;  // (lower bound, cluster)
+  std::priority_queue<Queued, std::vector<Queued>, std::greater<>> queue;
+
+  if (ctx->use_fast) {
+    // Clusters enter the queue unopened, keyed by a member-distance lower
+    // bound that needs no DP at all: d(q, e) >= d(q, centroid) - cov >=
+    // LB(q, centroid) - cov. The centroid DP is deferred until the cluster
+    // reaches the head of the queue — by which point worst is usually tight
+    // enough that far clusters are popped, compared, and dropped with zero
+    // distance work.
+    for (size_t c = 0; c < root.clusters.size(); ++c) {
+      const ClusterRecord& cluster = root.clusters[c];
+      double lb = dist::EgedLowerBound(ctx->query_flat,
+                                       cluster.centroid_flat) -
+                  cluster.covering_radius;
+      queue.push({std::max(lb, 0.0), c});
+    }
+  } else {
+    // Reference path: eager centroid evaluation in index order — the
+    // pre-optimization behavior, preserved for A/B comparison.
+    for (size_t c = 0; c < root.clusters.size(); ++c) {
+      if (ctx->Exhausted()) return;
+      double lb = open_cluster(c);
+      if (lb != kInf) queue.push({lb, c});
+    }
   }
 
   while (!queue.empty()) {
-    if (budget_spent()) return;
+    if (ctx->Exhausted()) return;
     auto [lb, c] = queue.top();
     queue.pop();
     if (lb >= worst()) break;  // every remaining entry anywhere is >= lb
     Frontier& f = frontiers[c];
+    if (!f.opened) {
+      double next = open_cluster(c);
+      if (next != kInf) queue.push({next, c});
+      continue;
+    }
     const auto& leaf = root.clusters[c].leaf;
 
-    // Evaluate the nearer of the two scan directions.
-    double lb_lo = f.lo > 0 ? f.key_q - leaf[f.lo - 1].key
-                            : std::numeric_limits<double>::infinity();
-    double lb_hi = f.hi < leaf.size()
-                       ? leaf[f.hi].key - f.key_q
-                       : std::numeric_limits<double>::infinity();
+    // Evaluate the nearer of the two scan directions, with the current
+    // worst-of-k radius as tau: a candidate that cannot make the top k is
+    // answered by the lower-bound cascade or an abandoned DP.
+    double lb_lo = f.lo > 0 ? f.key_q - leaf[f.lo - 1].key : kInf;
+    double lb_hi = f.hi < leaf.size() ? leaf[f.hi].key - f.key_q : kInf;
     if (lb_lo <= lb_hi) {
       --f.lo;
-      offer(leaf[f.lo].og_id, Metric(query, leaf[f.lo].sequence));
+      offer(leaf[f.lo].og_id,
+            SearchMetricLeaf(ctx, leaf[f.lo], worst()));
     } else {
-      offer(leaf[f.hi].og_id, Metric(query, leaf[f.hi].sequence));
+      offer(leaf[f.hi].og_id,
+            SearchMetricLeaf(ctx, leaf[f.hi], worst()));
       ++f.hi;
     }
-    double next = frontier_bound(f);
-    if (next != std::numeric_limits<double>::infinity()) {
+    double next = frontier_bound(f, c);
+    if (next != kInf) {
       queue.push({next, c});
     }
   }
+}
+
+size_t StrgIndex::BestRoot(const core::BackgroundGraph& query_bg) const {
+  // Algorithm 3 step 2: route to the best-matching background. The
+  // similarity of each root is independent, so large multi-segment indexes
+  // fan the Hungarian matchings out over the pool; the argmax reduction
+  // stays serial in root order (deterministic, first max wins).
+  std::vector<double> sims(roots_.size(), -1.0);
+  auto sim_one = [&](size_t r) {
+    sims[r] = BackgroundSimilarity(roots_[r].bg, query_bg,
+                                   params_.bg_tolerance);
+  };
+  if (params_.pool != nullptr && roots_.size() >= 8) {
+    params_.pool->ParallelFor(0, roots_.size(), sim_one);
+  } else {
+    for (size_t r = 0; r < roots_.size(); ++r) sim_one(r);
+  }
+  size_t best_root = 0;
+  double best_sim = -1.0;
+  for (size_t r = 0; r < roots_.size(); ++r) {
+    if (sims[r] > best_sim) {
+      best_sim = sims[r];
+      best_root = r;
+    }
+  }
+  return best_root;
 }
 
 KnnResult StrgIndex::Knn(const dist::Sequence& query, size_t k,
@@ -367,31 +573,24 @@ KnnResult StrgIndex::Knn(const dist::Sequence& query, size_t k,
                          size_t max_distance_computations) const {
   KnnResult result;
   if (k == 0 || roots_.empty()) return result;
-  size_t before = distance_count_.load(std::memory_order_relaxed);
-  size_t budget_limit = max_distance_computations == 0
-                            ? std::numeric_limits<size_t>::max()
-                            : before + max_distance_computations;
+
+  SearchCtx ctx;
+  ctx.query_seq = &query;
+  ctx.use_fast = params_.use_fast_kernel;
+  if (ctx.use_fast) ctx.query_flat.Assign(query, params_.metric_gap);
+  if (max_distance_computations != 0) ctx.budget = max_distance_computations;
 
   if (query_bg != nullptr) {
-    // Algorithm 3 step 2: route to the best-matching background.
-    double best_sim = -1.0;
-    size_t best_root = 0;
-    for (size_t r = 0; r < roots_.size(); ++r) {
-      double sim =
-          BackgroundSimilarity(roots_[r].bg, *query_bg, params_.bg_tolerance);
-      if (sim > best_sim) {
-        best_sim = sim;
-        best_root = r;
-      }
-    }
-    SearchClusters(roots_[best_root], query, k, budget_limit, &result);
+    SearchClusters(roots_[BestRoot(*query_bg)], &ctx, k, &result);
   } else {
     for (const RootRecord& root : roots_) {
-      SearchClusters(root, query, k, budget_limit, &result);
+      SearchClusters(root, &ctx, k, &result);
     }
   }
-  result.distance_computations =
-      distance_count_.load(std::memory_order_relaxed) - before;
+  result.distance_computations = ctx.stats.dp_evals;
+  result.lb_prunes = ctx.stats.lb_prunes;
+  result.early_abandons = ctx.stats.early_abandons;
+  distance_count_.fetch_add(ctx.stats.dp_evals, std::memory_order_relaxed);
   return result;
 }
 
@@ -413,13 +612,21 @@ KnnResult StrgIndex::RangeSearch(const dist::Sequence& query, double radius,
                                  const core::BackgroundGraph* query_bg) const {
   KnnResult result;
   if (roots_.empty() || radius < 0.0) return result;
-  size_t before = distance_count_.load(std::memory_order_relaxed);
+
+  SearchCtx ctx;
+  ctx.query_seq = &query;
+  ctx.use_fast = params_.use_fast_kernel;
+  if (ctx.use_fast) ctx.query_flat.Assign(query, params_.metric_gap);
 
   auto search_root = [&](const RootRecord& root) {
     for (const ClusterRecord& cluster : root.clusters) {
-      double key_q = Metric(query, cluster.centroid);
       // No member can be within radius when even the closest possible key
-      // band misses: d(q, e) >= key_q - covering_radius.
+      // band misses: d(q, e) >= key_q - covering_radius. The centroid
+      // evaluation is bounded by that same test, so hopeless clusters are
+      // skipped from a lower bound alone.
+      const double tau_c =
+          ctx.use_fast ? radius + cluster.covering_radius : kInf;
+      double key_q = SearchMetricCentroid(&ctx, cluster, tau_c);
       if (key_q - cluster.covering_radius > radius) continue;
       const auto& leaf = cluster.leaf;
       auto lo = std::lower_bound(
@@ -427,24 +634,14 @@ KnnResult StrgIndex::RangeSearch(const dist::Sequence& query, double radius,
           [](const LeafEntry& e, double v) { return e.key < v; });
       for (auto it = lo; it != leaf.end() && it->key <= key_q + radius;
            ++it) {
-        double d = Metric(query, it->sequence);
+        double d = SearchMetricLeaf(&ctx, *it, radius);
         if (d <= radius) result.hits.push_back({it->og_id, d});
       }
     }
   };
 
   if (query_bg != nullptr) {
-    double best_sim = -1.0;
-    size_t best_root = 0;
-    for (size_t r = 0; r < roots_.size(); ++r) {
-      double sim =
-          BackgroundSimilarity(roots_[r].bg, *query_bg, params_.bg_tolerance);
-      if (sim > best_sim) {
-        best_sim = sim;
-        best_root = r;
-      }
-    }
-    search_root(roots_[best_root]);
+    search_root(roots_[BestRoot(*query_bg)]);
   } else {
     for (const RootRecord& root : roots_) search_root(root);
   }
@@ -452,8 +649,10 @@ KnnResult StrgIndex::RangeSearch(const dist::Sequence& query, double radius,
             [](const KnnHit& a, const KnnHit& b) {
               return a.distance < b.distance;
             });
-  result.distance_computations =
-      distance_count_.load(std::memory_order_relaxed) - before;
+  result.distance_computations = ctx.stats.dp_evals;
+  result.lb_prunes = ctx.stats.lb_prunes;
+  result.early_abandons = ctx.stats.early_abandons;
+  distance_count_.fetch_add(ctx.stats.dp_evals, std::memory_order_relaxed);
   return result;
 }
 

@@ -9,8 +9,10 @@
 #include "cluster/clustering.h"
 #include "distance/distance.h"
 #include "distance/eged.h"
+#include "distance/eged_fast.h"
 #include "strg/decompose.h"
 #include "strg/object_graph.h"
+#include "util/thread_pool.h"
 
 namespace strg::index {
 
@@ -33,6 +35,24 @@ struct StrgIndexParams {
 
   /// Attribute tolerances for matching a query BG against root records.
   graph::AttrTolerance bg_tolerance;
+
+  /// Optional worker pool (not owned). When set, AddSegment fans the leaf
+  /// placement out with ParallelFor, EM restarts run concurrently (the pool
+  /// is also handed to cluster_params when the caller sets it there), the
+  /// split reassignment parallelizes, and BG-similarity root routing fans
+  /// out for many-segment indexes. Build results are deterministic: every
+  /// parallel loop writes disjoint slots and reductions run serially in
+  /// index order. Queries never borrow this pool implicitly.
+  ThreadPool* pool = nullptr;
+
+  /// Query-path kernel selector. true (default) runs the flat bounded EGED
+  /// kernel (lower-bound cascade + early abandoning, eged_fast.h) on
+  /// Knn/RangeSearch; false runs the reference heap-allocating DP — kept as
+  /// an A/B knob so tests and bench_distance can pin the fast path to the
+  /// reference results and measure the speedup. Both return identical hits
+  /// and distances; build paths always use the (numerically identical) flat
+  /// exact kernel.
+  bool use_fast_kernel = true;
 };
 
 /// One answer of a k-NN search.
@@ -41,10 +61,19 @@ struct KnnHit {
   double distance = 0.0;
 };
 
-/// k-NN result plus the cost counter the paper reports (Figure 7b).
+/// k-NN result plus the cost counters the paper reports (Figure 7b).
+/// All three are counted in a per-query local context — NOT as a delta of
+/// the global atomic — so concurrent queries over one shared index snapshot
+/// report exact, non-interfering values.
 struct KnnResult {
   std::vector<KnnHit> hits;             ///< ascending by distance
+  /// EGED DP evaluations this query ran (full or early-abandoned) — the
+  /// "distance computations" of Figure 7b.
   size_t distance_computations = 0;
+  /// Candidates eliminated by the O(m+n) lower-bound cascade before any DP.
+  size_t lb_prunes = 0;
+  /// DPs truncated once a whole row exceeded the pruning radius tau.
+  size_t early_abandons = 0;
 };
 
 /// STRG-Index (Section 5): a three-level tree.
@@ -90,8 +119,10 @@ class StrgIndex {
   /// matching root record is searched; otherwise all cluster nodes are
   /// visited (the paper's "query does not consider a background" case).
   ///
-  /// `max_distance_computations` (0 = unlimited) caps the search cost: once
-  /// the budget is exhausted the current best candidates are returned. This
+  /// `max_distance_computations` (0 = unlimited) caps this query's own DP
+  /// evaluations (counted locally, so concurrent queries cannot consume
+  /// each other's budget): once the budget is exhausted the current best
+  /// candidates are returned. This
   /// cost-bounded mode is how Figure 7(c) compares retrieval accuracy — an
   /// exact k-NN would return identical answers from any correct index, so
   /// accuracy differences only show up at a fixed search budget, where a
@@ -110,9 +141,10 @@ class StrgIndex {
   /// Total distance computations since construction (build + queries).
   /// Atomic (relaxed) so concurrent readers sharing one published index
   /// snapshot race-freely account their work — the counter is the only
-  /// state the const query path (Knn / RangeSearch) touches. Per-query
-  /// `distance_computations` deltas are exact single-threaded; under
-  /// concurrent queries they interleave and only the total is meaningful.
+  /// state the const query path (Knn / RangeSearch) touches. Queries count
+  /// into a per-query local context and add their total here once at the
+  /// end, so KnnResult::distance_computations is exact even under
+  /// concurrent load and this aggregate stays monotone.
   size_t TotalDistanceComputations() const {
     return distance_count_.load(std::memory_order_relaxed);
   }
@@ -149,10 +181,16 @@ class StrgIndex {
     double key = 0.0;            ///< EGED_M(member, cluster centroid)
     size_t og_id = 0;            ///< "pointer" to the real video clip
     dist::Sequence sequence;     ///< the actual OG (kept in the leaf)
+    /// Flat SoA form + precomputed gap costs of `sequence` against the
+    /// index's metric gap — built once at insert, consumed by every query
+    /// the entry is ever a candidate for. Travels with the entry across
+    /// splits (it depends only on the sequence, not on the centroid).
+    dist::FlatSequence flat;
   };
   struct ClusterRecord {
     int id = 0;
     dist::Sequence centroid;           ///< OG_clus
+    dist::FlatSequence centroid_flat;  ///< flat form of the centroid
     double covering_radius = 0.0;      ///< max leaf key
     std::vector<LeafEntry> leaf;       ///< sorted by key
   };
@@ -162,12 +200,36 @@ class StrgIndex {
     std::vector<ClusterRecord> clusters;
   };
 
+  /// Per-query search state: the query's flat form, the distance budget,
+  /// and local counters (the fix for the cross-query counter race — nothing
+  /// here is shared between concurrent queries).
+  struct SearchCtx;
+
+  dist::FlatSequence MakeFlat(const dist::Sequence& seq) const {
+    return dist::FlatSequence(seq, params_.metric_gap);
+  }
+
+  /// Build-path distance evaluations; both count into the global atomic.
   double Metric(const dist::Sequence& a, const dist::Sequence& b) const;
+  double MetricFlat(const dist::FlatSequence& a,
+                    const dist::FlatSequence& b) const;
+  /// Bounded build-path evaluation (exact when the result is <= tau); only
+  /// evaluations that ran the DP count toward the global atomic.
+  double MetricFlatBounded(const dist::FlatSequence& a,
+                           const dist::FlatSequence& b, double tau) const;
+
+  /// Query-path evaluations: count into ctx, honor use_fast_kernel.
+  double SearchMetricLeaf(SearchCtx* ctx, const LeafEntry& entry,
+                          double tau) const;
+  double SearchMetricCentroid(SearchCtx* ctx, const ClusterRecord& cluster,
+                              double tau) const;
+
   void InsertIntoCluster(ClusterRecord* cluster, dist::Sequence seq,
                          size_t og_id);
   void MaybeSplit(RootRecord* root, size_t cluster_pos);
-  void SearchClusters(const RootRecord& root, const dist::Sequence& query,
-                      size_t k, size_t budget_limit, KnnResult* result) const;
+  void SearchClusters(const RootRecord& root, SearchCtx* ctx, size_t k,
+                      KnnResult* result) const;
+  size_t BestRoot(const core::BackgroundGraph& query_bg) const;
 
   StrgIndexParams params_;
   dist::EgedMetricDistance metric_;

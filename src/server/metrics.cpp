@@ -148,6 +148,14 @@ std::string ServerMetrics::ToJson(uint64_t generation) const {
   AppendCount(&out, wal_compactions.load(std::memory_order_relaxed));
   out.append("}");
 
+  out.append(",\"distance\":{\"computations\":");
+  AppendCount(&out, distance_computations.load(std::memory_order_relaxed));
+  out.append(",\"lb_prunes\":");
+  AppendCount(&out, lb_prunes.load(std::memory_order_relaxed));
+  out.append(",\"early_abandons\":");
+  AppendCount(&out, early_abandons.load(std::memory_order_relaxed));
+  out.append("}");
+
   out.append(",\"queries\":{\"knn\":");
   knn_latency.AppendJson(&out);
   out.append(",\"range\":");

@@ -69,6 +69,15 @@ class ServerMetrics {
   // of it being derivable only from bench output.
   std::array<std::atomic<uint64_t>, api::kNumStatusCodes> status_counts{};
 
+  // Distance-kernel work across all executed (non-cached) queries: DP
+  // evaluations actually run, candidates answered by the O(m+n) lower-bound
+  // cascade, and DPs truncated by early abandoning. Each query counts these
+  // locally (api::VideoDatabase::QueryStats) and the engine adds them here
+  // once per compute, so the aggregates are exact under concurrent load.
+  std::atomic<uint64_t> distance_computations{0};
+  std::atomic<uint64_t> lb_prunes{0};
+  std::atomic<uint64_t> early_abandons{0};
+
   // Durability layer (written by DurableQueryEngine; zero on a
   // memory-only engine).
   std::atomic<uint64_t> wal_appends{0};

@@ -185,8 +185,18 @@ QueryResult QueryEngine::Query(const api::QuerySpec& spec,
       break;
   }
   return Execute(digest, histogram, opts,
-                 [spec](const api::VideoDatabase& db) {
-                   return db.Query(spec);
+                 [this, spec](const api::VideoDatabase& db) {
+                   api::VideoDatabase::QueryStats stats;
+                   auto hits = db.Query(spec, &stats);
+                   // Cache hits never reach this lambda, so the aggregates
+                   // count exactly the distance work actually performed.
+                   metrics_.distance_computations.fetch_add(
+                       stats.distance_computations, std::memory_order_relaxed);
+                   metrics_.lb_prunes.fetch_add(stats.lb_prunes,
+                                                std::memory_order_relaxed);
+                   metrics_.early_abandons.fetch_add(
+                       stats.early_abandons, std::memory_order_relaxed);
+                   return hits;
                  });
 }
 

@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "distance/eged.h"
+#include "distance/eged_fast.h"
+#include "index/strg_index.h"
+#include "synth/generator.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace strg {
+namespace {
+
+using dist::EgedKernelStats;
+using dist::EgedLowerBound;
+using dist::EgedMetric;
+using dist::EgedMetricBounded;
+using dist::EgedMetricBoundedSeq;
+using dist::EgedMetricFast;
+using dist::EgedMetricFlat;
+using dist::EgedWorkspace;
+using dist::FeatureVec;
+using dist::FlatSequence;
+using dist::kFeatureDim;
+using dist::Sequence;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Sequence RandomSequence(Rng* rng, size_t min_len = 0, size_t max_len = 24) {
+  size_t len = static_cast<size_t>(rng->UniformInt(
+      static_cast<int>(min_len), static_cast<int>(max_len)));
+  Sequence s(len);
+  FeatureVec cur{};
+  for (size_t k = 0; k < kFeatureDim; ++k) cur[k] = rng->Uniform(0.0, 10.0);
+  for (size_t i = 0; i < len; ++i) {
+    for (size_t k = 0; k < kFeatureDim; ++k) {
+      cur[k] += rng->Gaussian(0.0, 0.5);
+    }
+    s[i] = cur;
+  }
+  return s;
+}
+
+FeatureVec RandomGap(Rng* rng) {
+  FeatureVec g{};
+  for (size_t k = 0; k < kFeatureDim; ++k) g[k] = rng->Uniform(0.0, 5.0);
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel equivalence: the flat kernel is the reference kernel, bit for bit.
+// ---------------------------------------------------------------------------
+
+TEST(DistanceKernel, FlatKernelMatchesReferenceExactly) {
+  Rng rng(11);
+  for (int trial = 0; trial < 500; ++trial) {
+    FeatureVec g = trial % 2 == 0 ? FeatureVec{} : RandomGap(&rng);
+    Sequence a = RandomSequence(&rng);
+    Sequence b = RandomSequence(&rng);
+    double ref = EgedMetric(a, b, g);
+    // EXPECT_DOUBLE_EQ demands bit-identical values (ULP distance 0 given
+    // both are finite) — the fast path must not drift from the reference.
+    EXPECT_DOUBLE_EQ(EgedMetricFast(a, b, g), ref);
+  }
+}
+
+TEST(DistanceKernel, BoundedWithInfiniteTauIsExact) {
+  Rng rng(12);
+  for (int trial = 0; trial < 300; ++trial) {
+    FeatureVec g = RandomGap(&rng);
+    Sequence a = RandomSequence(&rng);
+    Sequence b = RandomSequence(&rng);
+    double ref = EgedMetric(a, b, g);
+    EXPECT_DOUBLE_EQ(EgedMetricBoundedSeq(a, b, kInf, g), ref);
+  }
+}
+
+TEST(DistanceKernel, BoundedHonorsItsContractAtRandomTaus) {
+  // Contract: d <= tau  =>  exact d; d > tau  =>  some v in (tau, d].
+  Rng rng(13);
+  EgedKernelStats stats;
+  EgedWorkspace ws;
+  for (int trial = 0; trial < 2000; ++trial) {
+    FeatureVec g = RandomGap(&rng);
+    Sequence a = RandomSequence(&rng);
+    Sequence b = RandomSequence(&rng);
+    double exact = EgedMetric(a, b, g);
+    // Sample taus on both sides of the exact distance, including tiny ones
+    // that force the lower-bound cascade to answer.
+    double tau = exact * rng.Uniform(0.0, 2.0);
+    FlatSequence fa(a, g), fb(b, g);
+    double v = EgedMetricBounded(fa, fb, tau, &ws, &stats);
+    if (exact <= tau) {
+      EXPECT_DOUBLE_EQ(v, exact);
+    } else {
+      EXPECT_GT(v, tau);
+      EXPECT_LE(v, exact);
+    }
+  }
+  // The sweep must actually exercise every outcome of the cascade.
+  EXPECT_GT(stats.dp_evals, 0u);
+  EXPECT_GT(stats.lb_prunes, 0u);
+  EXPECT_GT(stats.early_abandons, 0u);
+}
+
+TEST(DistanceKernel, LowerBoundIsAdmissibleOnAThousandPairs) {
+  Rng rng(14);
+  for (int trial = 0; trial < 1000; ++trial) {
+    FeatureVec g = RandomGap(&rng);
+    Sequence a = RandomSequence(&rng);
+    Sequence b = RandomSequence(&rng);
+    FlatSequence fa(a, g), fb(b, g);
+    double lb = EgedLowerBound(fa, fb);
+    double exact = EgedMetric(a, b, g);
+    EXPECT_GE(lb, 0.0);
+    EXPECT_LE(lb, exact) << "lower bound exceeds the exact distance";
+  }
+}
+
+TEST(DistanceKernel, FastKernelPreservesTheMetricAxioms) {
+  Rng rng(15);
+  FeatureVec g = RandomGap(&rng);
+  for (int trial = 0; trial < 50; ++trial) {
+    Sequence a = RandomSequence(&rng, 1);
+    Sequence b = RandomSequence(&rng, 1);
+    Sequence c = RandomSequence(&rng, 1);
+    double ab = EgedMetricFast(a, b, g);
+    double ac = EgedMetricFast(a, c, g);
+    double bc = EgedMetricFast(b, c, g);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_DOUBLE_EQ(EgedMetricFast(a, a, g), 0.0);
+    EXPECT_NEAR(ab, EgedMetricFast(b, a, g), 1e-9);
+    EXPECT_LE(ac, ab + bc + 1e-9);
+    EXPECT_LE(ab, ac + bc + 1e-9);
+    EXPECT_LE(bc, ab + ac + 1e-9);
+  }
+}
+
+TEST(DistanceKernel, FlatSequenceExposesTheDpsGapAccumulation) {
+  Rng rng(16);
+  FeatureVec g = RandomGap(&rng);
+  Sequence a = RandomSequence(&rng, 1);
+  FlatSequence fa(a, g);
+  ASSERT_EQ(fa.size(), a.size());
+  // gap_mass == EGED_M(a, {}) — the DP's whole-sequence deletion column.
+  EXPECT_DOUBLE_EQ(fa.gap_mass(), EgedMetric(a, {}, g));
+  // Reassigning in place (scratch reuse) reproduces a fresh build.
+  Sequence b = RandomSequence(&rng, 1);
+  FlatSequence fb(b, g);
+  fa.Assign(b, g);
+  EXPECT_EQ(fa.size(), fb.size());
+  EXPECT_DOUBLE_EQ(fa.gap_mass(), fb.gap_mass());
+}
+
+// ---------------------------------------------------------------------------
+// Index integration: the fast query path returns exactly what the reference
+// kernel path returns, and the parallel build is deterministic.
+// ---------------------------------------------------------------------------
+
+struct Workload {
+  std::vector<Sequence> db;
+  std::vector<Sequence> queries;
+};
+
+Workload MakeWorkload(uint64_t seed = 77) {
+  synth::SynthParams params;
+  params.items_per_cluster = 6;
+  params.noise_pct = 8.0;
+  params.seed = seed;
+  Workload w;
+  w.db = synth::GenerateSyntheticOgs(params).Sequences(synth::SynthScaling());
+  params.items_per_cluster = 1;
+  params.seed = seed + 1;
+  auto q =
+      synth::GenerateSyntheticOgs(params).Sequences(synth::SynthScaling());
+  w.queries.assign(q.begin(), q.begin() + 6);
+  return w;
+}
+
+index::StrgIndexParams BaseParams() {
+  index::StrgIndexParams params;
+  params.num_clusters = 12;
+  params.cluster_params.max_iterations = 6;
+  return params;
+}
+
+TEST(DistanceKernel, FastAndReferenceQueryPathsAgreeBitForBit) {
+  Workload w = MakeWorkload();
+  index::StrgIndexParams fast_params = BaseParams();
+  fast_params.use_fast_kernel = true;
+  index::StrgIndexParams ref_params = BaseParams();
+  ref_params.use_fast_kernel = false;
+
+  index::StrgIndex fast_idx(fast_params);
+  index::StrgIndex ref_idx(ref_params);
+  // Two segments so the multi-root scan (worst-of-k carried across roots)
+  // is exercised too.
+  Workload w2 = MakeWorkload(91);
+  fast_idx.AddSegment(core::BackgroundGraph{}, w.db);
+  fast_idx.AddSegment(core::BackgroundGraph{}, w2.db);
+  ref_idx.AddSegment(core::BackgroundGraph{}, w.db);
+  ref_idx.AddSegment(core::BackgroundGraph{}, w2.db);
+
+  for (const Sequence& q : w.queries) {
+    auto fast = fast_idx.Knn(q, 5);
+    auto ref = ref_idx.Knn(q, 5);
+    ASSERT_EQ(fast.hits.size(), ref.hits.size());
+    for (size_t i = 0; i < fast.hits.size(); ++i) {
+      EXPECT_EQ(fast.hits[i].og_id, ref.hits[i].og_id);
+      EXPECT_DOUBLE_EQ(fast.hits[i].distance, ref.hits[i].distance);
+    }
+    // The fast path must do no more DP work than the reference path, and
+    // the sweep as a whole must show the cascade firing.
+    EXPECT_LE(fast.distance_computations, ref.distance_computations);
+    EXPECT_EQ(ref.lb_prunes, 0u);
+    EXPECT_EQ(ref.early_abandons, 0u);
+
+    double radius = ref.hits.empty() ? 1.0 : ref.hits.back().distance;
+    auto fast_range = fast_idx.RangeSearch(q, radius);
+    auto ref_range = ref_idx.RangeSearch(q, radius);
+    ASSERT_EQ(fast_range.hits.size(), ref_range.hits.size());
+    for (size_t i = 0; i < fast_range.hits.size(); ++i) {
+      EXPECT_EQ(fast_range.hits[i].og_id, ref_range.hits[i].og_id);
+      EXPECT_DOUBLE_EQ(fast_range.hits[i].distance,
+                       ref_range.hits[i].distance);
+    }
+  }
+}
+
+TEST(DistanceKernel, ReportedKnnDistancesAreTrueMetricDistances) {
+  Workload w = MakeWorkload();
+  index::StrgIndex idx(BaseParams());
+  idx.AddSegment(core::BackgroundGraph{}, w.db);
+  for (const Sequence& q : w.queries) {
+    auto result = idx.Knn(q, 5);
+    for (const auto& h : result.hits) {
+      // Early abandoning may only reject candidates, never distort the
+      // distance of anything that makes the answer.
+      EXPECT_DOUBLE_EQ(h.distance, EgedMetric(q, w.db[h.og_id]));
+    }
+  }
+}
+
+TEST(DistanceKernel, ParallelBuildIsDeterministic) {
+  Workload w = MakeWorkload();
+  ThreadPool pool(4);
+
+  index::StrgIndexParams serial_params = BaseParams();
+  serial_params.cluster_params.restarts = 3;
+  index::StrgIndexParams pooled_params = serial_params;
+  pooled_params.pool = &pool;
+  pooled_params.cluster_params.pool = &pool;
+
+  index::StrgIndex serial_idx(serial_params);
+  index::StrgIndex pooled_idx(pooled_params);
+  int sroot = serial_idx.AddSegment(core::BackgroundGraph{}, w.db);
+  int proot = pooled_idx.AddSegment(core::BackgroundGraph{}, w.db);
+  ASSERT_EQ(sroot, proot);
+
+  ASSERT_EQ(serial_idx.NumClusters(), pooled_idx.NumClusters());
+  ASSERT_EQ(serial_idx.NumIndexedOgs(), pooled_idx.NumIndexedOgs());
+  for (size_t c = 0; c < serial_idx.NumClusters(); ++c) {
+    auto serial_keys = serial_idx.LeafKeys(sroot, c);
+    auto pooled_keys = pooled_idx.LeafKeys(proot, c);
+    ASSERT_EQ(serial_keys.size(), pooled_keys.size());
+    for (size_t i = 0; i < serial_keys.size(); ++i) {
+      EXPECT_DOUBLE_EQ(serial_keys[i], pooled_keys[i]);
+    }
+  }
+  for (const Sequence& q : w.queries) {
+    auto a = serial_idx.Knn(q, 5);
+    auto b = pooled_idx.Knn(q, 5);
+    ASSERT_EQ(a.hits.size(), b.hits.size());
+    for (size_t i = 0; i < a.hits.size(); ++i) {
+      EXPECT_EQ(a.hits[i].og_id, b.hits[i].og_id);
+      EXPECT_DOUBLE_EQ(a.hits[i].distance, b.hits[i].distance);
+    }
+  }
+}
+
+TEST(DistanceKernel, PerQueryCountersAreStableUnderConcurrentLoad) {
+  // The counter-race fix: each query counts its own work locally, so the
+  // same query returns the same distance_computations no matter how many
+  // other queries run at the same time.
+  Workload w = MakeWorkload();
+  index::StrgIndex idx(BaseParams());
+  idx.AddSegment(core::BackgroundGraph{}, w.db);
+
+  std::vector<index::KnnResult> expected;
+  for (const Sequence& q : w.queries) expected.push_back(idx.Knn(q, 5));
+
+  constexpr int kThreads = 4;
+  constexpr int kRepeats = 25;
+  std::vector<std::vector<std::string>> failures(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < kRepeats; ++rep) {
+        for (size_t qi = 0; qi < w.queries.size(); ++qi) {
+          auto result = idx.Knn(w.queries[qi], 5);
+          if (result.distance_computations !=
+                  expected[qi].distance_computations ||
+              result.lb_prunes != expected[qi].lb_prunes ||
+              result.early_abandons != expected[qi].early_abandons) {
+            failures[t].push_back("query " + std::to_string(qi) +
+                                  " counters drifted under load");
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto& per_thread : failures) {
+    for (const auto& f : per_thread) ADD_FAILURE() << f;
+  }
+}
+
+TEST(DistanceKernel, GlobalCounterAccumulatesAllQueryWork) {
+  Workload w = MakeWorkload();
+  index::StrgIndex idx(BaseParams());
+  idx.AddSegment(core::BackgroundGraph{}, w.db);
+  idx.ResetDistanceCount();
+  size_t local_total = 0;
+  for (const Sequence& q : w.queries) {
+    local_total += idx.Knn(q, 5).distance_computations;
+  }
+  EXPECT_EQ(idx.TotalDistanceComputations(), local_total);
+}
+
+}  // namespace
+}  // namespace strg
