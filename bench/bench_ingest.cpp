@@ -1,0 +1,264 @@
+// Ingest benchmark: fast mean-shift kernel + staged parallel pipeline.
+//
+// Part 1 — kernel micro: MeanShiftReference (the seed implementation) vs
+// the optimized workspace kernel, us/frame on the bench scene. Acceptance:
+// >= 1.5x single-threaded from the kernel alone.
+//
+// Part 2 — steady-state allocation check: after warm-up on a fixed
+// geometry, SegmentFrameInto must perform zero heap allocations (the whole
+// point of SegmenterWorkspace). The bench fails loudly if it allocates.
+//
+// Part 3 — end-to-end frames/sec through VideoPipeline: the seed path
+// (reference kernel, serial), the optimized serial path, and the pooled
+// frame stage at 2 and 4 threads, with the per-stage breakdown from
+// IngestStats. Acceptance: >= 3x on 4 threads vs the seed path.
+//
+// Output: human-readable stdout + BENCH_ingest.json.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/pipeline.h"
+#include "segment/mean_shift.h"
+#include "segment/segmenter.h"
+#include "util/thread_pool.h"
+#include "video/renderer.h"
+#include "video/scenes.h"
+
+// ---- global allocation counter (part 2) ---------------------------------
+//
+// Replacing the global operator new/delete lets the bench prove the
+// steady-state claim instead of asserting it in a comment. Counting is
+// gated so the rest of the benchmark is unaffected.
+
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](size_t size) { return operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+
+namespace strg {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+struct EndToEndRow {
+  std::string config;
+  size_t threads = 0;  // 0 = serial
+  size_t frames = 0;
+  double wall_ms = 0.0;
+  double fps = 0.0;
+  double speedup = 1.0;  // vs the seed row
+  api::IngestStats stats;
+};
+
+EndToEndRow RunPipeline(const std::string& config,
+                        const std::vector<video::Frame>& frames,
+                        const api::PipelineParams& params, size_t threads) {
+  api::VideoPipeline pipeline(params);
+  auto t0 = Clock::now();
+  for (const video::Frame& f : frames) pipeline.PushFrame(f);
+  pipeline.Finish();
+  EndToEndRow row;
+  row.config = config;
+  row.threads = threads;
+  row.frames = frames.size();
+  row.wall_ms = MillisSince(t0);
+  row.fps = 1000.0 * static_cast<double>(frames.size()) / row.wall_ms;
+  row.stats = pipeline.stats();
+  return row;
+}
+
+}  // namespace
+}  // namespace strg
+
+int main() {
+  using namespace strg;
+  bench::Banner("BENCH ingest",
+                "fast mean-shift kernel + staged parallel ingest pipeline "
+                "vs the serial seed path");
+
+  const int scale = bench::EnvInt("STRG_BENCH_SCALE", 1);
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("hardware concurrency: %u%s\n", hw,
+              hw < 4 ? " (pooled rows are core-bound below 4 threads)" : "");
+
+  // The bench stream: the lab scene at 160x120 with sensor noise, so the
+  // mean-shift filter does real work on every pixel.
+  video::SceneParams sp;
+  sp.num_objects = 4;
+  sp.width = 160;
+  sp.height = 120;
+  sp.noise_stddev = 2.0;
+  sp.seed = 17;
+  video::SceneSpec scene = video::MakeLabScene(sp);
+  std::vector<video::Frame> frames;
+  for (int rep = 0; rep < scale; ++rep) {
+    for (int t = 0; t < scene.num_frames; ++t) {
+      frames.push_back(video::RenderFrame(scene, t));
+    }
+  }
+  std::printf("stream: %zu frames of %dx%d\n\n", frames.size(), sp.width,
+              sp.height);
+
+  // ---- part 1: kernel micro ---------------------------------------------
+  const segment::MeanShiftParams ms_params;
+  const int kernel_frames = std::min<int>(static_cast<int>(frames.size()),
+                                          8 * scale);
+  segment::MeanShiftWorkspace ws;
+  video::Frame filtered;
+  // Warm up both paths (page in buffers, stabilize the clock).
+  segment::MeanShiftFilter(frames[0], ms_params, &ws, &filtered);
+  (void)segment::MeanShiftReference(frames[0], ms_params);
+
+  auto t0 = Clock::now();
+  for (int i = 0; i < kernel_frames; ++i) {
+    (void)segment::MeanShiftReference(frames[static_cast<size_t>(i)],
+                                      ms_params);
+  }
+  double ref_us =
+      1000.0 * MillisSince(t0) / static_cast<double>(kernel_frames);
+
+  t0 = Clock::now();
+  for (int i = 0; i < kernel_frames; ++i) {
+    segment::MeanShiftFilter(frames[static_cast<size_t>(i)], ms_params, &ws,
+                             &filtered);
+  }
+  double opt_us =
+      1000.0 * MillisSince(t0) / static_cast<double>(kernel_frames);
+  double kernel_speedup = ref_us / opt_us;
+  std::printf("mean-shift kernel (us/frame over %d frames)\n", kernel_frames);
+  std::printf("  %-22s %10.1f\n", "reference (seed)", ref_us);
+  std::printf("  %-22s %10.1f\n", "optimized", opt_us);
+  std::printf("  speedup: %.2fx (acceptance floor 1.5x)\n\n", kernel_speedup);
+
+  // ---- part 2: steady-state allocation check ----------------------------
+  segment::SegmenterParams seg_params;  // mean shift on
+  segment::SegmenterWorkspace seg_ws;
+  segment::Segmentation seg_out;
+  for (int i = 0; i < 3; ++i) {  // warm-up sizes every scratch buffer
+    segment::SegmentFrameInto(frames[0], seg_params, &seg_ws, &seg_out);
+  }
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  for (int i = 0; i < 5; ++i) {
+    segment::SegmentFrameInto(frames[0], seg_params, &seg_ws, &seg_out);
+  }
+  g_count_allocs.store(false, std::memory_order_relaxed);
+  const uint64_t steady_allocs = g_allocs.load(std::memory_order_relaxed);
+  std::printf("steady-state SegmentFrameInto heap allocations: %llu\n\n",
+              static_cast<unsigned long long>(steady_allocs));
+  if (steady_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: SegmentFrameInto allocated %llu times after warm-up "
+                 "(workspace regression)\n",
+                 static_cast<unsigned long long>(steady_allocs));
+    return 1;
+  }
+
+  // ---- part 3: end-to-end frames/sec ------------------------------------
+  std::vector<EndToEndRow> rows;
+  {
+    api::PipelineParams seed;
+    seed.segmenter.use_reference_kernel = true;
+    rows.push_back(RunPipeline("serial_seed_kernel", frames, seed, 0));
+  }
+  {
+    api::PipelineParams serial;
+    rows.push_back(RunPipeline("serial_optimized", frames, serial, 0));
+  }
+  for (size_t threads : {2u, 4u}) {
+    ThreadPool pool(threads);
+    api::PipelineParams pooled;
+    pooled.pool = &pool;
+    rows.push_back(RunPipeline("pooled_" + std::to_string(threads), frames,
+                               pooled, threads));
+  }
+  const double seed_fps = rows[0].fps;
+  for (EndToEndRow& r : rows) r.speedup = r.fps / seed_fps;
+
+  std::printf("%-20s %8s %10s %10s %8s %12s %12s %12s %8s\n", "config",
+              "threads", "wall_ms", "fps", "speedup", "segment_us",
+              "track_us", "decomp_us", "stalls");
+  for (const EndToEndRow& r : rows) {
+    std::printf("%-20s %8zu %10.1f %10.2f %7.2fx %12llu %12llu %12llu %8llu\n",
+                r.config.c_str(), r.threads, r.wall_ms, r.fps, r.speedup,
+                static_cast<unsigned long long>(r.stats.segment_us),
+                static_cast<unsigned long long>(r.stats.track_us),
+                static_cast<unsigned long long>(r.stats.decompose_us),
+                static_cast<unsigned long long>(r.stats.queue_full_stalls));
+  }
+  const double single_thread_speedup = rows[1].speedup;
+  const double pooled4_speedup = rows.back().speedup;
+  std::printf(
+      "\nsingle-thread speedup (kernel alone): %.2fx (floor 1.5x)\n"
+      "4-thread end-to-end speedup vs seed:  %.2fx (floor 3x, needs >= 4 "
+      "physical cores)\n",
+      single_thread_speedup, pooled4_speedup);
+
+  std::string json =
+      "{\"hardware_concurrency\":" + std::to_string(hw);
+  json += ",\"kernel\":{\"reference_us_per_frame\":" + Num(ref_us);
+  json += ",\"optimized_us_per_frame\":" + Num(opt_us);
+  json += ",\"speedup\":" + Num(kernel_speedup) + "}";
+  json += ",\"steady_state_allocs\":" + std::to_string(steady_allocs);
+  json += ",\"end_to_end\":[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const EndToEndRow& r = rows[i];
+    if (i != 0) json += ",";
+    json += "{\"config\":\"" + r.config + "\"";
+    json += ",\"threads\":" + std::to_string(r.threads);
+    json += ",\"frames\":" + std::to_string(r.frames);
+    json += ",\"wall_ms\":" + Num(r.wall_ms);
+    json += ",\"fps\":" + Num(r.fps);
+    json += ",\"speedup_vs_seed\":" + Num(r.speedup);
+    json += ",\"stage_us\":{\"segment\":" +
+            std::to_string(r.stats.segment_us);
+    json += ",\"track\":" + std::to_string(r.stats.track_us);
+    json += ",\"decompose\":" + std::to_string(r.stats.decompose_us) + "}";
+    json += ",\"queue_stalls\":" + std::to_string(r.stats.queue_full_stalls);
+    json += "}";
+  }
+  json += "],\"single_thread_speedup\":" + Num(single_thread_speedup);
+  json += ",\"pooled4_speedup\":" + Num(pooled4_speedup) + "}";
+
+  std::ofstream out("BENCH_ingest.json");
+  out << json << "\n";
+  std::cout << "report written to BENCH_ingest.json\n";
+  return 0;
+}

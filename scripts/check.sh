@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Repo verification: tier-1 build + full test suite, then an AddressSanitizer
 # pass over the concurrency-sensitive tests (serving layer + thread pool +
-# the WAL crash-recovery matrix + the distance-kernel equivalence suite),
-# then a UBSan pass over the recovery- and distance-labeled tests (the
-# durability layer does raw byte punning; the fast EGED kernel does banded
-# DP over raw row pointers — exactly where UB hides).
+# the WAL crash-recovery matrix + the distance-kernel and parallel-ingest
+# equivalence suites), then a UBSan pass over the recovery-, distance- and
+# ingest-labeled tests (the durability layer does raw byte punning; the fast
+# EGED kernel does banded DP over raw row pointers; the mean-shift kernel
+# does integral-image index arithmetic — exactly where UB hides).
 #
 #   scripts/check.sh                 # tier-1 + ASan + UBSan passes
 #   STRG_CHECK_ASAN_ALL=1 scripts/check.sh   # ASan over the whole suite
@@ -27,19 +28,21 @@ if [[ "${STRG_CHECK_ASAN_ALL:-0}" == "1" ]]; then
 else
   cmake --build build-asan -j \
     --target server_concurrency_test thread_pool_test wal_recovery_test \
-    distance_kernel_test
+    distance_kernel_test ingest_parallel_test
   ./build-asan/tests/server_concurrency_test
   ./build-asan/tests/thread_pool_test
   ./build-asan/tests/wal_recovery_test
   ./build-asan/tests/distance_kernel_test
+  ./build-asan/tests/ingest_parallel_test
 fi
 
 echo
-echo "== UBSan pass over recovery+distance-labeled tests (STRG_SANITIZE=undefined) =="
+echo "== UBSan pass over recovery+distance+ingest-labeled tests (STRG_SANITIZE=undefined) =="
 cmake -B build-ubsan -S . -DSTRG_SANITIZE=undefined \
   -DSTRG_BUILD_BENCHMARKS=OFF -DSTRG_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-ubsan -j --target wal_recovery_test distance_kernel_test
-ctest --test-dir build-ubsan -L 'recovery|distance' --output-on-failure -j
+cmake --build build-ubsan -j --target wal_recovery_test distance_kernel_test \
+  ingest_parallel_test
+ctest --test-dir build-ubsan -L 'recovery|distance|ingest' --output-on-failure -j
 
 if [[ "${STRG_CHECK_TSAN:-0}" == "1" ]]; then
   echo
@@ -47,13 +50,17 @@ if [[ "${STRG_CHECK_TSAN:-0}" == "1" ]]; then
   cmake -B build-tsan -S . -DSTRG_SANITIZE=thread \
     -DSTRG_BUILD_BENCHMARKS=OFF -DSTRG_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-tsan -j --target server_concurrency_test \
-    thread_pool_test distance_kernel_test
+    thread_pool_test distance_kernel_test ingest_parallel_test
   ./build-tsan/tests/server_concurrency_test
   ./build-tsan/tests/thread_pool_test
   # Fast/reference equivalence with the thread pool engaged (parallel build
   # + concurrent queries) — the data-race check for the kernel's thread-local
   # workspaces and the per-query counter plumbing.
   ./build-tsan/tests/distance_kernel_test
+  # Pooled ingest equivalence under TSan: the ordered-stage merge, the
+  # per-worker thread_local segmenter workspaces, and shot-parallel
+  # ProcessFrames all race-checked while asserting bit-identical output.
+  ./build-tsan/tests/ingest_parallel_test
 fi
 
 echo

@@ -1,0 +1,39 @@
+#ifndef STRG_CORE_INGEST_STATS_H_
+#define STRG_CORE_INGEST_STATS_H_
+
+#include <cstdint>
+
+namespace strg::api {
+
+/// Counters of the frames -> object-graphs ingest pipeline. Accumulated by
+/// VideoPipeline / ProcessFrames on the ingesting thread (worker timings
+/// are carried back with each stage result, so no atomics are needed) and
+/// surfaced through server::ServerMetrics::ToJson next to the distance
+/// counters.
+struct IngestStats {
+  uint64_t frames_segmented = 0;   ///< segmentation + RAG builds completed
+  uint64_t shots_processed = 0;    ///< shots fed through ProcessFrames
+  uint64_t queue_full_stalls = 0;  ///< pushes that blocked on a full queue
+
+  // Cumulative stage latencies (microseconds). `segment_us` sums the
+  // per-frame segmentation+RAG work wherever it ran (so with a pool it can
+  // exceed wall clock); `track_us` and `decompose_us` are the serial
+  // tracking merge and Finish()-time decomposition.
+  uint64_t segment_us = 0;
+  uint64_t track_us = 0;
+  uint64_t decompose_us = 0;
+
+  IngestStats& operator+=(const IngestStats& o) {
+    frames_segmented += o.frames_segmented;
+    shots_processed += o.shots_processed;
+    queue_full_stalls += o.queue_full_stalls;
+    segment_us += o.segment_us;
+    track_us += o.track_us;
+    decompose_us += o.decompose_us;
+    return *this;
+  }
+};
+
+}  // namespace strg::api
+
+#endif  // STRG_CORE_INGEST_STATS_H_

@@ -1,34 +1,114 @@
 #include "core/pipeline.h"
 
+#include <chrono>
+#include <utility>
+
 #include "graph/rag.h"
 
 namespace strg::api {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t MicrosSince(Clock::time_point start) {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   Clock::now() - start)
+                                   .count());
+}
+
+dist::FeatureScaling DeriveScaling(int frame_width, int frame_height) {
+  dist::FeatureScaling s;
+  s.frame_width = frame_width > 0 ? frame_width : 1;
+  s.frame_height = frame_height > 0 ? frame_height : 1;
+  return s;
+}
+
+}  // namespace
 
 VideoPipeline::VideoPipeline(PipelineParams params)
     : params_(params), strg_(params.tracking) {}
 
 int VideoPipeline::PushFrame(const video::Frame& frame) {
-  width_ = frame.width();
-  height_ = frame.height();
-  segment::Segmentation seg = segment::SegmentFrame(frame, params_.segmenter);
-  return strg_.AppendFrame(graph::BuildRag(seg));
+  if (width_ == 0 && height_ == 0) {
+    // Frame geometry is cached once; every later Finish() snapshot reuses
+    // it instead of re-deriving scaling from the latest frame.
+    width_ = frame.width();
+    height_ = frame.height();
+  }
+  const int index = push_count_++;
+
+  if (params_.pool == nullptr) {
+    if (!workspace_) {
+      workspace_ = std::make_unique<segment::SegmenterWorkspace>();
+    }
+    auto t0 = Clock::now();
+    segment::SegmentFrameInto(frame, params_.segmenter, workspace_.get(),
+                              &scratch_seg_);
+    graph::Rag rag = graph::BuildRag(scratch_seg_);
+    stats_.segment_us += MicrosSince(t0);
+    auto t1 = Clock::now();
+    strg_.AppendFrame(std::move(rag));
+    stats_.track_us += MicrosSince(t1);
+    ++stats_.frames_segmented;
+    return index;
+  }
+
+  if (!stage_) {
+    const size_t capacity = params_.queue_capacity != 0
+                                ? params_.queue_capacity
+                                : 2 * params_.pool->NumThreads();
+    stage_ = std::make_unique<OrderedStage<StageOut>>(
+        params_.pool, capacity,
+        [this](StageOut&& out) { AppendStageOut(std::move(out)); });
+  }
+  // The frame is copied into the task: callers may hand us transient
+  // render buffers. Each worker thread keeps one warmed-up workspace.
+  stage_->Submit(
+      [frame_copy = frame, seg_params = params_.segmenter]() -> StageOut {
+        thread_local segment::SegmenterWorkspace tls_workspace;
+        thread_local segment::Segmentation tls_segmentation;
+        auto t0 = Clock::now();
+        segment::SegmentFrameInto(frame_copy, seg_params, &tls_workspace,
+                                  &tls_segmentation);
+        StageOut out;
+        out.rag = graph::BuildRag(tls_segmentation);
+        out.segment_us = MicrosSince(t0);
+        return out;
+      });
+  return index;
 }
 
-SegmentResult VideoPipeline::Finish() const {
+void VideoPipeline::AppendStageOut(StageOut&& out) {
+  stats_.segment_us += out.segment_us;
+  auto t0 = Clock::now();
+  strg_.AppendFrame(std::move(out.rag));
+  stats_.track_us += MicrosSince(t0);
+  ++stats_.frames_segmented;
+}
+
+SegmentResult VideoPipeline::Finish() {
+  if (stage_) {
+    stage_->Drain();
+    stats_.queue_full_stalls += stage_->stalls() - drained_stalls_;
+    drained_stalls_ = stage_->stalls();
+  }
   SegmentResult result;
   result.num_frames = strg_.NumFrames();
   result.frame_width = width_;
   result.frame_height = height_;
+  result.cached_scaling = DeriveScaling(width_, height_);
+  result.has_cached_scaling = true;
+  auto t0 = Clock::now();
   result.decomposition = core::Decompose(strg_, params_.decompose);
+  stats_.decompose_us += MicrosSince(t0);
   result.strg_size_bytes = strg_.SizeBytes();
   return result;
 }
 
 dist::FeatureScaling SegmentResult::Scaling() const {
-  dist::FeatureScaling s;
-  s.frame_width = frame_width > 0 ? frame_width : 1;
-  s.frame_height = frame_height > 0 ? frame_height : 1;
-  return s;
+  if (has_cached_scaling) return cached_scaling;
+  return DeriveScaling(frame_width, frame_height);
 }
 
 std::vector<dist::Sequence> SegmentResult::ObjectSequences() const {
@@ -52,14 +132,40 @@ SegmentResult ProcessScene(const video::SceneSpec& scene,
 
 std::vector<SegmentResult> ProcessFrames(
     const std::vector<video::Frame>& frames, const PipelineParams& params,
-    const segment::ShotDetectorParams& shot_params) {
-  std::vector<SegmentResult> results;
-  for (auto [start, end] : segment::DetectShots(frames, shot_params)) {
-    VideoPipeline pipeline(params);
-    for (int t = start; t < end; ++t) {
+    const segment::ShotDetectorParams& shot_params, IngestStats* stats) {
+  const auto shots = segment::DetectShots(frames, shot_params);
+  std::vector<SegmentResult> results(shots.size());
+  std::vector<IngestStats> shot_stats(shots.size());
+
+  // Shots are independent after detection. With enough of them to occupy
+  // the pool, each shot's whole back half (tracking + decomposition) runs
+  // concurrently with serial insides; with few shots, they run in sequence
+  // and the per-frame stage provides the parallelism instead. Results are
+  // written by shot index, so stream order — and content — never depends
+  // on the schedule.
+  const bool shot_parallel = params.pool != nullptr && shots.size() > 1 &&
+                             shots.size() >= params.pool->NumThreads();
+  auto run_shot = [&](const PipelineParams& shot_params_in, size_t i) {
+    VideoPipeline pipeline(shot_params_in);
+    for (int t = shots[i].first; t < shots[i].second; ++t) {
       pipeline.PushFrame(frames[static_cast<size_t>(t)]);
     }
-    results.push_back(pipeline.Finish());
+    results[i] = pipeline.Finish();
+    shot_stats[i] = pipeline.stats();
+  };
+
+  if (shot_parallel) {
+    PipelineParams inner = params;
+    inner.pool = nullptr;
+    params.pool->ParallelFor(0, shots.size(),
+                             [&](size_t i) { run_shot(inner, i); });
+  } else {
+    for (size_t i = 0; i < shots.size(); ++i) run_shot(params, i);
+  }
+
+  if (stats != nullptr) {
+    for (const IngestStats& s : shot_stats) *stats += s;
+    stats->shots_processed += shots.size();
   }
   return results;
 }

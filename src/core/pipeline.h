@@ -1,13 +1,18 @@
 #ifndef STRG_CORE_PIPELINE_H_
 #define STRG_CORE_PIPELINE_H_
 
+#include <memory>
 #include <vector>
 
+#include "core/ingest_stats.h"
 #include "distance/sequence.h"
 #include "segment/segmenter.h"
 #include "segment/shot_detector.h"
+#include "segment/workspace.h"
 #include "strg/decompose.h"
 #include "strg/strg.h"
+#include "util/ordered_stage.h"
+#include "util/thread_pool.h"
 #include "video/renderer.h"
 #include "video/scene.h"
 
@@ -19,6 +24,20 @@ struct PipelineParams {
   segment::SegmenterParams segmenter;
   core::TrackingParams tracking;
   core::DecomposeParams decompose;
+
+  /// Optional worker pool (not owned). When set, the per-frame stage
+  /// (segmentation + RAG construction) fans out over the pool behind a
+  /// bounded queue and is merged back in frame order, so the
+  /// order-dependent tracking step (Algorithm 1) sees RAGs exactly as the
+  /// serial path would — results are bit-identical either way (tested).
+  /// ProcessFrames additionally processes whole shots concurrently when
+  /// the stream has enough of them. Null = the serial path.
+  ThreadPool* pool = nullptr;
+
+  /// Max frames in flight in the pooled stage (submitted, not yet merged).
+  /// 0 = 2x the pool's thread count. A full queue stalls PushFrame until
+  /// the oldest frame finishes (counted in IngestStats::queue_full_stalls).
+  size_t queue_capacity = 0;
 };
 
 /// Everything extracted from one video segment.
@@ -28,6 +47,12 @@ struct SegmentResult {
   int frame_height = 0;
   core::Decomposition decomposition;  ///< OGs + compressed BG
   size_t strg_size_bytes = 0;         ///< raw STRG footprint (Eq. 9 input)
+
+  /// Scaling stamped by VideoPipeline::Finish() from the pipeline's cached
+  /// frame geometry (set once, on the first frame). Hand-built results
+  /// (catalog reconstitution) leave this unset and derive on demand.
+  dist::FeatureScaling cached_scaling{};
+  bool has_cached_scaling = false;
 
   /// Feature scaling matched to this segment's frame geometry.
   dist::FeatureScaling Scaling() const;
@@ -39,6 +64,13 @@ struct SegmentResult {
 /// Streaming STRG construction: push frames as they arrive, then Finish()
 /// to decompose. This is the paper's front half — from raw frames to the
 /// indexed artifacts (OGs and one BG).
+///
+/// With PipelineParams::pool set, PushFrame enqueues the frame for the
+/// pooled segmentation stage and returns immediately (its index is
+/// assigned up front); tracking lags behind and is caught up by the
+/// in-order merge during later pushes and Finish(). Without a pool every
+/// push runs the full front half inline. Both modes produce bit-identical
+/// results.
 class VideoPipeline {
  public:
   explicit VideoPipeline(PipelineParams params = {});
@@ -47,18 +79,36 @@ class VideoPipeline {
   /// edges (Algorithm 1). Returns the frame index.
   int PushFrame(const video::Frame& frame);
 
-  /// Decomposes the accumulated STRG (Section 2.3) and returns the result.
-  /// The pipeline can keep receiving frames afterwards; Finish() may be
-  /// called repeatedly to snapshot.
-  SegmentResult Finish() const;
+  /// Decomposes the accumulated STRG (Section 2.3) and returns the result,
+  /// draining any frames still in the pooled stage first. The pipeline can
+  /// keep receiving frames afterwards; Finish() may be called repeatedly
+  /// to snapshot mid-stream.
+  SegmentResult Finish();
 
   const core::Strg& strg() const { return strg_; }
 
+  /// Ingest counters accumulated so far (stalls are folded in lazily on
+  /// Finish(); mid-stream reads may lag by the in-flight queue).
+  const IngestStats& stats() const { return stats_; }
+
  private:
+  struct StageOut {
+    graph::Rag rag;
+    uint64_t segment_us = 0;
+  };
+
+  void AppendStageOut(StageOut&& out);
+
   PipelineParams params_;
   core::Strg strg_;
-  int width_ = 0;
+  int width_ = 0;   ///< cached frame geometry, set by the first frame
   int height_ = 0;
+  int push_count_ = 0;
+  IngestStats stats_;
+  uint64_t drained_stalls_ = 0;
+  segment::Segmentation scratch_seg_;                       ///< serial path
+  std::unique_ptr<segment::SegmenterWorkspace> workspace_;  ///< serial path
+  std::unique_ptr<OrderedStage<StageOut>> stage_;           ///< pooled path
 };
 
 /// Renders and processes a whole synthetic scene in one call.
@@ -70,10 +120,19 @@ SegmentResult ProcessScene(const video::SceneSpec& scene,
 /// smaller units" issue), then each shot runs through its own pipeline and
 /// yields its own SegmentResult — hence its own background graph / root
 /// record when indexed.
+///
+/// With PipelineParams::pool set, shots are independent after detection:
+/// a stream with at least as many shots as pool threads processes whole
+/// shots concurrently (tracking + decomposition included, each shot's
+/// pipeline serial inside); otherwise shots run in sequence with the
+/// pooled per-frame stage. Either way results match the serial path
+/// bit-for-bit and arrive in stream order. `stats`, when non-null, is
+/// incremented by the run's ingest counters (merged in shot order).
 std::vector<SegmentResult> ProcessFrames(
     const std::vector<video::Frame>& frames,
     const PipelineParams& params = {},
-    const segment::ShotDetectorParams& shot_params = {});
+    const segment::ShotDetectorParams& shot_params = {},
+    IngestStats* stats = nullptr);
 
 }  // namespace strg::api
 

@@ -6,12 +6,12 @@ namespace strg::segment {
 
 namespace {
 
-/// Union-find over pixel indices with path halving.
+/// Union-find over pixel indices with path halving, operating on a
+/// caller-owned parent vector so the state can be reused across frames.
 class DisjointSet {
  public:
-  explicit DisjointSet(size_t n) : parent_(n) {
-    std::iota(parent_.begin(), parent_.end(), 0);
-  }
+  explicit DisjointSet(std::vector<size_t>* parent) : parent_(*parent) {}
+
   size_t Find(size_t x) {
     while (parent_[x] != x) {
       parent_[x] = parent_[parent_[x]];
@@ -26,17 +26,22 @@ class DisjointSet {
   }
 
  private:
-  std::vector<size_t> parent_;
+  std::vector<size_t>& parent_;
 };
 
 }  // namespace
 
-std::vector<int> LabelConnectedComponents(const video::Frame& frame,
-                                          double color_tolerance,
-                                          int* num_components) {
+void LabelConnectedComponentsInto(const video::Frame& frame,
+                                  double color_tolerance,
+                                  std::vector<size_t>* parent_scratch,
+                                  std::vector<int>* root_scratch,
+                                  std::vector<int>* labels,
+                                  int* num_components) {
   const int w = frame.width(), h = frame.height();
   const size_t n = static_cast<size_t>(w) * h;
-  DisjointSet ds(n);
+  parent_scratch->resize(n);
+  std::iota(parent_scratch->begin(), parent_scratch->end(), 0);
+  DisjointSet ds(parent_scratch);
 
   for (int y = 0; y < h; ++y) {
     for (int x = 0; x < w; ++x) {
@@ -55,15 +60,25 @@ std::vector<int> LabelConnectedComponents(const video::Frame& frame,
   }
 
   // Compact root ids into dense labels.
-  std::vector<int> labels(n, -1);
-  std::vector<int> root_label(n, -1);
+  labels->assign(n, -1);
+  root_scratch->assign(n, -1);
   int next = 0;
   for (size_t i = 0; i < n; ++i) {
     size_t r = ds.Find(i);
-    if (root_label[r] < 0) root_label[r] = next++;
-    labels[i] = root_label[r];
+    if ((*root_scratch)[r] < 0) (*root_scratch)[r] = next++;
+    (*labels)[i] = (*root_scratch)[r];
   }
   if (num_components != nullptr) *num_components = next;
+}
+
+std::vector<int> LabelConnectedComponents(const video::Frame& frame,
+                                          double color_tolerance,
+                                          int* num_components) {
+  std::vector<size_t> parent;
+  std::vector<int> root_label;
+  std::vector<int> labels;
+  LabelConnectedComponentsInto(frame, color_tolerance, &parent, &root_label,
+                               &labels, num_components);
   return labels;
 }
 

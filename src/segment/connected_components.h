@@ -1,6 +1,7 @@
 #ifndef STRG_SEGMENT_CONNECTED_COMPONENTS_H_
 #define STRG_SEGMENT_CONNECTED_COMPONENTS_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "video/frame.h"
@@ -16,6 +17,17 @@ namespace strg::segment {
 std::vector<int> LabelConnectedComponents(const video::Frame& frame,
                                           double color_tolerance,
                                           int* num_components);
+
+/// Scratch-reusing variant: `parent_scratch` and `root_scratch` are
+/// union-find state reused across frames (sized to the pixel count on each
+/// call, capacity retained), and the label map is written into `*labels`.
+/// Produces exactly the labels of LabelConnectedComponents.
+void LabelConnectedComponentsInto(const video::Frame& frame,
+                                  double color_tolerance,
+                                  std::vector<size_t>* parent_scratch,
+                                  std::vector<int>* root_scratch,
+                                  std::vector<int>* labels,
+                                  int* num_components);
 
 }  // namespace strg::segment
 

@@ -1,11 +1,12 @@
 #include "segment/mean_shift.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace strg::segment {
 
-video::Frame MeanShiftFilter(const video::Frame& input,
-                             const MeanShiftParams& params) {
+video::Frame MeanShiftReference(const video::Frame& input,
+                                const MeanShiftParams& params) {
   const int w = input.width(), h = input.height();
   video::Frame out(w, h);
   const double r2 = params.range_radius * params.range_radius;
@@ -52,6 +53,251 @@ video::Frame MeanShiftFilter(const video::Frame& input,
                                 video::ClampByte(cb)};
     }
   }
+  return out;
+}
+
+namespace {
+
+/// Sliding-window min or max over the clamped range [x-rad, x+rad] per row,
+/// then per column. Brute force over the window: O(n * (2*rad+1)) on bytes,
+/// which vectorizes well and is a small fraction of the kernel's work.
+template <typename Op>
+void WindowExtremum(const uint8_t* plane, int w, int h, int rad, Op op,
+                    uint8_t* row_tmp, uint8_t* out) {
+  for (int y = 0; y < h; ++y) {
+    const uint8_t* row = plane + static_cast<size_t>(y) * w;
+    uint8_t* dst = row_tmp + static_cast<size_t>(y) * w;
+    for (int x = 0; x < w; ++x) {
+      int lo = std::max(0, x - rad), hi = std::min(w - 1, x + rad);
+      uint8_t v = row[lo];
+      for (int k = lo + 1; k <= hi; ++k) v = op(v, row[k]);
+      dst[x] = v;
+    }
+  }
+  for (int y = 0; y < h; ++y) {
+    int lo = std::max(0, y - rad), hi = std::min(h - 1, y + rad);
+    uint8_t* dst = out + static_cast<size_t>(y) * w;
+    const uint8_t* src = row_tmp + static_cast<size_t>(lo) * w;
+    for (int x = 0; x < w; ++x) dst[x] = src[x];
+    for (int yy = lo + 1; yy <= hi; ++yy) {
+      src = row_tmp + static_cast<size_t>(yy) * w;
+      for (int x = 0; x < w; ++x) dst[x] = op(dst[x], src[x]);
+    }
+  }
+}
+
+void IntegralImage(const uint8_t* plane, int w, int h, uint64_t* sum) {
+  const int w1 = w + 1;
+  for (int x = 0; x <= w; ++x) sum[x] = 0;
+  for (int y = 0; y < h; ++y) {
+    uint64_t row_sum = 0;
+    uint64_t* cur = sum + static_cast<size_t>(y + 1) * w1;
+    const uint64_t* prev = sum + static_cast<size_t>(y) * w1;
+    cur[0] = 0;
+    const uint8_t* row = plane + static_cast<size_t>(y) * w;
+    for (int x = 0; x < w; ++x) {
+      row_sum += row[x];
+      cur[x + 1] = prev[x + 1] + row_sum;
+    }
+  }
+}
+
+inline double WindowSum(const uint64_t* sum, int w1, int x0, int x1, int y0,
+                        int y1) {
+  const uint64_t* top = sum + static_cast<size_t>(y0) * w1;
+  const uint64_t* bot = sum + static_cast<size_t>(y1 + 1) * w1;
+  return static_cast<double>(bot[x1 + 1] - top[x1 + 1] - bot[x0] + top[x0]);
+}
+
+}  // namespace
+
+void MeanShiftWorkspace::Prepare(const video::Frame& frame, int radius) {
+  const int w = frame.width(), h = frame.height();
+  const size_t n = static_cast<size_t>(w) * h;
+  const video::Rgb* px = frame.pixels().data();
+  const int rad = std::max(0, radius);
+
+  r.resize(n);
+  g.resize(n);
+  b.resize(n);
+  packed.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    r[i] = px[i].r;
+    g[i] = px[i].g;
+    b[i] = px[i].b;
+    packed[i] = (static_cast<uint32_t>(px[i].r) << 16) |
+                (static_cast<uint32_t>(px[i].g) << 8) | px[i].b;
+  }
+
+  const size_t ni = static_cast<size_t>(w + 1) * (h + 1);
+  sum_r.resize(ni);
+  sum_g.resize(ni);
+  sum_b.resize(ni);
+  plane_.resize(n);
+  row_min_.resize(n);
+  row_max_.resize(n);
+  min_r.resize(n);
+  max_r.resize(n);
+  min_g.resize(n);
+  max_g.resize(n);
+  min_b.resize(n);
+  max_b.resize(n);
+
+  auto min_op = [](uint8_t a, uint8_t c) { return std::min(a, c); };
+  auto max_op = [](uint8_t a, uint8_t c) { return std::max(a, c); };
+  struct Chan {
+    uint8_t video::Rgb::* field;
+    std::vector<uint8_t>* mn;
+    std::vector<uint8_t>* mx;
+    std::vector<uint64_t>* s;
+  };
+  const Chan chans[3] = {{&video::Rgb::r, &min_r, &max_r, &sum_r},
+                         {&video::Rgb::g, &min_g, &max_g, &sum_g},
+                         {&video::Rgb::b, &min_b, &max_b, &sum_b}};
+  for (const Chan& c : chans) {
+    for (size_t i = 0; i < n; ++i) plane_[i] = px[i].*(c.field);
+    IntegralImage(plane_.data(), w, h, c.s->data());
+    WindowExtremum(plane_.data(), w, h, rad, min_op, row_min_.data(),
+                   c.mn->data());
+    WindowExtremum(plane_.data(), w, h, rad, max_op, row_max_.data(),
+                   c.mx->data());
+  }
+}
+
+// Exactness of the fast paths (the kernel is bit-identical to
+// MeanShiftReference):
+//  - Every accumulated quantity is a sum of uint8 values held in a double.
+//    All partial sums are exact integers far below 2^53, so accumulation
+//    order is irrelevant and the integral-image sums equal the reference's
+//    running sums bit-for-bit.
+//  - All-in-range shortcut: if the per-channel max deviation from the
+//    current mode, squared and summed, is <= range_radius^2, then every
+//    window pixel individually passes the range test, so the in-range mean
+//    equals the full-window mean taken from the integral images.
+//  - Convergence-point cache: the mode trajectory of a pixel is a
+//    deterministic function of (start color, window color multiset) only —
+//    membership and means depend on values, not positions. When a pixel's
+//    start color equals its left neighbor's and the window column that
+//    enters equals the one that leaves (elementwise, both windows fully
+//    interior), the multisets coincide and the pixel lies on the same,
+//    already-converged trajectory: it adopts that mode without iterating.
+void MeanShiftFilter(const video::Frame& input, const MeanShiftParams& params,
+                     MeanShiftWorkspace* workspace, video::Frame* out) {
+  const int w = input.width(), h = input.height();
+  if (out->width() != w || out->height() != h) {
+    *out = video::Frame(w, h);
+  }
+  if (w == 0 || h == 0) return;
+  if (params.spatial_radius < 0 || params.max_iterations <= 0) {
+    // Degenerate windows: the reference never finds a neighbor (or never
+    // iterates) and emits the clamped original color, i.e. the input.
+    std::copy(input.pixels().begin(), input.pixels().end(),
+              out->pixels().begin());
+    return;
+  }
+
+  const int rad = params.spatial_radius;
+  workspace->Prepare(input, rad);
+  const double r2 = params.range_radius * params.range_radius;
+  const int w1 = w + 1;
+
+  const double* rp = workspace->r.data();
+  const double* gp = workspace->g.data();
+  const double* bp = workspace->b.data();
+  const uint32_t* pk = workspace->packed.data();
+  const uint8_t* mnr = workspace->min_r.data();
+  const uint8_t* mxr = workspace->max_r.data();
+  const uint8_t* mng = workspace->min_g.data();
+  const uint8_t* mxg = workspace->max_g.data();
+  const uint8_t* mnb = workspace->min_b.data();
+  const uint8_t* mxb = workspace->max_b.data();
+  const uint64_t* sr_img = workspace->sum_r.data();
+  const uint64_t* sg_img = workspace->sum_g.data();
+  const uint64_t* sb_img = workspace->sum_b.data();
+  video::Rgb* outp = out->pixels().data();
+
+  for (int y = 0; y < h; ++y) {
+    const bool rows_interior = y >= rad && y + rad <= h - 1;
+    for (int x = 0; x < w; ++x) {
+      const size_t i = static_cast<size_t>(y) * w + x;
+
+      // Convergence-point cache: adopt the left neighbor's converged mode
+      // when this pixel provably shares its trajectory.
+      if (rows_interior && x >= rad + 1 && x + rad <= w - 1 &&
+          pk[i] == pk[i - 1]) {
+        const int col_out = x - 1 - rad, col_in = x + rad;
+        bool same_window = true;
+        for (int yy = y - rad; yy <= y + rad; ++yy) {
+          const size_t row_base = static_cast<size_t>(yy) * w;
+          if (pk[row_base + col_out] != pk[row_base + col_in]) {
+            same_window = false;
+            break;
+          }
+        }
+        if (same_window) {
+          outp[i] = outp[i - 1];
+          continue;
+        }
+      }
+
+      double cr = rp[i], cg = gp[i], cb = bp[i];
+      const int x0 = std::max(0, x - rad), x1 = std::min(w - 1, x + rad);
+      const int y0 = std::max(0, y - rad), y1 = std::min(h - 1, y + rad);
+      const double area = static_cast<double>(x1 - x0 + 1) * (y1 - y0 + 1);
+
+      for (int iter = 0; iter < params.max_iterations; ++iter) {
+        double sr, sg, sb, count;
+        const double dev_r = std::max(mxr[i] - cr, cr - mnr[i]);
+        const double dev_g = std::max(mxg[i] - cg, cg - mng[i]);
+        const double dev_b = std::max(mxb[i] - cb, cb - mnb[i]);
+        if (dev_r * dev_r + dev_g * dev_g + dev_b * dev_b <= r2) {
+          // Every window pixel is within range of the mode: the in-range
+          // mean is the plain window mean.
+          sr = WindowSum(sr_img, w1, x0, x1, y0, y1);
+          sg = WindowSum(sg_img, w1, x0, x1, y0, y1);
+          sb = WindowSum(sb_img, w1, x0, x1, y0, y1);
+          count = area;
+        } else {
+          sr = sg = sb = 0.0;
+          int hits = 0;
+          for (int yy = y0; yy <= y1; ++yy) {
+            const size_t base = static_cast<size_t>(yy) * w;
+            for (int xx = x0; xx <= x1; ++xx) {
+              const double qr = rp[base + xx];
+              const double qg = gp[base + xx];
+              const double qb = bp[base + xx];
+              const double dr = qr - cr, dg = qg - cg, db = qb - cb;
+              if (dr * dr + dg * dg + db * db <= r2) {
+                sr += qr;
+                sg += qg;
+                sb += qb;
+                ++hits;
+              }
+            }
+          }
+          count = hits;
+        }
+        if (count == 0) break;
+        const double nr = sr / count, ng = sg / count, nb = sb / count;
+        const double shift = std::sqrt((nr - cr) * (nr - cr) +
+                                       (ng - cg) * (ng - cg) +
+                                       (nb - cb) * (nb - cb));
+        cr = nr;
+        cg = ng;
+        cb = nb;
+        if (shift < params.convergence) break;
+      }
+      outp[i] = video::Rgb{video::ClampByte(cr), video::ClampByte(cg),
+                           video::ClampByte(cb)};
+    }
+  }
+}
+
+video::Frame MeanShiftFilter(const video::Frame& input,
+                             const MeanShiftParams& params) {
+  MeanShiftWorkspace workspace;
+  video::Frame out;
+  MeanShiftFilter(input, params, &workspace, &out);
   return out;
 }
 

@@ -1,6 +1,9 @@
 #ifndef STRG_SEGMENT_MEAN_SHIFT_H_
 #define STRG_SEGMENT_MEAN_SHIFT_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "video/frame.h"
 
 namespace strg::segment {
@@ -13,6 +16,40 @@ struct MeanShiftParams {
   double convergence = 0.5;   ///< stop when the color shift falls below this
 };
 
+/// Reusable scratch for the optimized mean-shift kernel.
+///
+/// Holds the flat SoA pixel planes, per-channel sliding window min/max
+/// planes, channel integral images, and the packed-color plane used by the
+/// convergence-point cache. All buffers are sized on first use and reused
+/// across frames, so a warmed-up workspace makes the kernel allocation-free
+/// (the ingest bench asserts this).
+class MeanShiftWorkspace {
+ public:
+  /// (Re)builds every derived plane for `frame` at spatial radius `radius`.
+  void Prepare(const video::Frame& frame, int radius);
+
+  // Flat planes, row-major, one entry per pixel.
+  std::vector<double> r, g, b;        ///< SoA color planes (exact uint8 values)
+  std::vector<uint32_t> packed;       ///< r<<16 | g<<8 | b, for equality tests
+  std::vector<uint8_t> min_r, max_r;  ///< per-channel window min/max
+  std::vector<uint8_t> min_g, max_g;
+  std::vector<uint8_t> min_b, max_b;
+  // Channel integral images, (w+1) x (h+1), S[y+1][x+1] = sum over [0..x][0..y].
+  std::vector<uint64_t> sum_r, sum_g, sum_b;
+
+ private:
+  // Row-pass temporaries for the separable min/max windows.
+  std::vector<uint8_t> row_min_, row_max_;
+  std::vector<uint8_t> plane_;  ///< u8 staging plane for one channel
+};
+
+/// Naive mode-seeking reference: O(pixels * iterations * window) with no
+/// caching. This is the seed implementation, kept verbatim as the ground
+/// truth for the optimized kernel — `MeanShiftFilter` is tested to be
+/// bit-identical to it — and as the benchmark baseline.
+video::Frame MeanShiftReference(const video::Frame& input,
+                                const MeanShiftParams& params);
+
 /// Edge-preserving mean-shift color filter.
 ///
 /// This is the repository's substitute for EDISON (mean-shift segmentation,
@@ -22,6 +59,24 @@ struct MeanShiftParams {
 /// being "less sensitive to small changes over the frames"; the same
 /// stability property holds here because the filter converges to local color
 /// modes that are unaffected by small per-pixel noise.
+///
+/// The implementation is an EDISON-style optimized kernel that is
+/// bit-identical to `MeanShiftReference` (every shortcut below is exact, not
+/// approximate — see the proofs in mean_shift.cpp):
+///  - flat SoA pixel planes instead of per-access struct loads;
+///  - an "all-in-range" fast path: when the per-channel window min/max
+///    proves every window pixel passes the range test, the window mean comes
+///    from channel integral images in O(1) instead of O(window);
+///  - per-pixel convergence-point caching: a pixel whose start color and
+///    window multiset match its left neighbor's lies on the same (already
+///    converged) mean-shift trajectory and adopts its mode without
+///    iterating;
+///  - early termination on sub-epsilon shift and empty windows, exactly as
+///    the reference does.
+void MeanShiftFilter(const video::Frame& input, const MeanShiftParams& params,
+                     MeanShiftWorkspace* workspace, video::Frame* out);
+
+/// Convenience overload allocating a transient workspace.
 video::Frame MeanShiftFilter(const video::Frame& input,
                              const MeanShiftParams& params);
 

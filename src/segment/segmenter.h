@@ -3,6 +3,7 @@
 
 #include "segment/mean_shift.h"
 #include "segment/region.h"
+#include "segment/workspace.h"
 #include "video/frame.h"
 
 namespace strg::segment {
@@ -15,6 +16,12 @@ struct SegmenterParams {
   bool use_mean_shift = true;
   MeanShiftParams mean_shift;
 
+  /// A/B knob for benchmarks: filter with the naive MeanShiftReference
+  /// instead of the optimized kernel. Both produce bit-identical frames
+  /// (tested), so this only changes speed — it exists so bench_ingest can
+  /// measure the seed path without resurrecting old code.
+  bool use_reference_kernel = false;
+
   /// Max color distance between 4-neighbors inside one region.
   double color_tolerance = 20.0;
 
@@ -26,14 +33,26 @@ struct SegmenterParams {
   int merge_rounds = 3;
 };
 
-/// Segments one frame into homogeneous color regions.
+/// Segments one frame into homogeneous color regions, reusing `workspace`
+/// scratch and `out`'s buffers. After warm-up on a fixed geometry this
+/// performs no heap allocations (bench_ingest asserts it). Results are
+/// identical to SegmentFrame's for any workspace state.
 ///
 /// Pipeline: (optional) mean-shift filtering -> 4-connected component
 /// labeling by color tolerance -> small-region merging -> region statistics
 /// and adjacency extraction. The output feeds RAG construction
 /// (Definition 1 in the paper).
+void SegmentFrameInto(const video::Frame& frame, const SegmenterParams& params,
+                      SegmenterWorkspace* workspace, Segmentation* out);
+
+/// Segments one frame, allocating a transient workspace.
 Segmentation SegmentFrame(const video::Frame& frame,
                           const SegmenterParams& params);
+
+/// Segments one frame reusing a caller-owned workspace.
+Segmentation SegmentFrame(const video::Frame& frame,
+                          const SegmenterParams& params,
+                          SegmenterWorkspace* workspace);
 
 }  // namespace strg::segment
 

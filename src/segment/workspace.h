@@ -1,0 +1,51 @@
+#ifndef STRG_SEGMENT_WORKSPACE_H_
+#define STRG_SEGMENT_WORKSPACE_H_
+
+#include <utility>
+#include <vector>
+
+#include "segment/mean_shift.h"
+#include "video/frame.h"
+
+namespace strg::segment {
+
+/// Per-region accumulator used by the segmenter's statistics passes.
+struct RegionAccum {
+  long long size = 0;
+  double r = 0, g = 0, b = 0;
+  double sx = 0, sy = 0;
+  int min_x = 0;
+  int max_x = 0;
+  int min_y = 0;
+  int max_y = 0;
+};
+
+/// Reusable scratch for the whole per-frame segmentation pipeline:
+/// mean-shift planes, the filtered-frame buffer, connected-components
+/// union-find state, region accumulators, and the adjacency/merge scratch.
+///
+/// One workspace serves one thread; the staged ingest pipeline keeps one
+/// per worker. After warm-up on a fixed frame geometry, SegmentFrameInto
+/// performs no heap allocations (asserted by bench_ingest) — every buffer
+/// below retains its capacity across frames.
+struct SegmenterWorkspace {
+  MeanShiftWorkspace mean_shift;
+  video::Frame filtered;  ///< mean-shift output buffer
+
+  // Connected-components scratch (union-find parents + root compaction).
+  std::vector<size_t> cc_parent;
+  std::vector<int> cc_root_label;
+
+  // Segmenter scratch.
+  std::vector<RegionAccum> acc;
+  std::vector<std::pair<int, int>> pairs;  ///< sorted unique adjacency pairs
+  std::vector<int> csr_offsets;            ///< neighbor-list CSR offsets
+  std::vector<int> csr_cursor;
+  std::vector<int> csr_neighbors;
+  std::vector<int> remap;
+  std::vector<int> dense;
+};
+
+}  // namespace strg::segment
+
+#endif  // STRG_SEGMENT_WORKSPACE_H_

@@ -84,6 +84,16 @@ void ServerMetrics::NoteQueueDepth(int64_t depth) {
   }
 }
 
+void ServerMetrics::AddIngestPipeline(const api::IngestStats& s) {
+  frames_segmented.fetch_add(s.frames_segmented, std::memory_order_relaxed);
+  shots_processed.fetch_add(s.shots_processed, std::memory_order_relaxed);
+  ingest_queue_stalls.fetch_add(s.queue_full_stalls,
+                                std::memory_order_relaxed);
+  ingest_segment_us.fetch_add(s.segment_us, std::memory_order_relaxed);
+  ingest_track_us.fetch_add(s.track_us, std::memory_order_relaxed);
+  ingest_decompose_us.fetch_add(s.decompose_us, std::memory_order_relaxed);
+}
+
 double ServerMetrics::CacheHitRate() const {
   uint64_t h = cache_hits.load(std::memory_order_relaxed);
   uint64_t m = cache_misses.load(std::memory_order_relaxed);
@@ -134,6 +144,19 @@ std::string ServerMetrics::ToJson(uint64_t generation) const {
   AppendCount(&out, ingests.load(std::memory_order_relaxed));
   out.append(",\"snapshots_published\":");
   AppendCount(&out, snapshots_published.load(std::memory_order_relaxed));
+  out.append(",\"frames_segmented\":");
+  AppendCount(&out, frames_segmented.load(std::memory_order_relaxed));
+  out.append(",\"shots\":");
+  AppendCount(&out, shots_processed.load(std::memory_order_relaxed));
+  out.append(",\"queue_stalls\":");
+  AppendCount(&out, ingest_queue_stalls.load(std::memory_order_relaxed));
+  out.append(",\"stage_us\":{\"segment\":");
+  AppendCount(&out, ingest_segment_us.load(std::memory_order_relaxed));
+  out.append(",\"track\":");
+  AppendCount(&out, ingest_track_us.load(std::memory_order_relaxed));
+  out.append(",\"decompose\":");
+  AppendCount(&out, ingest_decompose_us.load(std::memory_order_relaxed));
+  out.append("}");
   out.append(",\"latency\":");
   ingest_latency.AppendJson(&out);
   out.append("}");

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "api/status.h"
+#include "core/ingest_stats.h"
 
 namespace strg::server {
 
@@ -63,6 +64,17 @@ class ServerMetrics {
   std::atomic<uint64_t> ingests{0};
   std::atomic<uint64_t> snapshots_published{0};
 
+  // Frames -> OGs ingest pipeline (api::VideoPipeline / ProcessFrames).
+  // The pipeline counts locally on the ingesting thread and callers fold
+  // whole runs in via AddIngestPipeline, mirroring how the PR 3 distance
+  // counters reach this registry.
+  std::atomic<uint64_t> frames_segmented{0};
+  std::atomic<uint64_t> shots_processed{0};
+  std::atomic<uint64_t> ingest_queue_stalls{0};  ///< queue-full backpressure
+  std::atomic<uint64_t> ingest_segment_us{0};    ///< segmentation + RAG build
+  std::atomic<uint64_t> ingest_track_us{0};      ///< serial tracking merge
+  std::atomic<uint64_t> ingest_decompose_us{0};  ///< Finish() decomposition
+
   // Request outcomes by api::StatusCode — every QueryResult the engine
   // hands back increments exactly one slot, so the dashboard shows the
   // full ok/overloaded/deadline/io/corruption breakdown directly instead
@@ -99,6 +111,9 @@ class ServerMetrics {
     status_counts[static_cast<size_t>(code)].fetch_add(
         1, std::memory_order_relaxed);
   }
+
+  /// Folds one ingest run's pipeline counters into the registry.
+  void AddIngestPipeline(const api::IngestStats& s);
 
   double CacheHitRate() const;
 

@@ -1,0 +1,97 @@
+#ifndef STRG_UTIL_ORDERED_STAGE_H_
+#define STRG_UTIL_ORDERED_STAGE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace strg {
+
+/// Bounded fan-out with a deterministic in-order merge.
+///
+/// Producers run concurrently on a ThreadPool; results are handed to a
+/// single `sink` strictly in submission order, on the thread that calls
+/// Submit()/Drain(). This is the building block for pipeline stages whose
+/// downstream consumer is order-dependent (the STRG tracking step consumes
+/// per-frame RAGs exactly as a serial loop would): parallelism changes the
+/// schedule, never the merge order, so the output is bit-identical to the
+/// serial path.
+///
+/// `capacity` bounds in-flight results (submitted, not yet consumed). A
+/// full stage consumes its oldest result — blocking on it if necessary —
+/// before accepting more work; `stalls()` counts those waits, which the
+/// ingest metrics surface as queue-full backpressure.
+///
+/// Single-owner object: all methods must be called from one thread (the
+/// pool workers only run the producer closures).
+template <typename T>
+class OrderedStage {
+ public:
+  OrderedStage(ThreadPool* pool, size_t capacity,
+               std::function<void(T&&)> sink)
+      : pool_(pool),
+        capacity_(capacity > 0 ? capacity : 1),
+        sink_(std::move(sink)) {}
+
+  /// Waits for still-running producers (without consuming them) so their
+  /// closures never outlive state owned by the caller.
+  ~OrderedStage() {
+    for (auto& f : pending_) {
+      if (f.valid()) f.wait();
+    }
+  }
+
+  OrderedStage(const OrderedStage&) = delete;
+  OrderedStage& operator=(const OrderedStage&) = delete;
+
+  /// Schedules `produce()` on the pool. First consumes every already-ready
+  /// result at the queue head (keeping the merge incremental), then, if the
+  /// stage is at capacity, blocks consuming the oldest in-flight result.
+  template <typename F>
+  void Submit(F&& produce) {
+    ConsumeReady();
+    while (pending_.size() >= capacity_) {
+      ++stalls_;
+      ConsumeFront();
+    }
+    pending_.push_back(pool_->Submit(std::forward<F>(produce)));
+  }
+
+  /// Consumes every outstanding result, in order, blocking as needed.
+  void Drain() {
+    while (!pending_.empty()) ConsumeFront();
+  }
+
+  uint64_t stalls() const { return stalls_; }
+  size_t in_flight() const { return pending_.size(); }
+
+ private:
+  void ConsumeFront() {
+    T value = pending_.front().get();
+    pending_.pop_front();
+    sink_(std::move(value));
+  }
+
+  void ConsumeReady() {
+    while (!pending_.empty() &&
+           pending_.front().wait_for(std::chrono::seconds(0)) ==
+               std::future_status::ready) {
+      ConsumeFront();
+    }
+  }
+
+  ThreadPool* pool_;
+  size_t capacity_;
+  std::function<void(T&&)> sink_;
+  std::deque<std::future<T>> pending_;
+  uint64_t stalls_ = 0;
+};
+
+}  // namespace strg
+
+#endif  // STRG_UTIL_ORDERED_STAGE_H_
