@@ -75,6 +75,11 @@ int main() {
   }
   table.Print(std::cout);
 
+  bench::JsonReport report("BENCH_ablation_3drtree.json");
+  report.AddTable("knn_precision", table);
+  report.AddScalar("db_size", static_cast<double>(db.size()));
+  report.Write();
+
   std::cout << "\nExpected shape: the 3DR-tree's MBR-distance candidates mix"
                " patterns that merely\nshare screen area (opposite"
                " directions, U-turns vs passes), so its precision\nfalls"

@@ -35,6 +35,7 @@ double TimePerIteration(const std::vector<dist::Sequence>& data, size_t k,
 int main() {
   using namespace strg;
   bench::Banner("Ablation (Section 4.1)", "EM iteration cost is O(KM)");
+  bench::JsonReport report("BENCH_ablation_complexity.json");
 
   synth::SynthParams sp;
   sp.items_per_cluster = static_cast<size_t>(
@@ -59,6 +60,7 @@ int main() {
                                  2)});
     }
     table.Print(std::cout);
+    report.AddTable("scaling_m", table);
   }
 
   std::cout << "\nScaling K (M fixed): per-iteration time should grow"
@@ -75,7 +77,9 @@ int main() {
                                  2)});
     }
     table.Print(std::cout);
+    report.AddTable("scaling_k", table);
   }
+  report.Write();
 
   std::cout << "\nExpected shape: the calls/(K*M*iters) column stays O(1)"
                " (~1-2; seeding and the\nanti-collapse guard add a small"

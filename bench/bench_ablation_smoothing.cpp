@@ -56,6 +56,10 @@ int main() {
   }
   table.Print(std::cout);
 
+  bench::JsonReport report("BENCH_ablation_smoothing.json");
+  report.AddTable("error_rate_by_window", table);
+  report.Write();
+
   std::cout << "\nExpected shape: smoothing recovers part of the error the"
                " per-point noise causes,\nwith diminishing (or negative)"
                " returns once the window starts blurring genuine\nmotion"

@@ -16,6 +16,7 @@
 int main() {
   using namespace strg;
   bench::Banner("Ablation (Algorithm 1)", "tracking quality vs T_sim");
+  bench::JsonReport report("BENCH_ablation_tracking.json");
 
   const int num_objects = bench::EnvInt("STRG_ABL_OBJECTS", 12);
   for (bool crowded : {false, true}) {
@@ -53,7 +54,9 @@ int main() {
                     std::to_string(pipeline.strg().TotalTemporalEdges())});
     }
     table.Print(std::cout);
+    report.AddTable(crowded ? "crowded_scene" : "sparse_scene", table);
   }
+  report.Write();
 
   std::cout << "\nExpected shape: on the sparse scene every threshold"
                " recovers exactly one OG per\nobject. On the crowded scene"

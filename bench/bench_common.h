@@ -2,8 +2,11 @@
 #define STRG_BENCH_BENCH_COMMON_H_
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+
+#include "util/table.h"
 
 namespace strg::bench {
 
@@ -27,6 +30,53 @@ inline void Banner(const std::string& figure, const std::string& what) {
             << " numbers, are the comparison target)\n"
             << "==================================================\n";
 }
+
+/// Accumulates named tables/scalars and writes them as a BENCH_*.json —
+/// the machine-readable twin of the stdout report every harness prints.
+/// Each bench passes the literal artifact name (e.g. "BENCH_fig7.json") so
+/// the repo linter (strg-bench-json) can see which report the file owns.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string path) : path_(std::move(path)) {
+    json_ = "{";
+  }
+
+  void AddTable(const std::string& key, const Table& table) {
+    Sep();
+    AppendJsonString(key, &json_);
+    json_.push_back(':');
+    table.AppendJson(&json_);
+  }
+
+  void AddScalar(const std::string& key, double value) {
+    Sep();
+    AppendJsonString(key, &json_);
+    json_.push_back(':');
+    json_ += FormatDouble(value, 6);
+  }
+
+  void AddString(const std::string& key, const std::string& value) {
+    Sep();
+    AppendJsonString(key, &json_);
+    json_.push_back(':');
+    AppendJsonString(value, &json_);
+  }
+
+  /// Writes the report into the working directory and logs the path.
+  void Write() {
+    std::ofstream out(path_);
+    out << json_ << "}\n";
+    std::cout << "report written to " << path_ << "\n";
+  }
+
+ private:
+  void Sep() {
+    if (json_.size() > 1) json_.push_back(',');
+  }
+
+  std::string path_;
+  std::string json_;
+};
 
 }  // namespace strg::bench
 

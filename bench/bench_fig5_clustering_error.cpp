@@ -50,6 +50,7 @@ struct Measure {
 
 int main() {
   bench::Banner("Figure 5", "clustering error rate vs noise variance");
+  bench::JsonReport report("BENCH_fig5.json");
   const int per_cluster =
       bench::EnvInt("STRG_FIG5_PER_CLUSTER", bench::FullScale() ? 10 : 5);
   const int repeats = bench::EnvInt("STRG_FIG5_REPEATS", 2);
@@ -100,7 +101,9 @@ int main() {
       table.AddNumericRow(row, 1);
     }
     table.Print(std::cout);
+    report.AddTable("fig5_" + algo.name + "_error_rate_pct", table);
   }
+  report.Write();
 
   std::cout << "\nExpected shape (paper): each *-EGED curve lies below the"
                " corresponding *-LCS and *-DTW curves;\nEM-EGED stays lowest"

@@ -36,6 +36,7 @@ synth::SynthDataset MakeData(double noise, uint64_t seed, int per_cluster) {
 
 int main() {
   bench::Banner("Figure 6", "EM-EGED vs KM-EGED vs KHM-EGED");
+  bench::JsonReport report("BENCH_fig6.json");
   const int per_cluster =
       bench::EnvInt("STRG_FIG6_PER_CLUSTER", bench::FullScale() ? 10 : 5);
   dist::EgedDistance eged;
@@ -59,6 +60,7 @@ int main() {
           1);
     }
     table.Print(std::cout);
+    report.AddTable("fig6a_error_rate_pct", table);
   }
 
   // ---- (b) cluster building time vs iterations ----------------------
@@ -86,6 +88,7 @@ int main() {
       table.AddNumericRow({static_cast<double>(iters), em_s, km_s, khm_s}, 3);
     }
     table.Print(std::cout);
+    report.AddTable("fig6b_build_time_s", table);
   }
 
   // ---- (c) distortion vs noise ---------------------------------------
@@ -112,7 +115,9 @@ int main() {
           1);
     }
     table.Print(std::cout);
+    report.AddTable("fig6c_distortion_px", table);
   }
+  report.Write();
 
   std::cout << "\nExpected shapes (paper): (a) EM <= KHM < KM at high noise;"
                "\n(b) the EM curve grows ~1.5-2x slower than KM/KHM;"

@@ -75,6 +75,7 @@ mtree::MTree BuildMTree(const Dataset& data, mtree::Promotion promotion,
 
 int main() {
   bench::Banner("Figure 7", "STRG-Index vs M-tree (MT-RA / MT-SA)");
+  bench::JsonReport report("BENCH_fig7.json");
   dist::EgedMetricDistance metric;
 
   std::vector<size_t> sizes{1000, 2000, 3000, 4000, 5000};
@@ -101,6 +102,7 @@ int main() {
           {static_cast<double>(n), sx_s, ra_s, sa_s}, 3);
     }
     table.Print(std::cout);
+    report.AddTable("fig7a_build_time_s", table);
   }
 
   // ---- (b) + (c) on one mid-size database -----------------------------
@@ -127,6 +129,7 @@ int main() {
                           1);
     }
     table.Print(std::cout);
+    report.AddTable("fig7b_distance_computations", table);
   }
 
   // Exact k-NN would return identical answers from any correct metric
@@ -180,8 +183,12 @@ int main() {
                           3);
     }
     table.Print(std::cout);
+    report.AddTable("fig7c_precision_recall", table);
     (void)per_cluster;
   }
+  report.AddScalar("query_db_size", static_cast<double>(query_db_size));
+  report.AddScalar("search_budget", static_cast<double>(budget));
+  report.Write();
 
   std::cout << "\nExpected shapes (paper): (a) STRG-Index builds faster than"
                " MT-SA (and MT-RA at scale);\n(b) STRG-Index needs ~20%+"

@@ -1,6 +1,10 @@
 // Google-benchmark microbenchmarks of the distance kernels (EGED,
 // EGED_M, DTW, LCS, L2) across sequence lengths — the per-distance cost
 // that dominates every figure's wall time (Section 6.3's T formula).
+//
+// NOLINT(strg-bench-json): google-benchmark harness; machine-readable
+// output comes from its own --benchmark_out=<file> --benchmark_out_format
+// flags rather than a hand-rolled BENCH_*.json.
 
 #include <benchmark/benchmark.h>
 

@@ -39,6 +39,11 @@ int main() {
                   FormatDouble(run.pipeline_seconds, 2) + "s"});
   }
   table.Print(std::cout);
+  bench::JsonReport report("BENCH_table1.json");
+  report.AddTable("table1_streams", table);
+  report.AddScalar("total_ogs", static_cast<double>(total_ogs));
+  report.AddScalar("divisor", divisor);
+  report.Write();
   std::cout << "\nTotal OGs: " << total_ogs << " (paper: 956 at divisor 1)\n";
   std::cout << "\nExpected shape: the pipeline recovers approximately one OG"
                " per scene object\n(tracking + ORG merging working end to"

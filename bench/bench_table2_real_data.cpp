@@ -87,6 +87,12 @@ int main() {
   }
   table.Print(std::cout);
 
+  bench::JsonReport report("BENCH_table2.json");
+  report.AddTable("table2_per_stream", table);
+  report.AddScalar("lab_avg_err_pct", lab_err_sum / 2);
+  report.AddScalar("traffic_avg_err_pct", traffic_err_sum / 2);
+  report.Write();
+
   std::cout << "\nLab avg error: " << FormatDouble(lab_err_sum / 2, 1)
             << "%  Traffic avg error: " << FormatDouble(traffic_err_sum / 2, 1)
             << "%\n";

@@ -7,11 +7,23 @@
 # EGED kernel does banded DP over raw row pointers; the mean-shift kernel
 # does integral-image index arithmetic — exactly where UB hides).
 #
-#   scripts/check.sh                 # tier-1 + ASan + UBSan passes
+#   scripts/check.sh                 # static + tier-1 + ASan + UBSan passes
 #   STRG_CHECK_ASAN_ALL=1 scripts/check.sh   # ASan over the whole suite
 #   STRG_CHECK_TSAN=1 scripts/check.sh       # also a ThreadSanitizer pass
+#   STRG_CHECK_STATIC=0 scripts/check.sh     # skip the static pass
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${STRG_CHECK_STATIC:-1}" == "1" ]]; then
+  echo "== static pass (scripts/static.sh: linter + thread-safety + clang-tidy) =="
+  # static.sh itself skips the Clang-only legs loudly when the tools are
+  # absent; the invariant linter always runs.
+  scripts/static.sh
+  echo
+else
+  echo "== static pass skipped (STRG_CHECK_STATIC=0) =="
+  echo
+fi
 
 echo "== tier-1: configure + build + ctest =="
 cmake -B build -S . >/dev/null

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Static-analysis gate: three legs, each independently loud about skipping.
+#
+#   1. strg_lint.py        repo invariant linter (self-test first, then the
+#                          tree) — pure python, always runs.
+#   2. -Wthread-safety     Clang build of the whole tree with
+#                          STRG_STATIC_ANALYSIS=ON (-Wthread-safety
+#                          -Wthread-safety-beta -Werror). Requires clang++;
+#                          skipped loudly when absent.
+#   3. clang-tidy          curated .clang-tidy over src/, findings diffed
+#                          against scripts/clang_tidy_baseline.txt (empty:
+#                          the tree is expected clean). Requires clang-tidy
+#                          and the compile_commands.json from leg 2; skipped
+#                          loudly when absent.
+#
+#   scripts/static.sh            # run everything available
+#   STRG_STATIC_JOBS=4 ...       # cap build parallelism
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${STRG_STATIC_JOBS:-$(nproc 2>/dev/null || echo 4)}"
+FAILED=0
+
+find_tool() {
+  # find_tool <base-name> — prints the first of base, base-20..base-14 on PATH.
+  local base="$1" v
+  if command -v "$base" >/dev/null 2>&1; then echo "$base"; return 0; fi
+  for v in 20 19 18 17 16 15 14; do
+    if command -v "$base-$v" >/dev/null 2>&1; then echo "$base-$v"; return 0; fi
+  done
+  return 1
+}
+
+echo "== leg 1: repo invariant linter (scripts/strg_lint.py) =="
+python3 scripts/strg_lint.py --self-test
+python3 scripts/strg_lint.py
+
+echo
+echo "== leg 2: Clang thread-safety build (STRG_STATIC_ANALYSIS=ON) =="
+if CLANGXX="$(find_tool clang++)"; then
+  CLANGC="$(find_tool clang || echo "${CLANGXX/clang++/clang}")"
+  cmake -B build-static -S . \
+    -DCMAKE_C_COMPILER="$CLANGC" -DCMAKE_CXX_COMPILER="$CLANGXX" \
+    -DSTRG_STATIC_ANALYSIS=ON >/dev/null
+  cmake --build build-static -j "$JOBS"
+  echo "thread-safety build: clean (no -Wthread-safety findings)"
+else
+  echo "------------------------------------------------------------------"
+  echo "SKIP: thread-safety build NOT run — no clang++ (or clang++-NN) on"
+  echo "PATH. The STRG_* annotations are no-op macros under other compilers,"
+  echo "so this leg can only be proven with Clang. Install clang to run it."
+  echo "------------------------------------------------------------------"
+fi
+
+echo
+echo "== leg 3: clang-tidy over src/ vs baseline =="
+if TIDY="$(find_tool clang-tidy)"; then
+  if [[ ! -f build-static/compile_commands.json ]]; then
+    echo "------------------------------------------------------------------"
+    echo "SKIP: clang-tidy NOT run — build-static/compile_commands.json is"
+    echo "missing (leg 2 must succeed first to export it)."
+    echo "------------------------------------------------------------------"
+  else
+    mapfile -t TIDY_SOURCES < <(find src -name '*.cpp' -o -name '*.cc' | sort)
+    RAW="build-static/clang_tidy_findings.raw"
+    : > "$RAW"
+    # || true: clang-tidy exits nonzero on findings; the diff below is the gate.
+    "$TIDY" -p build-static --quiet "${TIDY_SOURCES[@]}" >> "$RAW" 2>/dev/null || true
+    # Normalize: keep only finding lines, strip the absolute path prefix so
+    # the baseline is machine-independent.
+    sed -n 's|^.*/src/|src/|p' "$RAW" | grep -E ':[0-9]+:[0-9]+: (warning|error):' \
+      | LC_ALL=C sort > build-static/clang_tidy_findings.txt || true
+    if diff -u scripts/clang_tidy_baseline.txt build-static/clang_tidy_findings.txt; then
+      echo "clang-tidy: findings match baseline ($(wc -l < scripts/clang_tidy_baseline.txt) entries)"
+    else
+      echo "clang-tidy: NEW findings vs scripts/clang_tidy_baseline.txt (see diff above)"
+      FAILED=1
+    fi
+  fi
+else
+  echo "------------------------------------------------------------------"
+  echo "SKIP: clang-tidy NOT run — no clang-tidy (or clang-tidy-NN) on PATH."
+  echo "Install clang-tools to run the curated .clang-tidy gate."
+  echo "------------------------------------------------------------------"
+fi
+
+echo
+if [[ "$FAILED" != 0 ]]; then
+  echo "static.sh: FAILED"
+  exit 1
+fi
+echo "static.sh: all available legs green"

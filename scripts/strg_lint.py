@@ -1,0 +1,296 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter: rules the generic tools cannot express.
+
+clang-tidy and -Wthread-safety check what code *does*; this linter checks
+what the repo has *decided* — contracts that live across files:
+
+  strg-naked-mutex      No std::mutex / std::condition_variable (or their
+                        lock wrappers, or their headers) outside
+                        src/util/sync.h. Everything goes through the
+                        annotated strg:: wrappers so the capability analysis
+                        sees every lock.
+  strg-no-throw         No `throw` in src/api or src/storage: those layers
+                        speak Status/StatusOr, and an exception sneaking up
+                        a StatusOr path skips the typed-error contract.
+  strg-no-wallclock-rand  No rand()/srand()/time() in src/: results must be
+                        deterministic given the seeded util/random.h RNGs
+                        (the PR3/PR4 bit-identical-parallelism contract).
+  strg-bench-json       Every bench/bench_*.cpp must write (or at least
+                        name) its BENCH_*.json machine-readable report.
+  strg-test-label       Every tests/*_test.cpp declares `// ctest-labels:`,
+                        which tests/CMakeLists.txt applies — so label-driven
+                        suites (ctest -L recovery|distance|ingest|static)
+                        can never silently miss a new test file.
+
+Suppressions are allowed but never bare: `NOLINT(<rule>): <why>` on the
+offending line (a missing rule tag or empty justification is itself an
+error), and every STRG_NO_THREAD_SAFETY_ANALYSIS needs a justification
+comment within the five lines above it.
+
+Usage:
+  scripts/strg_lint.py              # lint the tree; exit 0 iff clean
+  scripts/strg_lint.py --self-test  # prove each rule fires on bad fixtures
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+CXX_EXTS = (".h", ".hpp", ".cc", ".cpp")
+
+NOLINT_RE = re.compile(r"NOLINT\(([a-z0-9-]+)\):\s*(\S.*)?")
+BARE_NOLINT_RE = re.compile(r"NOLINT(?!\([a-z0-9-]+\):\s*\S)")
+
+NAKED_MUTEX_RE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|timed_mutex|condition_variable(?:_any)?|lock_guard|unique_lock"
+    r"|scoped_lock|shared_lock)\b"
+    r"|#\s*include\s*<(?:mutex|condition_variable|shared_mutex)>")
+THROW_RE = re.compile(r"\bthrow\b")
+WALLCLOCK_RE = re.compile(r"(?<![A-Za-z0-9_:])(?:rand|srand|time)\s*\(")
+BENCH_JSON_RE = re.compile(r"BENCH_[A-Za-z0-9_]+\.json")
+TEST_LABEL_RE = re.compile(r"//\s*ctest-labels:\s*([a-z][a-z0-9_]*)")
+OPTOUT_RE = re.compile(r"STRG_NO_THREAD_SAFETY_ANALYSIS")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self) -> str:
+        rel = os.path.relpath(self.path, REPO)
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments(lines: list[str]) -> list[str]:
+    """Returns lines with // and /* */ comment text blanked (string-literal
+    agnostic on purpose: the patterns we match do not occur in literals
+    here, and a false positive is suppressible with a justified NOLINT)."""
+    out = []
+    in_block = False
+    for line in lines:
+        result = []
+        i = 0
+        while i < len(line):
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = len(line)
+                else:
+                    i = end + 2
+                    in_block = False
+            else:
+                slash = line.find("//", i)
+                block = line.find("/*", i)
+                if slash >= 0 and (block < 0 or slash < block):
+                    result.append(line[i:slash])
+                    i = len(line)
+                elif block >= 0:
+                    result.append(line[i:block])
+                    i = block + 2
+                    in_block = True
+                else:
+                    result.append(line[i:])
+                    i = len(line)
+        out.append("".join(result))
+    return out
+
+
+def suppressed(raw_line: str, rule: str, findings: list, path: str,
+               lineno: int) -> bool:
+    """True if the line carries a justified NOLINT for `rule`. A NOLINT
+    that is bare (no rule, or no justification text) is itself a finding."""
+    m = NOLINT_RE.search(raw_line)
+    if m and m.group(1) == rule and m.group(2):
+        return True
+    if "NOLINT" in raw_line and BARE_NOLINT_RE.search(raw_line):
+        findings.append(Finding(
+            path, lineno, "strg-bare-suppression",
+            "NOLINT must name its rule and justify itself: "
+            "`NOLINT(<rule>): <why>`"))
+    return False
+
+
+def walk(root: str, subdir: str):
+    base = os.path.join(root, subdir)
+    for dirpath, dirnames, filenames in os.walk(base):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if name.endswith(CXX_EXTS):
+                yield os.path.join(dirpath, name)
+
+
+def lint_tree(root: str) -> list:
+    findings: list = []
+    sync_h = os.path.join(root, "src", "util", "sync.h")
+
+    for path in walk(root, "src"):
+        with open(path, encoding="utf-8") as f:
+            raw = f.read().splitlines()
+        code = strip_comments(raw)
+        rel = os.path.relpath(path, root)
+        in_api_or_storage = rel.startswith(("src/api", "src/storage"))
+
+        for idx, (raw_line, code_line) in enumerate(zip(raw, code), 1):
+            if os.path.abspath(path) != os.path.abspath(sync_h):
+                if NAKED_MUTEX_RE.search(code_line) and not suppressed(
+                        raw_line, "strg-naked-mutex", findings, path, idx):
+                    findings.append(Finding(
+                        path, idx, "strg-naked-mutex",
+                        "naked std sync primitive; use the annotated "
+                        "strg::Mutex/MutexLock/CondVar from util/sync.h"))
+            if in_api_or_storage:
+                if THROW_RE.search(code_line) and not suppressed(
+                        raw_line, "strg-no-throw", findings, path, idx):
+                    findings.append(Finding(
+                        path, idx, "strg-no-throw",
+                        "`throw` on a Status/StatusOr code path; return a "
+                        "typed api::Status instead"))
+            if WALLCLOCK_RE.search(code_line) and not suppressed(
+                    raw_line, "strg-no-wallclock-rand", findings, path, idx):
+                findings.append(Finding(
+                    path, idx, "strg-no-wallclock-rand",
+                    "rand()/srand()/time() break the determinism contract; "
+                    "use util/random.h RNGs and steady_clock"))
+            if OPTOUT_RE.search(code_line):
+                context = " ".join(raw[max(0, idx - 6):idx - 1])
+                if ("//" not in context and "*" not in context) or \
+                        not re.search(r"(//|\*)\s*\S+\s+\S+", context):
+                    findings.append(Finding(
+                        path, idx, "strg-bare-suppression",
+                        "STRG_NO_THREAD_SAFETY_ANALYSIS needs a "
+                        "justification comment within the 5 lines above"))
+
+    bench_dir = os.path.join(root, "bench")
+    if os.path.isdir(bench_dir):
+        for name in sorted(os.listdir(bench_dir)):
+            if not (name.startswith("bench_") and name.endswith(".cpp")):
+                continue
+            path = os.path.join(bench_dir, name)
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+            if BENCH_JSON_RE.search(text):
+                continue
+            m = NOLINT_RE.search(text)
+            if m and m.group(1) == "strg-bench-json" and m.group(2):
+                continue
+            findings.append(Finding(
+                path, 1, "strg-bench-json",
+                "benchmark never names a BENCH_*.json report; write one "
+                "(bench::JsonReport) or justify with "
+                "NOLINT(strg-bench-json): <why>"))
+
+    tests_dir = os.path.join(root, "tests")
+    if os.path.isdir(tests_dir):
+        for name in sorted(os.listdir(tests_dir)):
+            if not name.endswith("_test.cpp"):
+                continue
+            path = os.path.join(tests_dir, name)
+            with open(path, encoding="utf-8") as f:
+                head = f.read(4096)
+            if not TEST_LABEL_RE.search(head):
+                findings.append(Finding(
+                    path, 1, "strg-test-label",
+                    "test file must declare `// ctest-labels: <label>` near "
+                    "the top (tests/CMakeLists.txt applies it to ctest)"))
+
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Self-test: seed one bad fixture per rule into a scratch tree and require
+# the linter to report exactly the planted rule; then check the justified
+# suppression of the same pattern passes.
+# ---------------------------------------------------------------------------
+
+FIXTURES = {
+    "strg-naked-mutex": (
+        "src/server/bad.h",
+        "#include <mutex>\nstd::mutex mu;\n",
+        "// NOLINT(strg-naked-mutex): adapter pinned to a C API demo\n"
+        "struct ok {};\n",
+    ),
+    "strg-no-throw": (
+        "src/api/bad.cc",
+        "void f() { throw 1; }\n",
+        "void f() { throw 1; }  "
+        "// NOLINT(strg-no-throw): legacy wrapper, documented\n",
+    ),
+    "strg-no-wallclock-rand": (
+        "src/core/bad.cc",
+        "int f() { return rand(); }\n",
+        "int f() { return 4; }  // chosen by fair dice roll\n",
+    ),
+    "strg-bench-json": (
+        "bench/bench_bad.cpp",
+        "int main() { return 0; }\n",
+        "// NOLINT(strg-bench-json): emits via --benchmark_out\n"
+        "int main() { return 0; }\n",
+    ),
+    "strg-test-label": (
+        "tests/bad_test.cpp",
+        "int main() { return 0; }\n",
+        "// ctest-labels: unit\nint main() { return 0; }\n",
+    ),
+    "strg-bare-suppression": (
+        "src/util/bad.h",
+        "void f() STRG_NO_THREAD_SAFETY_ANALYSIS;\n",
+        "// justified: init path, object not yet shared\n"
+        "void f() STRG_NO_THREAD_SAFETY_ANALYSIS;\n",
+    ),
+}
+
+
+def self_test() -> int:
+    failures = 0
+    for rule, (rel, bad, good) in FIXTURES.items():
+        for variant, text, expect_hit in (("bad", bad, True),
+                                          ("good", good, False)):
+            with tempfile.TemporaryDirectory() as scratch:
+                path = os.path.join(scratch, rel)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with open(path, "w", encoding="utf-8") as f:
+                    f.write(text)
+                hits = [f for f in lint_tree(scratch) if f.rule == rule]
+                if bool(hits) != expect_hit:
+                    failures += 1
+                    print(f"self-test FAIL: {rule}/{variant}: expected "
+                          f"{'a finding' if expect_hit else 'clean'}, got "
+                          f"{[str(h) for h in hits]}")
+                else:
+                    print(f"self-test ok: {rule}/{variant}")
+    if failures:
+        print(f"self-test: {failures} failure(s)")
+        return 1
+    print(f"self-test: all {len(FIXTURES)} rules fire and suppress correctly")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on seeded bad fixtures")
+    parser.add_argument("--root", default=REPO, help=argparse.SUPPRESS)
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    findings = lint_tree(args.root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"strg_lint: {len(findings)} finding(s)")
+        return 1
+    print("strg_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

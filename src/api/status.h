@@ -89,7 +89,7 @@ class Status {
   /// (Catalog::LoadFromFile and friends) are one `ThrowIfError()` away from
   /// the StatusOr core, so both styles stay in sync by construction.
   void ThrowIfError() const {
-    if (!ok()) throw std::runtime_error(ToString());
+    if (!ok()) throw std::runtime_error(ToString());  // NOLINT(strg-no-throw): the documented legacy-exception bridge itself
   }
 
  private:
@@ -133,7 +133,7 @@ class StatusOr {
 
  private:
   void EnsureOk() const {
-    if (!ok()) throw std::runtime_error(std::get<Status>(rep_).ToString());
+    if (!ok()) throw std::runtime_error(std::get<Status>(rep_).ToString());  // NOLINT(strg-no-throw): value()-on-error is a caller bug, not an I/O outcome
   }
   std::variant<Status, T> rep_;
 };

@@ -71,6 +71,11 @@ struct SegmentResult {
 /// in-order merge during later pushes and Finish(). Without a pool every
 /// push runs the full front half inline. Both modes produce bit-identical
 /// results.
+///
+/// Concurrency: single-owner, like the OrderedStage it builds on — one
+/// thread calls PushFrame/Finish, and the only shared state is inside the
+/// ThreadPool/OrderedStage machinery, whose locking the static-analysis
+/// layer proves. No field here needs STRG_GUARDED_BY.
 class VideoPipeline {
  public:
   explicit VideoPipeline(PipelineParams params = {});

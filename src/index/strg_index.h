@@ -202,7 +202,13 @@ class StrgIndex {
 
   /// Per-query search state: the query's flat form, the distance budget,
   /// and local counters (the fix for the cross-query counter race — nothing
-  /// here is shared between concurrent queries).
+  /// here is shared between concurrent queries). This is the index's whole
+  /// concurrency story, so it needs no STRG_GUARDED_BY fields: the const
+  /// query path (Knn / RangeSearch) reads an immutable published snapshot,
+  /// accumulates into this stack-local ctx, and its only shared write is
+  /// one relaxed add to distance_count_ at the end; mutation (AddSegment /
+  /// Insert / Remove) happens before publication, under the serving
+  /// layer's writer_mu_ clone-mutate-publish protocol.
   struct SearchCtx;
 
   dist::FlatSequence MakeFlat(const dist::Sequence& seq) const {

@@ -125,6 +125,9 @@ api::StatusOr<std::unique_ptr<DurableQueryEngine>> DurableQueryEngine::Open(
 }
 
 api::Status DurableQueryEngine::Recover() {
+  // Uncontended at open (nothing else can reach the engine yet); holding
+  // the ingest lock keeps the guarded-field proofs uniform.
+  MutexLock lock(ingest_mu_);
   const auto start = std::chrono::steady_clock::now();
   std::error_code ec;
   fs::create_directories(wal_dir_, ec);
@@ -263,7 +266,7 @@ api::Status DurableQueryEngine::ApplyRecord(std::string_view payload,
 api::StatusOr<uint64_t> DurableQueryEngine::AddVideo(
     const std::string& name, const api::SegmentResult& segment,
     int* segment_id) {
-  std::lock_guard<std::mutex> lock(ingest_mu_);
+  MutexLock lock(ingest_mu_);
   storage::CatalogSegment seg = api::ToCatalogSegment(name, segment);
 
   storage::Writer w;
@@ -300,7 +303,7 @@ api::StatusOr<uint64_t> DurableQueryEngine::AddObjectGraph(
   if (segment_id < 0) {
     return api::Status::InvalidArgument("AddObjectGraph: negative segment id");
   }
-  std::lock_guard<std::mutex> lock(ingest_mu_);
+  MutexLock lock(ingest_mu_);
   if (static_cast<size_t>(segment_id) >= catalog_.NumSegments()) {
     return api::Status::NotFound("AddObjectGraph: unknown segment " +
                                  std::to_string(segment_id));
@@ -369,12 +372,12 @@ api::Status DurableQueryEngine::CompactLocked() {
 }
 
 api::Status DurableQueryEngine::Compact() {
-  std::lock_guard<std::mutex> lock(ingest_mu_);
+  MutexLock lock(ingest_mu_);
   return CompactLocked();
 }
 
 api::Status DurableQueryEngine::Sync() {
-  std::lock_guard<std::mutex> lock(ingest_mu_);
+  MutexLock lock(ingest_mu_);
   api::Status st = wal_.Sync();
   engine_.mutable_metrics().wal_syncs.store(wal_.syncs(),
                                             std::memory_order_relaxed);

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "api/query_spec.h"
@@ -11,6 +10,7 @@
 #include "server/query_engine.h"
 #include "storage/catalog.h"
 #include "storage/wal.h"
+#include "util/sync.h"
 
 namespace strg::server {
 
@@ -98,11 +98,13 @@ class DurableQueryEngine {
 
   api::StatusOr<uint64_t> AddVideo(const std::string& name,
                                    const api::SegmentResult& segment,
-                                   int* segment_id = nullptr);
+                                   int* segment_id = nullptr)
+      STRG_EXCLUDES(ingest_mu_);
   api::StatusOr<uint64_t> AddObjectGraph(int segment_id,
                                          const std::string& video,
                                          const core::Og& og,
-                                         const dist::FeatureScaling& scaling);
+                                         const dist::FeatureScaling& scaling)
+      STRG_EXCLUDES(ingest_mu_);
 
   // ---- Readers (delegate to the serving engine). ----
 
@@ -113,10 +115,10 @@ class DurableQueryEngine {
   // ---- Durability controls. ----
 
   /// Publishes a catalog snapshot and resets the log now.
-  api::Status Compact();
+  api::Status Compact() STRG_EXCLUDES(ingest_mu_);
   /// Forces an fsync of pending log records (relevant under kEveryN /
   /// kOnPublish).
-  api::Status Sync();
+  api::Status Sync() STRG_EXCLUDES(ingest_mu_);
 
   // ---- Introspection. ----
 
@@ -126,7 +128,12 @@ class DurableQueryEngine {
   std::string MetricsJson() const { return engine_.MetricsJson(); }
   const RecoveryStats& recovery() const { return recovery_; }
   /// The durable mirror: exactly what a crash-now recovery would rebuild.
-  const storage::Catalog& catalog() const { return catalog_; }
+  /// Opted out of the analysis: the accessor hands out an unlocked
+  /// reference for test/CLI inspection of a quiesced engine — callers must
+  /// not hold it across concurrent AddVideo/AddObjectGraph calls.
+  const storage::Catalog& catalog() const STRG_NO_THREAD_SAFETY_ANALYSIS {
+    return catalog_;
+  }
 
   static std::string SnapshotPath(const std::string& wal_dir);
   static std::string SnapshotTmpPath(const std::string& wal_dir);
@@ -139,21 +146,27 @@ class DurableQueryEngine {
   DurableQueryEngine(std::string wal_dir, index::StrgIndexParams params,
                      DurableEngineOptions opts);
 
-  api::Status Recover();
-  api::Status CompactLocked();
+  /// Runs in the constructor path, before the engine is shared; it takes
+  /// ingest_mu_ anyway (uncontended) so the guarded-field proofs hold
+  /// everywhere instead of carrying a "single-threaded here" exemption.
+  api::Status Recover() STRG_EXCLUDES(ingest_mu_);
+  api::Status CompactLocked() STRG_REQUIRES(ingest_mu_);
   /// Applies one decoded WAL payload to the engine + catalog mirror.
-  api::Status ApplyRecord(std::string_view payload, uint64_t* seq);
+  api::Status ApplyRecord(std::string_view payload, uint64_t* seq)
+      STRG_REQUIRES(ingest_mu_);
 
   const std::string wal_dir_;
   const DurableEngineOptions opts_;
   RecoveryStats recovery_;
   FailPoint fail_point_ = FailPoint::kNone;
 
-  std::mutex ingest_mu_;
-  uint64_t next_seq_ = 1;          ///< next WAL record sequence number
-  uint64_t log_records_ = 0;       ///< records in the live log
-  storage::Catalog catalog_;       ///< durable mirror of engine state
-  storage::WalWriter wal_;
+  /// One lock covers the whole durable write protocol: WAL append + seq
+  /// advance + catalog mirror + publish + compaction decision.
+  Mutex ingest_mu_;
+  uint64_t next_seq_ STRG_GUARDED_BY(ingest_mu_) = 1;     ///< next WAL seq
+  uint64_t log_records_ STRG_GUARDED_BY(ingest_mu_) = 0;  ///< live log size
+  storage::Catalog catalog_ STRG_GUARDED_BY(ingest_mu_);
+  storage::WalWriter wal_ STRG_GUARDED_BY(ingest_mu_);
   QueryEngine engine_;
 };
 

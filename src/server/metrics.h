@@ -8,6 +8,7 @@
 
 #include "api/status.h"
 #include "core/ingest_stats.h"
+#include "util/sync.h"
 
 namespace strg::server {
 
@@ -32,7 +33,8 @@ class LatencyHistogram {
   double PercentileMicros(double p) const;
 
   /// Appends {"count":..,"mean_us":..,"p50_us":..,"p95_us":..,"p99_us":..}.
-  void AppendJson(std::string* out) const;
+  /// STRG_LOCK_FREE: reads relaxed atomics only; see ServerMetrics::ToJson.
+  STRG_LOCK_FREE void AppendJson(std::string* out) const;
 
   /// Upper bound (us) of bucket i — exposed for tests.
   static double BucketUpperMicros(size_t i);
@@ -46,6 +48,15 @@ class LatencyHistogram {
 /// Central registry of the serving layer's observability surface: atomic
 /// counters + per-operation latency histograms, dumpable as JSON. Owned by
 /// the QueryEngine; all fields may be read while the engine is serving.
+///
+/// Memory-order policy: every counter access in this registry — reads and
+/// writes alike — uses std::memory_order_relaxed, uniformly. Counters are
+/// monotone statistics, never used to publish other data or to synchronize
+/// control flow, so no access needs acquire/release pairing; relaxed keeps
+/// Record/NoteStatus to a single uncontended RMW on the hot path, and a
+/// scrape observing counters mid-update is within the scrape contract
+/// (slightly stale, never torn). Any future field that *does* publish data
+/// must not live here — it belongs behind a strg::Mutex.
 class ServerMetrics {
  public:
   // Admission control.
@@ -119,7 +130,12 @@ class ServerMetrics {
 
   /// Whole registry as one JSON object; `generation` is the currently
   /// published snapshot generation (the engine supplies it).
-  std::string ToJson(uint64_t generation) const;
+  ///
+  /// STRG_LOCK_FREE: deliberately holds no mutex. Every field it reads is a
+  /// relaxed atomic, so the dump is a per-counter-consistent (not
+  /// cross-counter-atomic) scrape — pausing the serving path to get a fully
+  /// coherent dump would invert the priority of the two.
+  STRG_LOCK_FREE std::string ToJson(uint64_t generation) const;
 };
 
 }  // namespace strg::server

@@ -32,7 +32,7 @@ QueryEngine::QueryEngine(index::StrgIndexParams params, EngineOptions opts)
 template <typename MutateFn>
 uint64_t QueryEngine::Publish(MutateFn&& mutate) {
   const auto start = Clock::now();
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   std::shared_ptr<const Snapshot> cur = head_.load();
   auto next = std::make_shared<Snapshot>();
   next->generation = cur->generation + 1;
@@ -63,7 +63,7 @@ uint64_t QueryEngine::AddObjectGraph(int segment_id, const std::string& video,
 }
 
 void QueryEngine::RestoreGeneration(uint64_t generation) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   std::shared_ptr<const Snapshot> cur = head_.load();
   if (generation <= cur->generation) return;
   auto next = std::make_shared<Snapshot>();

@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -15,6 +14,7 @@
 #include "core/video_database.h"
 #include "server/metrics.h"
 #include "server/result_cache.h"
+#include "util/sync.h"
 #include "util/thread_pool.h"
 
 namespace strg::server {
@@ -76,18 +76,18 @@ class SnapshotHolder {
   explicit SnapshotHolder(std::shared_ptr<const Snapshot> initial)
       : ptr_(std::move(initial)) {}
 
-  std::shared_ptr<const Snapshot> load() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const Snapshot> load() const STRG_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return ptr_;
   }
-  void store(std::shared_ptr<const Snapshot> next) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void store(std::shared_ptr<const Snapshot> next) STRG_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     ptr_ = std::move(next);
   }
 
  private:
-  mutable std::mutex mu_;
-  std::shared_ptr<const Snapshot> ptr_;
+  mutable Mutex mu_;
+  std::shared_ptr<const Snapshot> ptr_ STRG_GUARDED_BY(mu_);
 };
 
 /// Concurrent query-serving front-end over api::VideoDatabase.
@@ -135,7 +135,7 @@ class QueryEngine {
   /// generation tokens continuous across restarts: a snapshot rebuild
   /// collapses many original publishes into a few, but clients holding
   /// pre-crash generation numbers must still see Generation() >= theirs.
-  void RestoreGeneration(uint64_t generation);
+  void RestoreGeneration(uint64_t generation) STRG_EXCLUDES(writer_mu_);
 
   // ---- Readers (admission-controlled, snapshot-isolated). ----
 
@@ -182,13 +182,18 @@ class QueryEngine {
   QueryResult Execute(uint64_t digest, LatencyHistogram* histogram,
                       const QueryOptions& opts, ComputeFn compute);
 
+  /// Clone-mutate-publish under writer_mu_; the published Snapshot itself
+  /// is immutable, so readers never take this lock.
   template <typename MutateFn>
-  uint64_t Publish(MutateFn&& mutate);
+  uint64_t Publish(MutateFn&& mutate) STRG_EXCLUDES(writer_mu_);
 
   EngineOptions opts_;
   ServerMetrics metrics_;
   ShardedResultCache cache_;
-  std::mutex writer_mu_;
+  /// Serializes writers (the clone-mutate-publish window). It guards the
+  /// *protocol*, not a field: the data being built is the local `next`
+  /// snapshot, and publication goes through head_'s own mutex.
+  Mutex writer_mu_;
   SnapshotHolder head_;
   /// Declared last: destroyed first, so queued tasks drain while the
   /// members they reference are still alive.

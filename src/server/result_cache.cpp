@@ -38,7 +38,7 @@ ShardedResultCache::ShardedResultCache(size_t capacity, size_t num_shards) {
 
 bool ShardedResultCache::Get(const CacheKey& key, Value* out) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) return false;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -48,7 +48,7 @@ bool ShardedResultCache::Get(const CacheKey& key, Value* out) {
 
 void ShardedResultCache::Put(const CacheKey& key, Value value) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     it->second->second = std::move(value);
@@ -66,7 +66,7 @@ void ShardedResultCache::Put(const CacheKey& key, Value value) {
 size_t ShardedResultCache::Size() const {
   size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     n += shard->lru.size();
   }
   return n;

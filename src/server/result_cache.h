@@ -4,13 +4,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/video_database.h"
 #include "distance/sequence.h"
+#include "util/sync.h"
 
 namespace strg::server {
 
@@ -66,11 +66,12 @@ class ShardedResultCache {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::list<std::pair<CacheKey, Value>> lru;  ///< front = most recent
+    mutable Mutex mu;
+    std::list<std::pair<CacheKey, Value>> lru
+        STRG_GUARDED_BY(mu);  ///< front = most recent
     std::unordered_map<CacheKey, std::list<std::pair<CacheKey, Value>>::iterator,
                        CacheKeyHash>
-        map;
+        map STRG_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const CacheKey& key) {

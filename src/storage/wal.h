@@ -58,6 +58,12 @@ api::StatusOr<WalRecovery> RecoverWal(const std::string& path);
 /// The CRC covers the payload only; a mangled length field is caught by the
 /// resulting CRC window mismatch (or by running past EOF), so both framing
 /// fields are effectively validated on recovery.
+///
+/// Concurrency: externally serialized, by design. A WalWriter is owned by
+/// exactly one writer protocol (DurableQueryEngine holds it as a field
+/// STRG_GUARDED_BY(ingest_mu_)), so the guard lives at the owner where the
+/// append + seq-advance + publish steps must be atomic *together* — a lock
+/// inside this class could only protect the append, not the protocol.
 class WalWriter {
  public:
   static constexpr size_t kHeaderBytes = 8;

@@ -28,7 +28,13 @@ namespace strg {
 /// ingest metrics surface as queue-full backpressure.
 ///
 /// Single-owner object: all methods must be called from one thread (the
-/// pool workers only run the producer closures).
+/// pool workers only run the producer closures). That is why this class
+/// deliberately holds no strg::Mutex and carries no STRG_GUARDED_BY
+/// annotations: the cross-thread handoff happens entirely inside
+/// std::future (Submit publishes, ConsumeFront's .get() acquires), so any
+/// lock here would be pure overhead guarding single-threaded state. The
+/// static-analysis layer proves the locking of everything *around* this
+/// class (ThreadPool's queue, the serving engines) instead.
 template <typename T>
 class OrderedStage {
  public:

@@ -1,0 +1,190 @@
+#ifndef STRG_UTIL_SYNC_H_
+#define STRG_UTIL_SYNC_H_
+
+#include <condition_variable>  // NOLINT(strg-naked-mutex): this is the one sanctioned wrapper site
+#include <mutex>               // NOLINT(strg-naked-mutex): this is the one sanctioned wrapper site
+#include <shared_mutex>        // NOLINT(strg-naked-mutex): this is the one sanctioned wrapper site
+
+namespace strg {
+
+/// Annotated synchronization layer.
+///
+/// Every mutex in the tree goes through these wrappers so Clang's
+/// -Wthread-safety analysis can prove the lock discipline at compile time:
+/// a field tagged STRG_GUARDED_BY(mu) cannot be touched without holding
+/// `mu`, a method tagged STRG_REQUIRES(mu) cannot be called unlocked, and a
+/// Mutex cannot be acquired twice on one path — each violation is a build
+/// error under STRG_STATIC_ANALYSIS=ON, not a production race. On non-Clang
+/// compilers every attribute expands to nothing and the wrappers compile
+/// down to the std primitives they hold, so the annotated build is the same
+/// binary GCC always produced (scripts/strg_lint.py enforces that no naked
+/// std::mutex / std::condition_variable appears outside this header).
+///
+/// Conventions (see DESIGN.md §9 for the full guide):
+///  - guarded fields:      `int x_ STRG_GUARDED_BY(mu_);`
+///  - guarded pointees:    `T* p_ STRG_PT_GUARDED_BY(mu_);`
+///  - private helpers that assume the lock: `void FooLocked() STRG_REQUIRES(mu_);`
+///  - public entry points that take the lock: `void Foo() STRG_EXCLUDES(mu_);`
+///  - deliberate opt-outs: `STRG_NO_THREAD_SAFETY_ANALYSIS` with a one-line
+///    justification comment — bare opt-outs are rejected in review.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define STRG_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define STRG_THREAD_ANNOTATION__(x)  // no-op: GCC/MSVC have no capability analysis
+#endif
+
+/// Tags a type as a lockable capability (the analysis tracks instances).
+#define STRG_CAPABILITY(x) STRG_THREAD_ANNOTATION__(capability(x))
+/// Tags an RAII type whose constructor acquires and destructor releases.
+#define STRG_SCOPED_CAPABILITY STRG_THREAD_ANNOTATION__(scoped_lockable)
+/// Field may only be read/written while holding `x`.
+#define STRG_GUARDED_BY(x) STRG_THREAD_ANNOTATION__(guarded_by(x))
+/// Pointee (not the pointer) may only be dereferenced while holding `x`.
+#define STRG_PT_GUARDED_BY(x) STRG_THREAD_ANNOTATION__(pt_guarded_by(x))
+/// Function body assumes the listed capabilities are already held.
+#define STRG_REQUIRES(...) \
+  STRG_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define STRG_REQUIRES_SHARED(...) \
+  STRG_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+/// Function acquires / releases the listed capabilities.
+#define STRG_ACQUIRE(...) \
+  STRG_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define STRG_ACQUIRE_SHARED(...) \
+  STRG_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define STRG_RELEASE(...) \
+  STRG_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define STRG_RELEASE_SHARED(...) \
+  STRG_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+/// Function must NOT be called with the listed capabilities held
+/// (deadlock-by-reentry prevention for public entry points).
+#define STRG_EXCLUDES(...) STRG_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+/// Try-acquire: `b` is the return value that means "acquired".
+#define STRG_TRY_ACQUIRE(...) \
+  STRG_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+/// Function returns a reference to the capability guarding its result.
+#define STRG_RETURN_CAPABILITY(x) STRG_THREAD_ANNOTATION__(lock_returned(x))
+/// Deliberate opt-out; always pair with a one-line justification comment.
+#define STRG_NO_THREAD_SAFETY_ANALYSIS \
+  STRG_THREAD_ANNOTATION__(no_thread_safety_analysis)
+/// Documentation-only marker: the function is lock-free by design (it reads
+/// relaxed atomics or immutable state) and intentionally holds no mutex.
+/// Expands to nothing under every compiler; it exists so the *absence* of a
+/// lock is visibly a decision, not an omission.
+#define STRG_LOCK_FREE
+
+/// Exclusive mutex. Same cost and semantics as std::mutex; the capability
+/// tag is what lets the analysis connect STRG_GUARDED_BY fields to it.
+class STRG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() STRG_ACQUIRE() { mu_.lock(); }
+  void Unlock() STRG_RELEASE() { mu_.unlock(); }
+  bool TryLock() STRG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex (std::shared_mutex underneath).
+class STRG_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() STRG_ACQUIRE() { mu_.lock(); }
+  void Unlock() STRG_RELEASE() { mu_.unlock(); }
+  void LockShared() STRG_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() STRG_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over Mutex — the sanctioned replacement for
+/// std::lock_guard / std::unique_lock in non-condition-variable code.
+class STRG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) STRG_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() STRG_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII shared (reader) lock over SharedMutex.
+class STRG_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) STRG_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderLock() STRG_RELEASE() { mu_.UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII exclusive (writer) lock over SharedMutex.
+class STRG_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) STRG_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterLock() STRG_RELEASE() { mu_.Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to strg::Mutex. Wait() is annotated
+/// STRG_REQUIRES(mu): the analysis verifies every waiter actually holds the
+/// mutex it waits on, which std::condition_variable only checks at runtime
+/// (and only in debug builds).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and re-acquires before returning.
+  void Wait(Mutex& mu) STRG_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait protocol, then
+    // release the guard without unlocking — ownership stays with the caller
+    // exactly as the annotation promises.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// Waits until `pred()` holds; `pred` runs with `mu` held.
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) STRG_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native, pred);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace strg
+
+#endif  // STRG_UTIL_SYNC_H_

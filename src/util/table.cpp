@@ -1,6 +1,7 @@
 #include "util/table.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
@@ -42,6 +43,54 @@ void Table::Print(std::ostream& os) const {
   for (size_t w : widths) total += w + 2;
   os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
   for (const auto& row : rows_) print_row(row);
+}
+
+void Table::AppendJson(std::string* out) const {
+  out->append("{\"headers\":[");
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) out->push_back(',');
+    AppendJsonString(headers_[c], out);
+  }
+  out->append("],\"rows\":[");
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) out->push_back(',');
+    out->push_back('[');
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c > 0) out->push_back(',');
+      AppendJsonString(rows_[r][c], out);
+    }
+    out->push_back(']');
+  }
+  out->append("]}");
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out->append(buf);
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+  out->push_back('"');
 }
 
 std::string FormatDouble(double v, int precision) {

@@ -25,6 +25,11 @@ class Table {
   /// Renders the table with a header rule to the stream.
   void Print(std::ostream& os) const;
 
+  /// Appends the table as a JSON object {"headers":[...],"rows":[[...]]}.
+  /// Cells are emitted as JSON strings (they are already formatted text);
+  /// consumers parse numerics back out per column.
+  void AppendJson(std::string* out) const;
+
   size_t NumRows() const { return rows_.size(); }
 
  private:
@@ -34,6 +39,9 @@ class Table {
 
 /// Formats a double with fixed precision (helper for Table cells).
 std::string FormatDouble(double v, int precision = 3);
+
+/// Appends `s` to `out` as a JSON string literal (quotes + escapes).
+void AppendJsonString(const std::string& s, std::string* out);
 
 /// Formats a byte count as a human-readable string (e.g. "72.2MB").
 std::string FormatBytes(size_t bytes);

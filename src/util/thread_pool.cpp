@@ -17,10 +17,10 @@ ThreadPool::ThreadPool(size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -28,8 +28,11 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      // Explicit predicate loop (not the lambda-predicate Wait): the
+      // analysis proves guarded accesses in this function body, which a
+      // closure would hide from it.
+      while (!stop_ && tasks_.empty()) cv_.Wait(mutex_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -51,9 +54,9 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   // the same lock — cannot wake, return, and destroy these locals while a
   // worker still touches them.
   std::exception_ptr error;
-  std::mutex error_mutex;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  Mutex error_mutex;
+  Mutex done_mutex;
+  CondVar done_cv;
   size_t remaining = 0;
 
   std::vector<std::function<void()>> chunk_tasks;
@@ -66,24 +69,25 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
       try {
         for (size_t i = lo; i < hi; ++i) body(i);
       } catch (...) {
-        std::lock_guard<std::mutex> elock(error_mutex);
+        MutexLock elock(error_mutex);
         if (!error) error = std::current_exception();
       }
       {
-        std::lock_guard<std::mutex> dlock(done_mutex);
-        if (--remaining == 0) done_cv.notify_all();
+        MutexLock dlock(done_mutex);
+        if (--remaining == 0) done_cv.NotifyAll();
       }
     });
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto& t : chunk_tasks) tasks_.push(std::move(t));
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining == 0; });
-  lock.unlock();
+  {
+    MutexLock lock(done_mutex);
+    while (remaining != 0) done_cv.Wait(done_mutex);
+  }
   if (error) std::rethrow_exception(error);
 }
 

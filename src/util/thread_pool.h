@@ -1,18 +1,18 @@
 #ifndef STRG_UTIL_THREAD_POOL_H_
 #define STRG_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace strg {
 
@@ -52,13 +52,13 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (stop_) {
         throw std::runtime_error("ThreadPool::Submit on stopped pool");
       }
       tasks_.push([task] { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return result;
   }
 
@@ -66,10 +66,10 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> tasks_ STRG_GUARDED_BY(mutex_);
+  bool stop_ STRG_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace strg

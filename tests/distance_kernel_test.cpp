@@ -1,3 +1,4 @@
+// ctest-labels: distance
 #include <gtest/gtest.h>
 
 #include <cmath>

@@ -1,3 +1,4 @@
+// ctest-labels: unit
 #include <gtest/gtest.h>
 
 #include "eval/retrieval_metrics.h"

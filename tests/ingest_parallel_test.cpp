@@ -1,3 +1,4 @@
+// ctest-labels: ingest
 // Parallel-ingest equivalence suite (ctest label: ingest).
 //
 // The staged ingest pipeline's contract is *bit-identical* output: the

@@ -1,3 +1,4 @@
+// ctest-labels: integration
 #include <gtest/gtest.h>
 
 #include "core/pipeline.h"

@@ -1,3 +1,4 @@
+// ctest-labels: server
 #include <gtest/gtest.h>
 
 #include <algorithm>

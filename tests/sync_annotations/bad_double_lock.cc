@@ -1,0 +1,28 @@
+// Negative control: acquires the same strg::Mutex twice on one path (a
+// guaranteed self-deadlock with std::mutex underneath). Under Clang
+// -Wthread-safety -Werror this must FAIL to compile ("acquiring mutex
+// 'mu_' that is already held").
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() STRG_EXCLUDES(mu_) {
+    strg::MutexLock outer(mu_);
+    strg::MutexLock inner(mu_);  // BUG under test: mu_ is already held
+    ++value_;
+  }
+
+ private:
+  strg::Mutex mu_;
+  int value_ STRG_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

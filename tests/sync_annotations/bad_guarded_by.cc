@@ -1,0 +1,25 @@
+// Negative control: writes a STRG_GUARDED_BY field without holding its
+// mutex. Under Clang -Wthread-safety -Werror this must FAIL to compile
+// ("writing variable 'value_' requires holding mutex 'mu_'").
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // BUG under test: no MutexLock on mu_
+  }
+
+ private:
+  strg::Mutex mu_;
+  int value_ STRG_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

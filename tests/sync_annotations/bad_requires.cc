@@ -1,0 +1,27 @@
+// Negative control: calls a STRG_REQUIRES(mu_) method without the lock.
+// Under Clang -Wthread-safety -Werror this must FAIL to compile ("calling
+// function 'IncrementLocked' requires holding mutex 'mu_'").
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    IncrementLocked();  // BUG under test: caller never acquired mu_
+  }
+
+ private:
+  void IncrementLocked() STRG_REQUIRES(mu_) { ++value_; }
+
+  strg::Mutex mu_;
+  int value_ STRG_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Positive control: the CondVar wait-loop idiom used by ThreadPool — an
+// explicit predicate loop under MutexLock, with CondVar::Wait's
+// STRG_REQUIRES(mu) satisfied by the scoped capability.
+#include "util/sync.h"
+
+namespace {
+
+class Gate {
+ public:
+  void Open() STRG_EXCLUDES(mu_) {
+    {
+      strg::MutexLock lock(mu_);
+      open_ = true;
+    }
+    cv_.NotifyAll();
+  }
+
+  void Await() STRG_EXCLUDES(mu_) {
+    strg::MutexLock lock(mu_);
+    while (!open_) cv_.Wait(mu_);
+  }
+
+ private:
+  strg::Mutex mu_;
+  strg::CondVar cv_;
+  bool open_ STRG_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace
+
+int main() {
+  Gate g;
+  g.Open();
+  g.Await();
+  return 0;
+}

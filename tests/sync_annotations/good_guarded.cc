@@ -1,0 +1,35 @@
+// Positive control: the sanctioned annotation patterns — guarded fields
+// accessed under MutexLock, a *Locked() helper gated by STRG_REQUIRES, and
+// a public entry point tagged STRG_EXCLUDES. Must compile under every
+// compiler (annotations are no-ops off-Clang) and stay warning-free under
+// Clang's -Wthread-safety -Werror.
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() STRG_EXCLUDES(mu_) {
+    strg::MutexLock lock(mu_);
+    IncrementLocked();
+  }
+
+  int Get() STRG_EXCLUDES(mu_) {
+    strg::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  void IncrementLocked() STRG_REQUIRES(mu_) { ++value_; }
+
+  strg::Mutex mu_;
+  int value_ STRG_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Get() == 1 ? 0 : 1;
+}

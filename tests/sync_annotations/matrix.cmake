@@ -1,0 +1,99 @@
+# Negative-compilation matrix for the annotated sync layer (util/sync.h).
+#
+# Invoked by ctest in script mode:
+#   cmake -DSTRG_CXX=... -DSTRG_CXX_ID=... -DSTRG_SRC_DIR=...
+#         -DSTRG_SNIPPET_DIR=... -DSTRG_WORK_DIR=... -P matrix.cmake
+#
+# Matrix:
+#   good_*.cc  must compile with the build compiler (annotations are no-op
+#              macros off-Clang), and must additionally compile warning-free
+#              under Clang -Wthread-safety -Wthread-safety-beta -Werror.
+#   bad_*.cc   must FAIL to compile under Clang thread-safety analysis.
+#              These are only checkable with a Clang; without one the
+#              negative half is skipped loudly with the reason.
+#
+# The analysis compiler is STRG_CXX when the build compiler is already
+# Clang; otherwise we hunt for a clang++ on PATH so a GCC-configured tree
+# still exercises the full matrix on machines that have Clang installed.
+
+cmake_minimum_required(VERSION 3.16)
+
+foreach(var STRG_CXX STRG_CXX_ID STRG_SRC_DIR STRG_SNIPPET_DIR STRG_WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "matrix.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${STRG_WORK_DIR}")
+
+set(BASE_FLAGS -std=c++20 -fsyntax-only -I "${STRG_SRC_DIR}")
+set(TSA_FLAGS -Wthread-safety -Wthread-safety-beta -Werror)
+
+# --- Locate a Clang for the thread-safety half of the matrix. ------------
+set(ANALYSIS_CXX "")
+if(STRG_CXX_ID MATCHES "Clang")
+  set(ANALYSIS_CXX "${STRG_CXX}")
+else()
+  find_program(STRG_FOUND_CLANG NAMES clang++ clang++-20 clang++-19
+               clang++-18 clang++-17 clang++-16 clang++-15 clang++-14)
+  if(STRG_FOUND_CLANG)
+    set(ANALYSIS_CXX "${STRG_FOUND_CLANG}")
+  endif()
+endif()
+
+file(GLOB GOOD_SNIPPETS "${STRG_SNIPPET_DIR}/good_*.cc")
+file(GLOB BAD_SNIPPETS "${STRG_SNIPPET_DIR}/bad_*.cc")
+if(NOT GOOD_SNIPPETS OR NOT BAD_SNIPPETS)
+  message(FATAL_ERROR "matrix.cmake: no snippets found in ${STRG_SNIPPET_DIR}")
+endif()
+
+set(FAILURES "")
+
+function(compile_snippet compiler snippet expect_success extra_flags label)
+  get_filename_component(name "${snippet}" NAME)
+  execute_process(
+    COMMAND "${compiler}" ${BASE_FLAGS} ${extra_flags} "${snippet}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(expect_success AND NOT rc EQUAL 0)
+    message(STATUS "FAIL  [${label}] ${name}: expected compile success, got rc=${rc}")
+    message(STATUS "${err}")
+    set(FAILURES "${FAILURES};${label}:${name}" PARENT_SCOPE)
+  elseif(NOT expect_success AND rc EQUAL 0)
+    message(STATUS "FAIL  [${label}] ${name}: expected a thread-safety compile error, but it compiled")
+    set(FAILURES "${FAILURES};${label}:${name}" PARENT_SCOPE)
+  else()
+    message(STATUS "ok    [${label}] ${name}")
+  endif()
+endfunction()
+
+# --- Positive half: good snippets compile with the build compiler. -------
+foreach(snippet ${GOOD_SNIPPETS})
+  compile_snippet("${STRG_CXX}" "${snippet}" TRUE "" "build-cxx")
+endforeach()
+
+if(ANALYSIS_CXX)
+  message(STATUS "Thread-safety analysis compiler: ${ANALYSIS_CXX}")
+  # Good snippets must be warning-free under the analysis.
+  foreach(snippet ${GOOD_SNIPPETS})
+    compile_snippet("${ANALYSIS_CXX}" "${snippet}" TRUE "${TSA_FLAGS}" "tsa-good")
+  endforeach()
+  # Bad snippets must be rejected by the analysis.
+  foreach(snippet ${BAD_SNIPPETS})
+    compile_snippet("${ANALYSIS_CXX}" "${snippet}" FALSE "${TSA_FLAGS}" "tsa-bad")
+  endforeach()
+else()
+  message(STATUS "==================================================================")
+  message(STATUS "SKIP: negative thread-safety matrix NOT run.")
+  message(STATUS "Reason: no Clang available (build compiler is '${STRG_CXX_ID}',")
+  message(STATUS "        and no clang++ found on PATH). The STRG_* annotations are")
+  message(STATUS "        no-op macros off-Clang, so bad_*.cc would compile cleanly")
+  message(STATUS "        and the test would prove nothing. Install clang to run it.")
+  message(STATUS "==================================================================")
+endif()
+
+if(FAILURES)
+  message(FATAL_ERROR "sync annotation matrix failed: ${FAILURES}")
+endif()
+message(STATUS "sync annotation matrix passed")

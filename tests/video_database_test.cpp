@@ -1,3 +1,4 @@
+// ctest-labels: unit
 #include <gtest/gtest.h>
 
 #include "core/video_database.h"

@@ -1,3 +1,4 @@
+// ctest-labels: recovery
 // Crash-recovery fault injection for the durability layer (storage::Wal* +
 // server::DurableQueryEngine).
 //
