@@ -15,14 +15,21 @@
 //       Ingest a real frame sequence (sorted .ppm files, e.g. exported by
 //       `ffmpeg -i clip.mp4 frames/%06d.ppm`): shot detection splits the
 //       stream, each shot becomes its own catalog segment.
-//   strgtool serve <wal-dir> [lab|traffic <name> <num_objects> [seed]]
+//   strgtool serve [--paged] [--cache-mb=N] <wal-dir>
+//                  [lab|traffic <name> <num_objects> [seed]]
 //       Open a crash-durable engine on <wal-dir> (recovering any prior
 //       state), optionally ingest one rendered scene through the WAL, run
 //       a sample query, and print recovery stats + server metrics. Run it
 //       twice with the same <wal-dir> to watch state survive a restart.
+//       --paged routes bulk records through the out-of-core page store with
+//       a --cache-mb buffer-cache budget (default 8 MiB).
 //   strgtool save <wal-dir> <catalog-out>
 //       Recover the durable state in <wal-dir> and export it as a plain
 //       catalog file usable by info/stats/query.
+//   strgtool stat <page-file>
+//       Audit a page file (store.pages / catalog.pages) offline: header
+//       fields, page-type counts, free-list health, and live/dead record
+//       occupancy per record type.
 //
 // Demonstrates persistence (storage::Catalog + the WAL-backed
 // DurableQueryEngine) plus the retrieval API; a real deployment would
@@ -31,11 +38,13 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/persistence.h"
 #include "distance/sequence.h"
 #include "server/durable_engine.h"
 #include "storage/catalog.h"
+#include "storage/pager/paged_record_store.h"
 #include "util/table.h"
 #include "video/ppm_io.h"
 #include "video/scenes.h"
@@ -52,8 +61,10 @@ int Usage() {
       "  strgtool info <catalog>\n"
       "  strgtool stats <catalog>\n"
       "  strgtool query <catalog> <video> <og_index> [k]\n"
-      "  strgtool serve <wal-dir> [lab|traffic <name> <num_objects> [seed]]\n"
-      "  strgtool save <wal-dir> <catalog-out>\n";
+      "  strgtool serve [--paged] [--cache-mb=N] <wal-dir>\n"
+      "                 [lab|traffic <name> <num_objects> [seed]]\n"
+      "  strgtool save <wal-dir> <catalog-out>\n"
+      "  strgtool stat <page-file>\n";
   return 2;
 }
 
@@ -178,10 +189,60 @@ int Query(const std::string& path, const std::string& video, size_t og_index,
   return 0;
 }
 
+std::string RecordTypeName(uint8_t type) {
+  switch (type) {
+    case storage::kRecOgSequence: return "og-sequence";
+    case storage::kRecBackground: return "background";
+    case storage::kRecCatalogMeta: return "catalog-meta";
+    case storage::kRecIndexNode: return "index-node";
+    default: return "type-" + std::to_string(type);
+  }
+}
+
+int Stat(const std::string& path) {
+  auto computed = storage::ComputePageFileStats(path);
+  if (!computed.ok()) {
+    std::cerr << "cannot audit " << path << ": "
+              << computed.status().ToString() << "\n";
+    return 1;
+  }
+  const storage::PageFileStats& s = computed.value();
+  std::cout << "page file: " << path
+            << "\npage size: " << s.page_size << " bytes"
+            << "\npages: " << s.num_pages << " (" << s.data_pages << " data, "
+            << s.overflow_pages << " overflow, " << s.free_pages
+            << " free, 1 header) — "
+            << FormatBytes(s.num_pages * s.page_size) << " total"
+            << "\nfree list: " << s.free_list_len << " page(s) walked, "
+            << s.free_count << " claimed by header"
+            << (s.free_list_len == s.free_count ? "" : "  <-- MISMATCH")
+            << "\nroot record: ";
+  if (s.root == storage::PageFile::kNoRoot) {
+    std::cout << "(unset)";
+  } else {
+    std::cout << s.root << " (page " << (s.root >> 16) << " slot "
+              << (s.root & 0xFFFF) << ")";
+  }
+  std::cout << "\ndead slots: " << s.dead_slots << "\n";
+
+  Table table({"record type", "live records", "live bytes"});
+  for (const auto& t : s.by_type) {
+    table.AddRow({RecordTypeName(t.record_type),
+                  std::to_string(t.live_records),
+                  std::to_string(t.live_bytes)});
+  }
+  if (s.by_type.empty()) {
+    std::cout << "(no live records)\n";
+  } else {
+    table.Print(std::cout);
+  }
+  return 0;
+}
+
 server::DurableQueryEngine* MustOpenDurable(
-    const std::string& wal_dir,
+    const std::string& wal_dir, const server::DurableEngineOptions& opts,
     std::unique_ptr<server::DurableQueryEngine>* holder) {
-  auto opened = server::DurableQueryEngine::Open(wal_dir);
+  auto opened = server::DurableQueryEngine::Open(wal_dir, {}, opts);
   if (!opened.ok()) {
     std::cerr << "cannot open " << wal_dir << ": "
               << opened.status().ToString() << "\n";
@@ -192,9 +253,10 @@ server::DurableQueryEngine* MustOpenDurable(
 }
 
 int Serve(const std::string& wal_dir, const std::string& kind,
-          const std::string& name, int num_objects, uint64_t seed) {
+          const std::string& name, int num_objects, uint64_t seed,
+          const server::DurableEngineOptions& opts) {
   std::unique_ptr<server::DurableQueryEngine> holder;
-  server::DurableQueryEngine* engine = MustOpenDurable(wal_dir, &holder);
+  server::DurableQueryEngine* engine = MustOpenDurable(wal_dir, opts, &holder);
   if (engine == nullptr) return 1;
 
   const server::RecoveryStats& rec = engine->recovery();
@@ -204,6 +266,12 @@ int Serve(const std::string& wal_dir, const std::string& kind,
             << (rec.tail_truncated ? " (torn tail truncated)" : "") << " in "
             << FormatDouble(rec.replay_seconds * 1e3, 1)
             << " ms; generation " << engine->Generation() << "\n";
+  if (engine->paged_store() != nullptr) {
+    std::cout << "paged mode: cache budget "
+              << FormatBytes(engine->paged_store()->cache()->resident_bytes())
+              << " over " << engine->paged_store()->cache()->num_frames()
+              << " frames of " << opts.storage.page_size << " bytes\n";
+  }
 
   if (!kind.empty()) {
     video::SceneParams sp;
@@ -241,12 +309,19 @@ int Serve(const std::string& wal_dir, const std::string& kind,
               << qr.generation << "\n";
   }
   std::cout << engine->MetricsJson() << "\n";
+  // Commit pending state (WAL fsync + paged-store header) so `strgtool
+  // stat` on the page file sees this run's occupancy.
+  api::Status st = engine->Sync();
+  if (!st.ok()) {
+    std::cerr << "sync failed: " << st.ToString() << "\n";
+    return 1;
+  }
   return 0;
 }
 
 int Save(const std::string& wal_dir, const std::string& out) {
   std::unique_ptr<server::DurableQueryEngine> holder;
-  server::DurableQueryEngine* engine = MustOpenDurable(wal_dir, &holder);
+  server::DurableQueryEngine* engine = MustOpenDurable(wal_dir, {}, &holder);
   if (engine == nullptr) return 1;
   api::Status st = engine->catalog().TrySaveToFile(out);
   if (!st.ok()) {
@@ -262,34 +337,56 @@ int Save(const std::string& wal_dir, const std::string& out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  std::string cmd = argv[1];
-  std::string path = argv[2];
-  try {
-    if (cmd == "ingest" && argc >= 6) {
-      return Ingest(path, argv[3], argv[4], std::atoi(argv[5]),
-                    argc > 6 ? static_cast<uint64_t>(std::atoll(argv[6]))
-                             : 7u);
+  // Flags may appear anywhere; everything else is positional.
+  server::DurableEngineOptions serve_opts;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--paged") {
+      serve_opts.storage.paged = true;
+    } else if (a.rfind("--cache-mb=", 0) == 0) {
+      serve_opts.storage.paged = true;  // the budget implies paged mode
+      serve_opts.storage.cache_bytes =
+          static_cast<uint64_t>(std::atoll(a.c_str() + 11)) << 20;
+    } else {
+      args.push_back(std::move(a));
     }
-    if (cmd == "ingest-ppm" && argc >= 5) {
-      return IngestPpm(path, argv[3], argv[4]);
+  }
+  if (args.size() < 2) return Usage();
+  const std::string& cmd = args[0];
+  const std::string& path = args[1];
+  try {
+    if (cmd == "ingest" && args.size() >= 5) {
+      return Ingest(path, args[2], args[3], std::atoi(args[4].c_str()),
+                    args.size() > 5
+                        ? static_cast<uint64_t>(std::atoll(args[5].c_str()))
+                        : 7u);
+    }
+    if (cmd == "ingest-ppm" && args.size() >= 4) {
+      return IngestPpm(path, args[2], args[3]);
     }
     if (cmd == "info") return Info(path);
     if (cmd == "stats") return Stats(path);
-    if (cmd == "query" && argc >= 5) {
-      return Query(path, argv[3], static_cast<size_t>(std::atoll(argv[4])),
-                   argc > 5 ? static_cast<size_t>(std::atoll(argv[5])) : 5u);
+    if (cmd == "stat") return Stat(path);
+    if (cmd == "query" && args.size() >= 4) {
+      return Query(path, args[2],
+                   static_cast<size_t>(std::atoll(args[3].c_str())),
+                   args.size() > 4
+                       ? static_cast<size_t>(std::atoll(args[4].c_str()))
+                       : 5u);
     }
     if (cmd == "serve") {
-      if (argc >= 6) {
-        return Serve(path, argv[3], argv[4], std::atoi(argv[5]),
-                     argc > 6 ? static_cast<uint64_t>(std::atoll(argv[6]))
-                              : 7u);
+      if (args.size() >= 5) {
+        return Serve(path, args[2], args[3], std::atoi(args[4].c_str()),
+                     args.size() > 5
+                         ? static_cast<uint64_t>(std::atoll(args[5].c_str()))
+                         : 7u,
+                     serve_opts);
       }
-      if (argc == 3) return Serve(path, "", "", 0, 0);
+      if (args.size() == 2) return Serve(path, "", "", 0, 0, serve_opts);
       return Usage();
     }
-    if (cmd == "save" && argc >= 4) return Save(path, argv[3]);
+    if (cmd == "save" && args.size() >= 3) return Save(path, args[2]);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -40,13 +40,18 @@ if [[ "${STRG_CHECK_ASAN_ALL:-0}" == "1" ]]; then
 else
   cmake --build build-asan -j \
     --target server_concurrency_test thread_pool_test wal_recovery_test \
-    distance_kernel_test ingest_parallel_test
+    distance_kernel_test ingest_parallel_test paging_test \
+    serializer_property_test
   ./build-asan/tests/server_concurrency_test
   ./build-asan/tests/thread_pool_test
   ./build-asan/tests/wal_recovery_test
   ./build-asan/tests/distance_kernel_test
   ./build-asan/tests/ingest_parallel_test
 fi
+# Out-of-core storage under ASan: the pin protocol hands out views into
+# cache frames, exactly where a use-after-evict or off-by-one in the slot
+# walk would hide. Runs the storage- and paging-labeled suites.
+ctest --test-dir build-asan -L 'storage|paging' --output-on-failure -j
 
 echo
 echo "== UBSan pass over recovery+distance+ingest-labeled tests (STRG_SANITIZE=undefined) =="
@@ -62,7 +67,7 @@ if [[ "${STRG_CHECK_TSAN:-0}" == "1" ]]; then
   cmake -B build-tsan -S . -DSTRG_SANITIZE=thread \
     -DSTRG_BUILD_BENCHMARKS=OFF -DSTRG_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-tsan -j --target server_concurrency_test \
-    thread_pool_test distance_kernel_test ingest_parallel_test
+    thread_pool_test distance_kernel_test ingest_parallel_test paging_test
   ./build-tsan/tests/server_concurrency_test
   ./build-tsan/tests/thread_pool_test
   # Fast/reference equivalence with the thread pool engaged (parallel build
@@ -73,6 +78,10 @@ if [[ "${STRG_CHECK_TSAN:-0}" == "1" ]]; then
   # per-worker thread_local segmenter workspaces, and shot-parallel
   # ProcessFrames all race-checked while asserting bit-identical output.
   ./build-tsan/tests/ingest_parallel_test
+  # Buffer-cache pin/unpin + copy-on-write frame handoff race-checked while
+  # a writer rewrites pages under concurrent readers.
+  ./build-tsan/tests/paging_test \
+    --gtest_filter='BufferCache.ConcurrentPinUnpinWithWriterIsConsistent'
 fi
 
 echo

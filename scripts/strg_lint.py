@@ -15,6 +15,11 @@ what the repo has *decided* — contracts that live across files:
   strg-no-wallclock-rand  No rand()/srand()/time() in src/: results must be
                         deterministic given the seeded util/random.h RNGs
                         (the PR3/PR4 bit-identical-parallelism contract).
+  strg-direct-io        No direct file I/O (fopen / ::open / std::fstream)
+                        in src/ outside src/storage/: every durable byte
+                        goes through the storage layer so fsync discipline,
+                        tmp+rename publication, and CRC framing live in one
+                        place.
   strg-bench-json       Every bench/bench_*.cpp must write (or at least
                         name) its BENCH_*.json machine-readable report.
   strg-test-label       Every tests/*_test.cpp declares `// ctest-labels:`,
@@ -54,6 +59,11 @@ NAKED_MUTEX_RE = re.compile(
     r"|#\s*include\s*<(?:mutex|condition_variable|shared_mutex)>")
 THROW_RE = re.compile(r"\bthrow\b")
 WALLCLOCK_RE = re.compile(r"(?<![A-Za-z0-9_:])(?:rand|srand|time)\s*\(")
+# Case-sensitive on purpose: `::open(` is the POSIX call; `PageFile::Open(`
+# and friends are the sanctioned storage-layer wrappers.
+DIRECT_IO_RE = re.compile(
+    r"\bfopen\s*\(|::open\s*\(|\bstd::[io]?fstream\b"
+    r"|#\s*include\s*<fstream>")
 BENCH_JSON_RE = re.compile(r"BENCH_[A-Za-z0-9_]+\.json")
 TEST_LABEL_RE = re.compile(r"//\s*ctest-labels:\s*([a-z][a-z0-9_]*)")
 OPTOUT_RE = re.compile(r"STRG_NO_THREAD_SAFETY_ANALYSIS")
@@ -136,6 +146,7 @@ def lint_tree(root: str) -> list:
         code = strip_comments(raw)
         rel = os.path.relpath(path, root)
         in_api_or_storage = rel.startswith(("src/api", "src/storage"))
+        in_storage = rel.startswith("src/storage")
 
         for idx, (raw_line, code_line) in enumerate(zip(raw, code), 1):
             if os.path.abspath(path) != os.path.abspath(sync_h):
@@ -152,6 +163,15 @@ def lint_tree(root: str) -> list:
                         path, idx, "strg-no-throw",
                         "`throw` on a Status/StatusOr code path; return a "
                         "typed api::Status instead"))
+            if not in_storage:
+                if DIRECT_IO_RE.search(code_line) and not suppressed(
+                        raw_line, "strg-direct-io", findings, path, idx):
+                    findings.append(Finding(
+                        path, idx, "strg-direct-io",
+                        "direct file I/O outside src/storage/; route bytes "
+                        "through the storage layer (storage/file_io.h, "
+                        "PageFile, WalWriter) so fsync discipline and CRC "
+                        "framing stay in one place"))
             if WALLCLOCK_RE.search(code_line) and not suppressed(
                     raw_line, "strg-no-wallclock-rand", findings, path, idx):
                 findings.append(Finding(
@@ -226,6 +246,12 @@ FIXTURES = {
         "src/core/bad.cc",
         "int f() { return rand(); }\n",
         "int f() { return 4; }  // chosen by fair dice roll\n",
+    ),
+    "strg-direct-io": (
+        "src/core/bad_io.cc",
+        '#include <fstream>\nvoid f() { std::ofstream o("x"); }\n',
+        'void f() { std::ofstream o("x"); }  '
+        "// NOLINT(strg-direct-io): demo sink, bytes are not durable state\n",
     ),
     "strg-bench-json": (
         "bench/bench_bad.cpp",

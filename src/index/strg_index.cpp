@@ -8,6 +8,8 @@
 
 #include "cluster/bic.h"
 #include "cluster/em.h"
+#include "storage/pager/paged_record_store.h"
+#include "storage/serializer.h"
 #include "util/hungarian.h"
 
 namespace strg::index {
@@ -116,8 +118,43 @@ double StrgIndex::MetricFlatBounded(const dist::FlatSequence& a,
   return v;
 }
 
+void StrgIndex::OffloadEntry(LeafEntry* entry) {
+  if (params_.paged_store == nullptr) return;
+  storage::Writer w;
+  storage::EncodeSequence(entry->sequence, &w);
+  entry->record = params_.paged_store
+                      ->Append(storage::kRecIndexNode, w.bytes())
+                      .value();  // throws std::runtime_error on store failure
+  entry->seq_len = static_cast<uint32_t>(entry->sequence.size());
+  entry->sequence = dist::Sequence();
+  entry->flat = dist::FlatSequence();
+}
+
+dist::Sequence StrgIndex::FetchSequence(const LeafEntry& entry) const {
+  // .value() throws std::runtime_error on a store failure — the index's
+  // documented error contract for the paged query path.
+  storage::PagedRecordStore::RecordRef ref =
+      params_.paged_store->Read(entry.record).value();
+  storage::Reader r(ref.bytes());
+  return storage::DecodeSequence(&r);
+}
+
 double StrgIndex::SearchMetricLeaf(SearchCtx* ctx, const LeafEntry& entry,
                                    double tau) const {
+  if (entry.record != kNoLeafRecord) {
+    // Paged: fetch + decode + re-flatten on demand. Deterministic decode
+    // (fixed-width doubles), so the distance is bit-identical to the
+    // in-RAM entry's.
+    dist::Sequence seq = FetchSequence(entry);
+    if (!ctx->use_fast) {
+      ++ctx->stats.dp_evals;
+      return dist::EgedMetric(*ctx->query_seq, seq, params_.metric_gap);
+    }
+    dist::FlatSequence flat(seq, params_.metric_gap);
+    return dist::EgedMetricBounded(ctx->query_flat, flat, tau,
+                                   &dist::ThreadLocalEgedWorkspace(),
+                                   &ctx->stats);
+  }
   if (!ctx->use_fast) {
     ++ctx->stats.dp_evals;
     return dist::EgedMetric(*ctx->query_seq, entry.sequence,
@@ -223,6 +260,7 @@ int StrgIndex::AddSegment(core::BackgroundGraph bg,
       entry.og_id = og_ids[j];
       entry.sequence = std::move(og_sequences[j]);
       entry.flat = std::move(flats[j]);
+      OffloadEntry(&entry);
       root.clusters[best[j]].leaf.push_back(std::move(entry));
     }
     // Drop clusters EM left empty, sort leaves by key (Algorithm 2 line 12).
@@ -248,6 +286,7 @@ void StrgIndex::InsertIntoCluster(ClusterRecord* cluster, dist::Sequence seq,
   entry.key = MetricFlat(entry.flat, cluster->centroid_flat);
   entry.og_id = og_id;
   entry.sequence = std::move(seq);
+  OffloadEntry(&entry);
   auto pos = std::lower_bound(cluster->leaf.begin(), cluster->leaf.end(),
                               entry.key,
                               [](const LeafEntry& e, double k) {
@@ -293,6 +332,7 @@ void StrgIndex::Insert(int root_id, dist::Sequence og_sequence,
   entry.og_id = og_id;
   entry.sequence = std::move(og_sequence);
   entry.flat = std::move(flat);
+  OffloadEntry(&entry);
   auto pos = std::lower_bound(cluster->leaf.begin(), cluster->leaf.end(),
                               entry.key,
                               [](const LeafEntry& e, double k) {
@@ -329,13 +369,18 @@ void StrgIndex::MaybeSplit(RootRecord* root, size_t cluster_pos) {
 
   // Move (not copy) the member sequences out for EM; the leaf entries keep
   // their keys, ids, and flat forms, so the no-split path restores them
-  // without recomputing anything.
+  // without recomputing anything. In paged mode the sequences are fetched
+  // from the store instead (the entries never held them), and there is
+  // nothing to restore — the fetched copies are simply dropped.
+  const bool paged = params_.paged_store != nullptr;
   const size_t n = cluster.leaf.size();
   std::vector<dist::Sequence> members(n);
   for (size_t j = 0; j < n; ++j) {
-    members[j] = std::move(cluster.leaf[j].sequence);
+    members[j] = paged ? FetchSequence(cluster.leaf[j])
+                       : std::move(cluster.leaf[j].sequence);
   }
   auto restore_members = [&]() {
+    if (paged) return;
     for (size_t j = 0; j < n; ++j) {
       cluster.leaf[j].sequence = std::move(members[j]);
     }
@@ -377,11 +422,17 @@ void StrgIndex::MaybeSplit(RootRecord* root, size_t cluster_pos) {
   b.centroid_flat = MakeFlat(b.centroid);
 
   // New keys against the (new) target centroids, reusing each member's
-  // cached flat form; independent per member, so the pool fans it out.
+  // cached flat form (paged mode re-flattens the fetched sequence instead);
+  // independent per member, so the pool fans it out.
   std::vector<double> keys(n, 0.0);
   auto key_one = [&](size_t j) {
     const ClusterRecord& target = two.assignment[j] == 0 ? a : b;
-    keys[j] = MetricFlat(cluster.leaf[j].flat, target.centroid_flat);
+    if (paged) {
+      dist::FlatSequence flat(members[j], params_.metric_gap);
+      keys[j] = MetricFlat(flat, target.centroid_flat);
+    } else {
+      keys[j] = MetricFlat(cluster.leaf[j].flat, target.centroid_flat);
+    }
   };
   if (params_.pool != nullptr && n > 1) {
     params_.pool->ParallelFor(0, n, key_one);
@@ -395,8 +446,14 @@ void StrgIndex::MaybeSplit(RootRecord* root, size_t cluster_pos) {
     LeafEntry entry;
     entry.key = keys[j];
     entry.og_id = cluster.leaf[j].og_id;
-    entry.sequence = std::move(members[j]);
-    entry.flat = std::move(cluster.leaf[j].flat);
+    if (paged) {
+      // The record travels; the fetched sequence copy is dropped.
+      entry.record = cluster.leaf[j].record;
+      entry.seq_len = cluster.leaf[j].seq_len;
+    } else {
+      entry.sequence = std::move(members[j]);
+      entry.flat = std::move(cluster.leaf[j].flat);
+    }
     (two.assignment[j] == 0 ? a : b).leaf.push_back(std::move(entry));
   }
   for (ClusterRecord* side : {&a, &b}) {
@@ -601,7 +658,7 @@ size_t StrgIndex::SizeBytes() const {
     for (const ClusterRecord& cluster : root.clusters) {
       bytes += kIdBytes + kPtrBytes + SequenceBytes(cluster.centroid.size());
       for (const LeafEntry& e : cluster.leaf) {
-        bytes += kKeyBytes + kPtrBytes + SequenceBytes(e.sequence.size());
+        bytes += kKeyBytes + kPtrBytes + SequenceBytes(EntryLength(e));
       }
     }
   }

@@ -14,6 +14,10 @@
 #include "strg/object_graph.h"
 #include "util/thread_pool.h"
 
+namespace strg::storage {
+class PagedRecordStore;  // out-of-core leaf backing (storage/pager)
+}
+
 namespace strg::index {
 
 /// Configuration of the STRG-Index (Section 5).
@@ -53,6 +57,21 @@ struct StrgIndexParams {
   /// and distances; build paths always use the (numerically identical) flat
   /// exact kernel.
   bool use_fast_kernel = true;
+
+  /// Out-of-core leaf backing (not owned; nullptr = everything in RAM, the
+  /// pre-pager behavior). When set, each leaf entry's OG sequence is
+  /// serialized into this store at insert and only its record id + length
+  /// stay resident; queries fetch, decode, and re-flatten candidates on
+  /// demand through the store's buffer cache. The decode is deterministic
+  /// (fixed-width doubles), so hits and distances are bit-identical to the
+  /// in-RAM mode — only residency changes. Centroids, keys, and covering
+  /// radii always stay in RAM (they are what makes pruning cheap). Copies
+  /// of the index (COW snapshot generations) share the store; Remove drops
+  /// leaf entries without reclaiming their records, since older generations
+  /// may still reference them (space returns when the store is rebuilt at
+  /// the next engine open). Store errors on the query path surface as
+  /// std::runtime_error, matching the index's existing throwing contract.
+  storage::PagedRecordStore* paged_store = nullptr;
 };
 
 /// One answer of a k-NN search.
@@ -177,6 +196,9 @@ class StrgIndex {
   Stats ComputeStats() const;
 
  private:
+  /// Leaf entry with no paged record (its sequence is resident in RAM).
+  static constexpr uint64_t kNoLeafRecord = ~0ull;
+
   struct LeafEntry {
     double key = 0.0;            ///< EGED_M(member, cluster centroid)
     size_t og_id = 0;            ///< "pointer" to the real video clip
@@ -186,6 +208,11 @@ class StrgIndex {
     /// the entry is ever a candidate for. Travels with the entry across
     /// splits (it depends only on the sequence, not on the centroid).
     dist::FlatSequence flat;
+    /// Paged mode: the record id of the serialized sequence in
+    /// params_.paged_store, and its length (kept resident so SizeBytes and
+    /// split bookkeeping need no fetch). sequence/flat above stay empty.
+    uint64_t record = kNoLeafRecord;
+    uint32_t seq_len = 0;
   };
   struct ClusterRecord {
     int id = 0;
@@ -229,6 +256,18 @@ class StrgIndex {
                           double tau) const;
   double SearchMetricCentroid(SearchCtx* ctx, const ClusterRecord& cluster,
                               double tau) const;
+
+  /// Paged-mode helpers (no-ops / trivial when paged_store is unset).
+  /// Offload serializes the entry's sequence into the store and drops the
+  /// resident copies; Fetch reads it back (throwing std::runtime_error on a
+  /// store failure, per the class contract). EntryLength works in both
+  /// modes.
+  void OffloadEntry(LeafEntry* entry);
+  dist::Sequence FetchSequence(const LeafEntry& entry) const;
+  size_t EntryLength(const LeafEntry& entry) const {
+    return entry.record == kNoLeafRecord ? entry.sequence.size()
+                                         : entry.seq_len;
+  }
 
   void InsertIntoCluster(ClusterRecord* cluster, dist::Sequence seq,
                          size_t og_id);

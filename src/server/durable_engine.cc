@@ -1,19 +1,15 @@
 #include "server/durable_engine.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "core/persistence.h"
+#include "storage/file_io.h"
 #include "storage/serializer.h"
 
 namespace strg::server {
@@ -61,35 +57,6 @@ api::SegmentResult ReconstituteSegment(const storage::CatalogSegment& s) {
   return segment;
 }
 
-/// Durable file write: the tmp half of the tmp-write + rename protocol.
-api::Status WriteFileSync(const std::string& path, std::string_view bytes) {
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return api::Status::IoError("snapshot: open of " + path + ": " +
-                                std::strerror(errno));
-  }
-  size_t done = 0;
-  while (done < bytes.size()) {
-    ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      api::Status st = api::Status::IoError("snapshot: write to " + path +
-                                            ": " + std::strerror(errno));
-      ::close(fd);
-      return st;
-    }
-    done += static_cast<size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    api::Status st = api::Status::IoError("snapshot: fsync of " + path +
-                                          ": " + std::strerror(errno));
-    ::close(fd);
-    return st;
-  }
-  ::close(fd);
-  return api::Status::Ok();
-}
-
 uint64_t PayloadSeq(std::string_view payload) {
   storage::Reader r(payload);
   return r.GetU64();
@@ -106,21 +73,61 @@ std::string DurableQueryEngine::SnapshotTmpPath(const std::string& wal_dir) {
 std::string DurableQueryEngine::LogPath(const std::string& wal_dir) {
   return wal_dir + "/wal.log";
 }
+std::string DurableQueryEngine::StorePath(const std::string& wal_dir) {
+  return wal_dir + "/store.pages";
+}
+std::string DurableQueryEngine::PagedSnapshotPath(const std::string& wal_dir) {
+  return wal_dir + "/catalog.pages";
+}
+std::string DurableQueryEngine::PagedSnapshotTmpPath(
+    const std::string& wal_dir) {
+  return wal_dir + "/catalog.pages.tmp";
+}
 
-DurableQueryEngine::DurableQueryEngine(std::string wal_dir,
-                                       index::StrgIndexParams params,
-                                       DurableEngineOptions opts)
+DurableQueryEngine::DurableQueryEngine(
+    std::string wal_dir, index::StrgIndexParams params,
+    DurableEngineOptions opts,
+    std::unique_ptr<storage::PagedRecordStore> og_store)
     : wal_dir_(std::move(wal_dir)),
       opts_(opts),
+      og_store_(std::move(og_store)),
       engine_(params, opts.engine) {}
 
 api::StatusOr<std::unique_ptr<DurableQueryEngine>> DurableQueryEngine::Open(
     const std::string& wal_dir, index::StrgIndexParams params,
     DurableEngineOptions opts) {
+  std::unique_ptr<storage::PagedRecordStore> store;
+  if (opts.storage.paged) {
+    // The leaf store is derived data: recreated (truncated) at every open,
+    // then refilled by the deterministic index rebuild during recovery.
+    // Durability lives in the snapshot + WAL, never in store.pages — which
+    // is also what reclaims space orphaned by Remove/compaction churn.
+    std::error_code ec;
+    fs::create_directories(wal_dir, ec);
+    if (ec) {
+      return api::Status::IoError("open: cannot create " + wal_dir + ": " +
+                                  ec.message());
+    }
+    api::StatusOr<std::unique_ptr<storage::PagedRecordStore>> created =
+        storage::PagedRecordStore::Create(StorePath(wal_dir), opts.storage);
+    if (!created.ok()) return created.status();
+    store = std::move(created).value();
+    params.paged_store = store.get();
+  }
   std::unique_ptr<DurableQueryEngine> engine(
-      new DurableQueryEngine(wal_dir, params, opts));
+      new DurableQueryEngine(wal_dir, params, opts, std::move(store)));
   api::Status st = engine->Recover();
   if (!st.ok()) return st;
+  if (engine->og_store_ != nullptr) {
+    // Flush the rebuilt leaf records so the on-disk file is self-describing
+    // (strgtool stat audits it offline); correctness never depends on this
+    // — the store is recreated at the next open regardless.
+    st = engine->og_store_->Commit();
+    if (!st.ok()) return st;
+    // Wired once before the engine is shared; ToJson reads it lock-free.
+    engine->engine_.mutable_metrics().storage_cache.store(
+        engine->og_store_->cache(), std::memory_order_release);
+  }
   return engine;
 }
 
@@ -136,13 +143,21 @@ api::Status DurableQueryEngine::Recover() {
                                 ec.message());
   }
 
-  // 1. A leftover tmp snapshot means a compaction died before publishing;
-  //    the real snapshot is still the previous, complete one.
-  if (fs::exists(SnapshotTmpPath(wal_dir_), ec)) {
-    fs::remove(SnapshotTmpPath(wal_dir_), ec);
-    if (ec) {
-      return api::Status::IoError("recovery: cannot remove orphan tmp: " +
-                                  ec.message());
+  // 1. Leftover *.tmp files (flat or paged snapshot halves) mean a
+  //    compaction died before publishing; the live snapshot is still the
+  //    previous, complete one. Sweep them all — orphan tmps are pure
+  //    garbage whatever wrote them.
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(wal_dir_, ec)) {
+    if (ec) break;
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec)) continue;
+    if (!entry.path().filename().string().ends_with(".tmp")) continue;
+    fs::remove(entry.path(), entry_ec);
+    if (entry_ec) {
+      return api::Status::IoError("recovery: cannot remove orphan tmp " +
+                                  entry.path().string() + ": " +
+                                  entry_ec.message());
     }
     recovery_.removed_orphan_tmp = true;
   }
@@ -151,12 +166,23 @@ api::Status DurableQueryEngine::Recover() {
   //    rebuild. Corruption here is fatal — the log alone cannot prove it
   //    holds the complete history.
   uint64_t applied_seq = 0;
-  {
-    std::ifstream in(SnapshotPath(wal_dir_), std::ios::binary);
-    if (in) {
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      const std::string bytes = buf.str();
+  if (opts_.storage.paged) {
+    api::StatusOr<storage::Catalog> loaded =
+        storage::Catalog::TryLoadFromPagedFile(PagedSnapshotPath(wal_dir_),
+                                               opts_.storage, &applied_seq);
+    if (loaded.ok()) {
+      catalog_ = std::move(loaded).value();
+    } else if (loaded.status().code() != api::StatusCode::kNotFound) {
+      return loaded.status();
+    }
+  } else {
+    api::StatusOr<std::string> snap =
+        storage::ReadFileToString(SnapshotPath(wal_dir_));
+    if (!snap.ok() && snap.status().code() != api::StatusCode::kNotFound) {
+      return snap.status();
+    }
+    if (snap.ok()) {
+      const std::string bytes = std::move(snap).value();
       try {
         storage::Reader r(bytes);
         if (r.GetU32() != kSnapMagic) {
@@ -178,13 +204,13 @@ api::Status DurableQueryEngine::Recover() {
       } catch (const std::out_of_range&) {
         return api::Status::Corruption("recovery: truncated snapshot");
       }
-      for (const storage::CatalogSegment& s : catalog_.segments()) {
-        engine_.AddVideo(s.video_name, ReconstituteSegment(s));
-        recovery_.snapshot_ogs += s.ogs.size();
-      }
-      recovery_.snapshot_segments = catalog_.NumSegments();
     }
   }
+  for (const storage::CatalogSegment& s : catalog_.segments()) {
+    engine_.AddVideo(s.video_name, ReconstituteSegment(s));
+    recovery_.snapshot_ogs += s.ogs.size();
+  }
+  recovery_.snapshot_segments = catalog_.NumSegments();
   next_seq_ = applied_seq + 1;
 
   // 3+4. Log: CRC-validate (truncating any torn/corrupt tail), then replay
@@ -343,17 +369,31 @@ api::Status DurableQueryEngine::CompactLocked() {
   // Publish protocol: tmp write + fsync, rename over the live snapshot,
   // directory fsync, then (and only then) reset the log. A crash at any
   // point leaves either the old snapshot + full log, or the new snapshot
-  // + a log whose records are all <= applied_seq and thus skipped.
-  storage::Writer w;
-  w.PutU32(kSnapMagic);
-  w.PutU32(kSnapVersion);
-  w.PutU64(next_seq_ - 1);
-  w.PutString(catalog_.Serialize());
-
-  const std::string tmp = SnapshotTmpPath(wal_dir_);
-  api::Status st = WriteFileSync(tmp, w.bytes());
+  // + a log whose records are all <= applied_seq and thus skipped. The
+  // paged mode writes the snapshot through a PagedRecordStore (per-page
+  // CRCs) instead of one flat file; the publish protocol is identical.
+  std::string tmp, live;
+  api::Status st;
+  if (opts_.storage.paged) {
+    tmp = PagedSnapshotTmpPath(wal_dir_);
+    live = PagedSnapshotPath(wal_dir_);
+    st = catalog_.TrySaveToPagedFile(tmp, opts_.storage, next_seq_ - 1);
+  } else {
+    storage::Writer w;
+    w.PutU32(kSnapMagic);
+    w.PutU32(kSnapVersion);
+    w.PutU64(next_seq_ - 1);
+    w.PutString(catalog_.Serialize());
+    tmp = SnapshotTmpPath(wal_dir_);
+    live = SnapshotPath(wal_dir_);
+    st = storage::WriteFileSync(tmp, w.bytes());
+  }
   if (!st.ok()) return st;
-  if (std::rename(tmp.c_str(), SnapshotPath(wal_dir_).c_str()) != 0) {
+  if (fail_point_ == FailPoint::kAfterSnapshotTmpWrite) {
+    return api::Status::IoError(
+        "fail point: crashed after tmp snapshot write");
+  }
+  if (std::rename(tmp.c_str(), live.c_str()) != 0) {
     return api::Status::IoError("snapshot: rename failed: " +
                                 std::string(std::strerror(errno)));
   }
@@ -368,6 +408,13 @@ api::Status DurableQueryEngine::CompactLocked() {
   log_records_ = 0;
   engine_.mutable_metrics().wal_compactions.fetch_add(
       1, std::memory_order_relaxed);
+  if (og_store_ != nullptr) {
+    // Each publish point also commits the leaf store: the page file on
+    // disk then matches the snapshot just published, so offline audits
+    // (strgtool stat) see real occupancy instead of a stale header.
+    st = og_store_->Commit();
+    if (!st.ok()) return st;
+  }
   return api::Status::Ok();
 }
 
@@ -381,6 +428,12 @@ api::Status DurableQueryEngine::Sync() {
   api::Status st = wal_.Sync();
   engine_.mutable_metrics().wal_syncs.store(wal_.syncs(),
                                             std::memory_order_relaxed);
+  if (!st.ok()) return st;
+  if (og_store_ != nullptr) {
+    // Keep the on-disk page file self-describing (header page counts,
+    // flushed frames) for offline audits; recovery never reads it.
+    st = og_store_->Commit();
+  }
   return st;
 }
 

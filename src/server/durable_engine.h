@@ -9,6 +9,8 @@
 #include "api/status.h"
 #include "server/query_engine.h"
 #include "storage/catalog.h"
+#include "storage/pager/paged_record_store.h"
+#include "storage/pager/storage_params.h"
 #include "storage/wal.h"
 #include "util/sync.h"
 
@@ -24,6 +26,14 @@ struct DurableEngineOptions {
   size_t compact_every = 1024;
   /// Serving-layer options forwarded to the wrapped QueryEngine.
   EngineOptions engine;
+  /// Out-of-core storage engine (A/B knob, default off = all in RAM).
+  /// With `storage.paged` set the engine keeps two page files under the
+  /// durability directory: `store.pages`, an ephemeral leaf-record store
+  /// the index writes through during rebuild/ingest (recreated at every
+  /// Open — durability comes from the snapshot + WAL, never from it), and
+  /// `catalog.pages`, the paged catalog snapshot compaction publishes via
+  /// the same tmp + rename protocol as the flat snapshot.
+  storage::StorageParams storage;
 };
 
 /// Named crash points for fault-injection tests: the engine abandons the
@@ -35,6 +45,10 @@ enum class FailPoint {
   /// The WAL record was appended (and synced per policy) but the
   /// generation was never published or acked.
   kAfterWalAppend,
+  /// Compaction wrote + fsynced the tmp snapshot but died before the
+  /// rename — recovery must discard the orphan tmp and serve the old
+  /// snapshot + full log.
+  kAfterSnapshotTmpWrite,
   /// Compaction published the new snapshot (rename + dir fsync done) but
   /// died before resetting the log — every log record is now stale.
   kAfterSnapshotRename,
@@ -117,7 +131,8 @@ class DurableQueryEngine {
   /// Publishes a catalog snapshot and resets the log now.
   api::Status Compact() STRG_EXCLUDES(ingest_mu_);
   /// Forces an fsync of pending log records (relevant under kEveryN /
-  /// kOnPublish).
+  /// kOnPublish). In paged mode also commits the leaf store so the page
+  /// file on disk is self-describing for offline audits (strgtool stat).
   api::Status Sync() STRG_EXCLUDES(ingest_mu_);
 
   // ---- Introspection. ----
@@ -138,13 +153,22 @@ class DurableQueryEngine {
   static std::string SnapshotPath(const std::string& wal_dir);
   static std::string SnapshotTmpPath(const std::string& wal_dir);
   static std::string LogPath(const std::string& wal_dir);
+  /// Paged-mode files (see DurableEngineOptions::storage).
+  static std::string StorePath(const std::string& wal_dir);
+  static std::string PagedSnapshotPath(const std::string& wal_dir);
+  static std::string PagedSnapshotTmpPath(const std::string& wal_dir);
+
+  /// The leaf-record store backing the index in paged mode (nullptr when
+  /// storage.paged is off). Exposed for metrics/tests.
+  storage::PagedRecordStore* paged_store() { return og_store_.get(); }
 
   /// Arms a crash point (fault-injection tests only).
   void set_fail_point(FailPoint point) { fail_point_ = point; }
 
  private:
   DurableQueryEngine(std::string wal_dir, index::StrgIndexParams params,
-                     DurableEngineOptions opts);
+                     DurableEngineOptions opts,
+                     std::unique_ptr<storage::PagedRecordStore> og_store);
 
   /// Runs in the constructor path, before the engine is shared; it takes
   /// ingest_mu_ anyway (uncontended) so the guarded-field proofs hold
@@ -167,6 +191,9 @@ class DurableQueryEngine {
   uint64_t log_records_ STRG_GUARDED_BY(ingest_mu_) = 0;  ///< live log size
   storage::Catalog catalog_ STRG_GUARDED_BY(ingest_mu_);
   storage::WalWriter wal_ STRG_GUARDED_BY(ingest_mu_);
+  /// Declared before engine_ so it outlives it: every index generation the
+  /// engine holds references leaf records in this store.
+  std::unique_ptr<storage::PagedRecordStore> og_store_;
   QueryEngine engine_;
 };
 

@@ -171,6 +171,30 @@ std::string ServerMetrics::ToJson(uint64_t generation) const {
   AppendCount(&out, wal_compactions.load(std::memory_order_relaxed));
   out.append("}");
 
+  // Out-of-core storage engine (zeros + paged:false when the engine keeps
+  // everything in RAM).
+  const storage::BufferCache* cache =
+      storage_cache.load(std::memory_order_acquire);
+  const storage::BufferCacheStats cs =
+      cache != nullptr ? cache->stats() : storage::BufferCacheStats{};
+  out.append(",\"storage\":{\"paged\":");
+  out.append(cache != nullptr ? "true" : "false");
+  out.append(",\"hits\":");
+  AppendCount(&out, cs.hits);
+  out.append(",\"misses\":");
+  AppendCount(&out, cs.misses);
+  out.append(",\"evictions\":");
+  AppendCount(&out, cs.evictions);
+  out.append(",\"write_backs\":");
+  AppendCount(&out, cs.write_backs);
+  out.append(",\"pinned_pages\":");
+  AppendCount(&out, cs.pinned_pages);
+  out.append(",\"hit_rate\":");
+  AppendNumber(&out, cs.HitRate());
+  out.append(",\"resident_bytes\":");
+  AppendCount(&out, cache != nullptr ? cache->resident_bytes() : 0);
+  out.append("}");
+
   out.append(",\"distance\":{\"computations\":");
   AppendCount(&out, distance_computations.load(std::memory_order_relaxed));
   out.append(",\"lb_prunes\":");

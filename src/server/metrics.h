@@ -8,6 +8,7 @@
 
 #include "api/status.h"
 #include "core/ingest_stats.h"
+#include "storage/pager/buffer_cache.h"
 #include "util/sync.h"
 
 namespace strg::server {
@@ -107,6 +108,14 @@ class ServerMetrics {
   std::atomic<uint64_t> wal_synced_bytes{0};  ///< bytes framed into the log
   std::atomic<uint64_t> wal_syncs{0};         ///< fsync calls issued
   std::atomic<uint64_t> wal_compactions{0};   ///< snapshot publications
+
+  // Out-of-core storage engine: the buffer cache under the paged leaf
+  // store, when the engine runs with StorageParams::paged (nullptr = all
+  // in RAM). Set once by DurableQueryEngine::Open before the engine is
+  // shared; ToJson reads the cache's own relaxed counters through it, so
+  // the scrape stays lock-free. The pointee outlives this registry (the
+  // store is destroyed after the engine that owns the metrics).
+  std::atomic<const storage::BufferCache*> storage_cache{nullptr};
 
   // Latency per operation type (admission-to-completion for queries).
   LatencyHistogram knn_latency;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "storage/pager/paged_record_store.h"
+
 namespace strg::storage {
 
 void Catalog::AddSegment(CatalogSegment segment) {
@@ -100,6 +102,151 @@ api::StatusOr<Catalog> Catalog::TryLoadFromFile(const std::string& path) {
   std::ostringstream buf;
   buf << in.rdbuf();
   return TryDeserialize(buf.str());
+}
+
+api::Status Catalog::TrySaveToPagedFile(const std::string& path,
+                                        const StorageParams& params,
+                                        uint64_t user_data) const {
+  api::StatusOr<std::unique_ptr<PagedRecordStore>> created =
+      PagedRecordStore::Create(path, params);
+  if (!created.ok()) return created.status();
+  std::unique_ptr<PagedRecordStore> store = std::move(created).value();
+
+  std::vector<uint64_t> segment_ids;
+  segment_ids.reserve(segments_.size());
+  for (const CatalogSegment& s : segments_) {
+    Writer bg;
+    EncodeBackgroundGraph(s.background, &bg);
+    api::StatusOr<uint64_t> bg_id = store->Append(kRecBackground, bg.bytes());
+    if (!bg_id.ok()) return bg_id.status();
+
+    std::vector<uint64_t> og_ids;
+    og_ids.reserve(s.ogs.size());
+    for (const core::Og& og : s.ogs) {
+      Writer wo;
+      EncodeOg(og, &wo);
+      api::StatusOr<uint64_t> og_id = store->Append(kRecOgSequence,
+                                                    wo.bytes());
+      if (!og_id.ok()) return og_id.status();
+      og_ids.push_back(og_id.value());
+    }
+
+    Writer meta;
+    meta.PutString(s.video_name);
+    meta.PutU32(static_cast<uint32_t>(s.frame_width));
+    meta.PutU32(static_cast<uint32_t>(s.frame_height));
+    meta.PutU64(s.num_frames);
+    meta.PutU64(bg_id.value());
+    meta.PutVarint(og_ids.size());
+    for (uint64_t id : og_ids) meta.PutU64(id);
+    api::StatusOr<uint64_t> seg_id = store->Append(kRecCatalogMeta,
+                                                   meta.bytes());
+    if (!seg_id.ok()) return seg_id.status();
+    segment_ids.push_back(seg_id.value());
+  }
+
+  Writer manifest;
+  manifest.PutU32(kMagic);
+  manifest.PutU32(kVersion);
+  manifest.PutU64(user_data);
+  manifest.PutVarint(segment_ids.size());
+  for (uint64_t id : segment_ids) manifest.PutU64(id);
+  api::StatusOr<uint64_t> root = store->Append(kRecCatalogMeta,
+                                               manifest.bytes());
+  if (!root.ok()) return root.status();
+  store->SetRoot(root.value());
+  return store->Commit();
+}
+
+api::StatusOr<Catalog> Catalog::TryLoadFromPagedFile(
+    const std::string& path, const StorageParams& params,
+    uint64_t* user_data) {
+  api::StatusOr<std::unique_ptr<PagedRecordStore>> opened =
+      PagedRecordStore::Open(path, params);
+  if (!opened.ok()) return opened.status();
+  std::unique_ptr<PagedRecordStore> store = std::move(opened).value();
+  if (store->Root() == PagedRecordStore::kNoRecord) {
+    return api::Status::Corruption("Catalog: paged file has no manifest: " +
+                                   path);
+  }
+
+  // Reads a record and hands its bytes to `decode`; any Reader truncation
+  // inside surfaces as one typed kCorruption (same policy as
+  // TryDeserialize).
+  auto read_record =
+      [&](uint64_t id, uint8_t want_type,
+          auto&& decode) -> api::Status {
+    api::StatusOr<PagedRecordStore::RecordRef> ref = store->Read(id);
+    if (!ref.ok()) return ref.status();
+    if (ref.value().record_type() != want_type) {
+      return api::Status::Corruption(
+          "Catalog: record " + std::to_string(id) + " has type " +
+          std::to_string(ref.value().record_type()) + ", expected " +
+          std::to_string(want_type));
+    }
+    try {
+      Reader r(ref.value().bytes());
+      decode(&r);
+      if (!r.AtEnd()) {
+        return api::Status::Corruption("Catalog: trailing bytes in record " +
+                                       std::to_string(id));
+      }
+      return api::Status::Ok();
+    } catch (const std::out_of_range&) {
+      return api::Status::Corruption("Catalog: truncated record " +
+                                     std::to_string(id));
+    } catch (const std::length_error&) {
+      return api::Status::Corruption("Catalog: implausible length in record " +
+                                     std::to_string(id));
+    }
+  };
+
+  std::vector<uint64_t> segment_ids;
+  bool header_ok = true;
+  api::Status st = read_record(
+      store->Root(), kRecCatalogMeta, [&](Reader* r) {
+        header_ok = r->GetU32() == kMagic && r->GetU32() == kVersion;
+        if (!header_ok) return;  // surfaced as kCorruption below
+        const uint64_t data = r->GetU64();
+        if (user_data != nullptr) *user_data = data;
+        const size_t n = static_cast<size_t>(r->GetVarint());
+        for (size_t i = 0; i < n; ++i) segment_ids.push_back(r->GetU64());
+      });
+  if (!header_ok) {
+    return api::Status::Corruption(
+        "Catalog: paged manifest has bad magic or version: " + path);
+  }
+  if (!st.ok()) return st;
+
+  Catalog catalog;
+  for (uint64_t seg_id : segment_ids) {
+    CatalogSegment s;
+    uint64_t bg_id = 0;
+    std::vector<uint64_t> og_ids;
+    st = read_record(seg_id, kRecCatalogMeta, [&](Reader* r) {
+      s.video_name = r->GetString();
+      s.frame_width = static_cast<int>(r->GetU32());
+      s.frame_height = static_cast<int>(r->GetU32());
+      s.num_frames = r->GetU64();
+      bg_id = r->GetU64();
+      const size_t n = static_cast<size_t>(r->GetVarint());
+      for (size_t i = 0; i < n; ++i) og_ids.push_back(r->GetU64());
+    });
+    if (!st.ok()) return st;
+    st = read_record(bg_id, kRecBackground, [&](Reader* r) {
+      s.background = DecodeBackgroundGraph(r);
+    });
+    if (!st.ok()) return st;
+    s.ogs.reserve(og_ids.size());
+    for (uint64_t og_id : og_ids) {
+      st = read_record(og_id, kRecOgSequence, [&](Reader* r) {
+        s.ogs.push_back(DecodeOg(r));
+      });
+      if (!st.ok()) return st;
+    }
+    catalog.AddSegment(std::move(s));
+  }
+  return catalog;
 }
 
 }  // namespace strg::storage

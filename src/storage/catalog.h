@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "api/status.h"
+#include "storage/pager/storage_params.h"
 #include "storage/serializer.h"
 #include "strg/object_graph.h"
 
@@ -66,6 +67,23 @@ class Catalog {
   /// failures are kIoError; malformed contents are kCorruption.
   api::Status TrySaveToFile(const std::string& path) const;
   static api::StatusOr<Catalog> TryLoadFromFile(const std::string& path);
+
+  /// Paged persistence: writes the catalog through a PagedRecordStore —
+  /// each background graph, each OG, and each segment's metadata becomes
+  /// its own typed, CRC-protected record (OGs larger than a page overflow-
+  /// chain automatically), with a manifest record as the store root. The
+  /// same torn-write detection the WAL gives its records now covers the
+  /// snapshot, page by page, and `strgtool stat` can audit the file without
+  /// this class. `user_data` is one caller-owned u64 carried in the
+  /// manifest (the durable engine stores its applied WAL sequence there).
+  /// Error surface matches the flat-file forms: kNotFound for a missing
+  /// file, kCorruption for any malformed record.
+  api::Status TrySaveToPagedFile(const std::string& path,
+                                 const StorageParams& params,
+                                 uint64_t user_data = 0) const;
+  static api::StatusOr<Catalog> TryLoadFromPagedFile(
+      const std::string& path, const StorageParams& params,
+      uint64_t* user_data = nullptr);
 
   // ---- Thin throwing wrappers (legacy surface; prefer the Try* forms). ----
 

@@ -1,0 +1,391 @@
+#include "storage/pager/paged_record_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "storage/crc32c.h"
+
+namespace strg::storage {
+
+namespace {
+
+// Slot header: [u8 record_type][u8 flags][u32 len], then len bytes.
+constexpr size_t kSlotHeaderBytes = 6;
+constexpr uint8_t kInline = 0;
+constexpr uint8_t kChained = 1;
+constexpr uint8_t kDead = 2;
+
+// Chained-slot stub payload: [u32 overflow head page][u64 total length].
+constexpr size_t kChainStubBytes = 12;
+
+constexpr uint64_t kMaxSlot = 0xFFFF;
+
+uint32_t PageOf(uint64_t record_id) {
+  return static_cast<uint32_t>(record_id >> 16);
+}
+uint32_t SlotOf(uint64_t record_id) {
+  return static_cast<uint32_t>(record_id & kMaxSlot);
+}
+
+/// Walks the slot sequence in `payload` to slot `slot`. Returns the byte
+/// offset of its header, or SIZE_MAX when the page has fewer slots.
+size_t FindSlot(std::string_view payload, uint32_t slot) {
+  size_t off = 0;
+  for (uint32_t i = 0; i < slot; ++i) {
+    if (off + kSlotHeaderBytes > payload.size()) return SIZE_MAX;
+    off += kSlotHeaderBytes + GetLe32(payload.data() + off + 2);
+  }
+  if (off + kSlotHeaderBytes > payload.size()) return SIZE_MAX;
+  return off;
+}
+
+}  // namespace
+
+api::StatusOr<std::unique_ptr<PagedRecordStore>> PagedRecordStore::Wrap(
+    api::StatusOr<std::unique_ptr<PageFile>> file,
+    const StorageParams& params) {
+  if (!file.ok()) return file.status();
+  std::unique_ptr<PagedRecordStore> store(new PagedRecordStore());
+  store->file_ = std::move(file).value();
+  store->cache_ = std::make_unique<BufferCache>(
+      store->file_.get(), params.cache_bytes, params.cache_shards);
+  return store;
+}
+
+api::StatusOr<std::unique_ptr<PagedRecordStore>> PagedRecordStore::Create(
+    const std::string& path, const StorageParams& params) {
+  return Wrap(PageFile::Create(path, params.page_size), params);
+}
+
+api::StatusOr<std::unique_ptr<PagedRecordStore>> PagedRecordStore::Open(
+    const std::string& path, const StorageParams& params) {
+  return Wrap(PageFile::Open(path), params);
+}
+
+api::Status PagedRecordStore::RollTailLocked() {
+  api::StatusOr<uint32_t> page = file_->Allocate();
+  if (!page.ok()) return page.status();
+  tail_page_ = page.value();
+  tail_slots_ = 0;
+  tail_buf_.clear();
+  return api::Status::Ok();
+}
+
+api::StatusOr<uint32_t> PagedRecordStore::WriteOverflowChainLocked(
+    std::string_view bytes) {
+  const size_t cap = file_->payload_capacity();
+  const size_t n_pages = (bytes.size() + cap - 1) / cap;
+
+  // Allocate the whole chain up front so each page can link forward.
+  std::vector<uint32_t> pages(n_pages);
+  for (size_t i = 0; i < n_pages; ++i) {
+    api::StatusOr<uint32_t> page = file_->Allocate();
+    if (!page.ok()) return page.status();
+    pages[i] = page.value();
+  }
+  for (size_t i = 0; i < n_pages; ++i) {
+    const size_t off = i * cap;
+    const size_t len = std::min(cap, bytes.size() - off);
+    const uint32_t next =
+        i + 1 < n_pages ? pages[i + 1] : PageFile::kNoPage;
+    api::Status st = cache_->Write(pages[i], PageFile::kOverflowPage, next,
+                                   bytes.substr(off, len));
+    if (!st.ok()) return st;
+  }
+  return pages[0];
+}
+
+api::StatusOr<uint64_t> PagedRecordStore::Append(uint8_t record_type,
+                                                 std::string_view bytes) {
+  MutexLock lock(mu_);
+  const size_t cap = file_->payload_capacity();
+
+  const bool inlined = kSlotHeaderBytes + bytes.size() <= cap;
+  const size_t slot_payload =
+      inlined ? bytes.size() : kChainStubBytes;
+
+  if (tail_page_ == PageFile::kNoPage ||
+      tail_buf_.size() + kSlotHeaderBytes + slot_payload > cap ||
+      tail_slots_ > kMaxSlot) {
+    api::Status st = RollTailLocked();
+    if (!st.ok()) return st;
+  }
+
+  std::string stub;
+  std::string_view slot_bytes = bytes;
+  if (!inlined) {
+    api::StatusOr<uint32_t> head = WriteOverflowChainLocked(bytes);
+    if (!head.ok()) return head.status();
+    stub.resize(kChainStubBytes);
+    PutLe32(stub.data(), head.value());
+    // Total length, little-endian u64 (two u32 halves keeps the helper set
+    // small).
+    PutLe32(stub.data() + 4, static_cast<uint32_t>(bytes.size()));
+    PutLe32(stub.data() + 8, static_cast<uint32_t>(bytes.size() >> 32));
+    slot_bytes = stub;
+  }
+
+  const uint32_t slot = tail_slots_;
+  const size_t off = tail_buf_.size();
+  tail_buf_.resize(off + kSlotHeaderBytes + slot_bytes.size());
+  tail_buf_[off] = static_cast<char>(record_type);
+  tail_buf_[off + 1] = static_cast<char>(inlined ? kInline : kChained);
+  PutLe32(tail_buf_.data() + off + 2,
+          static_cast<uint32_t>(slot_bytes.size()));
+  std::memcpy(tail_buf_.data() + off + kSlotHeaderBytes, slot_bytes.data(),
+              slot_bytes.size());
+  ++tail_slots_;
+
+  api::Status st = cache_->Write(tail_page_, PageFile::kDataPage,
+                                 PageFile::kNoPage, tail_buf_);
+  if (!st.ok()) return st;
+  return (static_cast<uint64_t>(tail_page_) << 16) | slot;
+}
+
+api::StatusOr<PagedRecordStore::RecordRef> PagedRecordStore::Read(
+    uint64_t record_id) {
+  if (record_id == kNoRecord) {
+    return api::Status::InvalidArgument("record store: read of kNoRecord");
+  }
+  const uint32_t page = PageOf(record_id);
+  const uint32_t slot = SlotOf(record_id);
+
+  api::StatusOr<BufferCache::PageRef> pin = cache_->Pin(page);
+  if (!pin.ok()) return pin.status();
+  BufferCache::PageRef ref = std::move(pin).value();
+  if (ref.type() != PageFile::kDataPage) {
+    return api::Status::NotFound("record store: page " + std::to_string(page) +
+                                 " holds no records");
+  }
+  const std::string_view payload = ref.payload();
+  const size_t off = FindSlot(payload, slot);
+  if (off == SIZE_MAX) {
+    return api::Status::NotFound("record store: no slot " +
+                                 std::to_string(slot) + " on page " +
+                                 std::to_string(page));
+  }
+  const uint8_t type = static_cast<uint8_t>(payload[off]);
+  const uint8_t flags = static_cast<uint8_t>(payload[off + 1]);
+  const uint32_t len = GetLe32(payload.data() + off + 2);
+  if (off + kSlotHeaderBytes + len > payload.size()) {
+    return api::Status::Corruption("record store: slot overruns page " +
+                                   std::to_string(page));
+  }
+  if (flags == kDead) {
+    return api::Status::NotFound("record store: record " +
+                                 std::to_string(record_id) + " was deleted");
+  }
+
+  RecordRef out;
+  out.type_ = type;
+  if (flags == kInline) {
+    out.pin_ = std::move(ref);
+    out.offset_ = off + kSlotHeaderBytes;
+    out.len_ = len;
+    return out;
+  }
+  if (flags != kChained || len != kChainStubBytes) {
+    return api::Status::Corruption("record store: bad slot flags on page " +
+                                   std::to_string(page));
+  }
+
+  // Chained: assemble the overflow pages into an owned buffer, releasing
+  // each pin as soon as its chunk is copied.
+  const char* stub = payload.data() + off + kSlotHeaderBytes;
+  uint32_t next = GetLe32(stub);
+  const uint64_t total = static_cast<uint64_t>(GetLe32(stub + 4)) |
+                         (static_cast<uint64_t>(GetLe32(stub + 8)) << 32);
+  ref = BufferCache::PageRef();  // drop the data-page pin before chasing
+
+  out.owned_.reserve(total);
+  while (next != PageFile::kNoPage && out.owned_.size() < total) {
+    api::StatusOr<BufferCache::PageRef> chunk = cache_->Pin(next);
+    if (!chunk.ok()) return chunk.status();
+    if (chunk.value().type() != PageFile::kOverflowPage) {
+      return api::Status::Corruption(
+          "record store: overflow chain hit a non-overflow page " +
+          std::to_string(next));
+    }
+    out.owned_.append(chunk.value().payload());
+    next = chunk.value().next_page();
+  }
+  if (out.owned_.size() != total) {
+    return api::Status::Corruption("record store: overflow chain for record " +
+                                   std::to_string(record_id) +
+                                   " is short: got " +
+                                   std::to_string(out.owned_.size()) +
+                                   " of " + std::to_string(total) + " bytes");
+  }
+  out.offset_ = 0;
+  out.len_ = out.owned_.size();
+  return out;
+}
+
+api::Status PagedRecordStore::FreeOverflowChainLocked(uint32_t head) {
+  uint32_t next = head;
+  while (next != PageFile::kNoPage) {
+    uint32_t following;
+    {
+      api::StatusOr<BufferCache::PageRef> pin = cache_->Pin(next);
+      if (!pin.ok()) return pin.status();
+      following = pin.value().next_page();
+    }  // unpin before invalidating
+    cache_->Invalidate(next);
+    api::Status st = file_->Free(next);
+    if (!st.ok()) return st;
+    next = following;
+  }
+  return api::Status::Ok();
+}
+
+api::Status PagedRecordStore::Delete(uint64_t record_id) {
+  MutexLock lock(mu_);
+  const uint32_t page = PageOf(record_id);
+  const uint32_t slot = SlotOf(record_id);
+
+  // Snapshot the page bytes (the tail page's truth is tail_buf_; any other
+  // page's is the cache/file).
+  std::string payload;
+  if (page == tail_page_) {
+    payload = tail_buf_;
+  } else {
+    api::StatusOr<BufferCache::PageRef> pin = cache_->Pin(page);
+    if (!pin.ok()) return pin.status();
+    if (pin.value().type() != PageFile::kDataPage) {
+      return api::Status::NotFound("record store: page " +
+                                   std::to_string(page) +
+                                   " holds no records");
+    }
+    payload = std::string(pin.value().payload());
+  }
+
+  const size_t off = FindSlot(payload, slot);
+  if (off == SIZE_MAX) {
+    return api::Status::NotFound("record store: no slot " +
+                                 std::to_string(slot) + " on page " +
+                                 std::to_string(page));
+  }
+  const uint8_t flags = static_cast<uint8_t>(payload[off + 1]);
+  if (flags == kDead) return api::Status::Ok();  // idempotent
+  if (flags == kChained) {
+    const char* stub = payload.data() + off + kSlotHeaderBytes;
+    api::Status st = FreeOverflowChainLocked(GetLe32(stub));
+    if (!st.ok()) return st;
+  }
+  payload[off + 1] = static_cast<char>(kDead);
+
+  // A page with nothing live left (and not still being appended to) goes
+  // back to the allocator.
+  bool any_live = false;
+  for (size_t p = 0; p + kSlotHeaderBytes <= payload.size();
+       p += kSlotHeaderBytes + GetLe32(payload.data() + p + 2)) {
+    if (static_cast<uint8_t>(payload[p + 1]) != kDead) {
+      any_live = true;
+      break;
+    }
+  }
+  if (!any_live && page != tail_page_) {
+    cache_->Invalidate(page);
+    return file_->Free(page);
+  }
+
+  if (page == tail_page_) tail_buf_ = payload;
+  return cache_->Write(page, PageFile::kDataPage, PageFile::kNoPage, payload);
+}
+
+api::Status PagedRecordStore::Commit() {
+  MutexLock lock(mu_);
+  api::Status st = cache_->FlushAll();
+  if (!st.ok()) return st;
+  return file_->Sync();
+}
+
+void PagedRecordStore::SetRoot(uint64_t record_id) {
+  MutexLock lock(mu_);
+  file_->set_root(record_id);
+}
+
+uint64_t PagedRecordStore::Root() const { return file_->root(); }
+
+api::StatusOr<PageFileStats> ComputePageFileStats(const std::string& path) {
+  api::StatusOr<std::unique_ptr<PageFile>> open = PageFile::Open(path);
+  if (!open.ok()) return open.status();
+  std::unique_ptr<PageFile> file = std::move(open).value();
+
+  PageFileStats stats;
+  stats.page_size = file->page_size();
+  stats.num_pages = file->num_pages();
+  stats.free_count = file->free_count();
+  stats.root = file->root();
+
+  // live_bytes for chained records is credited when the stub is seen (the
+  // stub's total length covers the overflow pages).
+  uint64_t occupancy[256][2] = {};  // [record_type] -> {count, bytes}
+
+  for (uint64_t p = 1; p < stats.num_pages; ++p) {
+    PageFile::PageView view;
+    api::Status st = file->ReadPage(static_cast<uint32_t>(p), &view);
+    if (!st.ok()) return st;
+    switch (view.type) {
+      case PageFile::kOverflowPage:
+        ++stats.overflow_pages;
+        break;
+      case PageFile::kFreePage:
+        ++stats.free_pages;
+        break;
+      case PageFile::kDataPage: {
+        ++stats.data_pages;
+        const std::string& pl = view.payload;
+        for (size_t off = 0; off + kSlotHeaderBytes <= pl.size();
+             off += kSlotHeaderBytes + GetLe32(pl.data() + off + 2)) {
+          const uint8_t type = static_cast<uint8_t>(pl[off]);
+          const uint8_t flags = static_cast<uint8_t>(pl[off + 1]);
+          const uint32_t len = GetLe32(pl.data() + off + 2);
+          if (flags == kDead) {
+            ++stats.dead_slots;
+          } else if (flags == kChained && len == kChainStubBytes) {
+            const char* stub = pl.data() + off + kSlotHeaderBytes;
+            ++occupancy[type][0];
+            occupancy[type][1] +=
+                static_cast<uint64_t>(GetLe32(stub + 4)) |
+                (static_cast<uint64_t>(GetLe32(stub + 8)) << 32);
+          } else {
+            ++occupancy[type][0];
+            occupancy[type][1] += len;
+          }
+        }
+        break;
+      }
+      default:
+        return api::Status::Corruption("page file: unexpected page type " +
+                                       std::to_string(view.type) +
+                                       " at page " + std::to_string(p));
+    }
+  }
+
+  // Walk the free list to cross-check the header's count.
+  uint32_t next = file->free_head();
+  while (next != PageFile::kNoPage &&
+         stats.free_list_len <= stats.num_pages) {
+    PageFile::PageView view;
+    api::Status st = file->ReadPage(next, &view);
+    if (!st.ok()) return st;
+    if (view.type != PageFile::kFreePage) {
+      return api::Status::Corruption(
+          "page file: free list points at a non-free page " +
+          std::to_string(next));
+    }
+    ++stats.free_list_len;
+    next = view.next_page;
+  }
+
+  for (int t = 0; t < 256; ++t) {
+    if (occupancy[t][0] == 0) continue;
+    stats.by_type.push_back({static_cast<uint8_t>(t), occupancy[t][0],
+                             occupancy[t][1]});
+  }
+  return stats;
+}
+
+}  // namespace strg::storage

@@ -4,46 +4,15 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
-#include <array>
 #include <cerrno>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <utility>
+
+#include "storage/file_io.h"
 
 namespace strg::storage {
 
 namespace {
-
-constexpr uint32_t kCrc32cPoly = 0x82F63B78u;  // reflected Castagnoli
-
-constexpr std::array<uint32_t, 256> MakeCrc32cTable() {
-  std::array<uint32_t, 256> table{};
-  for (uint32_t i = 0; i < 256; ++i) {
-    uint32_t crc = i;
-    for (int bit = 0; bit < 8; ++bit) {
-      crc = (crc >> 1) ^ ((crc & 1u) ? kCrc32cPoly : 0u);
-    }
-    table[i] = crc;
-  }
-  return table;
-}
-
-constexpr std::array<uint32_t, 256> kCrc32cTable = MakeCrc32cTable();
-
-void PutLe32(char* out, uint32_t v) {
-  out[0] = static_cast<char>(v & 0xFF);
-  out[1] = static_cast<char>((v >> 8) & 0xFF);
-  out[2] = static_cast<char>((v >> 16) & 0xFF);
-  out[3] = static_cast<char>((v >> 24) & 0xFF);
-}
-
-uint32_t GetLe32(const char* p) {
-  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
-         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
-         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
-         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
-}
 
 api::Status Errno(const std::string& what, const std::string& path) {
   return api::Status::IoError(what + " " + path + ": " +
@@ -68,24 +37,17 @@ api::Status WriteAll(int fd, const char* data, size_t len,
 
 }  // namespace
 
-uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  uint32_t crc = ~seed;
-  for (size_t i = 0; i < len; ++i) {
-    crc = kCrc32cTable[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
-  }
-  return ~crc;
-}
-
 api::StatusOr<WalRecovery> RecoverWal(const std::string& path) {
   WalRecovery out;
 
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return out;  // no log yet: empty recovery
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  if (in.bad()) return Errno("WAL: read of", path);
-  const std::string bytes = buf.str();
+  api::StatusOr<std::string> read = ReadFileToString(path);
+  if (!read.ok()) {
+    if (read.status().code() == api::StatusCode::kNotFound) {
+      return out;  // no log yet: empty recovery
+    }
+    return read.status();
+  }
+  const std::string bytes = std::move(read).value();
 
   size_t pos = 0;
   while (true) {

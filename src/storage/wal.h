@@ -7,13 +7,9 @@
 #include <vector>
 
 #include "api/status.h"
+#include "storage/crc32c.h"  // record checksums (shared with the pager)
 
 namespace strg::storage {
-
-/// CRC32C (Castagnoli polynomial, the one with hardware support on modern
-/// CPUs and strong burst-error detection for storage framing). Software
-/// table implementation; `seed` chains partial computations.
-uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
 
 /// When the writer pays for an fsync. The policy trades the durability
 /// window against append throughput; every policy keeps the *ordering*

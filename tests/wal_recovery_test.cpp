@@ -459,6 +459,179 @@ TEST(DurableEngine, UnknownSegmentIsNotFoundAndNothingIsLogged) {
   EXPECT_EQ(e->engine().metrics().wal_appends.load(), appends);
 }
 
+TEST(DurableEngine, CrashAfterTmpSnapshotWriteServesOldSnapshotPlusLog) {
+  Fixture fx = MakeFixture(8, 37);
+  std::string dir = FreshDir("tmpcrash");
+
+  std::vector<api::VideoDatabase::QueryHit> before;
+  {
+    auto e = MustOpen(dir, SmallEngine());
+    int segment_id = -1;
+    ASSERT_TRUE(e->AddVideo("lab", fx.segment, &segment_id).ok());
+    ASSERT_TRUE(e->AddObjectGraph(segment_id, "lab", fx.stream[0],
+                                  synth::SynthScaling())
+                    .ok());
+    before = Answers(*e, fx);
+    // Crash point: the tmp snapshot was fully written and fsynced, but the
+    // process died before the rename published it.
+    e->set_fail_point(FailPoint::kAfterSnapshotTmpWrite);
+    EXPECT_FALSE(e->Compact().ok());
+  }
+  // A real tmp file (a complete snapshot, not garbage) is on disk, the
+  // published snapshot does not exist, and the log still covers everything.
+  ASSERT_TRUE(fs::exists(DurableQueryEngine::SnapshotTmpPath(dir)));
+  ASSERT_FALSE(fs::exists(DurableQueryEngine::SnapshotPath(dir)));
+  ASSERT_GT(fs::file_size(DurableQueryEngine::LogPath(dir)), 0u);
+
+  auto e = MustOpen(dir, SmallEngine());
+  EXPECT_TRUE(e->recovery().removed_orphan_tmp);
+  EXPECT_FALSE(fs::exists(DurableQueryEngine::SnapshotTmpPath(dir)));
+  // The whole state came back from the log (there was no snapshot yet).
+  EXPECT_EQ(e->recovery().replayed_records, 2u);
+  EXPECT_EQ(e->Generation(), 2u);
+  ExpectSameAnswers(before, Answers(*e, fx));
+}
+
+TEST(DurableEngine, RecoverySweepsEveryOrphanTmpFile) {
+  Fixture fx = MakeFixture(8, 41);
+  std::string dir = FreshDir("tmpsweep");
+  {
+    auto e = MustOpen(dir, SmallEngine());
+    ASSERT_TRUE(e->AddVideo("lab", fx.segment).ok());
+  }
+  // Strew several orphaned temp files around: the flat snapshot tmp, the
+  // paged snapshot tmp, and an arbitrary one — a crashed compaction of any
+  // vintage. All must be swept, whatever mode the engine reopens in.
+  for (const std::string& path :
+       {DurableQueryEngine::SnapshotTmpPath(dir),
+        DurableQueryEngine::PagedSnapshotTmpPath(dir),
+        dir + "/stray-download.tmp"}) {
+    std::ofstream tmp(path, std::ios::binary);
+    tmp << "orphan";
+  }
+
+  auto e = MustOpen(dir, SmallEngine());
+  EXPECT_TRUE(e->recovery().removed_orphan_tmp);
+  EXPECT_FALSE(fs::exists(DurableQueryEngine::SnapshotTmpPath(dir)));
+  EXPECT_FALSE(fs::exists(DurableQueryEngine::PagedSnapshotTmpPath(dir)));
+  EXPECT_FALSE(fs::exists(dir + "/stray-download.tmp"));
+  EXPECT_EQ(e->Generation(), 1u);
+}
+
+// ---- Paged mode (out-of-core storage engine) ----------------------------
+
+DurableEngineOptions PagedEngine(size_t compact_every = 0) {
+  DurableEngineOptions o = SmallEngine(storage::WalSyncPolicy::kEveryRecord,
+                                       compact_every);
+  o.storage.paged = true;
+  o.storage.page_size = 256;        // small pages exercise overflow chains
+  o.storage.cache_bytes = 16 * 256; // and a cache far below the dataset
+  o.storage.cache_shards = 2;
+  return o;
+}
+
+TEST(DurableEngine, PagedModeAnswersMatchInRamMode) {
+  Fixture fx = MakeFixture(8, 43);
+  std::string flat_dir = FreshDir("paged_eq_flat");
+  std::string paged_dir = FreshDir("paged_eq_paged");
+
+  auto flat = MustOpen(flat_dir, SmallEngine());
+  auto paged = MustOpen(paged_dir, PagedEngine());
+  for (auto* e : {flat.get(), paged.get()}) {
+    int segment_id = -1;
+    ASSERT_TRUE(e->AddVideo("lab", fx.segment, &segment_id).ok());
+    for (size_t i = 0; i < 3; ++i) {
+      ASSERT_TRUE(e->AddObjectGraph(segment_id, "lab", fx.stream[i],
+                                    synth::SynthScaling())
+                      .ok());
+    }
+  }
+  // Identical answers through a leaf store that actually paged: the cache
+  // saw traffic and the backing file outgrew the cache budget.
+  ExpectSameAnswers(Answers(*flat, fx), Answers(*paged, fx));
+  ASSERT_NE(paged->paged_store(), nullptr);
+  storage::BufferCacheStats cs = paged->paged_store()->cache_stats();
+  EXPECT_GT(cs.hits + cs.misses, 0u);
+  EXPECT_GT(paged->paged_store()->file().num_pages() * 256,
+            PagedEngine().storage.cache_bytes);
+  EXPECT_EQ(flat->paged_store(), nullptr);
+}
+
+TEST(DurableEngine, PagedModeRecoversThroughCompactionAndReopen) {
+  Fixture fx = MakeFixture(8, 47);
+  std::string dir = FreshDir("paged_recover");
+
+  std::vector<api::VideoDatabase::QueryHit> before;
+  uint64_t acked_gen = 0;
+  {
+    auto e = MustOpen(dir, PagedEngine(/*compact_every=*/4));
+    int segment_id = -1;
+    ASSERT_TRUE(e->AddVideo("lab", fx.segment, &segment_id).ok());
+    for (size_t i = 0; i < 6; ++i) {
+      auto g = e->AddObjectGraph(segment_id, "lab", fx.stream[i],
+                                 synth::SynthScaling());
+      ASSERT_TRUE(g.ok()) << g.status().ToString();
+      acked_gen = g.value();
+    }
+    EXPECT_GE(e->engine().metrics().wal_compactions.load(), 1u);
+    before = Answers(*e, fx);
+  }
+  // Compaction published the snapshot as a page file, not a flat blob.
+  ASSERT_TRUE(fs::exists(DurableQueryEngine::PagedSnapshotPath(dir)));
+  ASSERT_FALSE(fs::exists(DurableQueryEngine::SnapshotPath(dir)));
+
+  auto e = MustOpen(dir, PagedEngine(/*compact_every=*/4));
+  EXPECT_EQ(e->recovery().snapshot_segments, 1u);
+  EXPECT_GE(e->recovery().snapshot_ogs, 8u);
+  EXPECT_EQ(e->Generation(), acked_gen);
+  EXPECT_EQ(e->engine().snapshot()->db.NumObjectGraphs(), 8u + 6u);
+  ExpectSameAnswers(before, Answers(*e, fx));
+}
+
+TEST(DurableEngine, PagedCrashAfterTmpSnapshotWriteIsCleanedUp) {
+  Fixture fx = MakeFixture(8, 53);
+  std::string dir = FreshDir("paged_tmpcrash");
+
+  std::vector<api::VideoDatabase::QueryHit> before;
+  {
+    auto e = MustOpen(dir, PagedEngine());
+    ASSERT_TRUE(e->AddVideo("lab", fx.segment).ok());
+    before = Answers(*e, fx);
+    e->set_fail_point(FailPoint::kAfterSnapshotTmpWrite);
+    EXPECT_FALSE(e->Compact().ok());
+  }
+  ASSERT_TRUE(fs::exists(DurableQueryEngine::PagedSnapshotTmpPath(dir)));
+  ASSERT_FALSE(fs::exists(DurableQueryEngine::PagedSnapshotPath(dir)));
+
+  auto e = MustOpen(dir, PagedEngine());
+  EXPECT_TRUE(e->recovery().removed_orphan_tmp);
+  EXPECT_FALSE(fs::exists(DurableQueryEngine::PagedSnapshotTmpPath(dir)));
+  EXPECT_EQ(e->Generation(), 1u);
+  ExpectSameAnswers(before, Answers(*e, fx));
+}
+
+TEST(DurableEngine, MetricsJsonCarriesStorageBlock) {
+  Fixture fx = MakeFixture(8, 59);
+  std::string paged_dir = FreshDir("paged_metrics");
+  std::string flat_dir = FreshDir("flat_metrics");
+
+  auto paged = MustOpen(paged_dir, PagedEngine());
+  ASSERT_TRUE(paged->AddVideo("lab", fx.segment).ok());
+  paged->Query(api::QuerySpec::Similar(fx.queries[0], 3));
+  std::string json = paged->MetricsJson();
+  EXPECT_NE(json.find("\"storage\":{\"paged\":true"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"evictions\":"), std::string::npos);
+  EXPECT_NE(json.find("\"pinned_pages\":"), std::string::npos);
+  EXPECT_NE(json.find("\"resident_bytes\":"), std::string::npos);
+  EXPECT_EQ(json.find("\"misses\":0,\"evictions\""), std::string::npos)
+      << "paged engine never touched the cache: " << json;
+
+  auto flat = MustOpen(flat_dir, SmallEngine());
+  EXPECT_NE(flat->MetricsJson().find("\"storage\":{\"paged\":false"),
+            std::string::npos);
+}
+
 TEST(DurableEngine, MetricsJsonCarriesWalAndStatusBreakdown) {
   Fixture fx = MakeFixture(8, 31);
   std::string dir = FreshDir("metrics");
