@@ -270,7 +270,14 @@ int main() {
 
   const double speedup = multi.qps / serial.qps;
 
-  std::string json = "{\"bench\":\"server_throughput\",";
+  // Machine-readable context every BENCH_server*.json must carry (a
+  // scripts/strg_lint.py rule): shard count and the host's concurrency, so
+  // runs are comparable across machines and against the sharded bench.
+  char ctx[96];
+  std::snprintf(ctx, sizeof(ctx),
+                "\"shards\":1,\"hardware_concurrency\":%u,",
+                std::thread::hardware_concurrency());
+  std::string json = std::string("{\"bench\":\"server_throughput\",") + ctx;
   AppendPhaseJson(&json, serial);
   json.push_back(',');
   AppendPhaseJson(&json, one);

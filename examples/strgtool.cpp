@@ -15,14 +15,16 @@
 //       Ingest a real frame sequence (sorted .ppm files, e.g. exported by
 //       `ffmpeg -i clip.mp4 frames/%06d.ppm`): shot detection splits the
 //       stream, each shot becomes its own catalog segment.
-//   strgtool serve [--paged] [--cache-mb=N] <wal-dir>
+//   strgtool serve [--shards=N] [--paged] [--cache-mb=N] <wal-dir>
 //                  [lab|traffic <name> <num_objects> [seed]]
 //       Open a crash-durable engine on <wal-dir> (recovering any prior
 //       state), optionally ingest one rendered scene through the WAL, run
 //       a sample query, and print recovery stats + server metrics. Run it
 //       twice with the same <wal-dir> to watch state survive a restart.
 //       --paged routes bulk records through the out-of-core page store with
-//       a --cache-mb buffer-cache budget (default 8 MiB).
+//       a --cache-mb buffer-cache budget (default 8 MiB). --shards=N also
+//       serves the recovered catalog through an N-way scatter-gather
+//       ShardedQueryEngine and prints its per-shard metrics.
 //   strgtool save <wal-dir> <catalog-out>
 //       Recover the durable state in <wal-dir> and export it as a plain
 //       catalog file usable by info/stats/query.
@@ -43,6 +45,8 @@
 #include "core/persistence.h"
 #include "distance/sequence.h"
 #include "server/durable_engine.h"
+#include "server/serve_options.h"
+#include "server/sharded_engine.h"
 #include "storage/catalog.h"
 #include "storage/pager/paged_record_store.h"
 #include "util/table.h"
@@ -61,7 +65,7 @@ int Usage() {
       "  strgtool info <catalog>\n"
       "  strgtool stats <catalog>\n"
       "  strgtool query <catalog> <video> <og_index> [k]\n"
-      "  strgtool serve [--paged] [--cache-mb=N] <wal-dir>\n"
+      "  strgtool serve [--shards=N] [--paged] [--cache-mb=N] <wal-dir>\n"
       "                 [lab|traffic <name> <num_objects> [seed]]\n"
       "  strgtool save <wal-dir> <catalog-out>\n"
       "  strgtool stat <page-file>\n";
@@ -69,11 +73,30 @@ int Usage() {
 }
 
 storage::Catalog LoadOrEmpty(const std::string& path) {
-  try {
-    return storage::Catalog::LoadFromFile(path);
-  } catch (const std::runtime_error&) {
-    return storage::Catalog{};
+  auto loaded = storage::Catalog::TryLoadFromFile(path);
+  return loaded.ok() ? std::move(loaded).value() : storage::Catalog{};
+}
+
+/// Loads into *out, printing the error itself. Returns false on failure.
+bool MustLoadCatalog(const std::string& path, storage::Catalog* out) {
+  auto loaded = storage::Catalog::TryLoadFromFile(path);
+  if (!loaded.ok()) {
+    std::cerr << "cannot load " << path << ": " << loaded.status().ToString()
+              << "\n";
+    return false;
   }
+  *out = std::move(loaded).value();
+  return true;
+}
+
+bool MustSaveCatalog(const storage::Catalog& catalog,
+                     const std::string& path) {
+  api::Status st = catalog.TrySaveToFile(path);
+  if (!st.ok()) {
+    std::cerr << "cannot save " << path << ": " << st.ToString() << "\n";
+    return false;
+  }
+  return true;
 }
 
 int Ingest(const std::string& path, const std::string& kind,
@@ -92,7 +115,7 @@ int Ingest(const std::string& path, const std::string& kind,
 
   storage::Catalog catalog = LoadOrEmpty(path);
   catalog.AddSegment(api::ToCatalogSegment(name, segment));
-  catalog.SaveToFile(path);
+  if (!MustSaveCatalog(catalog, path)) return 1;
   std::cout << "ingested '" << name << "': " << scene.num_frames
             << " frames -> " << segment.decomposition.object_graphs.size()
             << " OGs; catalog now has " << catalog.NumSegments()
@@ -118,14 +141,15 @@ int IngestPpm(const std::string& path, const std::string& name,
               << " frames, "
               << segments[i].decomposition.object_graphs.size() << " OGs\n";
   }
-  catalog.SaveToFile(path);
+  if (!MustSaveCatalog(catalog, path)) return 1;
   std::cout << "ingested " << frames.size() << " frames as "
             << segments.size() << " segment(s)\n";
   return 0;
 }
 
 int Info(const std::string& path) {
-  storage::Catalog catalog = storage::Catalog::LoadFromFile(path);
+  storage::Catalog catalog;
+  if (!MustLoadCatalog(path, &catalog)) return 1;
   Table table({"video", "frames", "OGs", "BG regions", "frame size"});
   for (const auto& s : catalog.segments()) {
     table.AddRow({s.video_name, std::to_string(s.num_frames),
@@ -139,7 +163,8 @@ int Info(const std::string& path) {
 }
 
 int Stats(const std::string& path) {
-  storage::Catalog catalog = storage::Catalog::LoadFromFile(path);
+  storage::Catalog catalog;
+  if (!MustLoadCatalog(path, &catalog)) return 1;
   api::VideoDatabase db = api::RestoreVideoDatabase(catalog);
   auto stats = db.index().ComputeStats();
   std::cout << "segments: " << stats.segments
@@ -156,7 +181,8 @@ int Stats(const std::string& path) {
 
 int Query(const std::string& path, const std::string& video, size_t og_index,
           size_t k) {
-  storage::Catalog catalog = storage::Catalog::LoadFromFile(path);
+  storage::Catalog catalog;
+  if (!MustLoadCatalog(path, &catalog)) return 1;
   const storage::CatalogSegment* segment = nullptr;
   for (const auto& s : catalog.segments()) {
     if (s.video_name == video) segment = &s;
@@ -252,9 +278,43 @@ server::DurableQueryEngine* MustOpenDurable(
   return holder->get();
 }
 
+/// Mirrors the recovered catalog into an N-shard scatter-gather engine,
+/// runs the sample probe through it, and prints its per-shard metrics —
+/// the CLI face of ShardedQueryEngine.
+void ServeSharded(const storage::Catalog& catalog,
+                  const server::ServeOptions& serve) {
+  server::ShardedQueryEngine sharded(index::StrgIndexParams{},
+                                     serve.ToShardedOptions());
+  for (const storage::CatalogSegment& s : catalog.segments()) {
+    api::SegmentResult segment;
+    segment.num_frames = s.num_frames;
+    segment.frame_width = s.frame_width;
+    segment.frame_height = s.frame_height;
+    segment.decomposition.background = s.background;
+    segment.decomposition.object_graphs = s.ogs;
+    size_t shard = 0;
+    sharded.AddVideo(s.video_name, segment, nullptr, &shard);
+    std::cout << "  shard " << shard << " <- '" << s.video_name << "' ("
+              << s.ogs.size() << " OGs)\n";
+  }
+  if (catalog.NumSegments() > 0 && !catalog.segments()[0].ogs.empty()) {
+    const storage::CatalogSegment& s = catalog.segments()[0];
+    dist::FeatureScaling scaling;
+    scaling.frame_width = s.frame_width;
+    scaling.frame_height = s.frame_height;
+    server::QueryResult qr = sharded.Query(api::QuerySpec::Similar(
+        dist::OgToSequence(s.ogs[0], scaling), 3));
+    std::cout << "sample scatter-gather 3-NN ("
+              << StatusCodeName(qr.status) << "): " << qr.hits.size()
+              << " hit(s) across " << sharded.NumShards() << " shard(s)\n";
+  }
+  std::cout << sharded.MetricsJson() << "\n";
+}
+
 int Serve(const std::string& wal_dir, const std::string& kind,
           const std::string& name, int num_objects, uint64_t seed,
-          const server::DurableEngineOptions& opts) {
+          const server::ServeOptions& serve) {
+  const server::DurableEngineOptions opts = serve.ToDurableOptions();
   std::unique_ptr<server::DurableQueryEngine> holder;
   server::DurableQueryEngine* engine = MustOpenDurable(wal_dir, opts, &holder);
   if (engine == nullptr) return 1;
@@ -309,6 +369,12 @@ int Serve(const std::string& wal_dir, const std::string& kind,
               << qr.generation << "\n";
   }
   std::cout << engine->MetricsJson() << "\n";
+
+  if (serve.shards > 1) {
+    std::cout << "sharded serving (" << serve.shards << " shards):\n";
+    ServeSharded(engine->catalog(), serve);
+  }
+
   // Commit pending state (WAL fsync + paged-store header) so `strgtool
   // stat` on the page file sees this run's occupancy.
   api::Status st = engine->Sync();
@@ -337,20 +403,13 @@ int Save(const std::string& wal_dir, const std::string& out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Flags may appear anywhere; everything else is positional.
-  server::DurableEngineOptions serve_opts;
+  // Flags may appear anywhere; everything else is positional. The flag
+  // vocabulary lives in server::ServeOptions, shared with library callers.
+  server::ServeOptions serve_opts;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
-    if (a == "--paged") {
-      serve_opts.storage.paged = true;
-    } else if (a.rfind("--cache-mb=", 0) == 0) {
-      serve_opts.storage.paged = true;  // the budget implies paged mode
-      serve_opts.storage.cache_bytes =
-          static_cast<uint64_t>(std::atoll(a.c_str() + 11)) << 20;
-    } else {
-      args.push_back(std::move(a));
-    }
+    if (!serve_opts.ParseFlag(a)) args.push_back(std::move(a));
   }
   if (args.size() < 2) return Usage();
   const std::string& cmd = args[0];

@@ -6,6 +6,10 @@
 # ingest-labeled tests (the durability layer does raw byte punning; the fast
 # EGED kernel does banded DP over raw row pointers; the mean-shift kernel
 # does integral-image index arithmetic — exactly where UB hides).
+# A dedicated `server` stage runs the server-labeled suites (sharded
+# scatter-gather, async runtime, metrics JSON) under ASan, and — with
+# STRG_CHECK_TSAN=1 — the cancellation/deadline race and tau-pruning tests
+# under TSan.
 #
 #   scripts/check.sh                 # static + tier-1 + ASan + UBSan passes
 #   STRG_CHECK_ASAN_ALL=1 scripts/check.sh   # ASan over the whole suite
@@ -54,6 +58,16 @@ fi
 ctest --test-dir build-asan -L 'storage|paging' --output-on-failure -j
 
 echo
+echo "== server stage (ASan): sharded scatter-gather + async runtime =="
+# The serving layer's submit/complete lifecycle hands QueryResult objects
+# across threads (worker -> completion callback -> waiter) and the sharded
+# engine merges per-shard legs under a shared tau bound — exactly where a
+# use-after-free on an abandoned request or gather would hide.
+cmake --build build-asan -j --target sharded_engine_test \
+  server_metrics_json_test
+ctest --test-dir build-asan -L server --output-on-failure -j
+
+echo
 echo "== UBSan pass over recovery+distance+ingest-labeled tests (STRG_SANITIZE=undefined) =="
 cmake -B build-ubsan -S . -DSTRG_SANITIZE=undefined \
   -DSTRG_BUILD_BENCHMARKS=OFF -DSTRG_BUILD_EXAMPLES=OFF >/dev/null
@@ -67,9 +81,15 @@ if [[ "${STRG_CHECK_TSAN:-0}" == "1" ]]; then
   cmake -B build-tsan -S . -DSTRG_SANITIZE=thread \
     -DSTRG_BUILD_BENCHMARKS=OFF -DSTRG_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-tsan -j --target server_concurrency_test \
-    thread_pool_test distance_kernel_test ingest_parallel_test paging_test
+    thread_pool_test distance_kernel_test ingest_parallel_test paging_test \
+    sharded_engine_test
   ./build-tsan/tests/server_concurrency_test
   ./build-tsan/tests/thread_pool_test
+  # Server stage under TSan: scatter-gather legs racing cancellation,
+  # deadlines, and a live writer — the exactly-once finalize CAS and the
+  # tau-bound publication are the contested atomics.
+  ./build-tsan/tests/sharded_engine_test \
+    --gtest_filter='ShardedEngine.CancellationAndDeadlineRaceIsClean:ShardedEngine.TauPruningFiresAndStaysExact'
   # Fast/reference equivalence with the thread pool engaged (parallel build
   # + concurrent queries) — the data-race check for the kernel's thread-local
   # workspaces and the per-query counter plumbing.

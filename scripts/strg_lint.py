@@ -22,10 +22,19 @@ what the repo has *decided* — contracts that live across files:
                         place.
   strg-bench-json       Every bench/bench_*.cpp must write (or at least
                         name) its BENCH_*.json machine-readable report.
+  strg-bench-server-shards  A bench that writes a BENCH_server*.json report
+                        must record the shard count and the host's
+                        hardware_concurrency in it — serving throughput
+                        numbers are meaningless without both.
   strg-test-label       Every tests/*_test.cpp declares `// ctest-labels:`,
                         which tests/CMakeLists.txt applies — so label-driven
                         suites (ctest -L recovery|distance|ingest|static)
                         can never silently miss a new test file.
+  strg-deprecated-catalog  No new uses of the deprecated throwing Catalog
+                        wrappers (Deserialize / SaveToFile / LoadFromFile)
+                        under src/: internal code speaks Status/StatusOr
+                        (the Try* forms); the wrappers exist only for
+                        external callers during the deprecation window.
 
 Suppressions are allowed but never bare: `NOLINT(<rule>): <why>` on the
 offending line (a missing rule tag or empty justification is itself an
@@ -65,6 +74,12 @@ DIRECT_IO_RE = re.compile(
     r"\bfopen\s*\(|::open\s*\(|\bstd::[io]?fstream\b"
     r"|#\s*include\s*<fstream>")
 BENCH_JSON_RE = re.compile(r"BENCH_[A-Za-z0-9_]+\.json")
+BENCH_SERVER_JSON_RE = re.compile(r"BENCH_server[A-Za-z0-9_]*\.json")
+HW_CONCURRENCY_RE = re.compile(r"hardware_concurrency")
+SHARD_FIELD_RE = re.compile(r'\\?"shards\\?"')
+# "TryDeserialize" etc. do not match: no word boundary after "Try".
+DEPRECATED_CATALOG_RE = re.compile(
+    r"\b(?:Deserialize|SaveToFile|LoadFromFile)\s*\(")
 TEST_LABEL_RE = re.compile(r"//\s*ctest-labels:\s*([a-z][a-z0-9_]*)")
 OPTOUT_RE = re.compile(r"STRG_NO_THREAD_SAFETY_ANALYSIS")
 
@@ -139,6 +154,7 @@ def walk(root: str, subdir: str):
 def lint_tree(root: str) -> list:
     findings: list = []
     sync_h = os.path.join(root, "src", "util", "sync.h")
+    catalog_h = os.path.join(root, "src", "storage", "catalog.h")
 
     for path in walk(root, "src"):
         with open(path, encoding="utf-8") as f:
@@ -172,6 +188,15 @@ def lint_tree(root: str) -> list:
                         "through the storage layer (storage/file_io.h, "
                         "PageFile, WalWriter) so fsync discipline and CRC "
                         "framing stay in one place"))
+            if os.path.abspath(path) != os.path.abspath(catalog_h):
+                if DEPRECATED_CATALOG_RE.search(code_line) and not suppressed(
+                        raw_line, "strg-deprecated-catalog", findings, path,
+                        idx):
+                    findings.append(Finding(
+                        path, idx, "strg-deprecated-catalog",
+                        "deprecated throwing Catalog wrapper; use "
+                        "TryDeserialize/TrySaveToFile/TryLoadFromFile "
+                        "(Status/StatusOr) instead"))
             if WALLCLOCK_RE.search(code_line) and not suppressed(
                     raw_line, "strg-no-wallclock-rand", findings, path, idx):
                 findings.append(Finding(
@@ -195,6 +220,19 @@ def lint_tree(root: str) -> list:
             path = os.path.join(bench_dir, name)
             with open(path, encoding="utf-8") as f:
                 text = f.read()
+            if BENCH_SERVER_JSON_RE.search(text):
+                if not (HW_CONCURRENCY_RE.search(text)
+                        and SHARD_FIELD_RE.search(text)):
+                    m = NOLINT_RE.search(text)
+                    if not (m and m.group(1) == "strg-bench-server-shards"
+                            and m.group(2)):
+                        findings.append(Finding(
+                            path, 1, "strg-bench-server-shards",
+                            'BENCH_server*.json report must record a '
+                            '"shards" field and hardware_concurrency '
+                            "(serving numbers are incomparable without "
+                            "both), or justify with "
+                            "NOLINT(strg-bench-server-shards): <why>"))
             if BENCH_JSON_RE.search(text):
                 continue
             m = NOLINT_RE.search(text)
@@ -259,10 +297,24 @@ FIXTURES = {
         "// NOLINT(strg-bench-json): emits via --benchmark_out\n"
         "int main() { return 0; }\n",
     ),
+    "strg-bench-server-shards": (
+        "bench/bench_server_bad.cpp",
+        'int main() { const char* p = "BENCH_server_bad.json"; '
+        "return p != nullptr; }\n",
+        'int main() { const char* p = "BENCH_server_bad.json"; '
+        'const char* j = "\\"shards\\":1"; '
+        "unsigned c = 0; (void)c;  // hardware_concurrency goes here\n"
+        "  return p != nullptr && j != nullptr; }\n",
+    ),
     "strg-test-label": (
         "tests/bad_test.cpp",
         "int main() { return 0; }\n",
         "// ctest-labels: unit\nint main() { return 0; }\n",
+    ),
+    "strg-deprecated-catalog": (
+        "src/core/bad_catalog.cc",
+        "void f() { auto c = Catalog::LoadFromFile(p); }\n",
+        "void f() { auto c = Catalog::TryLoadFromFile(p).value(); }\n",
     ),
     "strg-bare-suppression": (
         "src/util/bad.h",

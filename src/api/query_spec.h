@@ -1,6 +1,7 @@
 #ifndef STRG_API_QUERY_SPEC_H_
 #define STRG_API_QUERY_SPEC_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -8,6 +9,24 @@
 #include "distance/sequence.h"
 
 namespace strg::api {
+
+/// Per-request options of the submit/complete query surface. One options
+/// vocabulary across the stack: the bare VideoDatabase, the single
+/// QueryEngine, and the ShardedQueryEngine all take this struct, so a
+/// request keeps its deadline and routing hints as it crosses layers.
+/// (server::QueryOptions is an alias of this type — the historical spelling
+/// kept for source compatibility.)
+struct SubmitOptions {
+  /// Per-request deadline measured from submission. 0 = none. Negative =
+  /// already expired (deterministic deadline handling, used by tests).
+  std::chrono::microseconds timeout{0};
+  /// Consult/fill the serving layer's result cache. Ignored by layers that
+  /// have no cache (the bare VideoDatabase).
+  bool use_cache = true;
+  /// Restrict a scatter-gather query to one shard (>= 0); -1 = fan out to
+  /// every shard. Layers without shards ignore it.
+  int shard_hint = -1;
+};
 
 /// One value describing any retrieval request the system answers. The three
 /// historical entry points (FindSimilar / FindWithinRadius / FindActive)

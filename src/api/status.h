@@ -24,9 +24,10 @@ enum class StatusCode {
                       ///< truncation mid-record)
   kNotFound,          ///< named file/segment/video does not exist
   kInvalidArgument,   ///< the caller's request is malformed
+  kCancelled,         ///< the caller cancelled the request via its handle
 };
 
-inline constexpr size_t kNumStatusCodes = 7;
+inline constexpr size_t kNumStatusCodes = 8;
 
 inline std::string_view StatusCodeName(StatusCode code) {
   switch (code) {
@@ -44,6 +45,8 @@ inline std::string_view StatusCodeName(StatusCode code) {
       return "NOT_FOUND";
     case StatusCode::kInvalidArgument:
       return "INVALID_ARGUMENT";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }

@@ -44,7 +44,7 @@ void VideoDatabase::AddObjectGraph(int segment_id,
 }
 
 std::vector<VideoDatabase::QueryHit> VideoDatabase::Query(
-    const QuerySpec& spec, QueryStats* stats) const {
+    const QuerySpec& spec, QueryStats* stats, double initial_tau) const {
   auto with_stats = [&](const index::KnnResult& knn) {
     if (stats != nullptr) {
       stats->distance_computations = knn.distance_computations;
@@ -55,7 +55,10 @@ std::vector<VideoDatabase::QueryHit> VideoDatabase::Query(
   };
   switch (spec.kind) {
     case QuerySpec::Kind::kSimilar:
-      return with_stats(index_.Knn(spec.sequence, spec.k));
+      return with_stats(index_.Knn(spec.sequence, spec.k,
+                                   /*query_bg=*/nullptr,
+                                   /*max_distance_computations=*/0,
+                                   initial_tau));
     case QuerySpec::Kind::kRange:
       return with_stats(index_.RangeSearch(spec.sequence, spec.radius));
     case QuerySpec::Kind::kActive: {
@@ -73,6 +76,15 @@ std::vector<VideoDatabase::QueryHit> VideoDatabase::Query(
     }
   }
   return {};
+}
+
+std::vector<VideoDatabase::QueryHit> VideoDatabase::Submit(
+    const QuerySpec& spec, const SubmitOptions& /*opts*/,
+    const std::function<void(const std::vector<QueryHit>&)>& on_complete,
+    QueryStats* stats) const {
+  std::vector<QueryHit> hits = Query(spec, stats);
+  if (on_complete) on_complete(hits);
+  return hits;
 }
 
 std::vector<VideoDatabase::QueryHit> VideoDatabase::FindSimilar(

@@ -1,6 +1,8 @@
 #ifndef STRG_CORE_VIDEO_DATABASE_H_
 #define STRG_CORE_VIDEO_DATABASE_H_
 
+#include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -66,8 +68,30 @@ class VideoDatabase {
   /// cache digest, the tools — speaks QuerySpec; the Find* methods below
   /// are legacy spellings of the same calls. When `stats` is non-null the
   /// query's cost counters are written there.
-  std::vector<QueryHit> Query(const QuerySpec& spec,
-                              QueryStats* stats = nullptr) const;
+  ///
+  /// `initial_tau` (kSimilar only; default +inf = unbounded) seeds the kNN
+  /// worst-of-heap pruning radius — the scatter-gather hook a sharded
+  /// serving layer uses to hand a shard leg the running global worst-of-k
+  /// from already-completed shards (see index::StrgIndex::Knn for the
+  /// exactness contract). Range and active queries ignore it.
+  std::vector<QueryHit> Query(
+      const QuerySpec& spec, QueryStats* stats = nullptr,
+      double initial_tau = std::numeric_limits<double>::infinity()) const;
+
+  /// The submit/complete surface at the database layer — the degenerate
+  /// synchronous implementation of the API the serving engines
+  /// (server::QueryEngine / ShardedQueryEngine) expose. There is no queue
+  /// and no worker pool here, so the request executes inline on the
+  /// calling thread and `on_complete` (when given) fires with the answer
+  /// before Submit returns; the answer is also returned directly.
+  /// opts.timeout / use_cache / shard_hint are accepted for vocabulary
+  /// uniformity and ignored — a bare database has no admission control, no
+  /// cache, and no shards.
+  std::vector<QueryHit> Submit(
+      const QuerySpec& spec, const SubmitOptions& opts,
+      const std::function<void(const std::vector<QueryHit>&)>& on_complete =
+          nullptr,
+      QueryStats* stats = nullptr) const;
 
   // ---- Legacy entry points: one-line wrappers over Query(QuerySpec),
   // ---- kept for source compatibility and slated for eventual removal.

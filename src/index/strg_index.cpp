@@ -66,6 +66,10 @@ struct StrgIndex::SearchCtx {
   dist::FlatSequence query_flat;              ///< for the fast kernel
   bool use_fast = true;
   size_t budget = std::numeric_limits<size_t>::max();  ///< max DP evals
+  /// Seed pruning radius: the heap's "worst" before it holds k hits.
+  /// +inf = unbounded (the single-index behavior); finite = a sharded
+  /// caller's running global worst-of-k (see Knn's contract).
+  double tau0 = std::numeric_limits<double>::infinity();
   dist::EgedKernelStats stats;
 
   bool Exhausted() const { return stats.dp_evals >= budget; }
@@ -484,9 +488,13 @@ void StrgIndex::SearchClusters(const RootRecord& root, SearchCtx* ctx,
   };
 
   // Max-heap semantics over the current k best via sorted vector (k small).
+  // Until the heap is full the pruning radius is ctx->tau0 (normally +inf;
+  // a sharded gatherer seeds it with the global worst-of-k). Once full,
+  // hits.back() < tau0 by construction — offer() never admits d >= worst()
+  // — so no min() against tau0 is needed.
   auto& hits = result->hits;
   auto worst = [&]() {
-    return hits.size() < k ? kInf : hits.back().distance;
+    return hits.size() < k ? ctx->tau0 : hits.back().distance;
   };
   auto offer = [&](size_t og_id, double d) {
     if (d >= worst()) return;
@@ -627,7 +635,8 @@ size_t StrgIndex::BestRoot(const core::BackgroundGraph& query_bg) const {
 
 KnnResult StrgIndex::Knn(const dist::Sequence& query, size_t k,
                          const core::BackgroundGraph* query_bg,
-                         size_t max_distance_computations) const {
+                         size_t max_distance_computations,
+                         double initial_tau) const {
   KnnResult result;
   if (k == 0 || roots_.empty()) return result;
 
@@ -636,6 +645,7 @@ KnnResult StrgIndex::Knn(const dist::Sequence& query, size_t k,
   ctx.use_fast = params_.use_fast_kernel;
   if (ctx.use_fast) ctx.query_flat.Assign(query, params_.metric_gap);
   if (max_distance_computations != 0) ctx.budget = max_distance_computations;
+  ctx.tau0 = initial_tau;
 
   if (query_bg != nullptr) {
     SearchClusters(roots_[BestRoot(*query_bg)], &ctx, k, &result);

@@ -2,6 +2,7 @@
 #define STRG_INDEX_STRG_INDEX_H_
 
 #include <atomic>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -146,9 +147,22 @@ class StrgIndex {
   /// exact k-NN would return identical answers from any correct index, so
   /// accuracy differences only show up at a fixed search budget, where a
   /// better-organized index reaches the true neighbors sooner.
+  ///
+  /// `initial_tau` (default +inf = unbounded) seeds the worst-of-heap
+  /// pruning radius before any hit is found: candidates at distance
+  /// >= initial_tau are never reported and are pruned exactly as if the
+  /// heap already held k hits at that distance. This is the scatter-gather
+  /// hook — a sharded search passes the running global worst-of-k from
+  /// already-completed shards so later shard legs skip the work of proving
+  /// what the gatherer already knows. Hits below initial_tau are exact and
+  /// bit-identical to the unbounded search's (the bounded kernel is exact
+  /// below tau); the caller must only pass a finite tau it can prove is an
+  /// upper bound on the k-th global neighbor.
   KnnResult Knn(const dist::Sequence& query, size_t k,
                 const core::BackgroundGraph* query_bg = nullptr,
-                size_t max_distance_computations = 0) const;
+                size_t max_distance_computations = 0,
+                double initial_tau =
+                    std::numeric_limits<double>::infinity()) const;
 
   /// Range (similarity) search: every indexed OG within `radius` of the
   /// query under the metric EGED, ascending by distance. Uses the same

@@ -122,6 +122,12 @@ class DurableQueryEngine {
 
   // ---- Readers (delegate to the serving engine). ----
 
+  /// Async submit/complete surface, same contract as QueryEngine::Submit.
+  QueryHandle Submit(const api::QuerySpec& spec, const QueryOptions& opts = {},
+                     CompletionFn on_complete = nullptr) {
+    return engine_.Submit(spec, opts, std::move(on_complete));
+  }
+
   QueryResult Query(const api::QuerySpec& spec, const QueryOptions& opts = {}) {
     return engine_.Query(spec, opts);
   }

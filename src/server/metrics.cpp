@@ -101,11 +101,27 @@ double ServerMetrics::CacheHitRate() const {
   return static_cast<double>(h) / static_cast<double>(h + m);
 }
 
-std::string ServerMetrics::ToJson(uint64_t generation) const {
+std::string ServerMetrics::ToJson(
+    uint64_t generation, const std::vector<ShardScrape>& shards) const {
   std::string out;
-  out.reserve(1024);
+  out.reserve(1024 + shards.size() * 64);
   out.append("{\"generation\":");
   AppendCount(&out, generation);
+
+  // Per-shard breakdown; [] on an unsharded engine. Key order inside each
+  // entry is part of the stable schema the regression test pins.
+  out.append(",\"shards\":[");
+  for (size_t s = 0; s < shards.size(); ++s) {
+    if (s != 0) out.push_back(',');
+    out.append("{\"queries\":");
+    AppendCount(&out, shards[s].queries);
+    out.append(",\"tau_prune_hits\":");
+    AppendCount(&out, shards[s].tau_prune_hits);
+    out.append(",\"queue_depth\":");
+    out.append(std::to_string(shards[s].queue_depth));
+    out.append("}");
+  }
+  out.append("]");
 
   out.append(",\"admission\":{\"admitted\":");
   AppendCount(&out, admitted.load(std::memory_order_relaxed));

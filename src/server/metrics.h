@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "api/status.h"
 #include "core/ingest_stats.h"
@@ -137,14 +138,27 @@ class ServerMetrics {
 
   double CacheHitRate() const;
 
+  /// One shard's point-in-time scrape for the "shards" array below. The
+  /// sharded engine reads its per-shard relaxed counters into these plain
+  /// values right before the dump, so ToJson itself stays lock-free.
+  struct ShardScrape {
+    uint64_t queries = 0;         ///< scatter-gather legs executed
+    uint64_t tau_prune_hits = 0;  ///< legs that started with a finite tau
+    int64_t queue_depth = 0;      ///< legs posted but not finished
+  };
+
   /// Whole registry as one JSON object; `generation` is the currently
-  /// published snapshot generation (the engine supplies it).
+  /// published snapshot generation (the engine supplies it) and `shards`
+  /// the per-shard breakdown (empty on an unsharded engine — the "shards"
+  /// key is always present so the JSON schema is stable).
   ///
   /// STRG_LOCK_FREE: deliberately holds no mutex. Every field it reads is a
   /// relaxed atomic, so the dump is a per-counter-consistent (not
   /// cross-counter-atomic) scrape — pausing the serving path to get a fully
   /// coherent dump would invert the priority of the two.
-  STRG_LOCK_FREE std::string ToJson(uint64_t generation) const;
+  STRG_LOCK_FREE std::string ToJson(
+      uint64_t generation,
+      const std::vector<ShardScrape>& shards = {}) const;
 };
 
 }  // namespace strg::server

@@ -1,6 +1,7 @@
 #ifndef STRG_SERVER_QUERY_ENGINE_H_
 #define STRG_SERVER_QUERY_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -12,10 +13,10 @@
 #include "api/query_spec.h"
 #include "api/status.h"
 #include "core/video_database.h"
+#include "server/async_runtime.h"
 #include "server/metrics.h"
 #include "server/result_cache.h"
 #include "util/sync.h"
-#include "util/thread_pool.h"
 
 namespace strg::server {
 
@@ -23,13 +24,14 @@ namespace strg::server {
 /// (this used to be a server-local enum; it folded into api so the storage
 /// and serving layers speak one set of codes). The engine degrades
 /// predictably instead of collapsing: saturation yields kOverloaded, slow
-/// queries against a deadline yield kDeadlineExceeded — both cheap, both
-/// counted.
+/// queries against a deadline yield kDeadlineExceeded, a cancelled handle
+/// yields kCancelled — all cheap, all counted.
 using StatusCode = api::StatusCode;
 using api::StatusCodeName;
 
 struct EngineOptions {
-  /// Worker threads executing queries (0 = hardware concurrency).
+  /// Worker threads executing queries (0 = hardware concurrency). Ignored
+  /// when `runtime` is set (the shared runtime sizes its own pool).
   size_t num_threads = 2;
   /// Max requests admitted but not yet finished (queued + running). The
   /// bound is what turns overload into fast typed rejections instead of an
@@ -38,23 +40,110 @@ struct EngineOptions {
   /// Total cached query results across all cache shards.
   size_t cache_capacity = 4096;
   size_t cache_shards = 8;
+  /// External request runtime to execute on (not owned; must outlive the
+  /// engine). nullptr = the engine owns a private runtime sized by
+  /// num_threads. A ShardedQueryEngine injects one shared runtime into all
+  /// of its shard engines so per-shard fan-out tasks share one worker pool
+  /// and one bounded submission queue.
+  AsyncRuntime* runtime = nullptr;
 };
 
-struct QueryOptions {
-  /// Per-request deadline measured from submission. 0 = none. Negative =
-  /// already expired (deterministic deadline handling, used by tests).
-  std::chrono::microseconds timeout{0};
-  bool use_cache = true;
-};
+/// Per-request options. The historical server-local spelling is now an
+/// alias of the api-wide submit vocabulary so QueryEngine,
+/// ShardedQueryEngine, and api::VideoDatabase all take the same struct.
+using QueryOptions = api::SubmitOptions;
 
 struct QueryResult {
   StatusCode status = StatusCode::kOk;
   std::vector<api::VideoDatabase::QueryHit> hits;
   /// Index generation the answer was computed against (0 when the request
-  /// never reached a snapshot: overload / expiry).
+  /// never reached a snapshot: overload / expiry / cancellation).
   uint64_t generation = 0;
   bool from_cache = false;
   double latency_micros = 0.0;
+};
+
+/// Completion callback of the submit/complete surface. Invoked exactly
+/// once per submitted request, with the final QueryResult, by whichever
+/// thread finalizes the request: a runtime worker (normal completion), the
+/// submitting thread (cache fast path / admission rejection), a waiter
+/// whose deadline passed, or a canceller. Runs before any Wait() on the
+/// handle returns, so a caller may tear down callback-captured state as
+/// soon as Wait comes back. Must not block (waiting on the same handle
+/// inside the callback deadlocks) and must not re-enter the engine's
+/// write path.
+using CompletionFn = std::function<void(const QueryResult&)>;
+
+/// Shared mutable state of one submitted request — the rendezvous between
+/// the submitting thread (via QueryHandle), the runtime worker executing
+/// the task, and the completion callback. Exactly one finalization wins
+/// (TryFinalize's CAS), so late losers — a worker finishing after the
+/// waiter's deadline fired, a cancel racing normal completion — are
+/// silently dropped and every per-request metric is counted once.
+struct RequestState {
+  using Clock = std::chrono::steady_clock;
+
+  // Immutable after Submit.
+  Clock::time_point start;
+  Clock::time_point deadline;
+  bool has_deadline = false;
+  CompletionFn on_complete;
+  ServerMetrics* metrics = nullptr;  ///< NoteStatus sink (not owned)
+
+  /// Set by QueryHandle::Cancel. A task that has not started yet converts
+  /// this into a kCancelled completion without doing the work; a task
+  /// already executing finishes (its result is dropped by the CAS).
+  std::atomic<bool> cancel_requested{false};
+  /// The exactly-once completion guard.
+  std::atomic<bool> finalized{false};
+
+  mutable Mutex mu;
+  CondVar cv;
+  bool done STRG_GUARDED_BY(mu) = false;
+  QueryResult result STRG_GUARDED_BY(mu);
+
+  /// First caller wins: records the outcome (NoteStatus exactly once),
+  /// publishes it to waiters, and invokes the completion callback. Returns
+  /// false when someone else already finalized (the result is dropped).
+  bool TryFinalize(QueryResult r) STRG_EXCLUDES(mu);
+  bool Done() const STRG_EXCLUDES(mu);
+  /// Blocks until finalized; no deadline handling (the handle layers the
+  /// request deadline on top).
+  QueryResult WaitDone() STRG_EXCLUDES(mu);
+};
+
+/// Caller's view of one in-flight request: poll, wait (honouring the
+/// request deadline), or cancel. Copyable and cheap (one shared_ptr); a
+/// default-constructed handle is empty. The blocking Query() entry points
+/// are Submit(...).Wait() — the handle is the whole synchronous story.
+class QueryHandle {
+ public:
+  QueryHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  /// Non-blocking: has the request finalized?
+  bool Done() const { return state_ != nullptr && state_->Done(); }
+
+  /// Requests cancellation. A request still queued completes kCancelled
+  /// without executing; one already running completes normally (first
+  /// finalizer wins). Idempotent; safe from any thread.
+  void Cancel();
+
+  /// Blocks until the request finalizes — or, when it was submitted with a
+  /// deadline, until that deadline passes, in which case the request is
+  /// finalized kDeadlineExceeded right here (the task may still run later;
+  /// its result is dropped and its admission slot is released by itself).
+  /// Returns the final result. Calling Wait on an empty handle returns a
+  /// default (kOk, empty) result.
+  QueryResult Wait();
+
+ private:
+  friend class QueryEngine;
+  friend class ShardedQueryEngine;
+  explicit QueryHandle(std::shared_ptr<RequestState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<RequestState> state_;
 };
 
 /// One immutable published index generation. Readers hold it via
@@ -100,12 +189,17 @@ class SnapshotHolder {
 ///    copy) and run the whole query against that immutable generation: no
 ///    lock is held during query execution, so there are no torn reads and
 ///    no half-inserted trees — at the cost of ingest copying the database
-///    (fine for this workload; later PRs can shard or delta-copy).
+///    (fine for this workload; the sharded engine bounds the copy to 1/N).
 ///
-/// Request path: result-cache fast path on the calling thread (a cache hit
-/// costs one shard mutex, no admission), then bounded admission, then
-/// execution on the worker pool while the caller waits on the task future —
-/// with `future::wait_until` when a deadline is set, so nothing busy-waits.
+/// Request path — submit/complete over the async runtime:
+///   Submit runs the result-cache fast path on the calling thread (a cache
+///   hit costs one shard mutex, no admission), then bounded admission, then
+///   posts the execution task to the runtime and returns a QueryHandle.
+///   Completion flows through RequestState: the worker finalizes the
+///   result, waiters are notified, and the completion callback fires
+///   exactly once. The blocking Query(spec) is Submit(...).Wait() — the
+///   old thread-per-request future plumbing is gone, and all pre-redesign
+///   call sites behave bit-identically.
 class QueryEngine {
  public:
   explicit QueryEngine(index::StrgIndexParams params = {},
@@ -139,10 +233,20 @@ class QueryEngine {
 
   // ---- Readers (admission-controlled, snapshot-isolated). ----
 
-  /// The one read entry point: the digest is computed once from the spec
-  /// (cache key + metrics attribution), then the request flows through the
-  /// cache / admission / deadline machinery regardless of kind.
-  QueryResult Query(const api::QuerySpec& spec, const QueryOptions& opts = {});
+  /// The headline entry point: submits the request into the async runtime
+  /// and returns a handle. `on_complete` (optional) fires exactly once
+  /// with the final result. Overload and cache fast-path outcomes finalize
+  /// before Submit returns (the callback then runs on the calling thread).
+  /// opts.shard_hint is accepted for vocabulary uniformity and ignored —
+  /// one engine is one shard.
+  QueryHandle Submit(const api::QuerySpec& spec, const QueryOptions& opts = {},
+                     CompletionFn on_complete = nullptr);
+
+  /// Blocking spelling: Submit + Wait. Kept as the convenient synchronous
+  /// API; every pre-redesign caller goes through here unchanged.
+  QueryResult Query(const api::QuerySpec& spec, const QueryOptions& opts = {}) {
+    return Submit(spec, opts).Wait();
+  }
 
   // Legacy spellings — one-line wrappers over Query(QuerySpec), kept for
   // source compatibility and slated for eventual removal.
@@ -175,12 +279,30 @@ class QueryEngine {
     return metrics_.ToJson(Generation());
   }
 
- private:
-  using ComputeFn =
-      std::function<ShardedResultCache::Value(const api::VideoDatabase&)>;
+  AsyncRuntime& runtime() { return *runtime_; }
 
-  QueryResult Execute(uint64_t digest, LatencyHistogram* histogram,
-                      const QueryOptions& opts, ComputeFn compute);
+ private:
+  friend class ShardedQueryEngine;
+
+  /// Picks the per-kind latency histogram (attribution parity with the old
+  /// dedicated entry points).
+  LatencyHistogram* HistogramFor(api::QuerySpec::Kind kind);
+
+  /// The worker-side execution: deadline/cancel checks, snapshot query,
+  /// cache fill, metrics, finalization. Runs on a runtime worker.
+  void RunTask(const std::shared_ptr<RequestState>& state,
+               const api::QuerySpec& spec, uint64_t digest,
+               LatencyHistogram* histogram, bool use_cache);
+
+  /// Scatter-gather hook for ShardedQueryEngine: one shard leg executed
+  /// synchronously on the caller's (worker) thread against the current
+  /// snapshot. `initial_tau` seeds kNN pruning with the gatherer's running
+  /// global worst-of-k; tau-bounded answers are intentionally NOT entered
+  /// into the result cache (they are truncated views keyed by the same
+  /// digest, so caching them would poison exact lookups).
+  std::vector<api::VideoDatabase::QueryHit> ExecuteShardLeg(
+      const api::QuerySpec& spec, double initial_tau,
+      api::VideoDatabase::QueryStats* stats, uint64_t* generation) const;
 
   /// Clone-mutate-publish under writer_mu_; the published Snapshot itself
   /// is immutable, so readers never take this lock.
@@ -195,9 +317,11 @@ class QueryEngine {
   /// snapshot, and publication goes through head_'s own mutex.
   Mutex writer_mu_;
   SnapshotHolder head_;
-  /// Declared last: destroyed first, so queued tasks drain while the
-  /// members they reference are still alive.
-  ThreadPool pool_;
+  /// Declared last: destroyed first, so accepted tasks drain while the
+  /// members they reference are still alive. Null when an external runtime
+  /// was injected (runtime_ then points at it and outlives us by contract).
+  std::unique_ptr<AsyncRuntime> owned_runtime_;
+  AsyncRuntime* runtime_ = nullptr;
 };
 
 }  // namespace strg::server

@@ -85,18 +85,24 @@ class Catalog {
       const std::string& path, const StorageParams& params,
       uint64_t* user_data = nullptr);
 
-  // ---- Thin throwing wrappers (legacy surface; prefer the Try* forms). ----
+  // ---- Thin throwing wrappers (legacy surface; use the Try* forms). ----
+  // Deprecated: internal code is fully migrated to Status/StatusOr, and
+  // scripts/strg_lint.py rejects new uses under src/. These stay only so
+  // external callers get a compiler nudge instead of a hard break.
 
   /// Throws std::runtime_error on any parse failure.
-  static Catalog Deserialize(std::string_view bytes) {
+  [[deprecated("use TryDeserialize (StatusOr) instead")]] static Catalog
+  Deserialize(std::string_view bytes) {
     return std::move(TryDeserialize(bytes).value());
   }
   /// Throws std::runtime_error on I/O failure.
-  void SaveToFile(const std::string& path) const {
+  [[deprecated("use TrySaveToFile (Status) instead")]] void SaveToFile(
+      const std::string& path) const {
     TrySaveToFile(path).ThrowIfError();
   }
   /// Throws std::runtime_error on I/O or parse failure.
-  static Catalog LoadFromFile(const std::string& path) {
+  [[deprecated("use TryLoadFromFile (StatusOr) instead")]] static Catalog
+  LoadFromFile(const std::string& path) {
     return std::move(TryLoadFromFile(path).value());
   }
 

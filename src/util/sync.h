@@ -178,6 +178,21 @@ class CondVar {
     native.release();
   }
 
+  /// Timed wait: atomically releases `mu`, blocks until notified (or a
+  /// spurious wakeup, or `deadline` passes), and re-acquires before
+  /// returning. Returns false iff the deadline passed — callers re-check
+  /// their predicate either way, exactly as with Wait(). This is what lets
+  /// the serving layer wait on a request handle with a per-request deadline
+  /// without busy-waiting (the async-runtime replacement for the old
+  /// std::future::wait_until path).
+  template <typename TimePoint>
+  bool WaitUntil(Mutex& mu, const TimePoint& deadline) STRG_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status == std::cv_status::no_timeout;
+  }
+
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }
 

@@ -46,8 +46,8 @@ TEST(EndToEnd, MultiShotPersistenceAndRetrieval) {
   storage::Catalog catalog;
   catalog.AddSegment(ToCatalogSegment("shot-0", segments[0]));
   catalog.AddSegment(ToCatalogSegment("shot-1", segments[1]));
-  storage::Catalog reloaded = storage::Catalog::Deserialize(
-      catalog.Serialize());
+  storage::Catalog reloaded =
+      storage::Catalog::TryDeserialize(catalog.Serialize()).value();
 
   index::StrgIndexParams ip;
   ip.num_clusters = 2;

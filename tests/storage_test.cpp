@@ -135,7 +135,7 @@ TEST(Catalog, SerializeDeserializeRoundTrip) {
   seg.background.rag.AddNode(bg_attr);
   catalog.AddSegment(seg);
 
-  Catalog back = Catalog::Deserialize(catalog.Serialize());
+  Catalog back = Catalog::TryDeserialize(catalog.Serialize()).value();
   ASSERT_EQ(back.NumSegments(), 1u);
   EXPECT_EQ(back.TotalOgs(), 2u);
   const CatalogSegment& s = back.segments()[0];
@@ -146,11 +146,23 @@ TEST(Catalog, SerializeDeserializeRoundTrip) {
 }
 
 TEST(Catalog, RejectsBadMagicAndTrailingBytes) {
-  EXPECT_THROW(Catalog::Deserialize("garbage-bytes"), std::runtime_error);
+  EXPECT_FALSE(Catalog::TryDeserialize("garbage-bytes").ok());
   Catalog catalog;
   std::string bytes = catalog.Serialize();
   bytes += "x";
-  EXPECT_THROW(Catalog::Deserialize(bytes), std::runtime_error);
+  EXPECT_FALSE(Catalog::TryDeserialize(bytes).ok());
+}
+
+// The deprecated throwing wrappers must keep their historical contract
+// until removal (external callers rely on std::runtime_error). This test
+// is the one sanctioned use; everything else goes through Try*.
+TEST(Catalog, DeprecatedThrowingWrappersStillThrow) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_THROW(Catalog::Deserialize("garbage-bytes"), std::runtime_error);
+  EXPECT_THROW(Catalog::LoadFromFile(::testing::TempDir() + "/no_such_file"),
+               std::runtime_error);
+#pragma GCC diagnostic pop
 }
 
 TEST(Catalog, FileRoundTrip) {
@@ -161,8 +173,8 @@ TEST(Catalog, FileRoundTrip) {
   catalog.AddSegment(seg);
 
   std::string path = ::testing::TempDir() + "/strg_catalog_test.bin";
-  catalog.SaveToFile(path);
-  Catalog back = Catalog::LoadFromFile(path);
+  ASSERT_TRUE(catalog.TrySaveToFile(path).ok());
+  Catalog back = Catalog::TryLoadFromFile(path).value();
   EXPECT_EQ(back.NumSegments(), 1u);
   EXPECT_EQ(back.segments()[0].video_name, "file-test");
   std::remove(path.c_str());
@@ -185,7 +197,7 @@ TEST(Persistence, DatabaseSurvivesSaveAndRestore) {
 
   Catalog catalog;
   catalog.AddSegment(ToCatalogSegment("lab", segment));
-  Catalog reloaded = Catalog::Deserialize(catalog.Serialize());
+  Catalog reloaded = Catalog::TryDeserialize(catalog.Serialize()).value();
   VideoDatabase restored = RestoreVideoDatabase(reloaded, ip);
 
   EXPECT_EQ(restored.NumVideos(), original.NumVideos());
