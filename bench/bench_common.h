@@ -5,7 +5,9 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
+#include "distance/simd/dispatch.h"
 #include "util/table.h"
 
 namespace strg::bench {
@@ -35,10 +37,20 @@ inline void Banner(const std::string& figure, const std::string& what) {
 /// the machine-readable twin of the stdout report every harness prints.
 /// Each bench passes the literal artifact name (e.g. "BENCH_fig7.json") so
 /// the repo linter (strg-bench-json) can see which report the file owns.
+///
+/// Every report leads with the host/kernel context that makes its numbers
+/// comparable across machines and dispatch tiers: the active simd tier, the
+/// host's hardware_concurrency, and the padded point stride (the
+/// strg-bench-simd-tier linter rule; hand-rolled reports record the same
+/// fields themselves).
 class JsonReport {
  public:
   explicit JsonReport(std::string path) : path_(std::move(path)) {
     json_ = "{";
+    AddString("simd_tier", dist::simd::TierName(dist::simd::ActiveTier()));
+    AddScalar("hardware_concurrency",
+              static_cast<double>(std::thread::hardware_concurrency()));
+    AddScalar("padded_stride", static_cast<double>(dist::simd::kPaddedDim));
   }
 
   void AddTable(const std::string& key, const Table& table) {

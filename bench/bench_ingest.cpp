@@ -232,7 +232,9 @@ int main() {
       single_thread_speedup, pooled4_speedup);
 
   std::string json =
-      "{\"hardware_concurrency\":" + std::to_string(hw);
+      "{\"simd_tier\":\"" +
+      std::string(dist::simd::TierName(dist::simd::ActiveTier())) + "\"";
+  json += ",\"hardware_concurrency\":" + std::to_string(hw);
   json += ",\"kernel\":{\"reference_us_per_frame\":" + Num(ref_us);
   json += ",\"optimized_us_per_frame\":" + Num(opt_us);
   json += ",\"speedup\":" + Num(kernel_speedup) + "}";

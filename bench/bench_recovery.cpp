@@ -238,7 +238,9 @@ int main() {
 
   // ---- JSON report. ----
   std::ostringstream json;
-  json << "{\"bench\":\"recovery\",\"streamed_ops\":" << w.stream.size()
+  json << "{\"bench\":\"recovery\",\"simd_tier\":\""
+       << dist::simd::TierName(dist::simd::ActiveTier())
+       << "\",\"streamed_ops\":" << w.stream.size()
        << ",\"ingest\":[";
   for (size_t i = 0; i < ingest.size(); ++i) {
     const IngestRow& r = ingest[i];

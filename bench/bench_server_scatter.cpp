@@ -462,10 +462,12 @@ int main() {
 
   char head[256];
   std::snprintf(head, sizeof(head),
-                "{\"bench\":\"server_scatter\",\"shards\":%zu,"
+                "{\"bench\":\"server_scatter\",\"simd_tier\":\"%s\","
+                "\"shards\":%zu,"
                 "\"hardware_concurrency\":%u,\"clients\":%zu,"
                 "\"equivalent\":%s,",
-                shards, cores, clients, equivalent ? "true" : "false");
+                dist::simd::TierName(dist::simd::ActiveTier()), shards, cores,
+                clients, equivalent ? "true" : "false");
   std::string json = head;
   AppendPhaseJson(&json, single);
   json.push_back(',');

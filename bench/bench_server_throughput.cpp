@@ -273,9 +273,11 @@ int main() {
   // Machine-readable context every BENCH_server*.json must carry (a
   // scripts/strg_lint.py rule): shard count and the host's concurrency, so
   // runs are comparable across machines and against the sharded bench.
-  char ctx[96];
+  char ctx[160];
   std::snprintf(ctx, sizeof(ctx),
-                "\"shards\":1,\"hardware_concurrency\":%u,",
+                "\"simd_tier\":\"%s\",\"shards\":1,"
+                "\"hardware_concurrency\":%u,",
+                dist::simd::TierName(dist::simd::ActiveTier()),
                 std::thread::hardware_concurrency());
   std::string json = std::string("{\"bench\":\"server_throughput\",") + ctx;
   AppendPhaseJson(&json, serial);

@@ -32,23 +32,34 @@
 //       Audit a page file (store.pages / catalog.pages) offline: header
 //       fields, page-type counts, free-list health, and live/dead record
 //       occupancy per record type.
+//   strgtool simd
+//       Print the detected simd dispatch tier for the distance kernels and
+//       micro-time the point-distance batch and exact EGED DP on every tier
+//       this host can run (scalar is always available; vector tiers must be
+//       bit-identical, so the timings are the only observable difference).
 //
 // Demonstrates persistence (storage::Catalog + the WAL-backed
 // DurableQueryEngine) plus the retrieval API; a real deployment would
 // ingest camera frames instead of rendered scenes.
 
+#include <algorithm>
+#include <chrono>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/persistence.h"
+#include "distance/eged_fast.h"
 #include "distance/sequence.h"
+#include "distance/simd/dispatch.h"
 #include "server/durable_engine.h"
 #include "server/serve_options.h"
 #include "server/sharded_engine.h"
 #include "storage/catalog.h"
 #include "storage/pager/paged_record_store.h"
+#include "util/random.h"
 #include "util/table.h"
 #include "video/ppm_io.h"
 #include "video/scenes.h"
@@ -68,7 +79,8 @@ int Usage() {
       "  strgtool serve [--shards=N] [--paged] [--cache-mb=N] <wal-dir>\n"
       "                 [lab|traffic <name> <num_objects> [seed]]\n"
       "  strgtool save <wal-dir> <catalog-out>\n"
-      "  strgtool stat <page-file>\n";
+      "  strgtool stat <page-file>\n"
+      "  strgtool simd\n";
   return 2;
 }
 
@@ -265,6 +277,89 @@ int Stat(const std::string& path) {
   return 0;
 }
 
+/// `strgtool simd`: the CLI face of the dispatch layer. Prints which tier
+/// the host detected (and which is active, since STRG_SIMD_TIER /
+/// STRG_FORCE_SCALAR can override it), then micro-times the two hot
+/// kernels on every runnable tier. Timings are best-of-5 means so a
+/// background blip does not masquerade as a speedup.
+int Simd() {
+  namespace simd = dist::simd;
+  using Clock = std::chrono::steady_clock;
+  std::cout << "detected tier: " << simd::TierName(simd::DetectedTier())
+            << "\nactive tier:   " << simd::TierName(simd::ActiveTier())
+            << "  (override: STRG_SIMD_TIER=scalar|avx2|neon, "
+               "STRG_FORCE_SCALAR=1)\n"
+            << "padded stride: " << simd::kPaddedDim << " doubles/point\n";
+
+  constexpr size_t kLen = 64;
+  Rng rng(7);
+  auto make_seq = [&rng] {
+    dist::Sequence s(kLen);
+    dist::FeatureVec cur{};
+    for (size_t k = 0; k < dist::kFeatureDim; ++k) {
+      cur[k] = rng.Uniform(0.0, 10.0);
+    }
+    for (size_t i = 0; i < kLen; ++i) {
+      for (size_t k = 0; k < dist::kFeatureDim; ++k) {
+        cur[k] += rng.Gaussian(0.0, 0.5);
+      }
+      s[i] = cur;
+    }
+    return s;
+  };
+  const dist::Sequence a = make_seq();
+  const dist::Sequence b = make_seq();
+  dist::FlatSequence fa, fb;
+  dist::EgedWorkspace ws;
+  std::vector<double> out(kLen);
+  double checksum = 0.0;
+
+  auto time_us = [](auto&& fn) {
+    constexpr int kReps = 400;
+    double best = std::numeric_limits<double>::infinity();
+    for (int round = 0; round < 5; ++round) {
+      const auto t0 = Clock::now();
+      for (int r = 0; r < kReps; ++r) fn();
+      const double us =
+          std::chrono::duration<double, std::micro>(Clock::now() - t0)
+              .count() /
+          kReps;
+      best = std::min(best, us);
+    }
+    return best;
+  };
+
+  const simd::Tier saved = simd::ActiveTier();
+  double scalar_dp_us = 0.0;
+  Table table({"tier", "point batch (us)", "exact EGED 64x64 (us)",
+               "DP speedup"});
+  for (simd::Tier tier :
+       {simd::Tier::kScalar, simd::Tier::kAvx2, simd::Tier::kNeon}) {
+    const simd::KernelOps* ops = simd::OpsForTier(tier);
+    if (ops == nullptr) continue;
+    simd::ForceTier(tier);
+    // Rebuild the flat forms under this tier so the whole pipeline — gap
+    // costs included — runs through the kernel being timed.
+    fa.Assign(a, {});
+    fb.Assign(b, {});
+    const double pd_us = time_us([&] {
+      ops->point_distance_batch(fa.point(0), fb.points(), kLen, out.data());
+      checksum += out[kLen - 1];
+    });
+    const double dp_us =
+        time_us([&] { checksum += dist::EgedMetricFlat(fa, fb, &ws); });
+    if (tier == simd::Tier::kScalar) scalar_dp_us = dp_us;
+    table.AddRow({simd::TierName(tier), FormatDouble(pd_us, 3),
+                  FormatDouble(dp_us, 2),
+                  FormatDouble(scalar_dp_us / dp_us, 2) + "x"});
+  }
+  simd::ForceTier(saved);
+  table.Print(std::cout);
+  std::cout << "(checksum " << FormatDouble(checksum, 3)
+            << " — identical on every tier by the bit-identity contract)\n";
+  return 0;
+}
+
 server::DurableQueryEngine* MustOpenDurable(
     const std::string& wal_dir, const server::DurableEngineOptions& opts,
     std::unique_ptr<server::DurableQueryEngine>* holder) {
@@ -411,6 +506,7 @@ int main(int argc, char** argv) {
     std::string a = argv[i];
     if (!serve_opts.ParseFlag(a)) args.push_back(std::move(a));
   }
+  if (args.size() == 1 && args[0] == "simd") return Simd();
   if (args.size() < 2) return Usage();
   const std::string& cmd = args[0];
   const std::string& path = args[1];

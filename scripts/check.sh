@@ -9,7 +9,9 @@
 # A dedicated `server` stage runs the server-labeled suites (sharded
 # scatter-gather, async runtime, metrics JSON) under ASan, and — with
 # STRG_CHECK_TSAN=1 — the cancellation/deadline race and tau-pruning tests
-# under TSan.
+# under TSan. A `simd` stage re-runs the distance|simd suites under ASan and
+# UBSan with STRG_FORCE_SCALAR=1, covering both dispatch tiers and the env
+# override plumbing.
 #
 #   scripts/check.sh                 # static + tier-1 + ASan + UBSan passes
 #   STRG_CHECK_ASAN_ALL=1 scripts/check.sh   # ASan over the whole suite
@@ -74,6 +76,22 @@ cmake -B build-ubsan -S . -DSTRG_SANITIZE=undefined \
 cmake --build build-ubsan -j --target wal_recovery_test distance_kernel_test \
   ingest_parallel_test
 ctest --test-dir build-ubsan -L 'recovery|distance|ingest' --output-on-failure -j
+
+echo
+echo "== simd stage: dispatch-tier equivalence under ASan + UBSan, both tiers =="
+# The distance|simd suites force tiers internally (scalar vs detected), so
+# one run already covers the vector kernels' memory/UB behavior; running
+# them again under STRG_FORCE_SCALAR=1 additionally proves the env override
+# plumbing and the scalar-initial-state path. The unaligned _mm256_loadu /
+# vld1q tails and the wavefront DP's offset arithmetic are exactly where an
+# out-of-bounds lane or pointer-wrap UB would hide.
+cmake --build build-asan -j --target simd_dispatch_test
+cmake --build build-ubsan -j --target simd_dispatch_test
+ctest --test-dir build-asan -L 'distance|simd' --output-on-failure -j
+STRG_FORCE_SCALAR=1 ctest --test-dir build-asan -L 'distance|simd' \
+  --output-on-failure -j
+STRG_FORCE_SCALAR=1 ctest --test-dir build-ubsan -L 'distance|simd' \
+  --output-on-failure -j
 
 if [[ "${STRG_CHECK_TSAN:-0}" == "1" ]]; then
   echo

@@ -26,6 +26,17 @@ what the repo has *decided* — contracts that live across files:
                         must record the shard count and the host's
                         hardware_concurrency in it — serving throughput
                         numbers are meaningless without both.
+  strg-bench-simd-tier  A bench that writes any BENCH_*.json must record the
+                        active simd dispatch tier (bench::JsonReport emits
+                        it automatically; hand-rolled reports name a
+                        "simd_tier" field themselves) — kernel timings are
+                        incomparable without knowing which tier ran.
+  strg-simd-intrinsics  No vendor intrinsics (immintrin.h / arm_neon.h,
+                        _mm*/__m*/v*q_f64 tokens) in src/ outside
+                        src/distance/simd/: every vectorized loop goes
+                        through the dispatched KernelOps table so the
+                        scalar-equivalence proof and the per-TU ISA flags
+                        stay in one audited place.
   strg-test-label       Every tests/*_test.cpp declares `// ctest-labels:`,
                         which tests/CMakeLists.txt applies — so label-driven
                         suites (ctest -L recovery|distance|ingest|static)
@@ -82,6 +93,15 @@ DEPRECATED_CATALOG_RE = re.compile(
     r"\b(?:Deserialize|SaveToFile|LoadFromFile)\s*\(")
 TEST_LABEL_RE = re.compile(r"//\s*ctest-labels:\s*([a-z][a-z0-9_]*)")
 OPTOUT_RE = re.compile(r"STRG_NO_THREAD_SAFETY_ANALYSIS")
+SIMD_TIER_RE = re.compile(r"simd_tier")
+JSON_REPORT_RE = re.compile(r"\bJsonReport\b")
+SIMD_INTRINSICS_RE = re.compile(
+    r"#\s*include\s*<(?:immintrin|x86intrin|arm_neon|emmintrin|xmmintrin"
+    r"|smmintrin|tmmintrin|nmmintrin|wmmintrin|avxintrin|avx2intrin)\.h>"
+    r"|\b_mm(?:256|512)?_[A-Za-z0-9_]+"
+    r"|\b__m(?:128|256|512)[di]?\b"
+    r"|\b(?:float|int|uint)(?:8|16|32|64)x(?:1|2|4|8|16)_t\b"
+    r"|\bv[a-z0-9]+q?_[fsu](?:8|16|32|64)\b")
 
 
 class Finding:
@@ -142,6 +162,13 @@ def suppressed(raw_line: str, rule: str, findings: list, path: str,
     return False
 
 
+def file_suppressed(text: str, rule: str) -> bool:
+    """True if the file carries a justified NOLINT for `rule` anywhere
+    (whole-file rules like the bench-report checks)."""
+    return any(m.group(1) == rule and m.group(2)
+               for m in NOLINT_RE.finditer(text))
+
+
 def walk(root: str, subdir: str):
     base = os.path.join(root, subdir)
     for dirpath, dirnames, filenames in os.walk(base):
@@ -163,6 +190,7 @@ def lint_tree(root: str) -> list:
         rel = os.path.relpath(path, root)
         in_api_or_storage = rel.startswith(("src/api", "src/storage"))
         in_storage = rel.startswith("src/storage")
+        in_simd = rel.startswith("src/distance/simd")
 
         for idx, (raw_line, code_line) in enumerate(zip(raw, code), 1):
             if os.path.abspath(path) != os.path.abspath(sync_h):
@@ -197,6 +225,15 @@ def lint_tree(root: str) -> list:
                         "deprecated throwing Catalog wrapper; use "
                         "TryDeserialize/TrySaveToFile/TryLoadFromFile "
                         "(Status/StatusOr) instead"))
+            if not in_simd:
+                if SIMD_INTRINSICS_RE.search(code_line) and not suppressed(
+                        raw_line, "strg-simd-intrinsics", findings, path, idx):
+                    findings.append(Finding(
+                        path, idx, "strg-simd-intrinsics",
+                        "vendor intrinsics outside src/distance/simd/; add "
+                        "a kernel to the dispatched KernelOps table so the "
+                        "bit-identity proof and per-TU ISA flags stay in "
+                        "one place"))
             if WALLCLOCK_RE.search(code_line) and not suppressed(
                     raw_line, "strg-no-wallclock-rand", findings, path, idx):
                 findings.append(Finding(
@@ -234,6 +271,16 @@ def lint_tree(root: str) -> list:
                             "both), or justify with "
                             "NOLINT(strg-bench-server-shards): <why>"))
             if BENCH_JSON_RE.search(text):
+                if not (SIMD_TIER_RE.search(text)
+                        or JSON_REPORT_RE.search(text)) and \
+                        not file_suppressed(text, "strg-bench-simd-tier"):
+                    findings.append(Finding(
+                        path, 1, "strg-bench-simd-tier",
+                        'BENCH_*.json report must record the active simd '
+                        'dispatch tier (use bench::JsonReport, which emits '
+                        '"simd_tier" automatically, or write the field '
+                        "yourself), or justify with "
+                        "NOLINT(strg-bench-simd-tier): <why>"))
                 continue
             m = NOLINT_RE.search(text)
             if m and m.group(1) == "strg-bench-json" and m.group(2):
@@ -305,6 +352,22 @@ FIXTURES = {
         'const char* j = "\\"shards\\":1"; '
         "unsigned c = 0; (void)c;  // hardware_concurrency goes here\n"
         "  return p != nullptr && j != nullptr; }\n",
+    ),
+    "strg-bench-simd-tier": (
+        "bench/bench_tierless.cpp",
+        'int main() { const char* p = "BENCH_tierless.json"; '
+        "return p != nullptr; }\n",
+        'int main() { const char* p = "BENCH_tierless.json"; '
+        'const char* t = "\\"simd_tier\\":\\"scalar\\""; '
+        "return p != nullptr && t != nullptr; }\n",
+    ),
+    "strg-simd-intrinsics": (
+        "src/core/bad_vec.cc",
+        "#include <immintrin.h>\n"
+        "__m256d f(__m256d a) { return _mm256_add_pd(a, a); }\n",
+        "#include <immintrin.h>  "
+        "// NOLINT(strg-simd-intrinsics): ISA probe pinned to this TU\n"
+        "int f() { return 0; }\n",
     ),
     "strg-test-label": (
         "tests/bad_test.cpp",

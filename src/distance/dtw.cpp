@@ -2,23 +2,47 @@
 
 #include <limits>
 #include <stdexcept>
-#include <vector>
+#include <utility>
+
+#include "distance/eged_fast.h"
+#include "distance/simd/dispatch.h"
 
 namespace strg::dist {
 
+// Two-pass DTW over the dispatched row kernel. Phase 1 (vectorizable, no
+// loop-carried dependency) stashes per-column costs and min(prev[j-1],
+// prev[j]); phase 2 folds the loop-carried cur[j-1] and adds the cost.
+// min({p1, p2, c}) is reassociation-exact, so the result is bit-identical
+// to the classic single-pass loop at every dispatch tier.
 double Dtw(const Sequence& a, const Sequence& b) {
   if (a.empty() || b.empty()) {
     throw std::invalid_argument("Dtw: empty sequence");
   }
   const size_t m = a.size(), n = b.size();
   const double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> prev(n + 1, kInf), cur(n + 1, kInf);
+  const simd::KernelOps& ops = simd::ActiveOps();
+
+  static thread_local FlatSequence flat_b;
+  flat_b.Assign(b, FeatureVec{});
+  const double* bt = flat_b.transposed();
+  const size_t bstride = flat_b.t_stride();
+
+  double* prev = nullptr;
+  double* cur = nullptr;
+  double* cost = nullptr;
+  ThreadLocalEgedWorkspace().Rows3(n + 1, &prev, &cur, &cost);
   prev[0] = 0.0;
+  for (size_t j = 1; j <= n; ++j) prev[j] = kInf;
   for (size_t i = 1; i <= m; ++i) {
     cur[0] = kInf;
+    ops.dtw_row(a[i - 1].data(), bt, bstride, prev, n, cur, cost);
+    double left = kInf;
     for (size_t j = 1; j <= n; ++j) {
-      double cost = PointDistance(a[i - 1], b[j - 1]);
-      cur[j] = cost + std::min({prev[j - 1], prev[j], cur[j - 1]});
+      double md = cur[j];
+      if (left < md) md = left;
+      const double v = cost[j] + md;
+      cur[j] = v;
+      left = v;
     }
     std::swap(prev, cur);
   }

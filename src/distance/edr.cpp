@@ -2,24 +2,43 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <vector>
+#include <utility>
+
+#include "distance/eged_fast.h"
+#include "distance/simd/dispatch.h"
 
 namespace strg::dist {
 
+// Two-pass EDR over the dispatched row kernel, same decomposition as Dtw.
+// The kernels compare the sqrt'd point distance against epsilon — exactly
+// like the classic loop — because comparing squared forms differs at
+// boundary ULPs.
 double Edr(const Sequence& a, const Sequence& b, double epsilon) {
   if (a.empty() || b.empty()) {
     throw std::invalid_argument("Edr: empty sequence");
   }
   const size_t m = a.size(), n = b.size();
-  std::vector<double> prev(n + 1), cur(n + 1);
+  const simd::KernelOps& ops = simd::ActiveOps();
+
+  static thread_local FlatSequence flat_b;
+  flat_b.Assign(b, FeatureVec{});
+  const double* bt = flat_b.transposed();
+  const size_t bstride = flat_b.t_stride();
+
+  double* prev = nullptr;
+  double* cur = nullptr;
+  ThreadLocalEgedWorkspace().Rows(n + 1, &prev, &cur);
   for (size_t j = 0; j <= n; ++j) prev[j] = static_cast<double>(j);
   for (size_t i = 1; i <= m; ++i) {
     cur[0] = static_cast<double>(i);
+    ops.edr_row(a[i - 1].data(), bt, bstride, prev, epsilon, n, cur);
+    double left = cur[0];
     for (size_t j = 1; j <= n; ++j) {
-      double subcost =
-          PointDistance(a[i - 1], b[j - 1]) <= epsilon ? 0.0 : 1.0;
-      cur[j] = std::min({prev[j - 1] + subcost, prev[j] + 1.0,
-                         cur[j - 1] + 1.0});
+      const double horiz = left + 1.0;
+      double v = cur[j];
+      if (horiz < v) v = horiz;
+      cur[j] = v;
+      left = v;
     }
     std::swap(prev, cur);
   }

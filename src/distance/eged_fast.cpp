@@ -3,7 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "distance/simd/cells.h"
+
 namespace strg::dist {
+
+static_assert(kFeatureDim == simd::kCellDim,
+              "simd cell helpers must agree on the feature dimension");
+static_assert(kFeatureDim <= simd::kPaddedDim,
+              "padded stride must fit a feature point");
 
 namespace {
 
@@ -36,22 +43,43 @@ TlsFlatScratch& ThreadLocalFlats() {
 
 void FlatSequence::Assign(const Sequence& seq, const FeatureVec& g) {
   size_ = seq.size();
-  values_.resize(kFeatureDim * size_);
+  values_.resize(kStride * size_);
+  transposed_.resize(kFeatureDim * size_);
   gap_costs_.resize(size_);
   for (size_t i = 0; i < size_; ++i) {
+    double* p = values_.data() + i * kStride;
     for (size_t k = 0; k < kFeatureDim; ++k) {
-      values_[i * kFeatureDim + k] = seq[i][k];
+      p[k] = seq[i][k];
+      transposed_[k * size_ + i] = seq[i][k];
     }
+    for (size_t k = kFeatureDim; k < kStride; ++k) p[k] = 0.0;
   }
+  // Per-point gap costs through the dispatched batch kernel: the per-lane
+  // dim order matches PointDistance, and (q - p)^2 == (p - q)^2 exactly, so
+  // the values are bit-identical to the former scalar loop at every tier.
+  simd::ActiveOps().point_distance_batch(g.data(), values_.data(), size_,
+                                         gap_costs_.data());
   // Left-to-right accumulation, matching the DP's first row exactly, so
   // gap_mass() is bit-identical to EgedMetric(seq, {}).
   gap_mass_ = 0.0;
-  for (size_t i = 0; i < size_; ++i) {
-    gap_costs_[i] = PointDistance(seq[i], g);
-    gap_mass_ += gap_costs_[i];
-  }
+  for (size_t i = 0; i < size_; ++i) gap_mass_ += gap_costs_[i];
   front_ = size_ > 0 ? seq.front() : FeatureVec{};
   back_ = size_ > 0 ? seq.back() : FeatureVec{};
+}
+
+void ReversedQuery::Assign(const FlatSequence& a) {
+  size_ = a.size();
+  t_.resize(kFeatureDim * size_);
+  gaps_.resize(size_);
+  const double* at = a.transposed();
+  const size_t stride = a.t_stride();
+  for (size_t k = 0; k < kFeatureDim; ++k) {
+    const double* src = at + k * stride;
+    double* dst = t_.data() + k * size_;
+    for (size_t c = 0; c < size_; ++c) dst[c] = src[size_ - 1 - c];
+  }
+  const double* g = a.gap_costs();
+  for (size_t c = 0; c < size_; ++c) gaps_[c] = g[size_ - 1 - c];
 }
 
 EgedWorkspace& ThreadLocalEgedWorkspace() {
@@ -132,7 +160,7 @@ double BoundedDp(const FlatSequence& a, const FlatSequence& b, double tau,
 
   for (size_t i = 1; i <= m; ++i) {
     const double ga_i = agap[i - 1];
-    const double* ai = av + (i - 1) * kFeatureDim;
+    const double* ai = av + (i - 1) * FlatSequence::kStride;
     size_t cb = n + 1;  // first column of this row's band
     size_t ce = 0;      // last column of this row's band
     double left;        // cur[j - 1], tracked in a register
@@ -174,7 +202,7 @@ double BoundedDp(const FlatSequence& a, const FlatSequence& b, double tau,
         left = kInf;
         continue;
       }
-      const double* bj = bv + (j - 1) * kFeatureDim;
+      const double* bj = bv + (j - 1) * FlatSequence::kStride;
       double s = 0.0;
       for (size_t k = 0; k < kFeatureDim; ++k) {
         const double dk = ai[k] - bj[k];
@@ -191,7 +219,7 @@ double BoundedDp(const FlatSequence& a, const FlatSequence& b, double tau,
     // Boundary column pe + 1: the vertical candidate (prev[pe+1]) is
     // outside the band, so the cell is min(subst, horizontal).
     if (j == pe + 1 && j <= n) {
-      const double* bj = bv + (j - 1) * kFeatureDim;
+      const double* bj = bv + (j - 1) * FlatSequence::kStride;
       double s = 0.0;
       for (size_t k = 0; k < kFeatureDim; ++k) {
         const double dk = ai[k] - bj[k];
@@ -230,6 +258,267 @@ double BoundedDp(const FlatSequence& a, const FlatSequence& b, double tau,
   return std::nextafter(tau, kInf);
 }
 
+/// Vector-tier twin of BoundedDp. Same band bookkeeping, but each row's
+/// in-band region runs in two passes: a vectorized phase 1 computing
+///   cur[j] = min(prev[j-1] + dist(a_i, b_j), prev[j] + ga)
+/// through ops.eged_row (per-lane arithmetic in the scalar order, so phase-1
+/// values are bitwise identical to the scalar candidates), then a scalar
+/// phase 2 folding the loop-carried horizontal deletion
+///   cur[j] = min(cur[j], cur[j-1] + bgap[j-1]).
+/// min-reassociation is value-exact, so every in-band cell matches the
+/// scalar min3 bitwise.
+///
+/// The one intentional divergence: the scalar loop skips the point distance
+/// (writing +inf) when all three candidates already exceed tau, while the
+/// vector path computes every in-band cell. Affected cells are > tau under
+/// both schemes, so they are never `note`d — the band evolution, abandon
+/// decisions, and every value the next row actually reads (indices
+/// [pb, pe], all <= tau) stay identical, and so does the result.
+double BoundedDpVec(const FlatSequence& a, const FlatSequence& b, double tau,
+                    EgedWorkspace* ws, bool* abandoned,
+                    const simd::KernelOps& ops) {
+  const size_t m = a.size(), n = b.size();
+  const double* agap = a.gap_costs();
+  const double* bgap = b.gap_costs();
+  const double* av = a.points();
+  const double* bv = b.points();
+  const double* bt = b.transposed();
+  const size_t bstride = b.t_stride();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  double* prev = nullptr;
+  double* cur = nullptr;
+  ws->Rows(n + 1, &prev, &cur);
+
+  prev[0] = 0.0;
+  size_t pb = 0, pe = n;
+  for (size_t j = 1; j <= n; ++j) {
+    prev[j] = prev[j - 1] + bgap[j - 1];
+    if (prev[j] > tau) {
+      pe = j - 1;
+      break;
+    }
+  }
+
+  for (size_t i = 1; i <= m; ++i) {
+    const double ga_i = agap[i - 1];
+    const double* ai = av + (i - 1) * FlatSequence::kStride;
+    size_t cb = n + 1;
+    size_t ce = 0;
+    double left;
+    size_t j;
+    auto note = [&](double v) {
+      if (v <= tau) {
+        if (cb > j) cb = j;
+        ce = j;
+      }
+    };
+    if (pb == 0) {
+      left = prev[0] + ga_i;
+      cur[0] = left;
+      j = 0;
+      note(left);
+      j = 1;
+    } else {
+      j = pb;
+      left = prev[pb] + ga_i;
+      cur[pb] = left;
+      note(left);
+      j = pb + 1;
+    }
+    // Narrow rows are not worth the two-pass overhead (vector ramp-up plus
+    // a second sweep): run the scalar single-pass body — including its
+    // >tau cell-skip — below the width threshold. Both bodies produce
+    // identical band evolution and identical noted values, so the adaptive
+    // choice is invisible in the results.
+    constexpr size_t kMinVecWidth = 12;
+    if (j <= pe && pe - j + 1 >= kMinVecWidth) {
+      // Phase 1 (vectorized), in place: cur[j] = min(subst, vertical).
+      ops.eged_row(ai, bt, bstride, prev, ga_i, j, pe, cur);
+      // Phase 2 (scalar): fold the horizontal chain.
+      for (; j <= pe; ++j) {
+        double v = cur[j];
+        const double del_b = left + bgap[j - 1];
+        if (del_b < v) v = del_b;
+        cur[j] = v;
+        left = v;
+        note(v);
+      }
+    } else {
+      for (; j <= pe; ++j) {
+        const double diag = prev[j - 1];
+        const double del_a = prev[j] + ga_i;
+        const double del_b = left + bgap[j - 1];
+        if (diag > tau && del_a > tau && del_b > tau) {
+          cur[j] = kInf;
+          left = kInf;
+          continue;
+        }
+        const double* bj = bv + (j - 1) * FlatSequence::kStride;
+        double s = 0.0;
+        for (size_t k = 0; k < kFeatureDim; ++k) {
+          const double dk = ai[k] - bj[k];
+          s += dk * dk;
+        }
+        const double subst = diag + std::sqrt(s);
+        double v = subst;
+        if (del_a < v) v = del_a;
+        if (del_b < v) v = del_b;
+        cur[j] = v;
+        left = v;
+        note(v);
+      }
+    }
+    if (j == pe + 1 && j <= n) {
+      const double* bj = bv + (j - 1) * FlatSequence::kStride;
+      double s = 0.0;
+      for (size_t k = 0; k < kFeatureDim; ++k) {
+        const double dk = ai[k] - bj[k];
+        s += dk * dk;
+      }
+      const double subst = prev[j - 1] + std::sqrt(s);
+      const double del_b = left + bgap[j - 1];
+      double v = subst < del_b ? subst : del_b;
+      cur[j] = v;
+      left = v;
+      note(v);
+      ++j;
+      for (; j <= n && left <= tau; ++j) {
+        left += bgap[j - 1];
+        cur[j] = left;
+        note(left);
+      }
+    }
+    if (cb > n) {
+      *abandoned = true;
+      return std::nextafter(tau, kInf);
+    }
+    pb = cb;
+    pe = ce;
+    std::swap(prev, cur);
+  }
+  if (pe == n) {
+    *abandoned = false;
+    return prev[n];
+  }
+  *abandoned = true;
+  return std::nextafter(tau, kInf);
+}
+
+/// Wavefront twin of BoundedDp for the wide-band regime. Sweeps the DP
+/// matrix by anti-diagonals: every cell of one diagonal depends only on the
+/// previous two diagonals, so the eged_diag kernel evaluates whole cells —
+/// distance, sqrt, and the three-way min — with NO loop-carried chain (the
+/// chain that limits the row-split form to the latency of one add+min per
+/// column). Each cell's expression tree is exactly the reference one, so
+/// every cell value — evaluation order notwithstanding — is bitwise
+/// identical to the full reference DP, and the final corner IS the exact
+/// distance d.
+///
+/// Bounded-contract harmonization with BoundedDp: the scalar twin returns
+/// the exact d whenever d <= tau (the corner is then computed exactly and
+/// noted) and nextafter(tau) whenever d > tau (every computed cell is >=
+/// its true value, so the corner can never be noted). Returning
+/// d <= tau ? d : nextafter(tau) here therefore matches BoundedDp bitwise —
+/// including the abandoned flag and hence the stats — at every tau.
+double BoundedDpWavefront(const FlatSequence& a, const FlatSequence& b,
+                          double tau, EgedWorkspace* ws, bool* abandoned,
+                          const simd::KernelOps& ops,
+                          const ReversedQuery& ra) {
+  const size_t m = a.size(), n = b.size();
+  const double* agap = a.gap_costs();
+  const double* bgap = b.gap_costs();
+  const double* bt = b.transposed();
+  const size_t bstride = b.t_stride();
+  const double* art = ra.t();
+  const size_t astride = ra.stride();
+  const double* argap = ra.gaps();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Three rolling anti-diagonals, indexed by column j.
+  double* dm2 = nullptr;
+  double* dm1 = nullptr;
+  double* dd = nullptr;
+  ws->Rows3(n + 1, &dm2, &dm1, &dd);
+
+  // Diagonals 0 and 1 are pure boundary cells; the prefix accumulators run
+  // in the same left-to-right order as the reference first row and column
+  // (0.0 + x == x exactly, so seeding with the first gap is identical).
+  dm2[0] = 0.0;              // cell (0, 0)
+  double col_acc = agap[0];  // cell (1, 0)
+  double row_acc = bgap[0];  // cell (0, 1)
+  dm1[0] = col_acc;
+  dm1[1] = row_acc;
+
+  for (size_t d = 2; d <= m + n; ++d) {
+    if (d <= m) {
+      col_acc += agap[d - 1];
+      dd[0] = col_acc;  // cell (d, 0)
+    }
+    if (d <= n) {
+      row_acc += bgap[d - 1];
+      dd[d] = row_acc;  // cell (0, d)
+    }
+    // Interior cells (i = d - j, j) for j in [jb, je]. Cell c of the kernel
+    // is column j = jb + c; its a-side point a_{d-j} sits at column
+    // m - (d - j) of the reversed mirror, which ascends with c.
+    const size_t jb = d > m ? d - m : 1;
+    const size_t je = std::min(n, d - 1);
+    if (jb <= je) {
+      const size_t t0 = jb + m - d;
+      ops.eged_diag(art + t0, astride, bt + (jb - 1), bstride, argap + t0,
+                    bgap + (jb - 1), dm2 + (jb - 1), dm1 + jb,
+                    dm1 + (jb - 1), je - jb + 1, dd + jb);
+    }
+    double* tmp = dm2;
+    dm2 = dm1;
+    dm1 = dd;
+    dd = tmp;
+  }
+  const double v = dm1[n];
+  if (v <= tau) {
+    *abandoned = false;
+    return v;
+  }
+  *abandoned = true;
+  return std::nextafter(tau, kInf);
+}
+
+/// Wavefront pays for all m*n cells, so it wins exactly when band pruning
+/// cannot bite: tau at least both gap masses means the entire first row and
+/// column start inside the band (their prefix sums are bounded by the
+/// masses), the signature of the wide-band regime. tau = +inf (the exact
+/// kernel) always qualifies. Tiny sequences stay on the row path, whose
+/// per-row overhead is lower.
+inline bool WavefrontProfitable(const FlatSequence& a, const FlatSequence& b,
+                                double tau) {
+  if (a.size() < 4 || b.size() < 4) return false;
+  return a.gap_mass() <= tau && b.gap_mass() <= tau;
+}
+
+/// Routes one bounded DP through the active tier's kernel. The scalar tier
+/// keeps the original single-pass loop (its >tau cell-skip saves sqrts that
+/// the two-pass form cannot); vector tiers take the chain-free wavefront in
+/// the wide-band regime and the banded two-pass twin otherwise. All three
+/// produce bitwise-identical results at every tau, so routing is purely a
+/// speed decision.
+inline double BoundedDpDispatch(const FlatSequence& a, const FlatSequence& b,
+                                double tau, EgedWorkspace* ws,
+                                bool* abandoned, const simd::KernelOps& ops,
+                                const ReversedQuery* rev = nullptr) {
+  if (ops.tier == simd::Tier::kScalar) {
+    return BoundedDp(a, b, tau, ws, abandoned);
+  }
+  if (WavefrontProfitable(a, b, tau)) {
+    if (rev == nullptr) {
+      ws->ReversedScratch().Assign(a);
+      rev = &ws->ReversedScratch();
+    }
+    return BoundedDpWavefront(a, b, tau, ws, abandoned, ops, *rev);
+  }
+  return BoundedDpVec(a, b, tau, ws, abandoned, ops);
+}
+
 }  // namespace
 
 double EgedMetricFlat(const FlatSequence& a, const FlatSequence& b,
@@ -237,8 +526,8 @@ double EgedMetricFlat(const FlatSequence& a, const FlatSequence& b,
   if (a.empty()) return b.gap_mass();
   if (b.empty()) return a.gap_mass();
   bool abandoned = false;
-  return BoundedDp(a, b, std::numeric_limits<double>::infinity(), ws,
-                   &abandoned);
+  return BoundedDpDispatch(a, b, std::numeric_limits<double>::infinity(), ws,
+                           &abandoned, simd::ActiveOps());
 }
 
 double EgedMetricBounded(const FlatSequence& a, const FlatSequence& b,
@@ -257,9 +546,78 @@ double EgedMetricBounded(const FlatSequence& a, const FlatSequence& b,
   }
   if (stats != nullptr) ++stats->dp_evals;
   bool abandoned = false;
-  const double v = BoundedDp(a, b, tau, ws, &abandoned);
+  const double v =
+      BoundedDpDispatch(a, b, tau, ws, &abandoned, simd::ActiveOps());
   if (abandoned && stats != nullptr) ++stats->early_abandons;
   return v;
+}
+
+void EgedBatchBounded(const FlatSequence& query,
+                      const FlatSequence* const* candidates,
+                      const double* taus, size_t n, double* out,
+                      EgedWorkspace* ws, EgedKernelStats* stats) {
+  // The dispatch table and the query's flat rows are resolved/touched once;
+  // each iteration is then the exact EgedMetricBounded body, so values and
+  // stats match the one-at-a-time path bitwise. The reversed-query mirror
+  // the wavefront route needs is likewise built once for the whole batch.
+  const simd::KernelOps& ops = simd::ActiveOps();
+  constexpr double kInfinity = std::numeric_limits<double>::infinity();
+  const ReversedQuery* rev = nullptr;
+  if (ops.tier != simd::Tier::kScalar && !query.empty()) {
+    ws->ReversedScratch().Assign(query);
+    rev = &ws->ReversedScratch();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const FlatSequence& b = *candidates[i];
+    const double tau = taus[i];
+    if (query.empty() || b.empty()) {
+      if (stats != nullptr) ++stats->dp_evals;
+      out[i] = query.empty() ? b.gap_mass() : query.gap_mass();
+      continue;
+    }
+    if (tau < kInfinity) {
+      const double lb = EgedLowerBound(query, b);
+      if (lb > tau) {
+        if (stats != nullptr) ++stats->lb_prunes;
+        out[i] = lb;
+        continue;
+      }
+    }
+    if (stats != nullptr) ++stats->dp_evals;
+    bool abandoned = false;
+    out[i] = BoundedDpDispatch(query, b, tau, ws, &abandoned, ops, rev);
+    if (abandoned && stats != nullptr) ++stats->early_abandons;
+  }
+}
+
+void EgedLowerBoundBatch(const FlatSequence& query,
+                         const FlatSequence* const* candidates, size_t n,
+                         double* out) {
+  // Query-side terms hoisted; per candidate the operations replicate
+  // EgedLowerBound in the same order, so out[i] matches it bitwise.
+  const double q_mass = query.gap_mass();
+  const bool q_empty = query.empty();
+  const FeatureVec& q_front = query.front();
+  const FeatureVec& q_back = query.back();
+  const double q_gap_first = q_empty ? 0.0 : query.gap_cost(0);
+  const double q_gap_last = q_empty ? 0.0 : query.gap_cost(query.size() - 1);
+  const bool q_long = query.size() >= 2;
+  for (size_t i = 0; i < n; ++i) {
+    const FlatSequence& b = *candidates[i];
+    double lb = std::fabs(q_mass - b.gap_mass());
+    if (!q_empty && !b.empty()) {
+      const double first =
+          Min3(PointDistance(q_front, b.front()), q_gap_first, b.gap_cost(0));
+      double endpoint = first;
+      if (q_long || b.size() >= 2) {
+        const double last = Min3(PointDistance(q_back, b.back()), q_gap_last,
+                                 b.gap_cost(b.size() - 1));
+        endpoint = first + last;
+      }
+      lb = std::max(lb, endpoint);
+    }
+    out[i] = Shave(lb);
+  }
 }
 
 double EgedMetricFast(const Sequence& a, const Sequence& b,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "distance/sequence.h"
+#include "distance/simd/dispatch.h"
 
 namespace strg::dist {
 
@@ -13,14 +14,21 @@ namespace strg::dist {
 /// fixed gap point `g` so the metric EGED DP (Theorem 2 / ERP) pays one
 /// PointDistance per cell and zero allocations per call.
 ///
-/// Layout: `point(i)` is the contiguous kFeatureDim-double coordinate block
-/// of point i (point-major — the same access pattern the DP's inner loop
-/// has against a Sequence, which profiling showed beats a dim-major
-/// transpose). Alongside the coordinates the flat form precomputes what the
-/// O(m+n) lower-bound cascade needs: per-point gap costs d(x_i, g), their
-/// running total (the "gap mass" EGED_M(x, {})), and the endpoint vectors.
+/// Layout: `point(i)` is the contiguous coordinate block of point i, padded
+/// from kFeatureDim (= 6) to simd::kPaddedDim (= 8) doubles with zeros so a
+/// vector tier loads whole points without masking; `transposed()` is a
+/// dim-major mirror (kFeatureDim rows of size() columns) that gives the DP
+/// row kernels contiguous loads across consecutive columns. Alongside the
+/// coordinates the flat form precomputes what the O(m+n) lower-bound
+/// cascade needs: per-point gap costs d(x_i, g) (computed through the
+/// dispatched point_distance_batch kernel — bit-identical at every tier),
+/// their running total (the "gap mass" EGED_M(x, {})), and the endpoint
+/// vectors.
 class FlatSequence {
  public:
+  /// Point-major stride in doubles (pads are zero-filled).
+  static constexpr size_t kStride = simd::kPaddedDim;
+
   FlatSequence() = default;
   FlatSequence(const Sequence& seq, const FeatureVec& g) { Assign(seq, g); }
 
@@ -32,9 +40,11 @@ class FlatSequence {
   bool empty() const { return size_ == 0; }
 
   const double* points() const { return values_.data(); }
-  const double* point(size_t i) const {
-    return values_.data() + i * kFeatureDim;
-  }
+  const double* point(size_t i) const { return values_.data() + i * kStride; }
+  /// Dim-major mirror: row k holds coordinate k of every point, so
+  /// transposed()[k * t_stride() + j] == point(j)[k].
+  const double* transposed() const { return transposed_.data(); }
+  size_t t_stride() const { return size_; }
   const double* gap_costs() const { return gap_costs_.data(); }
   double gap_cost(size_t i) const { return gap_costs_[i]; }
   /// EGED_M(x, {}) — the cost of deleting the whole sequence against g,
@@ -45,11 +55,32 @@ class FlatSequence {
 
  private:
   size_t size_ = 0;
-  std::vector<double> values_;     ///< kFeatureDim * size_, point-major
-  std::vector<double> gap_costs_;  ///< d(x_i, g) per point
+  std::vector<double> values_;      ///< kStride * size_, point-major, padded
+  std::vector<double> transposed_;  ///< kFeatureDim * size_, dim-major
+  std::vector<double> gap_costs_;   ///< d(x_i, g) per point
   double gap_mass_ = 0.0;
   FeatureVec front_{};
   FeatureVec back_{};
+};
+
+/// Reversed dim-major mirror of a query sequence, built once per query (or
+/// per batch) for the wavefront DP: row k column c holds coordinate k of
+/// point size-1-c, and gaps()[c] is that point's gap cost. Reversing the
+/// QUERY side is what makes both operand streams of an anti-diagonal load
+/// contiguously ascending (the b side ascends in j, the a side descends —
+/// which is ascending in the reversed mirror).
+class ReversedQuery {
+ public:
+  void Assign(const FlatSequence& a);
+  const double* t() const { return t_.data(); }
+  size_t stride() const { return size_; }
+  const double* gaps() const { return gaps_.data(); }
+  size_t size() const { return size_; }
+
+ private:
+  size_t size_ = 0;
+  std::vector<double> t_;     ///< kFeatureDim rows of size_ reversed columns
+  std::vector<double> gaps_;  ///< gaps_[c] = gap cost of point size_-1-c
 };
 
 /// Reusable DP rows for the metric EGED kernel. One per thread (see
@@ -62,13 +93,28 @@ class EgedWorkspace {
     if (row0_.size() < cols) {
       row0_.resize(cols);
       row1_.resize(cols);
+      row2_.resize(cols);
     }
     *prev = row0_.data();
     *cur = row1_.data();
   }
 
+  /// Rows plus the phase-1 staging buffer the vector DP uses for
+  /// t[j] = min(diag + dist, vertical) before the scalar horizontal fold.
+  /// The wavefront DP reuses the same three buffers as its rolling
+  /// anti-diagonals.
+  void Rows3(size_t cols, double** prev, double** cur, double** stage) {
+    Rows(cols, prev, cur);
+    *stage = row2_.data();
+  }
+
+  /// Per-workspace reversed-query scratch for the wavefront DP (built
+  /// lazily by single-shot calls; batch callers assign it once up front).
+  ReversedQuery& ReversedScratch() { return rev_; }
+
  private:
-  std::vector<double> row0_, row1_;
+  std::vector<double> row0_, row1_, row2_;
+  ReversedQuery rev_;
 };
 
 /// Per-thread workspace (and flat scratch) used by the Sequence-interface
@@ -116,6 +162,25 @@ double EgedMetricFlat(const FlatSequence& a, const FlatSequence& b,
 double EgedMetricBounded(const FlatSequence& a, const FlatSequence& b,
                          double tau, EgedWorkspace* ws,
                          EgedKernelStats* stats = nullptr);
+
+/// Batched one-query-vs-many-candidates bounded kernel. For each i,
+/// out[i] is bitwise identical — and `stats` accrues identically — to
+/// EgedMetricBounded(query, *candidates[i], taus[i], ws, stats); the win is
+/// amortization: the query's rows/gap-costs stay hot in cache and the
+/// dispatch/workspace lookups happen once. Allocation-free after the
+/// workspace high-water mark (proven by bench_distance's operator-new
+/// harness).
+void EgedBatchBounded(const FlatSequence& query,
+                      const FlatSequence* const* candidates,
+                      const double* taus, size_t n, double* out,
+                      EgedWorkspace* ws, EgedKernelStats* stats = nullptr);
+
+/// Batched lower-bound cascade: out[i] is bitwise identical to
+/// EgedLowerBound(query, *candidates[i]), with the query-side terms hoisted
+/// out of the loop (the k-NN cluster-queue seeding path).
+void EgedLowerBoundBatch(const FlatSequence& query,
+                         const FlatSequence* const* candidates, size_t n,
+                         double* out);
 
 /// Sequence-interface conveniences: flatten into thread-local scratch and
 /// run the flat kernels. Exact-same values as EgedMetric(a, b, g), without

@@ -20,6 +20,11 @@ double LpDistanceValue(const Sequence& a, const Sequence& b, double p) {
     pa = &ra;
     pb = &rb;
   }
+  // Deliberately pinned to the scalar kernel at every dispatch tier: the
+  // single running accumulator spans all points and dims, so any lane split
+  // would reassociate the adds and change low-order bits, and std::pow has
+  // no correctly-rounded vector form. The tier-equivalence tests cover Lp
+  // as a guard that this stays true.
   double sum = 0.0;
   for (size_t i = 0; i < pa->size(); ++i) {
     for (size_t k = 0; k < kFeatureDim; ++k) {

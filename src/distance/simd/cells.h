@@ -1,0 +1,95 @@
+#ifndef STRG_DISTANCE_SIMD_CELLS_H_
+#define STRG_DISTANCE_SIMD_CELLS_H_
+
+// Shared scalar cell helpers. The scalar tier is built from these, and the
+// vector tiers use them for remainder columns, so every tier's tail lanes
+// are literally the same code — one place to audit the operation order.
+
+#include <cmath>
+#include <cstddef>
+
+#include "distance/simd/dispatch.h"
+
+namespace strg::dist::simd {
+
+// Must equal strg::dist::kFeatureDim; asserted in eged_fast.cpp. Duplicated
+// here so the simd layer stays free of the graph headers.
+inline constexpr std::size_t kCellDim = 6;
+
+// Euclidean distance between two point rows. Accumulates the 6 dims in
+// ascending order — this IS the canonical order every tier must reproduce
+// per vector lane (matches dist::PointDistance in sequence.h).
+inline double PointDistCell(const double* a, const double* b) {
+  double s = 0.0;
+  for (std::size_t k = 0; k < kCellDim; ++k) {
+    const double d = a[k] - b[k];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+// Same, reading point `col` of a dim-major transposed mirror.
+inline double TransposedDistCell(const double* ai, const double* bt,
+                                 std::size_t stride, std::size_t col) {
+  double s = 0.0;
+  for (std::size_t k = 0; k < kCellDim; ++k) {
+    const double d = ai[k] - bt[k * stride + col];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+// EGED phase-1 cell: min(substitution, delete-from-a). The horizontal
+// delete-from-b chain is folded by the caller.
+inline double EgedCell(const double* ai, const double* bt, std::size_t stride,
+                       const double* prev, double ga, std::size_t j) {
+  const double subst = prev[j - 1] + TransposedDistCell(ai, bt, stride, j - 1);
+  const double del_a = prev[j] + ga;
+  return del_a < subst ? del_a : subst;
+}
+
+// EGED anti-diagonal cell: the full three-way min in the scalar candidate
+// order (substitution, delete-from-a, delete-from-b). Both mirrors are
+// pre-offset by the caller; see KernelOps::eged_diag.
+inline double EgedDiagCell(const double* at, std::size_t at_stride,
+                           const double* bt, std::size_t bt_stride,
+                           const double* ga, const double* bg,
+                           const double* diag, const double* up,
+                           const double* left, std::size_t c) {
+  double s = 0.0;
+  for (std::size_t k = 0; k < kCellDim; ++k) {
+    const double d = at[k * at_stride + c] - bt[k * bt_stride + c];
+    s += d * d;
+  }
+  const double subst = diag[c] + std::sqrt(s);
+  const double del_a = up[c] + ga[c];
+  const double del_b = left[c] + bg[c];
+  double v = subst;
+  if (del_a < v) v = del_a;
+  if (del_b < v) v = del_b;
+  return v;
+}
+
+// DTW phase-1 cell: stash the cost and the vertical/diagonal min.
+inline void DtwCell(const double* ai, const double* bt, std::size_t stride,
+                    const double* prev, std::size_t j, double* t, double* d) {
+  d[j] = TransposedDistCell(ai, bt, stride, j - 1);
+  const double p1 = prev[j - 1];
+  const double p2 = prev[j];
+  t[j] = p2 < p1 ? p2 : p1;
+}
+
+// EDR phase-1 cell. Compares the sqrt'd distance against epsilon — the
+// squared-form comparison differs at boundary ULPs and is forbidden.
+inline double EdrCell(const double* ai, const double* bt, std::size_t stride,
+                      const double* prev, double eps, std::size_t j) {
+  const double sub =
+      TransposedDistCell(ai, bt, stride, j - 1) <= eps ? 0.0 : 1.0;
+  const double diag = prev[j - 1] + sub;
+  const double up = prev[j] + 1.0;
+  return up < diag ? up : diag;
+}
+
+}  // namespace strg::dist::simd
+
+#endif  // STRG_DISTANCE_SIMD_CELLS_H_

@@ -1,0 +1,108 @@
+#ifndef STRG_DISTANCE_SIMD_DISPATCH_H_
+#define STRG_DISTANCE_SIMD_DISPATCH_H_
+
+// Runtime-dispatched vector kernels for the distance layer.
+//
+// Design contract: every tier produces BIT-IDENTICAL results to the scalar
+// reference on the exact paths. This works because the kernels only
+// vectorize ACROSS independent DP columns (lanes), while each lane performs
+// the per-cell arithmetic in exactly the scalar operation order; min() is
+// reassociation-exact for non-NaN doubles and vector sqrt is IEEE correctly
+// rounded, so no rounding ever differs. FP contraction (FMA) would break
+// this, which is why the build pins -ffp-contract=off on this library and
+// -mno-fma on the AVX2 translation unit (see src/distance/CMakeLists.txt).
+//
+// This header is dependency-free on purpose: it is included by bench and
+// tooling code that must not drag in the graph types.
+
+#include <cstddef>
+
+namespace strg::dist::simd {
+
+// Feature points are kFeatureDim (= 6) doubles; flat sequence forms pad each
+// point to this stride so vector tiers can load whole points (and 4-column
+// slabs of the transposed mirror) without masking. Pad lanes are zero.
+inline constexpr std::size_t kPaddedDim = 8;
+
+enum class Tier : int {
+  kScalar = 0,  // portable reference, always available
+  kAvx2 = 1,    // x86-64, 4 doubles/lane group, requires AVX2 (FMA unused)
+  kNeon = 2,    // aarch64 baseline, 2 doubles/lane group
+};
+
+const char* TierName(Tier tier);
+
+// Function-pointer table for one dispatch tier. All row kernels read the
+// second sequence through its dim-major transposed mirror (`bt`, row stride
+// `bt_stride` = sequence length) so column loads are contiguous, and read
+// the current first-sequence point `ai` as >= 6 contiguous doubles.
+struct KernelOps {
+  Tier tier;
+
+  // out[i] = EuclideanPointDistance(q, pts + i*kPaddedDim) for i in [0, n).
+  // `q` is >= 6 contiguous doubles; `pts` is point-major with kPaddedDim
+  // stride and zeroed pads.
+  void (*point_distance_batch)(const double* q, const double* pts,
+                               std::size_t n, double* out);
+
+  // EGED/ERP row fragment, phase 1 of the two-pass recurrence:
+  //   t[j] = min(prev[j-1] + dist(ai, b_{j-1}), prev[j] + ga)
+  // for j in [jb, je] (inclusive). The loop-carried horizontal deletion
+  // (cur[j-1] + bgap) is folded by the caller in a scalar pass; the split
+  // is value-exact because min is associative on the candidate set.
+  void (*eged_row)(const double* ai, const double* bt, std::size_t bt_stride,
+                   const double* prev, double ga, std::size_t jb,
+                   std::size_t je, double* t);
+
+  // DTW row, phase 1: d[j] = dist(ai, b_{j-1}); t[j] = min(prev[j-1],
+  // prev[j]) for j in [1, n]. Caller folds cur[j-1] and adds d[j].
+  void (*dtw_row)(const double* ai, const double* bt, std::size_t bt_stride,
+                  const double* prev, std::size_t n, double* t, double* d);
+
+  // EDR row, phase 1:
+  //   t[j] = min(prev[j-1] + (dist(ai, b_{j-1}) <= eps ? 0 : 1),
+  //              prev[j] + 1)
+  // for j in [1, n]. The epsilon test compares the sqrt'd distance (not the
+  // squared form) so boundary ULPs match the scalar reference exactly.
+  void (*edr_row)(const double* ai, const double* bt, std::size_t bt_stride,
+                  const double* prev, double eps, std::size_t n, double* t);
+
+  // EGED anti-diagonal fragment (the wavefront DP): for c in [0, count),
+  //   out[c] = min3(diag[c] + dist(a-col c, b-col c),
+  //                 up[c]   + ga[c],
+  //                 left[c] + bg[c])
+  // with the min taken in the scalar candidate order (substitution, then
+  // delete-from-a, then delete-from-b). Cells on one anti-diagonal have NO
+  // dependency on each other — this is the kernel that removes the
+  // loop-carried horizontal chain entirely. `at` and `bt` are dim-major
+  // mirrors pre-offset by the caller so column c of each addresses the
+  // (a_i, b_j) pair of diagonal cell c (the a-side mirror is reversed, which
+  // is what makes its columns ascend along the diagonal); every other
+  // pointer is likewise pre-offset.
+  void (*eged_diag)(const double* at, std::size_t at_stride, const double* bt,
+                    std::size_t bt_stride, const double* ga, const double* bg,
+                    const double* diag, const double* up, const double* left,
+                    std::size_t count, double* out);
+};
+
+// The table selected at first use: best host tier, unless overridden by
+// STRG_FORCE_SCALAR=1 or STRG_SIMD_TIER=scalar|avx2|neon (unavailable
+// requests warn on stderr and fall back to the detected tier).
+const KernelOps& ActiveOps();
+Tier ActiveTier();
+
+// Best tier the host + build supports, ignoring env overrides.
+Tier DetectedTier();
+
+// Table for an explicit tier; nullptr when that tier is not compiled in or
+// the host cannot execute it.
+const KernelOps* OpsForTier(Tier tier);
+
+// Swaps the active table (tests, strgtool simd). Returns false and leaves
+// the active tier unchanged when the tier is unavailable. Not meant to race
+// with in-flight kernels outside test/tooling contexts.
+bool ForceTier(Tier tier);
+
+}  // namespace strg::dist::simd
+
+#endif  // STRG_DISTANCE_SIMD_DISPATCH_H_

@@ -1,0 +1,194 @@
+// AVX2 tier: 4 doubles per lane group. Compiled with
+//   -mavx2 -mno-fma -ffp-contract=off
+// (per-file, see src/distance/CMakeLists.txt) — FMA contraction would fuse
+// the per-dim mul+add with a single rounding and break bit-identity with
+// the scalar reference, so it is disabled even though the host may have it.
+//
+// Bit-identity argument, per lane (= DP column):
+//   * the 6 feature dims accumulate in ascending order, exactly like
+//     PointDistCell: acc += (a_k - b_k)^2 for k = 0..5;
+//   * _mm256_sqrt_pd is IEEE-754 correctly rounded, matching std::sqrt;
+//   * _mm256_min_pd(x, y) returns the value-min, and no -0.0 can arise in
+//     these kernels (all inputs are sums of non-negative values), so the
+//     result is bitwise identical to the scalar ternary;
+//   * remainder columns call the shared scalar cell helpers.
+
+#if !defined(__AVX2__)
+#error "kernel_avx2.cpp must be compiled with -mavx2 (see distance CMakeLists)"
+#endif
+#if defined(__FMA__)
+#error "kernel_avx2.cpp must be compiled with -mno-fma to stay bit-identical"
+#endif
+
+#include <immintrin.h>
+
+#include "distance/simd/cells.h"
+#include "distance/simd/kernels.h"
+
+namespace strg::dist::simd {
+namespace {
+
+// Hoisted per-row operands: the broadcast query point and the six
+// transposed row base pointers. Computing these once per row call (rather
+// than per column group) matters because the output stores would otherwise
+// force the compiler to re-load them — double* arguments may alias.
+struct RowCtx {
+  __m256d av[kCellDim];
+  const double* btk[kCellDim];
+};
+
+inline RowCtx MakeRowCtx(const double* ai, const double* bt,
+                         std::size_t stride) {
+  RowCtx ctx;
+  for (std::size_t k = 0; k < kCellDim; ++k) {
+    ctx.av[k] = _mm256_set1_pd(ai[k]);
+    ctx.btk[k] = bt + k * stride;
+  }
+  return ctx;
+}
+
+// dist(ai, b_{c..c+3}) for four consecutive transposed columns, per-lane in
+// the canonical dim order.
+inline __m256d Dist4(const RowCtx& ctx, std::size_t c) {
+  __m256d acc = _mm256_setzero_pd();
+  for (std::size_t k = 0; k < kCellDim; ++k) {
+    const __m256d bv = _mm256_loadu_pd(ctx.btk[k] + c);
+    const __m256d dv = _mm256_sub_pd(ctx.av[k], bv);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(dv, dv));
+  }
+  return _mm256_sqrt_pd(acc);
+}
+
+void PointDistanceBatchAvx2(const double* q, const double* pts, std::size_t n,
+                            double* out) {
+  __m256d qk[kCellDim];
+  for (std::size_t k = 0; k < kCellDim; ++k) qk[k] = _mm256_set1_pd(q[k]);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double* p = pts + i * kPaddedDim;
+    // Transpose four padded points (stride 8) into six dim vectors. Dims
+    // 0..3 come from the first 4 doubles of each point, dims 4..5 from the
+    // second half; the zero pads are never touched.
+    __m256d r0 = _mm256_loadu_pd(p + 0 * kPaddedDim);
+    __m256d r1 = _mm256_loadu_pd(p + 1 * kPaddedDim);
+    __m256d r2 = _mm256_loadu_pd(p + 2 * kPaddedDim);
+    __m256d r3 = _mm256_loadu_pd(p + 3 * kPaddedDim);
+    __m256d t0 = _mm256_unpacklo_pd(r0, r1);
+    __m256d t1 = _mm256_unpackhi_pd(r0, r1);
+    __m256d t2 = _mm256_unpacklo_pd(r2, r3);
+    __m256d t3 = _mm256_unpackhi_pd(r2, r3);
+    __m256d dim0 = _mm256_permute2f128_pd(t0, t2, 0x20);
+    __m256d dim1 = _mm256_permute2f128_pd(t1, t3, 0x20);
+    __m256d dim2 = _mm256_permute2f128_pd(t0, t2, 0x31);
+    __m256d dim3 = _mm256_permute2f128_pd(t1, t3, 0x31);
+    r0 = _mm256_loadu_pd(p + 0 * kPaddedDim + 4);
+    r1 = _mm256_loadu_pd(p + 1 * kPaddedDim + 4);
+    r2 = _mm256_loadu_pd(p + 2 * kPaddedDim + 4);
+    r3 = _mm256_loadu_pd(p + 3 * kPaddedDim + 4);
+    t0 = _mm256_unpacklo_pd(r0, r1);
+    t1 = _mm256_unpackhi_pd(r0, r1);
+    t2 = _mm256_unpacklo_pd(r2, r3);
+    t3 = _mm256_unpackhi_pd(r2, r3);
+    __m256d dim4 = _mm256_permute2f128_pd(t0, t2, 0x20);
+    __m256d dim5 = _mm256_permute2f128_pd(t1, t3, 0x20);
+    const __m256d dims[kCellDim] = {dim0, dim1, dim2, dim3, dim4, dim5};
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t k = 0; k < kCellDim; ++k) {
+      const __m256d dv = _mm256_sub_pd(qk[k], dims[k]);
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(dv, dv));
+    }
+    _mm256_storeu_pd(out + i, _mm256_sqrt_pd(acc));
+  }
+  for (; i < n; ++i) out[i] = PointDistCell(q, pts + i * kPaddedDim);
+}
+
+void EgedRowAvx2(const double* ai, const double* bt, std::size_t bt_stride,
+                 const double* prev, double ga, std::size_t jb, std::size_t je,
+                 double* t) {
+  const RowCtx ctx = MakeRowCtx(ai, bt, bt_stride);
+  const __m256d ga_v = _mm256_set1_pd(ga);
+  std::size_t j = jb;
+  for (; j + 3 <= je; j += 4) {
+    const __m256d dist = Dist4(ctx, j - 1);
+    const __m256d subst = _mm256_add_pd(_mm256_loadu_pd(prev + j - 1), dist);
+    const __m256d del_a = _mm256_add_pd(_mm256_loadu_pd(prev + j), ga_v);
+    _mm256_storeu_pd(t + j, _mm256_min_pd(del_a, subst));
+  }
+  for (; j <= je; ++j) t[j] = EgedCell(ai, bt, bt_stride, prev, ga, j);
+}
+
+void DtwRowAvx2(const double* ai, const double* bt, std::size_t bt_stride,
+                const double* prev, std::size_t n, double* t, double* d) {
+  const RowCtx ctx = MakeRowCtx(ai, bt, bt_stride);
+  std::size_t j = 1;
+  for (; j + 3 <= n; j += 4) {
+    _mm256_storeu_pd(d + j, Dist4(ctx, j - 1));
+    const __m256d diag = _mm256_loadu_pd(prev + j - 1);
+    const __m256d up = _mm256_loadu_pd(prev + j);
+    _mm256_storeu_pd(t + j, _mm256_min_pd(up, diag));
+  }
+  for (; j <= n; ++j) DtwCell(ai, bt, bt_stride, prev, j, t, d);
+}
+
+void EdrRowAvx2(const double* ai, const double* bt, std::size_t bt_stride,
+                const double* prev, double eps, std::size_t n, double* t) {
+  const RowCtx ctx = MakeRowCtx(ai, bt, bt_stride);
+  const __m256d eps_v = _mm256_set1_pd(eps);
+  const __m256d one = _mm256_set1_pd(1.0);
+  std::size_t j = 1;
+  for (; j + 3 <= n; j += 4) {
+    const __m256d dist = Dist4(ctx, j - 1);
+    // sub = dist <= eps ? 0 : 1 — mask AND 1.0 keeps the lane order exact.
+    const __m256d sub =
+        _mm256_and_pd(_mm256_cmp_pd(dist, eps_v, _CMP_GT_OQ), one);
+    const __m256d diag = _mm256_add_pd(_mm256_loadu_pd(prev + j - 1), sub);
+    const __m256d up = _mm256_add_pd(_mm256_loadu_pd(prev + j), one);
+    _mm256_storeu_pd(t + j, _mm256_min_pd(up, diag));
+  }
+  for (; j <= n; ++j) t[j] = EdrCell(ai, bt, bt_stride, prev, eps, j);
+}
+
+// Anti-diagonal EGED cells. All lanes are independent, so the whole cell —
+// distance, sqrt, and the three-way min — vectorizes with no loop-carried
+// chain. _mm256_min_pd(x, y) is `x < y ? x : y`, so min(del_a, subst) then
+// min(del_b, ·) reproduces the scalar "replace on strictly less" order.
+void EgedDiagAvx2(const double* at, std::size_t at_stride, const double* bt,
+                  std::size_t bt_stride, const double* ga, const double* bg,
+                  const double* diag, const double* up, const double* left,
+                  std::size_t count, double* out) {
+  std::size_t c = 0;
+  for (; c + 4 <= count; c += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t k = 0; k < kCellDim; ++k) {
+      const __m256d av = _mm256_loadu_pd(at + k * at_stride + c);
+      const __m256d bv = _mm256_loadu_pd(bt + k * bt_stride + c);
+      const __m256d dv = _mm256_sub_pd(av, bv);
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(dv, dv));
+    }
+    const __m256d dist = _mm256_sqrt_pd(acc);
+    const __m256d subst = _mm256_add_pd(_mm256_loadu_pd(diag + c), dist);
+    const __m256d del_a =
+        _mm256_add_pd(_mm256_loadu_pd(up + c), _mm256_loadu_pd(ga + c));
+    const __m256d del_b =
+        _mm256_add_pd(_mm256_loadu_pd(left + c), _mm256_loadu_pd(bg + c));
+    __m256d v = _mm256_min_pd(del_a, subst);
+    v = _mm256_min_pd(del_b, v);
+    _mm256_storeu_pd(out + c, v);
+  }
+  for (; c < count; ++c) {
+    out[c] = EgedDiagCell(at, at_stride, bt, bt_stride, ga, bg, diag, up,
+                          left, c);
+  }
+}
+
+}  // namespace
+
+const KernelOps& Avx2Ops() {
+  static const KernelOps ops = {
+      Tier::kAvx2,  PointDistanceBatchAvx2, EgedRowAvx2,
+      DtwRowAvx2,   EdrRowAvx2,             EgedDiagAvx2,
+  };
+  return ops;
+}
+
+}  // namespace strg::dist::simd

@@ -1,0 +1,134 @@
+// NEON tier: 2 doubles per lane group (aarch64 baseline — no host check
+// needed beyond the architecture). Compiled with -ffp-contract=off so the
+// compiler cannot contract the per-dim mul+add into vfma and change the
+// rounding; vsqrtq_f64 and vminq_f64 are IEEE-exact, and each lane follows
+// the canonical scalar dim order, so results match the scalar tier bitwise
+// (same argument as kernel_avx2.cpp).
+
+#if !defined(__aarch64__) && !defined(__ARM_NEON)
+#error "kernel_neon.cpp is aarch64-only (see distance CMakeLists)"
+#endif
+
+#include <arm_neon.h>
+
+#include "distance/simd/cells.h"
+#include "distance/simd/kernels.h"
+
+namespace strg::dist::simd {
+namespace {
+
+inline float64x2_t Dist2(const double* ai, const double* bt,
+                         std::size_t stride, std::size_t c) {
+  float64x2_t acc = vdupq_n_f64(0.0);
+  for (std::size_t k = 0; k < kCellDim; ++k) {
+    const float64x2_t av = vdupq_n_f64(ai[k]);
+    const float64x2_t bv = vld1q_f64(bt + k * stride + c);
+    const float64x2_t dv = vsubq_f64(av, bv);
+    acc = vaddq_f64(acc, vmulq_f64(dv, dv));
+  }
+  return vsqrtq_f64(acc);
+}
+
+void PointDistanceBatchNeon(const double* q, const double* pts, std::size_t n,
+                            double* out) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const double* p0 = pts + i * kPaddedDim;
+    const double* p1 = p0 + kPaddedDim;
+    float64x2_t acc = vdupq_n_f64(0.0);
+    for (std::size_t k = 0; k < kCellDim; ++k) {
+      const float64x2_t qv = vdupq_n_f64(q[k]);
+      const float64x2_t pv = {p0[k], p1[k]};
+      const float64x2_t dv = vsubq_f64(qv, pv);
+      acc = vaddq_f64(acc, vmulq_f64(dv, dv));
+    }
+    vst1q_f64(out + i, vsqrtq_f64(acc));
+  }
+  for (; i < n; ++i) out[i] = PointDistCell(q, pts + i * kPaddedDim);
+}
+
+void EgedRowNeon(const double* ai, const double* bt, std::size_t bt_stride,
+                 const double* prev, double ga, std::size_t jb, std::size_t je,
+                 double* t) {
+  const float64x2_t ga_v = vdupq_n_f64(ga);
+  std::size_t j = jb;
+  for (; j + 1 <= je; j += 2) {
+    const float64x2_t dist = Dist2(ai, bt, bt_stride, j - 1);
+    const float64x2_t subst = vaddq_f64(vld1q_f64(prev + j - 1), dist);
+    const float64x2_t del_a = vaddq_f64(vld1q_f64(prev + j), ga_v);
+    vst1q_f64(t + j, vminq_f64(del_a, subst));
+  }
+  for (; j <= je; ++j) t[j] = EgedCell(ai, bt, bt_stride, prev, ga, j);
+}
+
+void DtwRowNeon(const double* ai, const double* bt, std::size_t bt_stride,
+                const double* prev, std::size_t n, double* t, double* d) {
+  std::size_t j = 1;
+  for (; j + 1 <= n; j += 2) {
+    vst1q_f64(d + j, Dist2(ai, bt, bt_stride, j - 1));
+    const float64x2_t diag = vld1q_f64(prev + j - 1);
+    const float64x2_t up = vld1q_f64(prev + j);
+    vst1q_f64(t + j, vminq_f64(up, diag));
+  }
+  for (; j <= n; ++j) DtwCell(ai, bt, bt_stride, prev, j, t, d);
+}
+
+void EdrRowNeon(const double* ai, const double* bt, std::size_t bt_stride,
+                const double* prev, double eps, std::size_t n, double* t) {
+  const float64x2_t eps_v = vdupq_n_f64(eps);
+  const float64x2_t one = vdupq_n_f64(1.0);
+  std::size_t j = 1;
+  for (; j + 1 <= n; j += 2) {
+    const float64x2_t dist = Dist2(ai, bt, bt_stride, j - 1);
+    const uint64x2_t gt = vcgtq_f64(dist, eps_v);
+    const float64x2_t sub = vreinterpretq_f64_u64(
+        vandq_u64(gt, vreinterpretq_u64_f64(one)));
+    const float64x2_t diag = vaddq_f64(vld1q_f64(prev + j - 1), sub);
+    const float64x2_t up = vaddq_f64(vld1q_f64(prev + j), one);
+    vst1q_f64(t + j, vminq_f64(up, diag));
+  }
+  for (; j <= n; ++j) t[j] = EdrCell(ai, bt, bt_stride, prev, eps, j);
+}
+
+// Anti-diagonal EGED cells; see kernel_avx2.cpp for the lane-independence
+// argument. vminq_f64 is the IEEE value-min (no -0.0 arises here), so the
+// two-step min reproduces the scalar candidate order exactly.
+void EgedDiagNeon(const double* at, std::size_t at_stride, const double* bt,
+                  std::size_t bt_stride, const double* ga, const double* bg,
+                  const double* diag, const double* up, const double* left,
+                  std::size_t count, double* out) {
+  std::size_t c = 0;
+  for (; c + 2 <= count; c += 2) {
+    float64x2_t acc = vdupq_n_f64(0.0);
+    for (std::size_t k = 0; k < kCellDim; ++k) {
+      const float64x2_t av = vld1q_f64(at + k * at_stride + c);
+      const float64x2_t bv = vld1q_f64(bt + k * bt_stride + c);
+      const float64x2_t dv = vsubq_f64(av, bv);
+      acc = vaddq_f64(acc, vmulq_f64(dv, dv));
+    }
+    const float64x2_t dist = vsqrtq_f64(acc);
+    const float64x2_t subst = vaddq_f64(vld1q_f64(diag + c), dist);
+    const float64x2_t del_a = vaddq_f64(vld1q_f64(up + c), vld1q_f64(ga + c));
+    const float64x2_t del_b =
+        vaddq_f64(vld1q_f64(left + c), vld1q_f64(bg + c));
+    float64x2_t v = vminq_f64(del_a, subst);
+    v = vminq_f64(del_b, v);
+    vst1q_f64(out + c, v);
+  }
+  for (; c < count; ++c) {
+    out[c] = EgedDiagCell(at, at_stride, bt, bt_stride, ga, bg, diag, up,
+                          left, c);
+  }
+}
+
+}  // namespace
+
+const KernelOps& NeonOps() {
+  static const KernelOps ops = {
+      Tier::kNeon,  PointDistanceBatchNeon, EgedRowNeon,
+      DtwRowNeon,   EdrRowNeon,             EgedDiagNeon,
+  };
+  return ops;
+}
+
+}  // namespace strg::dist::simd

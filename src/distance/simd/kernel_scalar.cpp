@@ -1,0 +1,60 @@
+// Scalar tier: the portable reference every vector tier must match bitwise.
+// Built verbatim from the shared cell helpers so vector-tier remainder
+// columns run the identical code path.
+
+#include "distance/simd/cells.h"
+#include "distance/simd/kernels.h"
+
+namespace strg::dist::simd {
+namespace {
+
+void PointDistanceBatchScalar(const double* q, const double* pts,
+                              std::size_t n, double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = PointDistCell(q, pts + i * kPaddedDim);
+  }
+}
+
+void EgedRowScalar(const double* ai, const double* bt, std::size_t bt_stride,
+                   const double* prev, double ga, std::size_t jb,
+                   std::size_t je, double* t) {
+  for (std::size_t j = jb; j <= je; ++j) {
+    t[j] = EgedCell(ai, bt, bt_stride, prev, ga, j);
+  }
+}
+
+void DtwRowScalar(const double* ai, const double* bt, std::size_t bt_stride,
+                  const double* prev, std::size_t n, double* t, double* d) {
+  for (std::size_t j = 1; j <= n; ++j) {
+    DtwCell(ai, bt, bt_stride, prev, j, t, d);
+  }
+}
+
+void EdrRowScalar(const double* ai, const double* bt, std::size_t bt_stride,
+                  const double* prev, double eps, std::size_t n, double* t) {
+  for (std::size_t j = 1; j <= n; ++j) {
+    t[j] = EdrCell(ai, bt, bt_stride, prev, eps, j);
+  }
+}
+
+void EgedDiagScalar(const double* at, std::size_t at_stride, const double* bt,
+                    std::size_t bt_stride, const double* ga, const double* bg,
+                    const double* diag, const double* up, const double* left,
+                    std::size_t count, double* out) {
+  for (std::size_t c = 0; c < count; ++c) {
+    out[c] = EgedDiagCell(at, at_stride, bt, bt_stride, ga, bg, diag, up,
+                          left, c);
+  }
+}
+
+}  // namespace
+
+const KernelOps& ScalarOps() {
+  static const KernelOps ops = {
+      Tier::kScalar,          PointDistanceBatchScalar, EgedRowScalar,
+      DtwRowScalar,           EdrRowScalar,             EgedDiagScalar,
+  };
+  return ops;
+}
+
+}  // namespace strg::dist::simd

@@ -1,0 +1,25 @@
+#ifndef STRG_DISTANCE_SIMD_KERNELS_H_
+#define STRG_DISTANCE_SIMD_KERNELS_H_
+
+// Internal: per-tier kernel tables, linked only when the matching TU is
+// compiled in (src/distance/CMakeLists.txt sets STRG_SIMD_HAVE_* alongside
+// the per-file arch flags). Host support is still checked at runtime by the
+// dispatcher before a table is handed out.
+
+#include "distance/simd/dispatch.h"
+
+namespace strg::dist::simd {
+
+const KernelOps& ScalarOps();
+
+#if defined(STRG_SIMD_HAVE_AVX2)
+const KernelOps& Avx2Ops();
+#endif
+
+#if defined(STRG_SIMD_HAVE_NEON)
+const KernelOps& NeonOps();
+#endif
+
+}  // namespace strg::dist::simd
+
+#endif  // STRG_DISTANCE_SIMD_KERNELS_H_

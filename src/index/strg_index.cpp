@@ -555,12 +555,18 @@ void StrgIndex::SearchClusters(const RootRecord& root, SearchCtx* ctx,
     // LB(q, centroid) - cov. The centroid DP is deferred until the cluster
     // reaches the head of the queue — by which point worst is usually tight
     // enough that far clusters are popped, compared, and dropped with zero
-    // distance work.
-    for (size_t c = 0; c < root.clusters.size(); ++c) {
-      const ClusterRecord& cluster = root.clusters[c];
-      double lb = dist::EgedLowerBound(ctx->query_flat,
-                                       cluster.centroid_flat) -
-                  cluster.covering_radius;
+    // distance work. The cascade runs as one batched sweep over all
+    // centroid flats (query-side terms hoisted), bit-identical to the
+    // per-cluster calls it replaced.
+    const size_t nc = root.clusters.size();
+    std::vector<const dist::FlatSequence*> cents(nc);
+    std::vector<double> lbs(nc);
+    for (size_t c = 0; c < nc; ++c) {
+      cents[c] = &root.clusters[c].centroid_flat;
+    }
+    dist::EgedLowerBoundBatch(ctx->query_flat, cents.data(), nc, lbs.data());
+    for (size_t c = 0; c < nc; ++c) {
+      const double lb = lbs[c] - root.clusters[c].covering_radius;
       queue.push({std::max(lb, 0.0), c});
     }
   } else {
@@ -685,6 +691,13 @@ KnnResult StrgIndex::RangeSearch(const dist::Sequence& query, double radius,
   ctx.use_fast = params_.use_fast_kernel;
   if (ctx.use_fast) ctx.query_flat.Assign(query, params_.metric_gap);
 
+  // Batch scratch for the fast path, hoisted so per-cluster bands reuse
+  // capacity across the scan.
+  std::vector<const dist::FlatSequence*> cands;
+  std::vector<const LeafEntry*> band;
+  std::vector<dist::FlatSequence> paged_flats;
+  std::vector<double> taus, dists;
+
   auto search_root = [&](const RootRecord& root) {
     for (const ClusterRecord& cluster : root.clusters) {
       // No member can be within radius when even the closest possible key
@@ -699,10 +712,44 @@ KnnResult StrgIndex::RangeSearch(const dist::Sequence& query, double radius,
       auto lo = std::lower_bound(
           leaf.begin(), leaf.end(), key_q - radius,
           [](const LeafEntry& e, double v) { return e.key < v; });
+      if (!ctx.use_fast) {
+        for (auto it = lo; it != leaf.end() && it->key <= key_q + radius;
+             ++it) {
+          double d = SearchMetricLeaf(&ctx, *it, radius);
+          if (d <= radius) result.hits.push_back({it->og_id, d});
+        }
+        continue;
+      }
+      // Fast path: the whole key band goes through the batched bounded
+      // kernel in one call (uniform tau = radius), identical per-candidate
+      // arithmetic and stats to the former entry-at-a-time loop. Paged
+      // entries are fetched and re-flattened up front; the reserve keeps
+      // their flats stable while candidate pointers accumulate.
+      band.clear();
       for (auto it = lo; it != leaf.end() && it->key <= key_q + radius;
            ++it) {
-        double d = SearchMetricLeaf(&ctx, *it, radius);
-        if (d <= radius) result.hits.push_back({it->og_id, d});
+        band.push_back(&*it);
+      }
+      cands.clear();
+      paged_flats.clear();
+      paged_flats.reserve(band.size());
+      for (const LeafEntry* e : band) {
+        if (e->record != kNoLeafRecord) {
+          paged_flats.emplace_back(FetchSequence(*e), params_.metric_gap);
+          cands.push_back(&paged_flats.back());
+        } else {
+          cands.push_back(&e->flat);
+        }
+      }
+      taus.assign(band.size(), radius);
+      dists.resize(band.size());
+      dist::EgedBatchBounded(ctx.query_flat, cands.data(), taus.data(),
+                             band.size(), dists.data(),
+                             &dist::ThreadLocalEgedWorkspace(), &ctx.stats);
+      for (size_t i = 0; i < band.size(); ++i) {
+        if (dists[i] <= radius) {
+          result.hits.push_back({band[i]->og_id, dists[i]});
+        }
       }
     }
   };

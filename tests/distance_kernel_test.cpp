@@ -2,12 +2,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <limits>
 #include <thread>
 #include <vector>
 
 #include "distance/eged.h"
 #include "distance/eged_fast.h"
+#include "distance/simd/dispatch.h"
 #include "index/strg_index.h"
 #include "synth/generator.h"
 #include "util/random.h"
@@ -230,6 +233,50 @@ TEST(DistanceKernel, FastAndReferenceQueryPathsAgreeBitForBit) {
                        ref_range.hits[i].distance);
     }
   }
+}
+
+TEST(DistanceKernel, QueryResultsAreBitwiseInvariantUnderForcedScalarTier) {
+  // The dispatch tier must be a pure speed decision: forcing the scalar
+  // tier on the same index must reproduce every hit distance bitwise AND
+  // every pruning counter exactly (the cascade routes identically).
+  namespace simd = dist::simd;
+  Workload w = MakeWorkload();
+  index::StrgIndexParams params = BaseParams();
+  params.use_fast_kernel = true;
+  index::StrgIndex idx(params);
+  idx.AddSegment(core::BackgroundGraph{}, w.db);
+
+  const simd::Tier saved = simd::ActiveTier();
+  for (const Sequence& q : w.queries) {
+    ASSERT_TRUE(simd::ForceTier(simd::DetectedTier()));
+    auto best = idx.Knn(q, 5);
+    double radius = best.hits.empty() ? 1.0 : best.hits.back().distance;
+    auto best_range = idx.RangeSearch(q, radius);
+    ASSERT_TRUE(simd::ForceTier(simd::Tier::kScalar));
+    auto ref = idx.Knn(q, 5);
+    auto ref_range = idx.RangeSearch(q, radius);
+    simd::ForceTier(saved);
+
+    ASSERT_EQ(best.hits.size(), ref.hits.size());
+    for (size_t i = 0; i < best.hits.size(); ++i) {
+      EXPECT_EQ(best.hits[i].og_id, ref.hits[i].og_id);
+      uint64_t xb = 0, yb = 0;
+      std::memcpy(&xb, &best.hits[i].distance, sizeof(xb));
+      std::memcpy(&yb, &ref.hits[i].distance, sizeof(yb));
+      EXPECT_EQ(xb, yb) << "kNN distance drifted across tiers";
+    }
+    EXPECT_EQ(best.distance_computations, ref.distance_computations);
+    EXPECT_EQ(best.lb_prunes, ref.lb_prunes);
+    EXPECT_EQ(best.early_abandons, ref.early_abandons);
+
+    ASSERT_EQ(best_range.hits.size(), ref_range.hits.size());
+    for (size_t i = 0; i < best_range.hits.size(); ++i) {
+      EXPECT_EQ(best_range.hits[i].og_id, ref_range.hits[i].og_id);
+      EXPECT_DOUBLE_EQ(best_range.hits[i].distance,
+                       ref_range.hits[i].distance);
+    }
+  }
+  simd::ForceTier(saved);
 }
 
 TEST(DistanceKernel, ReportedKnnDistancesAreTrueMetricDistances) {
