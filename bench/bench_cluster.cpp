@@ -1,0 +1,194 @@
+// Bounded-clustering ablation: Elkan/Hamerly triangle-inequality bounds
+// (src/cluster/bounds.h) vs the exhaustive assignment path, A/B'd via
+// ClusterParams::use_bounds on the metric EGED (the only measure where the
+// bounds are admissible).
+//
+// Three claims are checked, not just reported:
+//   1. equivalence — both modes return bit-identical Clusterings;
+//   2. work — assignment distance computations drop >= 2x at k >= 16
+//      (the SLO floor; enforced by exit code);
+//   3. time — the build-time speedup is recorded per k (informational:
+//      small workloads can be seeding- or kernel-bound, which the table
+//      shows honestly rather than hiding).
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/em.h"
+#include "cluster/kmeans.h"
+#include "distance/eged.h"
+#include "synth/generator.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace strg;
+
+bool Identical(const cluster::Clustering& a, const cluster::Clustering& b) {
+  if (a.assignment != b.assignment || a.iterations != b.iterations) {
+    return false;
+  }
+  if (a.log_likelihood != b.log_likelihood ||
+      a.classification_log_likelihood != b.classification_log_likelihood) {
+    return false;
+  }
+  if (a.weights != b.weights || a.sigmas != b.sigmas) return false;
+  if (a.centroids.size() != b.centroids.size()) return false;
+  for (size_t c = 0; c < a.centroids.size(); ++c) {
+    if (a.centroids[c] != b.centroids[c]) return false;
+  }
+  return true;
+}
+
+struct AbResult {
+  cluster::ClusterStats on;
+  cluster::ClusterStats off;
+  double on_s = 0.0;
+  double off_s = 0.0;
+  bool identical = false;
+};
+
+template <typename RunFn>
+AbResult RunAb(RunFn run) {
+  AbResult r;
+  Timer t_on;
+  cluster::Clustering m_on = run(/*use_bounds=*/true, &r.on);
+  r.on_s = t_on.Seconds();
+  Timer t_off;
+  cluster::Clustering m_off = run(/*use_bounds=*/false, &r.off);
+  r.off_s = t_off.Seconds();
+  r.identical = Identical(m_on, m_off);
+  return r;
+}
+
+double Ratio(uint64_t off, uint64_t on) {
+  return on == 0 ? 0.0
+                 : static_cast<double>(off) / static_cast<double>(on);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Bounded clustering",
+                "Elkan/Hamerly bounds vs exhaustive assignment (A/B)");
+  bench::JsonReport report("BENCH_cluster.json");
+
+  const int per_cluster =
+      bench::EnvInt("STRG_CLUSTER_PER_CLUSTER", bench::FullScale() ? 10 : 4);
+  const int restarts = bench::EnvInt("STRG_CLUSTER_RESTARTS", 2);
+  const int iterations = bench::EnvInt("STRG_CLUSTER_ITERS", 12);
+
+  synth::SynthParams sp;
+  sp.items_per_cluster = static_cast<size_t>(per_cluster);
+  sp.noise_pct = 15.0;
+  sp.seed = 777;
+  synth::SynthDataset ds = synth::GenerateSyntheticOgs(sp);
+  auto seqs = ds.Sequences(synth::SynthScaling());
+  const size_t m = seqs.size();
+  std::cout << "\nworkload: " << m << " OGs, restarts=" << restarts
+            << ", max_iterations=" << iterations << ", metric EGED\n";
+
+  dist::EgedMetricDistance metric;
+  bool all_identical = true;
+  bool slo_pass = true;
+  bool slo_applicable = false;
+
+  // ---- EM: the fit StrgIndex's split clustering runs ------------------
+  std::cout << "\nEM assignment distance computations, bounds on vs off\n";
+  Table em_table({"k", "assign_on", "assign_off", "ratio", "prunes",
+                  "hamerly", "time_on_s", "time_off_s", "speedup"});
+  for (size_t k : {4u, 8u, 16u, 32u}) {
+    if (k > m) continue;
+    AbResult r = RunAb([&](bool bounds, cluster::ClusterStats* stats) {
+      cluster::ClusterParams cp;
+      cp.max_iterations = iterations;
+      cp.restarts = restarts;
+      cp.seed = 99;
+      cp.use_bounds = bounds;
+      cp.stats = stats;
+      return cluster::EmCluster(seqs, k, metric, cp);
+    });
+    all_identical = all_identical && r.identical;
+    const double ratio =
+        Ratio(r.off.AssignmentDistances(), r.on.AssignmentDistances());
+    em_table.AddNumericRow(
+        {static_cast<double>(k),
+         static_cast<double>(r.on.AssignmentDistances()),
+         static_cast<double>(r.off.AssignmentDistances()), ratio,
+         static_cast<double>(r.on.assign_prunes),
+         static_cast<double>(r.on.hamerly_skips), r.on_s, r.off_s,
+         r.on_s > 0.0 ? r.off_s / r.on_s : 0.0},
+        3);
+    // SLO floor: >= 2x fewer assignment distances at k >= 16. Only
+    // applicable when the workload gives each centroid enough items for
+    // bounds to have anything to prune; otherwise the row is recorded but
+    // the floor is n/a (marked in the JSON).
+    if (k >= 16 && m >= 4 * k) {
+      slo_applicable = true;
+      if (ratio < 2.0) slo_pass = false;
+    }
+  }
+  em_table.Print(std::cout);
+  report.AddTable("em_assignment_distances", em_table);
+
+  // ---- k-means: the Lloyd loop with the same bounds -------------------
+  std::cout << "\nk-means assignment distance computations, bounds on/off\n";
+  Table km_table({"k", "assign_on", "assign_off", "ratio", "prunes",
+                  "hamerly", "time_on_s", "time_off_s", "speedup"});
+  for (size_t k : {4u, 16u}) {
+    if (k > m) continue;
+    AbResult r = RunAb([&](bool bounds, cluster::ClusterStats* stats) {
+      cluster::ClusterParams cp;
+      cp.max_iterations = iterations;
+      cp.seed = 99;
+      cp.use_bounds = bounds;
+      cp.stats = stats;
+      return cluster::KMeansCluster(seqs, k, metric, cp);
+    });
+    // KMeansCluster returns no likelihoods; Identical() compares the
+    // infinity defaults, which is exactly the equality we want there.
+    all_identical = all_identical && r.identical;
+    km_table.AddNumericRow(
+        {static_cast<double>(k),
+         static_cast<double>(r.on.AssignmentDistances()),
+         static_cast<double>(r.off.AssignmentDistances()),
+         Ratio(r.off.AssignmentDistances(), r.on.AssignmentDistances()),
+         static_cast<double>(r.on.assign_prunes),
+         static_cast<double>(r.on.hamerly_skips), r.on_s, r.off_s,
+         r.on_s > 0.0 ? r.off_s / r.on_s : 0.0},
+        3);
+  }
+  km_table.Print(std::cout);
+  report.AddTable("kmeans_assignment_distances", km_table);
+
+  report.AddScalar("num_items", static_cast<double>(m));
+  report.AddScalar("restarts", static_cast<double>(restarts));
+  report.AddString("bound_mode", "ab_on_vs_off");
+  report.AddScalar("bit_identical", all_identical ? 1.0 : 0.0);
+  report.AddString("slo_2x_at_k16",
+                   !slo_applicable ? "n/a" : (slo_pass ? "pass" : "FAIL"));
+  report.Write();
+
+  if (!all_identical) {
+    std::cout << "\nFAIL: bounded and exhaustive paths diverged "
+                 "(bit-identity contract broken)\n";
+    return 1;
+  }
+  if (!slo_applicable) {
+    std::cout << "\nSLO n/a: workload too small for the k >= 16 floor "
+                 "(need m >= 4k); counters recorded above.\n";
+    return 0;
+  }
+  if (!slo_pass) {
+    std::cout << "\nFAIL: assignment distance reduction below the 2x floor "
+                 "at k >= 16\n";
+    return 1;
+  }
+  std::cout << "\nSLO pass: >= 2x fewer assignment distance computations at "
+               "k >= 16, bit-identical results.\n";
+  return 0;
+}

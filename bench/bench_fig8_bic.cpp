@@ -24,11 +24,13 @@ int main() {
   Table table(headers);
 
   std::vector<cluster::BicSweepResult> sweeps;
-  for (const auto& run : runs) {
-    auto seqs = run.result.ObjectSequences();
+  std::vector<cluster::ClusterStats> sweep_stats(runs.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    auto seqs = runs[i].result.ObjectSequences();
     cluster::ClusterParams cp;
     cp.max_iterations = 10;
     cp.restarts = 5;
+    cp.stats = &sweep_stats[i];  // build cost of the whole K sweep
     sweeps.push_back(cluster::FindOptimalK(
         seqs, 1, std::min<size_t>(static_cast<size_t>(k_max), seqs.size()),
         eged, cp));
@@ -56,6 +58,8 @@ int main() {
               << runs[i].num_categories << ")\n";
     report.AddScalar("best_k_" + runs[i].name,
                      static_cast<double>(sweeps[i].best_k));
+    report.AddScalar("sweep_distance_computations_" + runs[i].name,
+                     static_cast<double>(sweep_stats[i].TotalDistances()));
   }
   report.Write();
   std::cout << "\nExpected shape (paper): each curve rises to a peak near the"

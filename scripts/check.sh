@@ -11,7 +11,10 @@
 # STRG_CHECK_TSAN=1 — the cancellation/deadline race and tau-pruning tests
 # under TSan. A `simd` stage re-runs the distance|simd suites under ASan and
 # UBSan with STRG_FORCE_SCALAR=1, covering both dispatch tiers and the env
-# override plumbing.
+# override plumbing. A `cluster` stage runs the cluster|seeding suites under
+# ASan and UBSan (the Elkan/Hamerly bound bookkeeping and its batched
+# kernel hand-off), and the TSan pass adds the parallel-restart equivalence
+# test.
 #
 #   scripts/check.sh                 # static + tier-1 + ASan + UBSan passes
 #   STRG_CHECK_ASAN_ALL=1 scripts/check.sh   # ASan over the whole suite
@@ -70,6 +73,20 @@ cmake --build build-asan -j --target sharded_engine_test \
 ctest --test-dir build-asan -L server --output-on-failure -j
 
 echo
+echo "== cluster stage (ASan + UBSan): bounded-assignment equivalence =="
+# The Elkan/Hamerly layer (src/cluster/bounds.h) keeps m x k bound arrays
+# hot across iterations and hands flat-form rows to the batched DP kernels
+# — an off-by-one in the lb row indexing or a stale flat pointer after a
+# reseed is exactly the bug class ASan catches; the score-space pruning
+# does log/sqrt radius arithmetic where UBSan would see a domain slip.
+cmake --build build-asan -j --target cluster_bounds_test cluster_test \
+  seeding_test
+cmake --build build-ubsan -j --target cluster_bounds_test cluster_test \
+  seeding_test
+ctest --test-dir build-asan -L 'cluster|seeding' --output-on-failure -j
+ctest --test-dir build-ubsan -L 'cluster|seeding' --output-on-failure -j
+
+echo
 echo "== UBSan pass over recovery+distance+ingest-labeled tests (STRG_SANITIZE=undefined) =="
 cmake -B build-ubsan -S . -DSTRG_SANITIZE=undefined \
   -DSTRG_BUILD_BENCHMARKS=OFF -DSTRG_BUILD_EXAMPLES=OFF >/dev/null
@@ -120,6 +137,13 @@ if [[ "${STRG_CHECK_TSAN:-0}" == "1" ]]; then
   # a writer rewrites pages under concurrent readers.
   ./build-tsan/tests/paging_test \
     --gtest_filter='BufferCache.ConcurrentPinUnpinWithWriterIsConsistent'
+  # Parallel EM restarts with the bounded assigner engaged: each restart
+  # owns its BoundedAssigner and ClusterStats, merged serially afterward —
+  # TSan proves the per-restart state really is private while the test
+  # asserts pooled == serial bit-identically.
+  cmake --build build-tsan -j --target cluster_bounds_test
+  ./build-tsan/tests/cluster_bounds_test \
+    --gtest_filter='ClusterBoundsParallel.RestartEquivalence'
 fi
 
 echo

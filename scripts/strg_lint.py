@@ -31,6 +31,11 @@ what the repo has *decided* — contracts that live across files:
                         it automatically; hand-rolled reports name a
                         "simd_tier" field themselves) — kernel timings are
                         incomparable without knowing which tier ran.
+  strg-bench-cluster-stamp  A bench that writes a BENCH_cluster*.json report
+                        must stamp "k", "restarts", and "bound_mode" —
+                        clustering distance counts mean nothing without the
+                        centroid count, the restart multiplier, and which
+                        side of the use_bounds A/B produced them.
   strg-simd-intrinsics  No vendor intrinsics (immintrin.h / arm_neon.h,
                         _mm*/__m*/v*q_f64 tokens) in src/ outside
                         src/distance/simd/: every vectorized loop goes
@@ -86,8 +91,12 @@ DIRECT_IO_RE = re.compile(
     r"|#\s*include\s*<fstream>")
 BENCH_JSON_RE = re.compile(r"BENCH_[A-Za-z0-9_]+\.json")
 BENCH_SERVER_JSON_RE = re.compile(r"BENCH_server[A-Za-z0-9_]*\.json")
+BENCH_CLUSTER_JSON_RE = re.compile(r"BENCH_cluster[A-Za-z0-9_]*\.json")
 HW_CONCURRENCY_RE = re.compile(r"hardware_concurrency")
 SHARD_FIELD_RE = re.compile(r'\\?"shards\\?"')
+K_FIELD_RE = re.compile(r'\\?"k\\?"')
+RESTARTS_FIELD_RE = re.compile(r'\\?"restarts\\?"')
+BOUND_MODE_FIELD_RE = re.compile(r'\\?"bound_mode\\?"')
 # "TryDeserialize" etc. do not match: no word boundary after "Try".
 DEPRECATED_CATALOG_RE = re.compile(
     r"\b(?:Deserialize|SaveToFile|LoadFromFile)\s*\(")
@@ -270,6 +279,21 @@ def lint_tree(root: str) -> list:
                             "(serving numbers are incomparable without "
                             "both), or justify with "
                             "NOLINT(strg-bench-server-shards): <why>"))
+            if BENCH_CLUSTER_JSON_RE.search(text):
+                if not (K_FIELD_RE.search(text)
+                        and RESTARTS_FIELD_RE.search(text)
+                        and BOUND_MODE_FIELD_RE.search(text)):
+                    m = NOLINT_RE.search(text)
+                    if not (m and m.group(1) == "strg-bench-cluster-stamp"
+                            and m.group(2)):
+                        findings.append(Finding(
+                            path, 1, "strg-bench-cluster-stamp",
+                            'BENCH_cluster*.json report must stamp "k", '
+                            '"restarts", and "bound_mode" (distance counts '
+                            "are meaningless without the centroid count, "
+                            "the restart multiplier, and the use_bounds "
+                            "side), or justify with "
+                            "NOLINT(strg-bench-cluster-stamp): <why>"))
             if BENCH_JSON_RE.search(text):
                 if not (SIMD_TIER_RE.search(text)
                         or JSON_REPORT_RE.search(text)) and \
@@ -352,6 +376,15 @@ FIXTURES = {
         'const char* j = "\\"shards\\":1"; '
         "unsigned c = 0; (void)c;  // hardware_concurrency goes here\n"
         "  return p != nullptr && j != nullptr; }\n",
+    ),
+    "strg-bench-cluster-stamp": (
+        "bench/bench_cluster_bad.cpp",
+        'int main() { const char* p = "BENCH_cluster_bad.json"; '
+        "return p != nullptr; }\n",
+        'int main() { const char* p = "BENCH_cluster_bad.json"; '
+        'const char* s = "\\"k\\":4,\\"restarts\\":2,'
+        '\\"bound_mode\\":\\"on\\""; '
+        "return p != nullptr && s != nullptr; }\n",
     ),
     "strg-bench-simd-tier": (
         "bench/bench_tierless.cpp",

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "cluster/bounds.h"
 #include "cluster/centroid.h"
 #include "cluster/seeding.h"
 #include "util/random.h"
@@ -11,14 +12,6 @@
 namespace strg::cluster {
 
 namespace {
-
-constexpr double kLogSqrt2Pi = 0.9189385332046727;  // log(sqrt(2*pi))
-
-/// log of component k's weighted density at distance d (Equation 3).
-double LogComponent(double w, double sigma, double d) {
-  return std::log(w) - std::log(sigma) - kLogSqrt2Pi -
-         (d * d) / (2.0 * sigma * sigma);
-}
 
 /// Row-wise softmax with log-sum-exp; returns the log evidence.
 double PosteriorRow(const std::vector<double>& log_p, std::vector<double>* h) {
@@ -33,13 +26,59 @@ double PosteriorRow(const std::vector<double>& log_p, std::vector<double>* h) {
   return log_evidence;
 }
 
-}  // namespace
+/// Initialization shared by both E-step variants: hard-assign every item to
+/// its nearest seed centroid and derive per-component weights and sigmas
+/// from that partition. Starting from a hard assignment breaks the symmetry
+/// that otherwise lets EM collapse all components onto the global mean when
+/// the seed sigma is large (near-uniform posteriors -> identical M-step
+/// centroids). Accumulations run in ascending item order, so both callers
+/// (matrix argmin and bounded scan) produce the same doubles.
+double DeriveInitModel(const std::vector<dist::Sequence>& data, size_t k,
+                       const ClusterParams& params,
+                       const std::vector<size_t>& init_assign,
+                       const std::vector<double>& init_d, Clustering* model) {
+  const size_t m = data.size();
+  double init_acc = 0.0;
+  std::vector<size_t> init_count(k, 0);
+  std::vector<double> init_sq(k, 0.0);
+  for (size_t j = 0; j < m; ++j) {
+    size_t best = init_assign[j];
+    init_count[best] += 1;
+    init_sq[best] += init_d[j] * init_d[j];
+    init_acc += init_d[j] * init_d[j];
+  }
+  double init_sigma =
+      std::max(params.min_sigma, std::sqrt(init_acc / static_cast<double>(m)));
+  model->sigmas.assign(k, init_sigma);
+  for (size_t c = 0; c < k; ++c) {
+    if (init_count[c] > 0) {
+      model->weights[c] = std::max(1.0, static_cast<double>(init_count[c])) /
+                          static_cast<double>(m);
+      model->sigmas[c] = std::max(
+          params.min_sigma,
+          std::sqrt(init_sq[c] / static_cast<double>(init_count[c])));
+      std::vector<double> w(m, 0.0);
+      for (size_t j = 0; j < m; ++j) {
+        if (init_assign[j] == c) w[j] = 1.0;
+      }
+      model->centroids[c] = WeightedCentroid(data, w);
+    } else {
+      model->weights[c] = 1.0 / static_cast<double>(m);
+    }
+  }
+  // Renormalize the weights after the count-based estimate.
+  double sum = 0.0;
+  for (double w : model->weights) sum += w;
+  for (double& w : model->weights) w /= sum;
+  return init_sigma;
+}
 
-namespace {
-
+/// Exhaustive-scan CEM: every iteration refreshes the full K x M distance
+/// matrix and the E-step/classification read from it. This is the reference
+/// the bounded variant below must match bit-for-bit.
 Clustering EmClusterOnce(const std::vector<dist::Sequence>& data, size_t k,
                          const dist::SequenceDistance& distance,
-                         const ClusterParams& params) {
+                         const ClusterParams& params, ClusterStats* stats) {
   const size_t m = data.size();
   if (m == 0 || k == 0) throw std::invalid_argument("EmCluster: empty input");
   k = std::min(k, m);
@@ -50,7 +89,7 @@ Clustering EmClusterOnce(const std::vector<dist::Sequence>& data, size_t k,
   // Init: K distinct random OGs become the initial centroids (Section 4.1:
   // "OGs are selected randomly").
   for (size_t idx : SeedCentroidIndices(data, k, distance, &rng,
-                                        std::max<size_t>(4 * k, 512))) {
+                                        std::max<size_t>(4 * k, 512), stats)) {
     model.centroids.push_back(data[idx]);
   }
   model.weights.assign(k, 1.0 / static_cast<double>(k));
@@ -58,6 +97,7 @@ Clustering EmClusterOnce(const std::vector<dist::Sequence>& data, size_t k,
   // Distance matrix for the current centroids.
   std::vector<std::vector<double>> d(m, std::vector<double>(k, 0.0));
   auto refresh_distances = [&]() {
+    stats->matrix_distances += static_cast<uint64_t>(m) * k;
     auto row = [&](size_t j) {
       for (size_t c = 0; c < k; ++c) {
         d[j][c] = distance(data[j], model.centroids[c]);
@@ -71,51 +111,18 @@ Clustering EmClusterOnce(const std::vector<dist::Sequence>& data, size_t k,
   };
   refresh_distances();
 
-  // Initialization: hard-assign every item to its nearest seed centroid and
-  // derive per-component weights and sigmas from that partition. Starting
-  // from a hard assignment breaks the symmetry that otherwise lets EM
-  // collapse all components onto the global mean when the seed sigma is
-  // large (near-uniform posteriors -> identical M-step centroids).
-  double init_acc = 0.0;
   std::vector<size_t> init_assign(m, 0);
-  std::vector<size_t> init_count(k, 0);
-  std::vector<double> init_sq(k, 0.0);
+  std::vector<double> init_d(m, 0.0);
   for (size_t j = 0; j < m; ++j) {
     size_t best = 0;
     for (size_t c = 1; c < k; ++c) {
       if (d[j][c] < d[j][best]) best = c;
     }
     init_assign[j] = best;
-    init_count[best] += 1;
-    init_sq[best] += d[j][best] * d[j][best];
-    init_acc += d[j][best] * d[j][best];
+    init_d[j] = d[j][best];
   }
   double init_sigma =
-      std::max(params.min_sigma, std::sqrt(init_acc / static_cast<double>(m)));
-  model.sigmas.assign(k, init_sigma);
-  for (size_t c = 0; c < k; ++c) {
-    if (init_count[c] > 0) {
-      model.weights[c] =
-          std::max(1.0, static_cast<double>(init_count[c])) /
-          static_cast<double>(m);
-      model.sigmas[c] = std::max(
-          params.min_sigma,
-          std::sqrt(init_sq[c] / static_cast<double>(init_count[c])));
-      std::vector<double> w(m, 0.0);
-      for (size_t j = 0; j < m; ++j) {
-        if (init_assign[j] == c) w[j] = 1.0;
-      }
-      model.centroids[c] = WeightedCentroid(data, w);
-    } else {
-      model.weights[c] = 1.0 / static_cast<double>(m);
-    }
-  }
-  // Renormalize the weights after the count-based estimate.
-  {
-    double sum = 0.0;
-    for (double w : model.weights) sum += w;
-    for (double& w : model.weights) w /= sum;
-  }
+      DeriveInitModel(data, k, params, init_assign, init_d, &model);
   refresh_distances();
 
   std::vector<std::vector<double>> h(m, std::vector<double>(k, 0.0));
@@ -128,7 +135,8 @@ Clustering EmClusterOnce(const std::vector<dist::Sequence>& data, size_t k,
     double ll = 0.0;
     for (size_t j = 0; j < m; ++j) {
       for (size_t c = 0; c < k; ++c) {
-        log_p[c] = LogComponent(model.weights[c], model.sigmas[c], d[j][c]);
+        log_p[c] =
+            LogComponentDensity(model.weights[c], model.sigmas[c], d[j][c]);
       }
       ll += PosteriorRow(log_p, &h[j]);
     }
@@ -150,7 +158,7 @@ Clustering EmClusterOnce(const std::vector<dist::Sequence>& data, size_t k,
       size_t best = 0;
       double best_lp = -std::numeric_limits<double>::infinity();
       for (size_t c = 0; c < k; ++c) {
-        double lp = LogComponent(1.0, model.sigmas[c], d[j][c]);
+        double lp = LogComponentDensity(1.0, model.sigmas[c], d[j][c]);
         if (lp > best_lp) {
           best_lp = lp;
           best = c;
@@ -179,6 +187,7 @@ Clustering EmClusterOnce(const std::vector<dist::Sequence>& data, size_t k,
         model.centroids[c] = data[rng.Index(m)];
         model.sigmas[c] = init_sigma;
         new_weights[c] = 1.0 / static_cast<double>(m);
+        ++stats->reseeds;
       }
       if (std::fabs(new_weights[c] - model.weights[c]) >
           params.convergence_tol) {
@@ -198,6 +207,7 @@ Clustering EmClusterOnce(const std::vector<dist::Sequence>& data, size_t k,
     bool reseeded = false;
     for (size_t c1 = 0; c1 < k && !reseeded; ++c1) {
       for (size_t c2 = c1 + 1; c2 < k; ++c2) {
+        ++stats->guard_distances;
         double sep = distance(model.centroids[c1], model.centroids[c2]);
         double scale = std::min(model.sigmas[c1], model.sigmas[c2]);
         if (sep >= std::max(params.min_sigma, 0.2 * scale)) continue;
@@ -219,6 +229,7 @@ Clustering EmClusterOnce(const std::vector<dist::Sequence>& data, size_t k,
         double sum = 0.0;
         for (double w : model.weights) sum += w;
         for (double& w : model.weights) w /= sum;
+        ++stats->reseeds;
         reseeded = true;
         break;
       }
@@ -238,7 +249,7 @@ Clustering EmClusterOnce(const std::vector<dist::Sequence>& data, size_t k,
     int best = 0;
     double best_lp = -std::numeric_limits<double>::infinity();
     for (size_t c = 0; c < k; ++c) {
-      double lp = LogComponent(1.0, model.sigmas[c], d[j][c]);
+      double lp = LogComponentDensity(1.0, model.sigmas[c], d[j][c]);
       if (lp > best_lp) {
         best_lp = lp;
         best = static_cast<int>(c);
@@ -249,6 +260,183 @@ Clustering EmClusterOnce(const std::vector<dist::Sequence>& data, size_t k,
   }
   model.classification_log_likelihood = cl;
   return model;
+}
+
+/// Triangle-inequality bounded CEM (DESIGN.md section 14): identical
+/// control flow and arithmetic to EmClusterOnce — same rng stream, same
+/// iterate sequence, same final Clustering bit for bit — but assignment
+/// scans go through BoundedAssigner instead of a full matrix refresh, and
+/// the mixture log-likelihood is deferred to one exact matrix after the
+/// loop (the per-iteration soft posteriors feed nothing else in CEM, and
+/// the reported value is the last iteration's).
+Clustering EmClusterOnceBounded(const std::vector<dist::Sequence>& data,
+                                size_t k,
+                                const dist::SequenceDistance& distance,
+                                const ClusterParams& params,
+                                ClusterStats* stats) {
+  const size_t m = data.size();
+  if (m == 0 || k == 0) throw std::invalid_argument("EmCluster: empty input");
+  k = std::min(k, m);
+
+  Clustering model;
+  Rng rng(params.seed);
+  for (size_t idx : SeedCentroidIndices(data, k, distance, &rng,
+                                        std::max<size_t>(4 * k, 512), stats)) {
+    model.centroids.push_back(data[idx]);
+  }
+  model.weights.assign(k, 1.0 / static_cast<double>(k));
+
+  BoundedAssigner assigner(data, distance, /*use_bounds=*/true);
+  assigner.SetCentroids(model.centroids, stats);
+
+  // Init: nearest seed per item through the (cold) running-tau scan, which
+  // returns the exact winner distance — DeriveInitModel sees the same
+  // doubles the matrix argmin feeds it.
+  std::vector<size_t> init_assign(m, 0);
+  std::vector<double> init_d(m, 0.0);
+  for (size_t j = 0; j < m; ++j) {
+    auto n = assigner.NearestCentroid(j, /*need_exact=*/true, stats);
+    init_assign[j] = n.index;
+    init_d[j] = n.distance;
+  }
+  double init_sigma =
+      DeriveInitModel(data, k, params, init_assign, init_d, &model);
+  assigner.SetCentroids(model.centroids, stats);
+
+  std::vector<size_t> hard(m, 0);
+  std::vector<double> win_d(m, 0.0);
+  std::vector<double> snap_weights;
+  std::vector<double> snap_sigmas;
+  std::vector<dist::Sequence> snap_centroids;
+  bool have_snapshot = false;
+
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    model.iterations = iter + 1;
+    // Snapshot the mixture entering this iteration for the deferred
+    // log-likelihood: the E-step of the exhaustive path evaluates Equation
+    // 4 against exactly these weights/sigmas/centroids.
+    snap_weights = model.weights;
+    snap_sigmas = model.sigmas;
+    snap_centroids = model.centroids;
+    have_snapshot = true;
+
+    // Classification step (uniform prior) through the bounded score scan.
+    for (size_t j = 0; j < m; ++j) {
+      auto s = assigner.BestScoringComponent(j, model.sigmas, stats);
+      hard[j] = s.index;
+      win_d[j] = s.distance;
+    }
+
+    // M-step (Equation 6). The exhaustive path folds col[j] * d^2 over
+    // every item, but col[j] is exactly 0.0 or 1.0 and adding 0.0 * x ==
+    // +0.0 to a nonnegative accumulator is a bitwise no-op, so members-only
+    // accumulation over the exact winner distances produces the same
+    // doubles in the same order.
+    std::vector<double> new_weights(k, 0.0);
+    bool converged = true;
+    for (size_t c = 0; c < k; ++c) {
+      double hs = 0.0, hd2 = 0.0;
+      std::vector<double> col(m);
+      for (size_t j = 0; j < m; ++j) {
+        col[j] = hard[j] == c ? 1.0 : 0.0;
+        hs += col[j];
+        if (col[j] != 0.0) hd2 += col[j] * win_d[j] * win_d[j];
+      }
+      new_weights[c] = hs / static_cast<double>(m);
+      if (hs > 1e-12) {
+        model.centroids[c] = WeightedCentroid(data, col);
+        model.sigmas[c] = std::max(params.min_sigma, std::sqrt(hd2 / hs));
+      } else {
+        model.centroids[c] = data[rng.Index(m)];
+        model.sigmas[c] = init_sigma;
+        new_weights[c] = 1.0 / static_cast<double>(m);
+        ++stats->reseeds;
+      }
+      if (std::fabs(new_weights[c] - model.weights[c]) >
+          params.convergence_tol) {
+        converged = false;
+      }
+    }
+    model.weights = new_weights;
+    // Drift update replaces the full matrix refresh. Dead-component
+    // reseeds ride along: the triangle inequality bounds the change in
+    // d(j, c) by the centroid's displacement regardless of how far it
+    // jumped.
+    assigner.SetCentroids(model.centroids, stats);
+
+    // Anti-collapse guard — same pair order and exact separations as the
+    // exhaustive path, so the same reseeds fire on the same iterations.
+    bool reseeded = false;
+    for (size_t c1 = 0; c1 < k && !reseeded; ++c1) {
+      for (size_t c2 = c1 + 1; c2 < k; ++c2) {
+        double sep = assigner.CentroidDistance(c1, c2, stats);
+        double scale = std::min(model.sigmas[c1], model.sigmas[c2]);
+        if (sep >= std::max(params.min_sigma, 0.2 * scale)) continue;
+        size_t weak = model.weights[c1] <= model.weights[c2] ? c1 : c2;
+        size_t far_j = 0;
+        double far_d = -1.0;
+        for (size_t j = 0; j < m; ++j) {
+          double nearest = assigner.NearestDistance(j, stats);
+          if (nearest > far_d) {
+            far_d = nearest;
+            far_j = j;
+          }
+        }
+        model.centroids[weak] = data[far_j];
+        model.sigmas[weak] =
+            std::max(params.min_sigma, 0.5 * model.sigmas[weak]);
+        model.weights[weak] = 1.0 / static_cast<double>(k);
+        double sum = 0.0;
+        for (double w : model.weights) sum += w;
+        for (double& w : model.weights) w /= sum;
+        // The reseed target is arbitrary, so the reseeded centroid's
+        // bounds are invalidated rather than drift-updated.
+        assigner.ReplaceCentroid(weak, model.centroids[weak], stats);
+        ++stats->reseeds;
+        reseeded = true;
+        break;
+      }
+    }
+    if (reseeded) converged = false;
+    if (converged) break;
+  }
+
+  // Deferred mixture log-likelihood (Equation 4) of the last iteration.
+  if (have_snapshot) {
+    std::vector<std::vector<double>> dll;
+    assigner.ExactMatrix(snap_centroids, params.pool, &dll, stats);
+    std::vector<double> log_p(k);
+    std::vector<double> h;
+    double ll = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      for (size_t c = 0; c < k; ++c) {
+        log_p[c] =
+            LogComponentDensity(snap_weights[c], snap_sigmas[c], dll[j][c]);
+      }
+      ll += PosteriorRow(log_p, &h);
+    }
+    model.log_likelihood = ll;
+  }
+
+  // Final assignment by maximum posterior (Equation 7).
+  model.assignment.resize(m);
+  double cl = 0.0;
+  for (size_t j = 0; j < m; ++j) {
+    auto s = assigner.BestScoringComponent(j, model.sigmas, stats);
+    model.assignment[j] = static_cast<int>(s.index);
+    cl += s.score;
+  }
+  model.classification_log_likelihood = cl;
+  return model;
+}
+
+Clustering RunOnce(const std::vector<dist::Sequence>& data, size_t k,
+                   const dist::SequenceDistance& distance,
+                   const ClusterParams& params, ClusterStats* stats) {
+  if (params.use_bounds && distance.IsMetric()) {
+    return EmClusterOnceBounded(data, k, distance, params, stats);
+  }
+  return EmClusterOnce(data, k, distance, params, stats);
 }
 
 }  // namespace
@@ -262,15 +450,22 @@ Clustering EmCluster(const std::vector<dist::Sequence>& data, size_t k,
     // restart runs with pool = nullptr inside: ParallelFor blocks the
     // calling worker, so a nested ParallelFor from inside a restart would
     // deadlock the pool — restart-level parallelism replaces the
-    // matrix-level parallelism of the serial path.
+    // matrix-level parallelism of the serial path. Counters accumulate into
+    // per-restart locals and merge in restart order, so the totals are
+    // deterministic and params.stats is never touched concurrently.
     std::vector<Clustering> models(static_cast<size_t>(restarts));
+    std::vector<ClusterStats> restart_stats(static_cast<size_t>(restarts));
     params.pool->ParallelFor(
         0, static_cast<size_t>(restarts), [&](size_t r) {
           ClusterParams p = params;
           p.pool = nullptr;
+          p.stats = nullptr;
           p.seed = params.seed + 0x9E3779B9ull * static_cast<uint64_t>(r);
-          models[r] = EmClusterOnce(data, k, distance, p);
+          models[r] = RunOnce(data, k, distance, p, &restart_stats[r]);
         });
+    if (params.stats != nullptr) {
+      for (const ClusterStats& s : restart_stats) params.stats->Merge(s);
+    }
     // Serial reduction in restart order (strict >): same winner as the
     // serial loop, so the build is deterministic with or without a pool.
     Clustering best = std::move(models[0]);
@@ -283,15 +478,18 @@ Clustering EmCluster(const std::vector<dist::Sequence>& data, size_t k,
     return best;
   }
   Clustering best;
+  ClusterStats local;
   for (int r = 0; r < restarts; ++r) {
     ClusterParams p = params;
+    p.stats = nullptr;
     p.seed = params.seed + 0x9E3779B9ull * static_cast<uint64_t>(r);
-    Clustering model = EmClusterOnce(data, k, distance, p);
+    Clustering model = RunOnce(data, k, distance, p, &local);
     if (r == 0 || model.classification_log_likelihood >
                       best.classification_log_likelihood) {
       best = std::move(model);
     }
   }
+  if (params.stats != nullptr) params.stats->Merge(local);
   return best;
 }
 
@@ -304,8 +502,8 @@ double EmLogLikelihood(const std::vector<dist::Sequence>& data,
   double ll = 0.0;
   for (const dist::Sequence& y : data) {
     for (size_t c = 0; c < k; ++c) {
-      log_p[c] = LogComponent(model.weights[c], model.sigmas[c],
-                              distance(y, model.centroids[c]));
+      log_p[c] = LogComponentDensity(model.weights[c], model.sigmas[c],
+                                     distance(y, model.centroids[c]));
     }
     ll += PosteriorRow(log_p, &scratch);
   }

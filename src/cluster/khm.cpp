@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "cluster/bounds.h"
 #include "cluster/centroid.h"
 #include "cluster/seeding.h"
 #include "util/random.h"
@@ -19,20 +20,30 @@ Clustering KhmCluster(const std::vector<dist::Sequence>& data, size_t k,
   k = std::min(k, m);
 
   Clustering model;
+  ClusterStats local;
   Rng rng(params.seed);
   for (size_t idx : SeedCentroidIndices(data, k, distance, &rng,
-                                        std::max<size_t>(4 * k, 512))) {
+                                        std::max<size_t>(4 * k, 512),
+                                        &local)) {
     model.centroids.push_back(data[idx]);
   }
 
+  // KHM's soft memberships weight EVERY centroid per item (d^{-p-2} terms),
+  // so triangle-inequality pruning has nothing to skip; the win here is the
+  // batched exact matrix — one-vs-many flat kernels when the metric EGED is
+  // in play, scalar calls otherwise (bitwise identical values either way).
+  BoundedAssigner assigner(data, distance, /*use_bounds=*/false);
+
   const double kEps = 1e-8;
+  std::vector<std::vector<double>> raw;
   std::vector<std::vector<double>> d(m, std::vector<double>(k, 0.0));
 
   for (int iter = 0; iter < params.max_iterations; ++iter) {
     model.iterations = iter + 1;
+    assigner.ExactMatrix(model.centroids, params.pool, &raw, &local);
     for (size_t j = 0; j < m; ++j) {
       for (size_t c = 0; c < k; ++c) {
-        d[j][c] = std::max(kEps, distance(data[j], model.centroids[c]));
+        d[j][c] = std::max(kEps, raw[j][c]);
       }
     }
 
@@ -52,26 +63,23 @@ Clustering KhmCluster(const std::vector<dist::Sequence>& data, size_t k,
         w[j] = membership * weight;
       }
       dist::Sequence updated = WeightedCentroid(data, w);
+      ++local.drift_distances;
       shift += distance(model.centroids[c], updated);
       model.centroids[c] = updated;
     }
     if (shift / static_cast<double>(k) < params.convergence_tol) break;
   }
 
-  // Hard assignment for evaluation.
+  // Hard assignment for evaluation: running-tau scan (exact for the winner
+  // by the Bounded contract, same lowest-index argmin as the exhaustive
+  // loop).
+  assigner.SetCentroids(model.centroids, &local);
   model.assignment.resize(m);
   for (size_t j = 0; j < m; ++j) {
-    int best = 0;
-    double best_d = std::numeric_limits<double>::infinity();
-    for (size_t c = 0; c < k; ++c) {
-      double dd = distance(data[j], model.centroids[c]);
-      if (dd < best_d) {
-        best_d = dd;
-        best = static_cast<int>(c);
-      }
-    }
-    model.assignment[j] = best;
+    model.assignment[j] = static_cast<int>(
+        assigner.NearestCentroid(j, /*need_exact=*/true, &local).index);
   }
+  if (params.stats != nullptr) params.stats->Merge(local);
   return model;
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "cluster/bounds.h"
 #include "cluster/centroid.h"
 #include "cluster/seeding.h"
 #include "util/random.h"
@@ -20,26 +21,41 @@ Clustering KMeansCluster(const std::vector<dist::Sequence>& data, size_t k,
   k = std::min(k, m);
 
   Clustering model;
+  ClusterStats local;
   Rng rng(params.seed);
   for (size_t idx : SeedCentroidIndices(data, k, distance, &rng,
-                                        std::max<size_t>(4 * k, 512))) {
+                                        std::max<size_t>(4 * k, 512),
+                                        &local)) {
     model.centroids.push_back(data[idx]);
   }
   model.assignment.assign(m, -1);
 
+  const bool use_bounds = params.use_bounds && distance.IsMetric();
+  BoundedAssigner assigner(data, distance, use_bounds);
+  if (use_bounds) assigner.SetCentroids(model.centroids, &local);
+
   for (int iter = 0; iter < params.max_iterations; ++iter) {
     model.iterations = iter + 1;
 
-    // Assignment step.
+    // Assignment step: Elkan/Hamerly-bounded scan when the metric admits
+    // it, exhaustive strict-< scan otherwise — the winner index is
+    // identical either way (cluster_bounds_test pins the equivalence).
     bool changed = false;
     for (size_t j = 0; j < m; ++j) {
-      int best = 0;
-      double best_d = std::numeric_limits<double>::infinity();
-      for (size_t c = 0; c < k; ++c) {
-        double d = distance(data[j], model.centroids[c]);
-        if (d < best_d) {
-          best_d = d;
-          best = static_cast<int>(c);
+      int best;
+      if (use_bounds) {
+        best = static_cast<int>(
+            assigner.NearestCentroid(j, /*need_exact=*/false, &local).index);
+      } else {
+        best = 0;
+        double best_d = std::numeric_limits<double>::infinity();
+        for (size_t c = 0; c < k; ++c) {
+          ++local.assign_distances;
+          double d = distance(data[j], model.centroids[c]);
+          if (d < best_d) {
+            best_d = d;
+            best = static_cast<int>(c);
+          }
         }
       }
       if (model.assignment[j] != best) {
@@ -61,11 +77,16 @@ Clustering KMeansCluster(const std::vector<dist::Sequence>& data, size_t k,
       }
       if (members == 0) {
         model.centroids[c] = data[rng.Index(m)];  // reseed empty cluster
+        ++local.reseeds;
       } else {
         model.centroids[c] = WeightedCentroid(data, w);
       }
     }
+    // Drift-update the bounds for the moved (or reseeded — any
+    // displacement obeys the triangle inequality) centroids.
+    if (use_bounds) assigner.SetCentroids(model.centroids, &local);
   }
+  if (params.stats != nullptr) params.stats->Merge(local);
   return model;
 }
 

@@ -5,11 +5,14 @@
 #include <limits>
 #include <stdexcept>
 
+#include "distance/eged.h"
+
 namespace strg::cluster {
 
 std::vector<size_t> SeedCentroidIndices(
     const std::vector<dist::Sequence>& data, size_t k,
-    const dist::SequenceDistance& distance, Rng* rng, size_t sample_cap) {
+    const dist::SequenceDistance& distance, Rng* rng, size_t sample_cap,
+    ClusterStats* stats) {
   const size_t m = data.size();
   if (k == 0 || m == 0) {
     throw std::invalid_argument("SeedCentroidIndices: empty input");
@@ -23,7 +26,7 @@ std::vector<size_t> SeedCentroidIndices(
     sample.reserve(sample_cap);
     for (size_t idx : sample_idx) sample.push_back(data[idx]);
     std::vector<size_t> local =
-        SeedCentroidIndices(sample, k, distance, rng, 0);
+        SeedCentroidIndices(sample, k, distance, rng, 0, stats);
     std::vector<size_t> out;
     out.reserve(local.size());
     for (size_t l : local) out.push_back(sample_idx[l]);
@@ -34,6 +37,16 @@ std::vector<size_t> SeedCentroidIndices(
   seeds.reserve(k);
   seeds.push_back(rng->Index(m));
 
+  // Bare metric-EGED fast path: flatten every item once and run the D^2
+  // updates on cached flat forms (EgedMetricBounded over the same operands
+  // is bitwise identical to distance.Bounded, which flattens per call).
+  const auto* eged = dynamic_cast<const dist::EgedMetricDistance*>(&distance);
+  std::vector<dist::FlatSequence> flats;
+  if (eged != nullptr && k > 1) {
+    flats.resize(m);
+    for (size_t j = 0; j < m; ++j) flats[j].Assign(data[j], eged->gap());
+  }
+
   std::vector<double> best_sq(m, std::numeric_limits<double>::infinity());
   while (seeds.size() < k) {
     // Update nearest-seed distances with the most recent seed only. The
@@ -42,9 +55,16 @@ std::vector<size_t> SeedCentroidIndices(
     // any v with tau < v <= d — then v*v > best_sq[j] and the min keeps the
     // old value, so the D^2 weights stay exact.
     const dist::Sequence& last = data[seeds.back()];
+    const dist::FlatSequence* last_flat =
+        flats.empty() ? nullptr : &flats[seeds.back()];
     double total = 0.0;
     for (size_t j = 0; j < m; ++j) {
-      double d = distance.Bounded(data[j], last, std::sqrt(best_sq[j]));
+      double tau = std::sqrt(best_sq[j]);
+      double d = last_flat != nullptr
+                     ? dist::EgedMetricBounded(flats[j], *last_flat, tau,
+                                               &dist::ThreadLocalEgedWorkspace())
+                     : distance.Bounded(data[j], last, tau);
+      if (stats != nullptr) ++stats->seeding_distances;
       best_sq[j] = std::min(best_sq[j], d * d);
       total += best_sq[j];
     }

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "cluster/clustering.h"
 #include "distance/distance.h"
 #include "util/random.h"
 
@@ -18,9 +19,14 @@ namespace strg::cluster {
 /// larger, D^2 seeding runs on a uniform sample of that size — the standard
 /// scalable-k-means++ shortcut; quality is preserved because seeds only
 /// need to land in distinct dense regions.
+/// The D^2 pass runs each update through Bounded(sqrt(best_sq)) — and, for a
+/// bare metric-EGED distance, through the flat kernel on cached flat forms
+/// (bitwise identical, no per-call flattening). `stats` (optional) accrues
+/// one seeding_distances count per evaluation.
 std::vector<size_t> SeedCentroidIndices(
     const std::vector<dist::Sequence>& data, size_t k,
-    const dist::SequenceDistance& distance, Rng* rng, size_t sample_cap = 0);
+    const dist::SequenceDistance& distance, Rng* rng, size_t sample_cap = 0,
+    ClusterStats* stats = nullptr);
 
 }  // namespace strg::cluster
 

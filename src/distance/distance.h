@@ -32,6 +32,12 @@ class SequenceDistance {
     return (*this)(a, b);
   }
 
+  /// Whether the measure satisfies the triangle inequality. Metric measures
+  /// admit triangle-inequality pruning (Elkan/Hamerly bounds in
+  /// src/cluster/bounds.h, M-tree covering radii); callers must treat the
+  /// default `false` as "not proven", not "known non-metric".
+  virtual bool IsMetric() const { return false; }
+
   /// Human-readable name used in benchmark reports (e.g. "EGED").
   virtual std::string Name() const = 0;
 };
@@ -48,6 +54,10 @@ class CountingDistance final : public SequenceDistance {
     return (*inner_)(a, b);
   }
   std::string Name() const override { return inner_->Name(); }
+  /// Metricity is a property of the wrapped measure. Bounded() is *not*
+  /// forwarded: the wrapper's evaluations stay exact so the count keeps its
+  /// paper meaning (number of full distance computations).
+  bool IsMetric() const override { return inner_->IsMetric(); }
 
   size_t count() const { return count_.load(std::memory_order_relaxed); }
   void Reset() { count_.store(0, std::memory_order_relaxed); }

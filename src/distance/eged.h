@@ -49,6 +49,9 @@ class EgedMetricDistance final : public SequenceDistance {
     return EgedMetricBoundedSeq(a, b, tau, g_);
   }
   std::string Name() const override { return "EGED_M"; }
+  /// True metric by Theorem 2 (coincides with Chen's ERP), so triangle-
+  /// inequality bounds are admissible.
+  bool IsMetric() const override { return true; }
 
   const FeatureVec& gap() const { return g_; }
 

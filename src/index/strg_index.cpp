@@ -203,16 +203,18 @@ int StrgIndex::AddSegment(core::BackgroundGraph bg,
     // full matrix); the pool — when the caller also wires it into
     // cluster_params — parallelizes the K x M matrix and EM restarts.
     cluster::Clustering model;
+    cluster::ClusterParams build_params = params_.cluster_params;
+    build_params.stats = &cluster_stats_;
     if (params_.num_clusters > 0) {
       model = cluster::EmCluster(og_sequences,
                                  std::min(params_.num_clusters,
                                           og_sequences.size()),
-                                 nonmetric_, params_.cluster_params);
+                                 nonmetric_, build_params);
     } else {
       size_t k_max = std::min(params_.k_max, og_sequences.size());
       size_t k_min = std::min(params_.k_min, k_max);
       auto sweep = cluster::FindOptimalK(og_sequences, k_min, k_max,
-                                         nonmetric_, params_.cluster_params);
+                                         nonmetric_, build_params);
       model = std::move(sweep.models[sweep.best_k - k_min]);
     }
 
@@ -396,10 +398,13 @@ void StrgIndex::MaybeSplit(RootRecord* root, size_t cluster_pos) {
   // tight sub-clusters for pruning to benefit. (The non-metric EGED's
   // replicating gaps let whole sequences delete cheaply, which compresses
   // between-cluster contrast and would mask genuine bimodality.)
-  cluster::Clustering one =
-      cluster::EmCluster(members, 1, metric_, params_.cluster_params);
-  cluster::Clustering two =
-      cluster::EmCluster(members, 2, metric_, params_.cluster_params);
+  // The split decision runs in metric space, so the bounded assignment path
+  // (ClusterParams::use_bounds) engages here; the counters land in
+  // cluster_stats_ alongside the AddSegment fits.
+  cluster::ClusterParams split_params = params_.cluster_params;
+  split_params.stats = &cluster_stats_;
+  cluster::Clustering one = cluster::EmCluster(members, 1, metric_, split_params);
+  cluster::Clustering two = cluster::EmCluster(members, 2, metric_, split_params);
   double bic1 = cluster::Bic(one.classification_log_likelihood, 1,
                              members.size());
   double bic2 = cluster::Bic(two.classification_log_likelihood, 2,
@@ -819,6 +824,7 @@ StrgIndex::Stats StrgIndex::ComputeStats() const {
     stats.mean_covering_radius =
         radius_acc / static_cast<double>(stats.clusters);
   }
+  stats.clustering = cluster_stats_;
   return stats;
 }
 

@@ -206,6 +206,10 @@ class StrgIndex {
     double mean_leaf = 0.0;
     double mean_covering_radius = 0.0;
     double max_covering_radius = 0.0;
+    /// Build-side clustering cost, accumulated across every AddSegment EM
+    /// fit and split-key re-clustering (MaybeSplit); the bounded-assignment
+    /// counters show what triangle-inequality pruning saved on this index.
+    cluster::ClusterStats clustering;
   };
   Stats ComputeStats() const;
 
@@ -294,6 +298,12 @@ class StrgIndex {
   dist::EgedMetricDistance metric_;
   dist::EgedDistance nonmetric_;
   mutable std::atomic<size_t> distance_count_{0};
+  /// Clustering cost counters, fed to every EmCluster call the index makes.
+  /// Plain (non-atomic) because all writers — AddSegment and the
+  /// Insert-driven MaybeSplit — run under the serving layer's single-writer
+  /// protocol, and EmCluster itself merges restart-local counters serially
+  /// before touching the sink.
+  cluster::ClusterStats cluster_stats_;
   std::vector<RootRecord> roots_;
   int next_cluster_id_ = 0;
 };

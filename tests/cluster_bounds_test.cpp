@@ -1,0 +1,405 @@
+// ctest-labels: cluster
+//
+// Equivalence suite for the triangle-inequality bounded assignment layer
+// (src/cluster/bounds.h). The contract under test is strong: with
+// ClusterParams::use_bounds flipped, every clusterer must return a
+// bit-identical Clustering (EXPECT_EQ on raw doubles, not near-equality),
+// while the ClusterStats counters prove the bounded path actually pruned.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "cluster/bounds.h"
+#include "cluster/em.h"
+#include "cluster/khm.h"
+#include "cluster/kmeans.h"
+#include "cluster/seeding.h"
+#include "distance/eged.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace strg::cluster {
+namespace {
+
+using dist::Sequence;
+
+Sequence Flat(double value, size_t len = 6) {
+  Sequence s(len);
+  for (auto& v : s) {
+    v.fill(0.0);
+    v[0] = value;
+  }
+  return s;
+}
+
+// One noisy trajectory: first feature wobbles around `base`, second carries
+// independent jitter, lengths vary so the gap costs participate.
+Sequence Wobble(Rng* rng, double base) {
+  Sequence s(static_cast<size_t>(rng->UniformInt(5, 12)));
+  for (auto& v : s) {
+    v.fill(0.0);
+    v[0] = base + rng->Gaussian(0.0, 0.5);
+    v[1] = rng->Gaussian(0.0, 0.3);
+  }
+  return s;
+}
+
+// `blobs` well-separated groups of `per` trajectories each.
+std::vector<Sequence> MakeBlobs(size_t blobs, size_t per, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Sequence> data;
+  for (size_t b = 0; b < blobs; ++b) {
+    for (size_t i = 0; i < per; ++i) {
+      data.push_back(Wobble(&rng, 12.0 * static_cast<double>(b)));
+    }
+  }
+  return data;
+}
+
+void ExpectBitIdentical(const Clustering& a, const Clustering& b) {
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.log_likelihood, b.log_likelihood);
+  EXPECT_EQ(a.classification_log_likelihood, b.classification_log_likelihood);
+  EXPECT_EQ(a.weights, b.weights);
+  EXPECT_EQ(a.sigmas, b.sigmas);
+  ASSERT_EQ(a.centroids.size(), b.centroids.size());
+  for (size_t c = 0; c < a.centroids.size(); ++c) {
+    ASSERT_EQ(a.centroids[c].size(), b.centroids[c].size());
+    for (size_t i = 0; i < a.centroids[c].size(); ++i) {
+      for (size_t f = 0; f < dist::kFeatureDim; ++f) {
+        EXPECT_EQ(a.centroids[c][i][f], b.centroids[c][i][f])
+            << "centroid " << c << " point " << i << " feature " << f;
+      }
+    }
+  }
+}
+
+ClusterParams WithBounds(ClusterParams p, bool on) {
+  p.use_bounds = on;
+  return p;
+}
+
+TEST(ClusterBoundsTest, EmBitIdenticalAcrossK) {
+  auto data = MakeBlobs(4, 12, 7);
+  dist::EgedMetricDistance metric;
+  for (size_t k : {2u, 3u, 5u, 8u}) {
+    ClusterParams params;
+    params.seed = 29;
+    ClusterStats on_stats, off_stats;
+    params.stats = &on_stats;
+    Clustering on = EmCluster(data, k, metric, WithBounds(params, true));
+    params.stats = &off_stats;
+    Clustering off = EmCluster(data, k, metric, WithBounds(params, false));
+    ExpectBitIdentical(on, off);
+    EXPECT_EQ(on_stats.reseeds, off_stats.reseeds) << "k=" << k;
+    if (k >= 5) {
+      EXPECT_GT(on_stats.assign_prunes + on_stats.hamerly_skips, 0u)
+          << "k=" << k;
+    }
+    EXPECT_EQ(off_stats.assign_prunes, 0u);
+    EXPECT_EQ(off_stats.hamerly_skips, 0u);
+  }
+}
+
+TEST(ClusterBoundsTest, EmBitIdenticalWithRestarts) {
+  auto data = MakeBlobs(3, 10, 11);
+  dist::EgedMetricDistance metric;
+  ClusterParams params;
+  params.restarts = 4;
+  params.seed = 5;
+  // Identical per-restart fits imply identical classification likelihoods,
+  // so the strict-> winner reduction picks the same restart in both modes.
+  Clustering on = EmCluster(data, 3, metric, WithBounds(params, true));
+  Clustering off = EmCluster(data, 3, metric, WithBounds(params, false));
+  ExpectBitIdentical(on, off);
+}
+
+// Exact duplicates everywhere: every scan is a wall of ties, coinciding
+// centroids keep the anti-collapse guard firing, and each guard reseed goes
+// through ReplaceCentroid's bound invalidation. The bounded path must
+// reproduce the exhaustive lowest-index tie-breaks exactly through all of it.
+TEST(ClusterBoundsTest, EmGuardReseedKeepsBoundsConsistent) {
+  std::vector<Sequence> data(16, Flat(1.0, 8));
+  dist::EgedMetricDistance metric;
+  ClusterParams params;
+  params.max_iterations = 10;
+  params.seed = 3;
+  ClusterStats on_stats, off_stats;
+  params.stats = &on_stats;
+  Clustering on = EmCluster(data, 2, metric, WithBounds(params, true));
+  params.stats = &off_stats;
+  Clustering off = EmCluster(data, 2, metric, WithBounds(params, false));
+  ExpectBitIdentical(on, off);
+  EXPECT_GT(on_stats.reseeds, 0u) << "fixture no longer forces a reseed";
+  EXPECT_EQ(on_stats.reseeds, off_stats.reseeds);
+
+  // Independent oracle for the final hard assignment: exhaustive strict->
+  // score scan over the returned model, computed with the scalar distance.
+  for (size_t j = 0; j < data.size(); ++j) {
+    int best = 0;
+    double best_s = -std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < on.centroids.size(); ++c) {
+      double s = ScoreLogDensity(on.sigmas[c], metric(data[j], on.centroids[c]));
+      if (s > best_s) {
+        best_s = s;
+        best = static_cast<int>(c);
+      }
+    }
+    EXPECT_EQ(on.assignment[j], best) << "item " << j;
+  }
+}
+
+// Near-duplicates plus one distant blob and k = 3: two seeds land in the
+// dense blob, converge onto each other, and the guard reseed fires mid-run
+// (not just every iteration) — the bounds must stay admissible afterward.
+TEST(ClusterBoundsTest, EmReseedMidRunBitIdentical) {
+  Rng rng(41);
+  std::vector<Sequence> data;
+  for (int i = 0; i < 20; ++i) {
+    data.push_back(Flat(1.0 + 1e-7 * i, 8));
+  }
+  for (int i = 0; i < 4; ++i) data.push_back(Wobble(&rng, 40.0));
+  dist::EgedMetricDistance metric;
+  ClusterParams params;
+  params.max_iterations = 12;
+  params.seed = 17;
+  ClusterStats on_stats, off_stats;
+  params.stats = &on_stats;
+  Clustering on = EmCluster(data, 3, metric, WithBounds(params, true));
+  params.stats = &off_stats;
+  Clustering off = EmCluster(data, 3, metric, WithBounds(params, false));
+  ExpectBitIdentical(on, off);
+  EXPECT_EQ(on_stats.reseeds, off_stats.reseeds);
+}
+
+TEST(ClusterBoundsTest, KMeansBitIdentical) {
+  auto data = MakeBlobs(4, 10, 23);
+  dist::EgedMetricDistance metric;
+  for (size_t k : {2u, 6u}) {
+    ClusterParams params;
+    params.seed = 7;
+    ClusterStats on_stats, off_stats;
+    params.stats = &on_stats;
+    Clustering on = KMeansCluster(data, k, metric, WithBounds(params, true));
+    params.stats = &off_stats;
+    Clustering off = KMeansCluster(data, k, metric, WithBounds(params, false));
+    EXPECT_EQ(on.assignment, off.assignment);
+    EXPECT_EQ(on.iterations, off.iterations);
+    ASSERT_EQ(on.centroids.size(), off.centroids.size());
+    for (size_t c = 0; c < on.centroids.size(); ++c) {
+      EXPECT_EQ(on.centroids[c], off.centroids[c]);
+    }
+    if (k >= 6) {
+      EXPECT_GT(on_stats.assign_prunes + on_stats.hamerly_skips, 0u);
+      EXPECT_LT(on_stats.assign_distances, off_stats.assign_distances);
+    }
+  }
+}
+
+TEST(ClusterBoundsTest, KhmMatchesBruteForceAssignment) {
+  auto data = MakeBlobs(3, 8, 31);
+  dist::EgedMetricDistance metric;
+  ClusterParams params;
+  params.seed = 19;
+  Clustering on = KhmCluster(data, 3, metric, WithBounds(params, true));
+  Clustering off = KhmCluster(data, 3, metric, WithBounds(params, false));
+  // KHM weights every centroid per item, so there is nothing for the bounds
+  // to skip; both knob settings run the same batched path.
+  ExpectBitIdentical(on, off);
+  for (size_t j = 0; j < data.size(); ++j) {
+    int best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < on.centroids.size(); ++c) {
+      double d = metric(data[j], on.centroids[c]);
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<int>(c);
+      }
+    }
+    EXPECT_EQ(on.assignment[j], best) << "item " << j;
+  }
+}
+
+// Forwards to a metric EGED through the SequenceDistance interface only.
+// Not an EgedMetricDistance by type, so BoundedAssigner and the seeding
+// D^2 pass must take their scalar paths — pinning those paths bitwise
+// against the flat-kernel fast paths the bare metric type unlocks.
+class ForwardingMetric final : public dist::SequenceDistance {
+ public:
+  double operator()(const Sequence& a, const Sequence& b) const override {
+    return inner_(a, b);
+  }
+  double Bounded(const Sequence& a, const Sequence& b,
+                 double tau) const override {
+    return inner_.Bounded(a, b, tau);
+  }
+  bool IsMetric() const override { return true; }
+  std::string Name() const override { return "EGED_M_FWD"; }
+
+ private:
+  dist::EgedMetricDistance inner_;
+};
+
+TEST(ClusterBoundsTest, SeedingFlatPathMatchesScalar) {
+  auto data = MakeBlobs(4, 16, 3);
+  dist::EgedMetricDistance metric;
+  ForwardingMetric forwarded;
+  for (size_t k : {2u, 5u}) {
+    ClusterStats fast_stats, slow_stats;
+    Rng rng_fast(101), rng_slow(101);
+    auto fast = SeedCentroidIndices(data, k, metric, &rng_fast, 0, &fast_stats);
+    auto slow =
+        SeedCentroidIndices(data, k, forwarded, &rng_slow, 0, &slow_stats);
+    EXPECT_EQ(fast, slow) << "k=" << k;
+    EXPECT_EQ(fast_stats.seeding_distances, slow_stats.seeding_distances);
+  }
+}
+
+TEST(ClusterBoundsTest, ForwardedMetricBitIdenticalToFlatKernels) {
+  auto data = MakeBlobs(3, 9, 13);
+  dist::EgedMetricDistance metric;
+  ForwardingMetric forwarded;
+  ClusterParams params;
+  params.seed = 47;
+  Clustering batched = EmCluster(data, 3, metric, WithBounds(params, true));
+  Clustering scalar = EmCluster(data, 3, forwarded, WithBounds(params, true));
+  ExpectBitIdentical(batched, scalar);
+}
+
+TEST(ClusterBoundsTest, CountingWrapperPrunesAndStaysIdentical) {
+  auto data = MakeBlobs(4, 12, 53);
+  dist::EgedMetricDistance metric;
+  dist::CountingDistance counted_on(&metric);
+  dist::CountingDistance counted_off(&metric);
+  ClusterParams params;
+  params.seed = 9;
+  // CountingDistance forwards IsMetric() but not Bounded(), so every
+  // evaluation in both modes is a full (counted) computation — making the
+  // counts a third-party measure of the pruning.
+  Clustering on = EmCluster(data, 6, counted_on, WithBounds(params, true));
+  Clustering off = EmCluster(data, 6, counted_off, WithBounds(params, false));
+  ExpectBitIdentical(on, off);
+  EXPECT_LT(counted_on.count(), counted_off.count());
+}
+
+TEST(ClusterBoundsTest, StatsShowAssignmentSavings) {
+  auto data = MakeBlobs(4, 16, 61);
+  dist::EgedMetricDistance metric;
+  ClusterParams params;
+  params.seed = 71;
+  params.restarts = 2;
+  ClusterStats on_stats, off_stats;
+  params.stats = &on_stats;
+  Clustering on = EmCluster(data, 8, metric, WithBounds(params, true));
+  params.stats = &off_stats;
+  Clustering off = EmCluster(data, 8, metric, WithBounds(params, false));
+  ExpectBitIdentical(on, off);
+  EXPECT_GT(on_stats.assign_prunes + on_stats.hamerly_skips, 0u);
+  EXPECT_LT(on_stats.AssignmentDistances(), off_stats.AssignmentDistances());
+  EXPECT_EQ(on_stats.seeding_distances, off_stats.seeding_distances);
+}
+
+// Direct adversarial check of BoundedAssigner against exhaustive oracles
+// through several rounds of drifts and replacements, with duplicate items
+// and coinciding centroids in the mix.
+TEST(ClusterBoundsTest, AssignerMatchesBruteForceUnderDriftAndReplace) {
+  Rng rng(97);
+  std::vector<Sequence> data;
+  for (int i = 0; i < 10; ++i) data.push_back(Wobble(&rng, 0.0));
+  for (int i = 0; i < 10; ++i) data.push_back(Wobble(&rng, 15.0));
+  for (int i = 0; i < 4; ++i) data.push_back(Flat(7.0, 6));  // duplicates
+  const size_t m = data.size();
+  const size_t k = 6;
+
+  dist::EgedMetricDistance metric;
+  BoundedAssigner assigner(data, metric, /*use_bounds=*/true);
+  ASSERT_TRUE(assigner.bounded());
+  ASSERT_TRUE(assigner.batched());
+
+  std::vector<Sequence> cents;
+  for (size_t c = 0; c < k; ++c) cents.push_back(data[rng.Index(m)]);
+  cents[3] = cents[2];  // coinciding centroids from the start
+  ClusterStats stats;
+  assigner.SetCentroids(cents, &stats);
+
+  std::vector<double> sigmas(k);
+  for (int round = 0; round < 6; ++round) {
+    for (auto& s : sigmas) s = rng.Uniform(0.05, 2.0);
+    for (size_t j = 0; j < m; ++j) {
+      // Oracle 1: exhaustive strict-< ascending argmin.
+      size_t want_idx = 0;
+      double want_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < k; ++c) {
+        double d = metric(data[j], cents[c]);
+        if (d < want_d) {
+          want_d = d;
+          want_idx = c;
+        }
+      }
+      auto got = assigner.NearestCentroid(j, /*need_exact=*/true, &stats);
+      EXPECT_EQ(got.index, want_idx) << "round " << round << " item " << j;
+      EXPECT_EQ(got.distance, want_d) << "round " << round << " item " << j;
+
+      // Oracle 2: exhaustive strict-> classification scan.
+      size_t want_c = 0;
+      double want_s = -std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < k; ++c) {
+        double s = ScoreLogDensity(sigmas[c], metric(data[j], cents[c]));
+        if (s > want_s) {
+          want_s = s;
+          want_c = c;
+        }
+      }
+      auto scored = assigner.BestScoringComponent(j, sigmas, &stats);
+      EXPECT_EQ(scored.index, want_c) << "round " << round << " item " << j;
+      EXPECT_EQ(scored.score, want_s) << "round " << round << " item " << j;
+
+      // Oracle 3: exact nearest distance (the guard's scan).
+      EXPECT_EQ(assigner.NearestDistance(j, &stats), want_d)
+          << "round " << round << " item " << j;
+    }
+
+    // Mutate: drift some centroids (including a no-op copy that must cost
+    // nothing), replace one arbitrarily.
+    for (size_t c = 0; c < k; ++c) {
+      if (rng.Bernoulli(0.5)) cents[c] = data[rng.Index(m)];
+    }
+    assigner.SetCentroids(cents, &stats);
+    size_t victim = rng.Index(k);
+    cents[victim] = Wobble(&rng, rng.Uniform(-5.0, 25.0));
+    assigner.ReplaceCentroid(victim, cents[victim], &stats);
+  }
+  EXPECT_GT(stats.assign_prunes + stats.hamerly_skips, 0u);
+}
+
+}  // namespace
+
+// Distinct suite so scripts/check.sh can gtest_filter the TSan stage onto
+// the one test that exercises pooled restarts.
+TEST(ClusterBoundsParallel, RestartEquivalence) {
+  auto data = MakeBlobs(3, 12, 83);
+  dist::EgedMetricDistance metric;
+  ThreadPool pool(4);
+  for (bool bounds : {true, false}) {
+    ClusterParams serial;
+    serial.restarts = 4;
+    serial.seed = 59;
+    serial.use_bounds = bounds;
+    ClusterParams pooled = serial;
+    pooled.pool = &pool;
+    ClusterStats serial_stats, pooled_stats;
+    serial.stats = &serial_stats;
+    pooled.stats = &pooled_stats;
+    Clustering a = EmCluster(data, 3, metric, serial);
+    Clustering b = EmCluster(data, 3, metric, pooled);
+    ExpectBitIdentical(a, b);
+    // Per-restart counters merge in restart order, so the totals agree too.
+    EXPECT_EQ(serial_stats.TotalDistances(), pooled_stats.TotalDistances());
+    EXPECT_EQ(serial_stats.assign_prunes, pooled_stats.assign_prunes);
+  }
+}
+
+}  // namespace strg::cluster

@@ -1,4 +1,4 @@
-// ctest-labels: unit
+// ctest-labels: cluster
 #include <gtest/gtest.h>
 
 #include <set>
