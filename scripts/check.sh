@@ -16,10 +16,20 @@
 # kernel hand-off), and the TSan pass adds the parallel-restart equivalence
 # test.
 #
+# A `deadlock` stage rebuilds with STRG_DEADLOCK_CHECK=ON and runs the
+# rank-checker's own matrix (tests/deadlock_rank_test.cpp, death tests
+# included) plus the deep-chain stress tests with every acquisition checked
+# against the LockRank hierarchy (DESIGN.md §15).
+#
 #   scripts/check.sh                 # static + tier-1 + ASan + UBSan passes
 #   STRG_CHECK_ASAN_ALL=1 scripts/check.sh   # ASan over the whole suite
 #   STRG_CHECK_TSAN=1 scripts/check.sh       # also a ThreadSanitizer pass
 #   STRG_CHECK_STATIC=0 scripts/check.sh     # skip the static pass
+#   STRG_CHECK_DEADLOCK_ALL=1 scripts/check.sh  # full suite under the
+#                                               # runtime rank checker
+#   STRG_REQUIRE_CLANG=1 scripts/check.sh    # static pass treats missing
+#                                            # clang/libclang as FAILURES
+#                                            # instead of loud skips
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -87,6 +97,26 @@ ctest --test-dir build-asan -L 'cluster|seeding' --output-on-failure -j
 ctest --test-dir build-ubsan -L 'cluster|seeding' --output-on-failure -j
 
 echo
+echo "== deadlock stage (STRG_DEADLOCK_CHECK=ON): runtime rank checker =="
+# Every Lock()/LockShared() is checked against the thread-local held-rank
+# stack: an inversion aborts with both rank names instead of deadlocking.
+# The death tests prove the aborts fire; the deep-chain stress drives the
+# longest legal chains (ingest -> writer -> paged store -> buffer cache,
+# with live queries) with checking on.
+cmake -B build-deadlock -S . -DSTRG_DEADLOCK_CHECK=ON \
+  -DSTRG_BUILD_BENCHMARKS=OFF -DSTRG_BUILD_EXAMPLES=OFF >/dev/null
+if [[ "${STRG_CHECK_DEADLOCK_ALL:-0}" == "1" ]]; then
+  cmake --build build-deadlock -j
+  ctest --test-dir build-deadlock --output-on-failure -j
+else
+  cmake --build build-deadlock -j --target deadlock_rank_test \
+    sharded_engine_test
+  ./build-deadlock/tests/deadlock_rank_test
+  ./build-deadlock/tests/sharded_engine_test \
+    --gtest_filter='ShardedEngine.DeepLockChainStressWithLiveWriter:ShardedEngine.CancellationAndDeadlineRaceIsClean'
+fi
+
+echo
 echo "== UBSan pass over recovery+distance+ingest-labeled tests (STRG_SANITIZE=undefined) =="
 cmake -B build-ubsan -S . -DSTRG_SANITIZE=undefined \
   -DSTRG_BUILD_BENCHMARKS=OFF -DSTRG_BUILD_EXAMPLES=OFF >/dev/null
@@ -122,9 +152,11 @@ if [[ "${STRG_CHECK_TSAN:-0}" == "1" ]]; then
   ./build-tsan/tests/thread_pool_test
   # Server stage under TSan: scatter-gather legs racing cancellation,
   # deadlines, and a live writer — the exactly-once finalize CAS and the
-  # tau-bound publication are the contested atomics.
+  # tau-bound publication are the contested atomics. The deep-chain stress
+  # adds paged per-shard stores so the full ingest -> writer -> record
+  # store -> buffer cache lock chain runs under the race checker.
   ./build-tsan/tests/sharded_engine_test \
-    --gtest_filter='ShardedEngine.CancellationAndDeadlineRaceIsClean:ShardedEngine.TauPruningFiresAndStaysExact'
+    --gtest_filter='ShardedEngine.CancellationAndDeadlineRaceIsClean:ShardedEngine.TauPruningFiresAndStaysExact:ShardedEngine.DeepLockChainStressWithLiveWriter'
   # Fast/reference equivalence with the thread pool engaged (parallel build
   # + concurrent queries) — the data-race check for the kernel's thread-local
   # workspaces and the per-query counter plumbing.

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Shared libclang harness for the repo's AST-grade analyses.
+
+Two consumers:
+  - scripts/lock_graph.py  — harvests MutexLock/ReaderLock/WriterLock sites
+    and STRG_REQUIRES/STRG_ACQUIRE edges to build the cross-TU
+    lock-acquisition graph.
+  - scripts/strg_lint.py   — promotes its most fragile regex rules to AST
+    checks (token-exact, comment/string-proof) when libclang is importable.
+
+The harness degrades loudly, never silently: `availability()` returns
+(ok, reason); consumers print the reason on skip, and STRG_REQUIRE_CLANG=1
+turns the skip into a hard failure (scripts/static.sh wires this for CI).
+
+Nothing here requires clang at import time — `import clang.cindex` happens
+lazily inside availability()/index() so the pure-Python legs of both
+consumers keep working on GCC-only containers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shlex
+from pathlib import Path
+
+_CANDIDATE_LIBCLANG = [
+    # Distro locations, newest first. cindex also probes its own defaults;
+    # these cover Debian/Ubuntu llvm-N packaging where the default misses.
+    "/usr/lib/llvm-20/lib/libclang.so",
+    "/usr/lib/llvm-19/lib/libclang.so",
+    "/usr/lib/llvm-18/lib/libclang.so",
+    "/usr/lib/llvm-17/lib/libclang.so",
+    "/usr/lib/llvm-16/lib/libclang.so",
+    "/usr/lib/llvm-15/lib/libclang.so",
+    "/usr/lib/llvm-14/lib/libclang.so",
+    "/usr/lib/x86_64-linux-gnu/libclang-14.so.1",
+]
+
+_availability = None  # cached (ok, reason)
+_index = None
+
+
+def availability():
+    """(ok, reason): can this environment run the AST-grade analyses?
+
+    ok=False reasons distinguish the two failure modes a CI log needs to
+    tell apart: the python bindings are missing vs. the bindings import but
+    no loadable libclang.so exists.
+    """
+    global _availability
+    if _availability is not None:
+        return _availability
+    try:
+        import clang.cindex as cindex  # noqa: F401  (probe only)
+    except ImportError:
+        _availability = (
+            False,
+            "python module clang.cindex not importable (install the "
+            "python3-clang package matching your LLVM, or pip 'libclang')",
+        )
+        return _availability
+    import clang.cindex as cindex
+
+    override = os.environ.get("STRG_LIBCLANG")
+    candidates = [override] if override else [None] + _CANDIDATE_LIBCLANG
+    last_err = None
+    for cand in candidates:
+        try:
+            if cand:
+                cindex.Config.library_file = cand
+            cindex.Index.create()
+            _availability = (True, cand or "default libclang search path")
+            return _availability
+        except Exception as e:  # cindex raises LibclangError subclasses
+            last_err = e
+            # Config is latched after first successful create; reset for
+            # the next candidate (cindex allows reassignment until loaded).
+            try:
+                cindex.Config.loaded = False
+            except Exception:
+                pass
+    _availability = (
+        False,
+        "clang.cindex imports but no loadable libclang.so found "
+        f"(last error: {last_err}); set STRG_LIBCLANG=/path/to/libclang.so",
+    )
+    return _availability
+
+
+def require(context):
+    """Abort-or-return gate: honors STRG_REQUIRE_CLANG=1.
+
+    Returns True when AST analysis can run. When it cannot: prints the loud
+    skip (and raises SystemExit(1) under STRG_REQUIRE_CLANG=1 so CI cannot
+    go green on a silently skipped leg).
+    """
+    ok, reason = availability()
+    if ok:
+        return True
+    msg = f"[{context}] SKIP AST leg: {reason}"
+    if os.environ.get("STRG_REQUIRE_CLANG") == "1":
+        print(f"{msg}\n[{context}] STRG_REQUIRE_CLANG=1: treating the "
+              "skipped Clang leg as a FAILURE")
+        raise SystemExit(1)
+    print(msg)
+    return False
+
+
+def index():
+    """The process-wide cindex.Index (availability() must have passed)."""
+    global _index
+    if _index is None:
+        import clang.cindex as cindex
+
+        _index = cindex.Index.create()
+    return _index
+
+
+def load_compile_commands(build_dir):
+    """[(source_path, [args...])] from build_dir/compile_commands.json.
+
+    Parsed by hand rather than through cindex.CompilationDatabase so the
+    caller can filter/patch args (drop -o, -c, the source operand) the same
+    way regardless of libclang version.
+    """
+    db = Path(build_dir) / "compile_commands.json"
+    if not db.is_file():
+        return None
+    entries = []
+    for entry in json.loads(db.read_text()):
+        src = str(Path(entry["directory"]) / entry["file"]) \
+            if not os.path.isabs(entry["file"]) else entry["file"]
+        if "arguments" in entry:
+            argv = list(entry["arguments"])
+        else:
+            argv = shlex.split(entry["command"])
+        args = []
+        skip_next = False
+        for a in argv[1:]:  # drop the compiler itself
+            if skip_next:
+                skip_next = False
+                continue
+            if a in ("-o", "-c"):
+                skip_next = a == "-o"
+                continue
+            if a == entry["file"] or a == src:
+                continue
+            args.append(a)
+        entries.append((src, args))
+    return entries
+
+
+def parse_tu(src, args):
+    """TranslationUnit for src, raising on hard parse failure."""
+    import clang.cindex as cindex
+
+    tu = index().parse(
+        src, args=args,
+        options=cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+    fatal = [d for d in tu.diagnostics if d.severity >= d.Error]
+    if fatal:
+        raise RuntimeError(
+            f"{src}: {len(fatal)} parse error(s); first: {fatal[0].spelling}")
+    return tu
+
+
+def walk(cursor, predicate):
+    """Depth-first yield of cursors matching predicate."""
+    stack = [cursor]
+    while stack:
+        c = stack.pop()
+        if predicate(c):
+            yield c
+        stack.extend(reversed(list(c.get_children())))
+
+
+def enclosing_function(cursor):
+    """Nearest enclosing function/method cursor, or None."""
+    import clang.cindex as cindex
+
+    kinds = (
+        cindex.CursorKind.FUNCTION_DECL,
+        cindex.CursorKind.CXX_METHOD,
+        cindex.CursorKind.CONSTRUCTOR,
+        cindex.CursorKind.DESTRUCTOR,
+        cindex.CursorKind.FUNCTION_TEMPLATE,
+        cindex.CursorKind.LAMBDA_EXPR,
+    )
+    c = cursor.semantic_parent
+    while c is not None:
+        if c.kind in kinds:
+            return c
+        c = c.semantic_parent
+    return None

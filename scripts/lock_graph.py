@@ -1,0 +1,452 @@
+#!/usr/bin/env python3
+"""Whole-repo lock-acquisition-graph analysis (deadlock-freedom gate).
+
+Three layers, strongest-available wins:
+
+  1. Declared graph (always runs, pure Python): docs/lock_graph.json lists
+     every direct nesting edge (lock B acquired while A is top of the held
+     stack) with a where/why justification. This script validates it
+     against the single source of truth for ranks — the LockRank enum in
+     src/util/sync.h — and fails on:
+       - edge endpoints that are not declared ranks,
+       - cycles in the acquisition graph (DFS over declared edges),
+       - any edge whose direction contradicts the ranks
+         (rank(from) must be strictly less than rank(to)).
+     It also emits docs/lock_graph.dot for visual review.
+
+  2. Observed graph (libclang leg): when clang.cindex + a
+     compile_commands.json are available, every MutexLock/ReaderLock/
+     WriterLock construction and STRG_REQUIRES/STRG_ACQUIRE annotation is
+     harvested from the AST, RAII scopes give intra-procedural nesting,
+     and held-sets propagate across calls to a fixed point. Observed edges
+     missing from the declared graph (or contradicting ranks) fail the
+     run. Loud skip when libclang is absent; STRG_REQUIRE_CLANG=1 makes
+     the skip a hard failure (CI mode).
+
+  3. Runtime: the same hierarchy is enforced dynamically under
+     -DSTRG_DEADLOCK_CHECK=ON (src/util/sync.h) — an inversion aborts.
+
+Usage:
+  scripts/lock_graph.py                  # validate repo graph, write .dot
+  scripts/lock_graph.py --self-test      # run the fixture matrix
+  scripts/lock_graph.py --graph F.json   # validate an explicit graph file
+  scripts/lock_graph.py --no-ast         # declared-graph checks only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SYNC_H = REPO_ROOT / "src" / "util" / "sync.h"
+DEFAULT_GRAPH = REPO_ROOT / "docs" / "lock_graph.json"
+DEFAULT_DOT = REPO_ROOT / "docs" / "lock_graph.dot"
+FIXTURE_DIR = REPO_ROOT / "tests" / "lock_graph"
+
+RANK_LINE_RE = re.compile(r"^\s*(k[A-Za-z0-9]+)\s*=\s*(\d+)\s*,")
+
+
+def parse_ranks(sync_h=SYNC_H):
+    """{rank name: value} parsed from the LockRank enum in sync.h.
+
+    The enum is the single source of truth; this parse fails loudly if the
+    enum moves or the `kName = value,` shape changes, rather than returning
+    an empty table that would vacuously pass every check.
+    """
+    text = sync_h.read_text()
+    m = re.search(r"enum class LockRank : int \{(.*?)\};", text, re.S)
+    if not m:
+        raise SystemExit(
+            f"lock_graph: cannot find 'enum class LockRank' in {sync_h}; "
+            "the rank parser and the enum must move together")
+    ranks = {}
+    for line in m.group(1).splitlines():
+        lm = RANK_LINE_RE.match(line)
+        if lm:
+            ranks[lm.group(1)] = int(lm.group(2))
+    if "kUnranked" not in ranks or len(ranks) < 2:
+        raise SystemExit(
+            f"lock_graph: parsed only {sorted(ranks)} from {sync_h}; "
+            "the enum body no longer matches the 'kName = value,' shape")
+    return ranks
+
+
+def load_graph(path):
+    data = json.loads(Path(path).read_text())
+    edges = [(e["from"], e["to"], e.get("where", "")) for e in data["edges"]]
+    extra_ranks = {k: int(v) for k, v in data.get("ranks", {}).items()}
+    standalone = [s["name"] for s in data.get("standalone", [])]
+    return edges, extra_ranks, standalone
+
+
+def find_cycles(edges):
+    """One representative cycle as [n0, n1, ..., n0], or None."""
+    adj = {}
+    for frm, to, _ in edges:
+        adj.setdefault(frm, []).append(to)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in adj}
+    stack = []
+
+    def dfs(n):
+        color[n] = GRAY
+        stack.append(n)
+        for nxt in adj.get(n, []):
+            c = color.get(nxt, WHITE)
+            if c == GRAY:
+                return stack[stack.index(nxt):] + [nxt]
+            if c == WHITE:
+                cyc = dfs(nxt)
+                if cyc:
+                    return cyc
+        stack.pop()
+        color[n] = BLACK
+        return None
+
+    for n in list(adj):
+        if color.get(n, WHITE) == WHITE:
+            cyc = dfs(n)
+            if cyc:
+                return cyc
+    return None
+
+
+def check_graph(edges, ranks, label="declared graph"):
+    """Validates edges against ranks; returns a list of error strings."""
+    errors = []
+    known = set(ranks)
+    for frm, to, where in edges:
+        for name in (frm, to):
+            if name not in known:
+                errors.append(
+                    f"{label}: edge {frm} -> {to} names unknown rank "
+                    f"'{name}' — every endpoint must be a LockRank "
+                    f"enumerator in src/util/sync.h (known: "
+                    f"{', '.join(sorted(known))})")
+    cyc = find_cycles(edges)
+    if cyc:
+        errors.append(
+            f"{label}: acquisition CYCLE {' -> '.join(cyc)} — two threads "
+            "taking these locks in different orders can deadlock. Break "
+            "the cycle by releasing the outer lock first (hand-over-hand) "
+            "or re-ranking so one global order exists.")
+    for frm, to, where in edges:
+        if frm in known and to in known:
+            if ranks[frm] >= ranks[to]:
+                site = f" at {where}" if where else ""
+                errors.append(
+                    f"{label}: edge {frm}({ranks[frm]}) -> {to}({ranks[to]})"
+                    f"{site} CONTRADICTS the declared ranks — an inner "
+                    "acquisition must have a strictly greater rank. Either "
+                    "the code takes these locks in the wrong order, or the "
+                    "LockRank table in src/util/sync.h needs re-ordering "
+                    "(then update docs/lock_graph.json to match).")
+    return errors
+
+
+def emit_dot(edges, ranks, standalone, out):
+    lines = ["digraph lock_graph {", "  rankdir=TB;",
+             '  node [shape=box, fontname="monospace"];']
+    nodes = sorted(
+        {n for e in edges for n in e[:2]} | set(standalone),
+        key=lambda n: ranks.get(n, 1 << 30))
+    for n in nodes:
+        r = ranks.get(n, "?")
+        lines.append(f'  "{n}" [label="{n}\\nrank {r}"];')
+    for frm, to, where in edges:
+        tip = where.replace('"', "'")
+        lines.append(f'  "{frm}" -> "{to}" [tooltip="{tip}"];')
+    lines.append("}")
+    text = "\n".join(lines) + "\n"
+    if out == "-":
+        sys.stdout.write(text)
+    else:
+        Path(out).write_text(text)
+
+
+# ---------------------------------------------------------------------------
+# AST leg: observed acquisition graph via libclang.
+
+LOCK_TYPES = ("MutexLock", "ReaderLock", "WriterLock")
+
+
+def _member_rank_table(tu_cursor, src_root):
+    """(class usr, field name) -> rank, from `{LockRank::kX}` initializers.
+
+    Also locals: VAR_DECL of Mutex/SharedMutex with a rank argument maps
+    var-usr -> rank.
+    """
+    import clang.cindex as cindex
+
+    table = {}
+    rank_re = re.compile(r"LockRank::(k[A-Za-z0-9]+)")
+    for c in tu_cursor.walk_preorder():
+        if c.kind not in (cindex.CursorKind.FIELD_DECL,
+                          cindex.CursorKind.VAR_DECL):
+            continue
+        if not c.location.file:
+            continue
+        if not str(c.location.file).startswith(str(src_root)):
+            continue
+        t = c.type.spelling
+        if not t.endswith(("Mutex", "SharedMutex")) and \
+           "strg::Mutex" not in t and "strg::SharedMutex" not in t:
+            continue
+        toks = " ".join(tok.spelling for tok in c.get_tokens())
+        m = rank_re.search(toks)
+        if m:
+            table[c.get_usr()] = m.group(1)
+    return table
+
+
+def _function_summaries(tu_cursor, rank_by_usr, src_root):
+    """fn-usr -> {'acquires': [(rank, order)], 'entry': [ranks],
+                  'calls': [(callee usr, held ranks at call)]}
+
+    Intra-procedural: a RAII lock guard's scope is its enclosing compound
+    statement; anything lexically after the guard decl inside that scope is
+    'under' it. STRG_REQUIRES/STRG_ACQUIRE annotations contribute entry
+    holds. Good enough for this codebase's guard-per-scope idiom; the
+    runtime checker is the backstop for exotic shapes.
+    """
+    import clang.cindex as cindex
+
+    fn_kinds = (cindex.CursorKind.FUNCTION_DECL, cindex.CursorKind.CXX_METHOD,
+                cindex.CursorKind.CONSTRUCTOR, cindex.CursorKind.DESTRUCTOR)
+    summaries = {}
+
+    def ranks_of_guard(var_cursor):
+        # MutexLock lock(some_mu_): resolve the argument's referenced decl.
+        for ref in var_cursor.walk_preorder():
+            if ref.kind in (cindex.CursorKind.MEMBER_REF_EXPR,
+                            cindex.CursorKind.DECL_REF_EXPR):
+                d = ref.referenced
+                if d is not None and d.get_usr() in rank_by_usr:
+                    return rank_by_usr[d.get_usr()]
+        return None
+
+    def entry_ranks(fn):
+        out = []
+        for ch in fn.get_children():
+            if ch.kind == cindex.CursorKind.ANNOTATE_ATTR or \
+               "requires_capability" in ch.spelling or \
+               "acquire_capability" in ch.spelling:
+                for ref in ch.walk_preorder():
+                    d = getattr(ref, "referenced", None)
+                    if d is not None and d.get_usr() in rank_by_usr:
+                        out.append(rank_by_usr[d.get_usr()])
+        return out
+
+    def visit_body(node, held, summary):
+        """held: list of ranks active at this point (lexical order)."""
+        local_held = list(held)
+        for ch in node.get_children():
+            if ch.kind == cindex.CursorKind.DECL_STMT:
+                for d in ch.get_children():
+                    if d.kind == cindex.CursorKind.VAR_DECL and \
+                       any(d.type.spelling.endswith(t) for t in LOCK_TYPES):
+                        r = ranks_of_guard(d)
+                        if r:
+                            if local_held:
+                                summary["edges"].append((local_held[-1], r,
+                                                         str(d.location)))
+                            local_held.append(r)
+            elif ch.kind == cindex.CursorKind.CALL_EXPR:
+                callee = ch.referenced
+                if callee is not None:
+                    summary["calls"].append(
+                        (callee.get_usr(), tuple(local_held),
+                         str(ch.location)))
+                visit_body(ch, local_held, summary)
+            elif ch.kind == cindex.CursorKind.COMPOUND_STMT:
+                visit_body(ch, local_held, summary)  # fresh guard scope
+            else:
+                visit_body(ch, local_held, summary)
+
+    for c in tu_cursor.walk_preorder():
+        if c.kind in fn_kinds and c.is_definition():
+            if not c.location.file or \
+               not str(c.location.file).startswith(str(src_root)):
+                continue
+            summary = {"edges": [], "calls": [], "entry": entry_ranks(c),
+                       "first": []}
+            body = next((ch for ch in c.get_children()
+                         if ch.kind == cindex.CursorKind.COMPOUND_STMT), None)
+            if body is not None:
+                visit_body(body, summary["entry"], summary)
+            # direct acquisitions not under another guard, for propagation
+            summary["first"] = [e[1] for e in summary["edges"]] or []
+            summaries[c.get_usr()] = summary
+    return summaries
+
+
+def observed_edges(build_dir, src_root):
+    """Cross-TU observed edge set [(from, to, where)] via libclang."""
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    import clang_ast
+
+    entries = clang_ast.load_compile_commands(build_dir)
+    if entries is None:
+        return None, f"no compile_commands.json under {build_dir}"
+
+    all_edges = []
+    rank_by_usr = {}
+    summaries = {}
+    for src, args in entries:
+        if not src.startswith(str(src_root)):
+            continue
+        tu = clang_ast.parse_tu(src, args)
+        rank_by_usr.update(_member_rank_table(tu.cursor, src_root))
+        summaries.update(
+            _function_summaries(tu.cursor, rank_by_usr, src_root))
+
+    # Fixed-point propagation: a call made while holding H reaches every
+    # rank the callee (transitively) acquires first.
+    acquires = {usr: set(s["first"]) | {e[1] for e in s["edges"]}
+                for usr, s in summaries.items()}
+    changed = True
+    while changed:
+        changed = False
+        for usr, s in summaries.items():
+            for callee, held, where in s["calls"]:
+                for r in acquires.get(callee, ()):
+                    if r not in acquires[usr]:
+                        acquires[usr].add(r)
+                        changed = True
+
+    for usr, s in summaries.items():
+        all_edges.extend(s["edges"])
+        for callee, held, where in s["calls"]:
+            if held:
+                top = held[-1]
+                for r in acquires.get(callee, ()):
+                    all_edges.append((top, r, where))
+    # dedupe, keep first witness
+    seen = {}
+    for frm, to, where in all_edges:
+        seen.setdefault((frm, to), where)
+    return [(f, t, w) for (f, t), w in sorted(seen.items())], None
+
+
+def run_ast_leg(build_dir, declared, ranks):
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    import clang_ast
+
+    if not clang_ast.require("lock_graph"):
+        return []
+    edges, err = observed_edges(build_dir, REPO_ROOT / "src")
+    if err:
+        msg = f"[lock_graph] SKIP AST leg: {err}"
+        if os.environ.get("STRG_REQUIRE_CLANG") == "1":
+            print(msg)
+            print("[lock_graph] STRG_REQUIRE_CLANG=1: hard failure")
+            return ["AST leg unavailable under STRG_REQUIRE_CLANG=1"]
+        print(msg)
+        return []
+    errors = check_graph(edges, ranks, label="observed graph")
+    declared_set = {(f, t) for f, t, _ in declared}
+    for frm, to, where in edges:
+        if (frm, to) not in declared_set:
+            errors.append(
+                f"observed graph: edge {frm} -> {to} (at {where}) is NOT "
+                "declared in docs/lock_graph.json — add it there with a "
+                "where/why justification (and check its rank order)")
+    print(f"[lock_graph] AST leg: {len(edges)} observed edge(s) verified")
+    return errors
+
+
+# ---------------------------------------------------------------------------
+
+
+def validate(graph_path, dot_out=None, use_ast=True, build_dir=None,
+             quiet=False):
+    """Returns a list of error strings (empty = pass)."""
+    ranks = parse_ranks()
+    edges, extra_ranks, standalone = load_graph(graph_path)
+    ranks = {**ranks, **extra_ranks}
+    errors = check_graph(edges, ranks)
+    if dot_out and not errors:
+        emit_dot(edges, ranks, standalone, dot_out)
+        if not quiet:
+            print(f"[lock_graph] wrote {dot_out}")
+    if use_ast and not errors:
+        bd = build_dir or next(
+            (d for d in (REPO_ROOT / "build-static", REPO_ROOT / "build")
+             if (d / "compile_commands.json").is_file()),
+            REPO_ROOT / "build-static")
+        errors += run_ast_leg(bd, edges, ranks)
+    if not errors and not quiet:
+        print(f"[lock_graph] OK: {len(edges)} declared edge(s), "
+              f"{len(ranks) - 1} ranked lock(s), cycle-free, "
+              "ranks consistent")
+    return errors
+
+
+def self_test():
+    """Fixture matrix: clean passes; cycle and contradiction fail with
+    actionable messages."""
+    cases = [
+        ("clean.json", None),
+        ("cycle.json", "CYCLE"),
+        ("rank_contradiction.json", "CONTRADICTS"),
+    ]
+    failures = []
+    for name, want in cases:
+        path = FIXTURE_DIR / name
+        errors = validate(path, dot_out=None, use_ast=False, quiet=True)
+        if want is None:
+            if errors:
+                failures.append(f"{name}: expected PASS, got: {errors}")
+        else:
+            if not errors:
+                failures.append(f"{name}: expected failure mentioning "
+                                f"'{want}', but it passed")
+            elif not any(want in e for e in errors):
+                failures.append(f"{name}: failure did not mention '{want}': "
+                                f"{errors}")
+    # The real graph must also pass (declared leg only — self-test must be
+    # environment-independent).
+    real = validate(DEFAULT_GRAPH, dot_out=None, use_ast=False, quiet=True)
+    if real:
+        failures.append(f"docs/lock_graph.json: {real}")
+    if failures:
+        print("lock_graph --self-test FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"lock_graph --self-test OK ({len(cases)} fixtures + repo graph)")
+    return 0
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--graph", default=str(DEFAULT_GRAPH))
+    ap.add_argument("--dot", default=str(DEFAULT_DOT),
+                    help="output .dot path, '-' for stdout, '' to skip")
+    ap.add_argument("--build-dir", default=None,
+                    help="directory holding compile_commands.json")
+    ap.add_argument("--no-ast", action="store_true",
+                    help="declared-graph checks only (skip libclang leg)")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    errors = validate(args.graph, dot_out=args.dot or None,
+                      use_ast=not args.no_ast, build_dir=args.build_dir)
+    if errors:
+        print("lock_graph: FAILED")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Static-analysis gate: three legs, each independently loud about skipping.
+# Static-analysis gate: four legs, each independently loud about skipping.
 #
 #   1. strg_lint.py        repo invariant linter (self-test first, then the
-#                          tree) — pure python, always runs.
+#                          tree) — pure python, always runs. AST-grade rule
+#                          variants engage automatically when libclang is
+#                          importable; regex fallbacks otherwise.
 #   2. -Wthread-safety     Clang build of the whole tree with
 #                          STRG_STATIC_ANALYSIS=ON (-Wthread-safety
 #                          -Wthread-safety-beta -Werror). Requires clang++;
@@ -12,14 +14,34 @@
 #                          the tree is expected clean). Requires clang-tidy
 #                          and the compile_commands.json from leg 2; skipped
 #                          loudly when absent.
+#   4. lock_graph.py       deadlock-freedom gate: validates the declared
+#                          lock-acquisition graph (docs/lock_graph.json)
+#                          against the LockRank hierarchy in sync.h — cycle
+#                          and rank-contradiction checks always run (pure
+#                          python); the libclang observed-graph leg engages
+#                          when available. Emits docs/lock_graph.dot.
 #
 #   scripts/static.sh            # run everything available
 #   STRG_STATIC_JOBS=4 ...       # cap build parallelism
+#   STRG_REQUIRE_CLANG=1 ...     # CI mode: any "loud skip" of a Clang-only
+#                                # leg becomes a hard failure instead of a
+#                                # silent green
+#   STRG_STATIC_LEG=<name> ...   # run ONE leg (lint | thread-safety | tidy
+#                                # | lock-graph) — scripts/ci.sh uses this
+#                                # to time and report each leg separately
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${STRG_STATIC_JOBS:-$(nproc 2>/dev/null || echo 4)}"
+REQUIRE_CLANG="${STRG_REQUIRE_CLANG:-0}"
+LEG="${STRG_STATIC_LEG:-all}"
+case "$LEG" in
+  all|lint|thread-safety|tidy|lock-graph) ;;
+  *) echo "static.sh: unknown STRG_STATIC_LEG '$LEG'" >&2; exit 2 ;;
+esac
 FAILED=0
+
+leg_enabled() { [[ "$LEG" == "all" || "$LEG" == "$1" ]]; }
 
 find_tool() {
   # find_tool <base-name> — prints the first of base, base-20..base-14 on PATH.
@@ -31,10 +53,22 @@ find_tool() {
   return 1
 }
 
+require_clang_failed() {
+  # require_clang_failed <leg> — under STRG_REQUIRE_CLANG=1 a skipped Clang
+  # leg is a failure, not a warning (CI must not go green without proof).
+  if [[ "$REQUIRE_CLANG" == "1" ]]; then
+    echo "STRG_REQUIRE_CLANG=1: the skipped '$1' leg is a HARD FAILURE"
+    FAILED=1
+  fi
+}
+
+if leg_enabled lint; then
 echo "== leg 1: repo invariant linter (scripts/strg_lint.py) =="
 python3 scripts/strg_lint.py --self-test
 python3 scripts/strg_lint.py
+fi
 
+if leg_enabled thread-safety; then
 echo
 echo "== leg 2: Clang thread-safety build (STRG_STATIC_ANALYSIS=ON) =="
 if CLANGXX="$(find_tool clang++)"; then
@@ -50,8 +84,11 @@ else
   echo "PATH. The STRG_* annotations are no-op macros under other compilers,"
   echo "so this leg can only be proven with Clang. Install clang to run it."
   echo "------------------------------------------------------------------"
+  require_clang_failed "thread-safety build"
+fi
 fi
 
+if leg_enabled tidy; then
 echo
 echo "== leg 3: clang-tidy over src/ vs baseline =="
 if TIDY="$(find_tool clang-tidy)"; then
@@ -60,6 +97,7 @@ if TIDY="$(find_tool clang-tidy)"; then
     echo "SKIP: clang-tidy NOT run — build-static/compile_commands.json is"
     echo "missing (leg 2 must succeed first to export it)."
     echo "------------------------------------------------------------------"
+    require_clang_failed "clang-tidy"
   else
     mapfile -t TIDY_SOURCES < <(find src -name '*.cpp' -o -name '*.cc' | sort)
     RAW="build-static/clang_tidy_findings.raw"
@@ -82,6 +120,20 @@ else
   echo "SKIP: clang-tidy NOT run — no clang-tidy (or clang-tidy-NN) on PATH."
   echo "Install clang-tools to run the curated .clang-tidy gate."
   echo "------------------------------------------------------------------"
+  require_clang_failed "clang-tidy"
+fi
+fi
+
+if leg_enabled lock-graph; then
+echo
+echo "== leg 4: lock-acquisition-graph analysis (scripts/lock_graph.py) =="
+# The declared-graph checks (cycles, rank contradictions, dot emission) are
+# pure python and always gate; the libclang observed-graph leg skips loudly
+# on its own (and hard-fails itself under STRG_REQUIRE_CLANG=1).
+python3 scripts/lock_graph.py --self-test
+if ! python3 scripts/lock_graph.py; then
+  FAILED=1
+fi
 fi
 
 echo
@@ -89,4 +141,8 @@ if [[ "$FAILED" != 0 ]]; then
   echo "static.sh: FAILED"
   exit 1
 fi
-echo "static.sh: all available legs green"
+if [[ "$LEG" == "all" ]]; then
+  echo "static.sh: all available legs green"
+else
+  echo "static.sh: leg '$LEG' green"
+fi

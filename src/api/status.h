@@ -88,9 +88,9 @@ class Status {
     return out;
   }
 
-  /// Bridge to the legacy exception surface: the thin throwing wrappers
-  /// (Catalog::LoadFromFile and friends) are one `ThrowIfError()` away from
-  /// the StatusOr core, so both styles stay in sync by construction.
+  /// Bridge to an exception surface for callers that want one: any Status
+  /// is one `ThrowIfError()` away from std::runtime_error. (The Catalog's
+  /// own throwing wrappers are gone — internal code never calls this.)
   void ThrowIfError() const {
     if (!ok()) throw std::runtime_error(ToString());  // NOLINT(strg-no-throw): the documented legacy-exception bridge itself
   }

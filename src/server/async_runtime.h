@@ -56,7 +56,7 @@ class AsyncRuntime {
   void WorkerLoop() STRG_EXCLUDES(mu_);
 
   const size_t max_queue_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kAsyncRuntime};
   CondVar cv_;
   std::queue<std::function<void()>> queue_ STRG_GUARDED_BY(mu_);
   bool stop_ STRG_GUARDED_BY(mu_) = false;

@@ -192,7 +192,7 @@ class DurableQueryEngine {
 
   /// One lock covers the whole durable write protocol: WAL append + seq
   /// advance + catalog mirror + publish + compaction decision.
-  Mutex ingest_mu_;
+  Mutex ingest_mu_{LockRank::kIngestDurable};
   uint64_t next_seq_ STRG_GUARDED_BY(ingest_mu_) = 1;     ///< next WAL seq
   uint64_t log_records_ STRG_GUARDED_BY(ingest_mu_) = 0;  ///< live log size
   storage::Catalog catalog_ STRG_GUARDED_BY(ingest_mu_);

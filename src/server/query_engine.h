@@ -97,7 +97,7 @@ struct RequestState {
   /// The exactly-once completion guard.
   std::atomic<bool> finalized{false};
 
-  mutable Mutex mu;
+  mutable Mutex mu{LockRank::kRequestState};
   CondVar cv;
   bool done STRG_GUARDED_BY(mu) = false;
   QueryResult result STRG_GUARDED_BY(mu);
@@ -135,7 +135,7 @@ class QueryHandle {
   /// its result is dropped and its admission slot is released by itself).
   /// Returns the final result. Calling Wait on an empty handle returns a
   /// default (kOk, empty) result.
-  QueryResult Wait();
+  QueryResult Wait() STRG_EXCLUDES_DYNAMIC(RequestState::mu);
 
  private:
   friend class QueryEngine;
@@ -170,12 +170,19 @@ class SnapshotHolder {
     return ptr_;
   }
   void store(std::shared_ptr<const Snapshot> next) STRG_EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    ptr_ = std::move(next);
+    // Swap under the lock, destroy outside it: dropping the last reference
+    // to a displaced generation tears down whole index trees, and kSnapshot
+    // is a leaf rank — teardown must not run while it is held.
+    std::shared_ptr<const Snapshot> displaced;
+    {
+      MutexLock lock(mu_);
+      displaced = std::move(ptr_);
+      ptr_ = std::move(next);
+    }
   }
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kSnapshot};
   std::shared_ptr<const Snapshot> ptr_ STRG_GUARDED_BY(mu_);
 };
 
@@ -215,14 +222,15 @@ class QueryEngine {
   /// AddObjectGraph calls.
   uint64_t AddVideo(const std::string& name,
                     const api::SegmentResult& segment,
-                    int* segment_id = nullptr);
+                    int* segment_id = nullptr) STRG_EXCLUDES(writer_mu_);
 
   /// Streams one more OG into an existing segment. Each call publishes
   /// exactly one new generation containing exactly one more OG — the
   /// invariant the concurrency stress test leans on.
   uint64_t AddObjectGraph(int segment_id, const std::string& video,
                           const core::Og& og,
-                          const dist::FeatureScaling& scaling);
+                          const dist::FeatureScaling& scaling)
+      STRG_EXCLUDES(writer_mu_);
 
   /// Fast-forwards the published generation number without changing data
   /// (only forward; lower targets are ignored). Recovery uses this to keep
@@ -315,7 +323,7 @@ class QueryEngine {
   /// Serializes writers (the clone-mutate-publish window). It guards the
   /// *protocol*, not a field: the data being built is the local `next`
   /// snapshot, and publication goes through head_'s own mutex.
-  Mutex writer_mu_;
+  Mutex writer_mu_{LockRank::kEngineWriter};
   SnapshotHolder head_;
   /// Declared last: destroyed first, so accepted tasks drain while the
   /// members they reference are still alive. Null when an external runtime

@@ -56,17 +56,17 @@ class ShardedResultCache {
 
   /// On hit, copies the cached hits into `*out`, refreshes LRU recency, and
   /// returns true.
-  bool Get(const CacheKey& key, Value* out);
+  bool Get(const CacheKey& key, Value* out) STRG_EXCLUDES_DYNAMIC(Shard::mu);
 
   /// Inserts or refreshes `key`, evicting the shard's LRU tail when full.
-  void Put(const CacheKey& key, Value value);
+  void Put(const CacheKey& key, Value value) STRG_EXCLUDES_DYNAMIC(Shard::mu);
 
-  size_t Size() const;
+  size_t Size() const STRG_EXCLUDES_DYNAMIC(Shard::mu);
   size_t NumShards() const { return shards_.size(); }
 
  private:
   struct Shard {
-    mutable Mutex mu;
+    mutable Mutex mu{LockRank::kResultCache};
     std::list<std::pair<CacheKey, Value>> lru
         STRG_GUARDED_BY(mu);  ///< front = most recent
     std::unordered_map<CacheKey, std::list<std::pair<CacheKey, Value>>::iterator,

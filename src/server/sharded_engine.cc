@@ -63,7 +63,7 @@ struct ShardedQueryEngine::Gather {
   /// true global k-th distance and pruning with it stays exact.
   std::atomic<uint64_t> tau_bits{std::bit_cast<uint64_t>(kInf)};
 
-  Mutex merge_mu;
+  Mutex merge_mu{LockRank::kGatherMerge};
   /// kSimilar: kept sorted by HitBefore and truncated to k on every merge.
   /// kRange/kActive: appended, sorted once at completion.
   std::vector<api::VideoDatabase::QueryHit> merged STRG_GUARDED_BY(merge_mu);

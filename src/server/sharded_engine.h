@@ -156,12 +156,12 @@ class ShardedQueryEngine {
   /// Serializes writers across shards: global og ids are assigned in call
   /// order (the single-engine id space), which requires the id-assign +
   /// shard-insert window to be atomic. Queries never take this.
-  Mutex ingest_mu_;
+  Mutex ingest_mu_{LockRank::kIngestSharded};
   /// Guards the id remap tables. Writers append under ingest_mu_ + write
   /// lock; gather legs remap under read lock. Tables are append-only and a
   /// shard snapshot's local ids are always < the table length at remap
   /// time (the mapping is appended before the shard insert publishes).
-  mutable SharedMutex map_mu_;
+  mutable SharedMutex map_mu_{LockRank::kShardMap};
   /// local_to_global_[s][local_og_id] == global og id.
   std::vector<std::vector<size_t>> local_to_global_ STRG_GUARDED_BY(map_mu_);
   size_t next_global_id_ STRG_GUARDED_BY(map_mu_) = 0;

@@ -85,26 +85,10 @@ class Catalog {
       const std::string& path, const StorageParams& params,
       uint64_t* user_data = nullptr);
 
-  // ---- Thin throwing wrappers (legacy surface; use the Try* forms). ----
-  // Deprecated: internal code is fully migrated to Status/StatusOr, and
-  // scripts/strg_lint.py rejects new uses under src/. These stay only so
-  // external callers get a compiler nudge instead of a hard break.
-
-  /// Throws std::runtime_error on any parse failure.
-  [[deprecated("use TryDeserialize (StatusOr) instead")]] static Catalog
-  Deserialize(std::string_view bytes) {
-    return std::move(TryDeserialize(bytes).value());
-  }
-  /// Throws std::runtime_error on I/O failure.
-  [[deprecated("use TrySaveToFile (Status) instead")]] void SaveToFile(
-      const std::string& path) const {
-    TrySaveToFile(path).ThrowIfError();
-  }
-  /// Throws std::runtime_error on I/O or parse failure.
-  [[deprecated("use TryLoadFromFile (StatusOr) instead")]] static Catalog
-  LoadFromFile(const std::string& path) {
-    return std::move(TryLoadFromFile(path).value());
-  }
+  // The throwing wrappers (Deserialize / SaveToFile / LoadFromFile) spent
+  // one release deprecated and are now REMOVED: this class speaks
+  // Status/StatusOr only. scripts/strg_lint.py's strg-deprecated-catalog
+  // rule rejects any reintroduction, in this header included.
 
  private:
   std::vector<CatalogSegment> segments_;

@@ -98,24 +98,24 @@ class BufferCache {
   /// returns a stable view. kOverloaded when every frame in the page's
   /// shard is pinned (cache budget exhausted); I/O and CRC failures pass
   /// through from PageFile::ReadPage.
-  api::StatusOr<PageRef> Pin(uint32_t page_id);
+  api::StatusOr<PageRef> Pin(uint32_t page_id) STRG_EXCLUDES_DYNAMIC(Shard::mu);
 
   /// Writes a page *through the cache*: the frame is updated (or COW-swapped
   /// if pinned) and marked dirty; bytes reach the PageFile at eviction or
   /// FlushAll. The caller must serialize writes to the same page (the
   /// record store's writer mutex does).
   api::Status Write(uint32_t page_id, uint8_t type, uint32_t next_page,
-                    std::string_view payload);
+                    std::string_view payload) STRG_EXCLUDES_DYNAMIC(Shard::mu);
 
   /// Write-back of every dirty resident frame (fsync is the PageFile
   /// owner's job — Sync there after flushing here).
-  api::Status FlushAll();
+  api::Status FlushAll() STRG_EXCLUDES_DYNAMIC(Shard::mu);
 
   /// Drops `page_id` from the cache without write-back (the page was
   /// freed); live pins keep their orphaned frame until released.
-  void Invalidate(uint32_t page_id);
+  void Invalidate(uint32_t page_id) STRG_EXCLUDES_DYNAMIC(Shard::mu);
 
-  BufferCacheStats stats() const;
+  BufferCacheStats stats() const STRG_EXCLUDES_DYNAMIC(Shard::mu);
 
   size_t num_frames() const { return num_frames_; }
   /// Hard bound on resident page payload memory, by construction.
@@ -134,7 +134,7 @@ class BufferCache {
   };
 
   struct Shard {
-    Mutex mu;
+    Mutex mu{LockRank::kBufferCache};
     std::unordered_map<uint32_t, size_t> map STRG_GUARDED_BY(mu);
     std::vector<Frame> frames STRG_GUARDED_BY(mu);
     /// Free frame indices (never resident) + LRU list of resident frames,

@@ -101,7 +101,7 @@ class PagedRecordStore {
   /// Caller-owned root record id, persisted in the page-file header at
   /// Commit(). kNoRecord when unset.
   void SetRoot(uint64_t record_id) STRG_EXCLUDES(mu_);
-  uint64_t Root() const;
+  uint64_t Root() const STRG_EXCLUDES(mu_);
 
   BufferCacheStats cache_stats() const { return cache_->stats(); }
   BufferCache* cache() { return cache_.get(); }
@@ -125,7 +125,7 @@ class PagedRecordStore {
   std::unique_ptr<PageFile> file_;
   std::unique_ptr<BufferCache> cache_;
 
-  Mutex mu_;
+  Mutex mu_{LockRank::kRecordStore};
   /// Shadow of the tail data page being appended to. Appends extend this
   /// buffer and write it through the cache, so no append ever needs to pin
   /// (and the COW frame logic keeps concurrent readers safe).

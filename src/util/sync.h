@@ -5,6 +5,14 @@
 #include <mutex>               // NOLINT(strg-naked-mutex): this is the one sanctioned wrapper site
 #include <shared_mutex>        // NOLINT(strg-naked-mutex): this is the one sanctioned wrapper site
 
+#if defined(STRG_DEADLOCK_CHECK) && STRG_DEADLOCK_CHECK
+#define STRG_DEADLOCK_CHECK_ENABLED 1
+#include <cstdio>   // abort diagnostics only; compiled out in release
+#include <cstdlib>
+#else
+#define STRG_DEADLOCK_CHECK_ENABLED 0
+#endif
+
 namespace strg {
 
 /// Annotated synchronization layer.
@@ -72,38 +80,245 @@ namespace strg {
 /// Expands to nothing under every compiler; it exists so the *absence* of a
 /// lock is visibly a decision, not an omission.
 #define STRG_LOCK_FREE
+/// Documentation-only sibling of STRG_EXCLUDES for a capability the
+/// attribute grammar cannot name statically — one shard's mutex selected at
+/// runtime (BufferCache::Shard::mu, ShardedResultCache::Shard::mu). The
+/// argument is the capability *family* being excluded. Expands to nothing;
+/// scripts/strg_lint.py's strg-lock-excludes rule accepts it wherever
+/// STRG_EXCLUDES would be required.
+#define STRG_EXCLUDES_DYNAMIC(...)
+
+/// Repo-wide lock hierarchy, outermost first: a thread may only acquire a
+/// mutex whose rank is STRICTLY GREATER than every rank it already holds.
+/// The table *is* the deadlock-freedom argument — any two threads taking
+/// any subset of these locks take them in one global order, so no cycle of
+/// waits can close. Enforced three ways:
+///   - runtime: under STRG_DEADLOCK_CHECK=ON every acquisition is checked
+///     against a thread-local held-rank stack and an inversion aborts with
+///     both rank names (zero-cost no-ops when the option is OFF);
+///   - statically: scripts/lock_graph.py extracts the acquisition graph
+///     (declared in docs/lock_graph.json, AST-verified via libclang when
+///     available), fails on cycles and on edges contradicting these ranks;
+///   - by review: a new mutex MUST pick a rank here, which forces the "what
+///     can I be held under?" question at design time.
+///
+/// Gaps of 100 leave room to slot new locks between existing levels without
+/// renumbering. kUnranked (tests, examples, scratch locks) is exempt from
+/// checking: it neither pushes a rank nor constrains later acquisitions.
+///
+/// The deepest legal chains today (see DESIGN.md §15 for the full graph):
+///   write:  kIngestSharded -> kShardMap
+///           kIngestSharded/kIngestDurable -> kEngineWriter
+///             -> kRecordStore -> kBufferCache, -> kSnapshot, -> kThreadPool
+///   query:  kGatherMerge / kResultCache / kRequestState / kSnapshot
+///           (taken one at a time along a leg; kRecordStore -> kBufferCache
+///           under a paged read)
+enum class LockRank : int {
+  kUnranked = 0,        ///< exempt: test/example/scratch locks
+  kIngestSharded = 100, ///< ShardedQueryEngine::ingest_mu_ (global write order)
+  kIngestDurable = 200, ///< DurableQueryEngine::ingest_mu_ (WAL+publish window)
+  kShardMap = 300,      ///< ShardedQueryEngine::map_mu_ (local->global ids)
+  kEngineWriter = 400,  ///< QueryEngine::writer_mu_ (clone-mutate-publish)
+  kGatherMerge = 500,   ///< ShardedQueryEngine::Gather::merge_mu
+  kResultCache = 600,   ///< ShardedResultCache::Shard::mu
+  kRequestState = 700,  ///< RequestState::mu (completion rendezvous)
+  kRecordStore = 800,   ///< PagedRecordStore::mu_ (append/commit tail)
+  kBufferCache = 900,   ///< BufferCache::Shard::mu (frame pin/evict)
+  kSnapshot = 1000,     ///< SnapshotHolder::mu_ (epoch pointer; leaf)
+  kThreadPool = 1100,   ///< ThreadPool::mutex_ (task queue)
+  kPoolError = 1200,    ///< ThreadPool::ParallelFor error_mutex
+  kPoolDone = 1300,     ///< ThreadPool::ParallelFor done_mutex
+  kAsyncRuntime = 1400, ///< AsyncRuntime::mu_ (submission queue; leaf)
+};
+
+/// Stable name for diagnostics (abort messages, lock_graph.py dot labels).
+constexpr const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kUnranked: return "kUnranked";
+    case LockRank::kIngestSharded: return "kIngestSharded";
+    case LockRank::kIngestDurable: return "kIngestDurable";
+    case LockRank::kShardMap: return "kShardMap";
+    case LockRank::kEngineWriter: return "kEngineWriter";
+    case LockRank::kGatherMerge: return "kGatherMerge";
+    case LockRank::kResultCache: return "kResultCache";
+    case LockRank::kRequestState: return "kRequestState";
+    case LockRank::kRecordStore: return "kRecordStore";
+    case LockRank::kBufferCache: return "kBufferCache";
+    case LockRank::kSnapshot: return "kSnapshot";
+    case LockRank::kThreadPool: return "kThreadPool";
+    case LockRank::kPoolError: return "kPoolError";
+    case LockRank::kPoolDone: return "kPoolDone";
+    case LockRank::kAsyncRuntime: return "kAsyncRuntime";
+  }
+  return "unknown";
+}
+
+#if STRG_DEADLOCK_CHECK_ENABLED
+namespace sync_internal {
+
+/// Per-thread stack of held ranks. Fixed-size POD storage: the checker must
+/// never allocate (it runs inside every Lock()) and never re-enter itself.
+/// 64 simultaneously held ranked locks is far beyond any legal chain (the
+/// deepest today is 5); overflowing it is itself a discipline violation.
+struct HeldRanks {
+  static constexpr int kMaxDepth = 64;
+  int depth = 0;
+  LockRank ranks[kMaxDepth] = {};
+};
+
+inline HeldRanks& TlsHeldRanks() {
+  thread_local HeldRanks held;
+  return held;
+}
+
+/// Checks the would-be acquisition against the hierarchy and records it.
+/// Called BEFORE the underlying lock() blocks, so an inversion aborts with
+/// a diagnosis instead of deadlocking silently under contention.
+inline void PushRank(LockRank rank) {
+  if (rank == LockRank::kUnranked) return;
+  HeldRanks& held = TlsHeldRanks();
+  if (held.depth > 0) {
+    const LockRank top = held.ranks[held.depth - 1];
+    if (static_cast<int>(top) >= static_cast<int>(rank)) {
+      std::fprintf(
+          stderr,
+          "strg: LOCK RANK INVERSION: acquiring %s (%d) while holding %s "
+          "(%d); the lock hierarchy (src/util/sync.h LockRank, DESIGN.md "
+          "S15) requires strictly increasing ranks. Fix the acquisition "
+          "order or re-rank the locks (and rerun scripts/lock_graph.py).\n",
+          LockRankName(rank), static_cast<int>(rank), LockRankName(top),
+          static_cast<int>(top));
+      std::abort();
+    }
+  }
+  if (held.depth == HeldRanks::kMaxDepth) {
+    std::fprintf(stderr, "strg: held-rank stack overflow (%d locks)\n",
+                 HeldRanks::kMaxDepth);
+    std::abort();
+  }
+  held.ranks[held.depth++] = rank;
+}
+
+/// Removes `rank` from the held stack (topmost occurrence — release order
+/// is LIFO under RAII, but hand-over-hand unlocking stays legal).
+inline void PopRank(LockRank rank) {
+  if (rank == LockRank::kUnranked) return;
+  HeldRanks& held = TlsHeldRanks();
+  for (int i = held.depth - 1; i >= 0; --i) {
+    if (held.ranks[i] == rank) {
+      for (int j = i; j + 1 < held.depth; ++j) {
+        held.ranks[j] = held.ranks[j + 1];
+      }
+      --held.depth;
+      return;
+    }
+  }
+  std::fprintf(stderr,
+               "strg: releasing rank %s that this thread does not hold\n",
+               LockRankName(rank));
+  std::abort();
+}
+
+}  // namespace sync_internal
+#endif  // STRG_DEADLOCK_CHECK_ENABLED
 
 /// Exclusive mutex. Same cost and semantics as std::mutex; the capability
 /// tag is what lets the analysis connect STRG_GUARDED_BY fields to it.
+/// Construct with the lock's LockRank — every mutex under src/ declares one
+/// (the default kUnranked form is for tests/examples). Rank storage and
+/// checking exist only under STRG_DEADLOCK_CHECK=ON; in release builds the
+/// rank argument is discarded and Lock()/Unlock() compile to exactly the
+/// std::mutex calls they always were (byte-identical hot paths).
 class STRG_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+#if STRG_DEADLOCK_CHECK_ENABLED
+  explicit Mutex(LockRank rank) : rank_(rank) {}
+#else
+  // constexpr: a ranked global/static Mutex must get constant
+  // initialization exactly like a default-constructed one (no dynamic
+  // initializer — the release build is bit-identical either way).
+  constexpr explicit Mutex(LockRank /*rank*/) {}
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+#if STRG_DEADLOCK_CHECK_ENABLED
+  void Lock() STRG_ACQUIRE() {
+    sync_internal::PushRank(rank_);  // before blocking: diagnose, not hang
+    mu_.lock();
+  }
+  void Unlock() STRG_RELEASE() {
+    // Pop BEFORE unlocking: the instant mu_ is released another thread may
+    // destroy this Mutex (ParallelFor's completion handshake does exactly
+    // that — the waiter owns the stack-local mutexes), so rank_ must not be
+    // read after unlock().
+    sync_internal::PopRank(rank_);
+    mu_.unlock();
+  }
+  bool TryLock() STRG_TRY_ACQUIRE(true) {
+    sync_internal::PushRank(rank_);
+    if (mu_.try_lock()) return true;
+    sync_internal::PopRank(rank_);
+    return false;
+  }
+#else
   void Lock() STRG_ACQUIRE() { mu_.lock(); }
   void Unlock() STRG_RELEASE() { mu_.unlock(); }
   bool TryLock() STRG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+#endif
 
  private:
   friend class CondVar;
   std::mutex mu_;
+#if STRG_DEADLOCK_CHECK_ENABLED
+  LockRank rank_ = LockRank::kUnranked;
+#endif
 };
 
-/// Reader/writer mutex (std::shared_mutex underneath).
+/// Reader/writer mutex (std::shared_mutex underneath). Shared acquisitions
+/// participate in the rank discipline exactly like exclusive ones: a reader
+/// holding rank R may only acquire ranks > R.
 class STRG_CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+#if STRG_DEADLOCK_CHECK_ENABLED
+  explicit SharedMutex(LockRank rank) : rank_(rank) {}
+#else
+  constexpr explicit SharedMutex(LockRank /*rank*/) {}  // see Mutex
+#endif
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
+#if STRG_DEADLOCK_CHECK_ENABLED
+  void Lock() STRG_ACQUIRE() {
+    sync_internal::PushRank(rank_);
+    mu_.lock();
+  }
+  void Unlock() STRG_RELEASE() {
+    sync_internal::PopRank(rank_);  // pop first: see Mutex::Unlock
+    mu_.unlock();
+  }
+  void LockShared() STRG_ACQUIRE_SHARED() {
+    sync_internal::PushRank(rank_);
+    mu_.lock_shared();
+  }
+  void UnlockShared() STRG_RELEASE_SHARED() {
+    sync_internal::PopRank(rank_);  // pop first: see Mutex::Unlock
+    mu_.unlock_shared();
+  }
+#else
   void Lock() STRG_ACQUIRE() { mu_.lock(); }
   void Unlock() STRG_RELEASE() { mu_.unlock(); }
   void LockShared() STRG_ACQUIRE_SHARED() { mu_.lock_shared(); }
   void UnlockShared() STRG_RELEASE_SHARED() { mu_.unlock_shared(); }
+#endif
 
  private:
   std::shared_mutex mu_;
+#if STRG_DEADLOCK_CHECK_ENABLED
+  LockRank rank_ = LockRank::kUnranked;
+#endif
 };
 
 /// RAII exclusive lock over Mutex — the sanctioned replacement for

@@ -54,8 +54,8 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   // the same lock — cannot wake, return, and destroy these locals while a
   // worker still touches them.
   std::exception_ptr error;
-  Mutex error_mutex;
-  Mutex done_mutex;
+  Mutex error_mutex{LockRank::kPoolError};
+  Mutex done_mutex{LockRank::kPoolDone};
   CondVar done_cv;
   size_t remaining = 0;
 

@@ -40,13 +40,15 @@ class ThreadPool {
   /// Runs body(i) for i in [begin, end), distributed over the pool, and
   /// waits for completion. Safe to call with begin >= end (no-op).
   void ParallelFor(size_t begin, size_t end,
-                   const std::function<void(size_t)>& body);
+                   const std::function<void(size_t)>& body)
+      STRG_EXCLUDES(mutex_);
 
   /// Schedules `f()` on the pool and returns a future for its result.
   /// Exceptions propagate through the future. Tasks already queued when the
   /// pool is destroyed still run to completion before the workers join.
   template <typename F>
-  auto Submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+      STRG_EXCLUDES(mutex_) {
     using R = std::invoke_result_t<std::decay_t<F>>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
@@ -66,7 +68,7 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  Mutex mutex_;
+  Mutex mutex_{LockRank::kThreadPool};
   CondVar cv_;
   std::queue<std::function<void()>> tasks_ STRG_GUARDED_BY(mutex_);
   bool stop_ STRG_GUARDED_BY(mutex_) = false;

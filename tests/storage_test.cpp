@@ -153,18 +153,6 @@ TEST(Catalog, RejectsBadMagicAndTrailingBytes) {
   EXPECT_FALSE(Catalog::TryDeserialize(bytes).ok());
 }
 
-// The deprecated throwing wrappers must keep their historical contract
-// until removal (external callers rely on std::runtime_error). This test
-// is the one sanctioned use; everything else goes through Try*.
-TEST(Catalog, DeprecatedThrowingWrappersStillThrow) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_THROW(Catalog::Deserialize("garbage-bytes"), std::runtime_error);
-  EXPECT_THROW(Catalog::LoadFromFile(::testing::TempDir() + "/no_such_file"),
-               std::runtime_error);
-#pragma GCC diagnostic pop
-}
-
 TEST(Catalog, FileRoundTrip) {
   Catalog catalog;
   CatalogSegment seg;
